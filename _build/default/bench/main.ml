@@ -1,0 +1,188 @@
+(* Benchmark harness.
+
+   Part 1 — bechamel micro-benchmarks of the runtime primitives whose costs
+   the simulator's cost model abstracts (deque operations, polls/AC, the
+   perfect-hash leftover table, the rollforward compiler, the compilation
+   pipeline itself), plus one Test.make per reproduced table/figure running
+   a miniature configuration of that experiment.
+
+   Part 2 — regeneration of every table and figure of the paper's evaluation
+   (Figs. 4-16) at full scale, printing the same rows/series the paper
+   reports. Scale/workers can be overridden with HBC_BENCH_SCALE and
+   HBC_BENCH_WORKERS. *)
+
+open Bechamel
+open Toolkit
+
+let tiny = { Experiments.Harness.default_config with scale = 0.04; workers = 8 }
+
+(* --------------------- micro-benchmarks -------------------------- *)
+
+let bench_deque =
+  Test.make ~name:"deque push/pop x64"
+    (Staged.stage (fun () ->
+         let d = Sim.Deque.create () in
+         for i = 0 to 63 do
+           Sim.Deque.push_bottom d i
+         done;
+         for _ = 0 to 31 do
+           ignore (Sim.Deque.pop_bottom d)
+         done;
+         for _ = 0 to 31 do
+           ignore (Sim.Deque.steal d)
+         done))
+
+let bench_rng =
+  Test.make ~name:"rng zipf x64"
+    (Staged.stage
+       (let r = Sim.Sim_rng.create 1 in
+        fun () ->
+          for _ = 0 to 63 do
+            ignore (Sim.Sim_rng.zipf r ~alpha:1.4 ~n:1000)
+          done))
+
+let bench_perfect_hash =
+  let keys = List.init 24 (fun i -> (i, i / 2)) in
+  let t = Hbc_core.Perfect_hash.build keys in
+  Test.make ~name:"leftover table lookup x64"
+    (Staged.stage (fun () ->
+         for i = 0 to 63 do
+           ignore (Hbc_core.Perfect_hash.lookup t (i mod 24, i mod 12))
+         done))
+
+let bench_ac =
+  Test.make ~name:"adaptive chunking beat cycle"
+    (Staged.stage
+       (let ac = Hbc_core.Adaptive_chunking.create ~target_polls:8 ~window:2 () in
+        fun () ->
+          for _ = 0 to 15 do
+            Hbc_core.Adaptive_chunking.on_poll ac
+          done;
+          ignore (Hbc_core.Adaptive_chunking.on_heartbeat ac)))
+
+let bench_membus =
+  Test.make ~name:"membus serve x64"
+    (Staged.stage
+       (let b = Sim.Membus.create ~bytes_per_cycle:44.0 in
+        let t = ref 0 in
+        fun () ->
+          for _ = 0 to 63 do
+            t := !t + 100;
+            ignore (Sim.Membus.serve b ~now:!t ~compute:80 ~bytes:512)
+          done))
+
+let bench_engine =
+  Test.make ~name:"engine: 4 workers x100 advances"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create ~num_workers:4 () in
+         Sim.Engine.run e (fun w ->
+             for _ = 1 to 100 do
+               Sim.Engine.advance e (w + 7)
+             done)))
+
+let spmv_nest_for_bench () =
+  Ir.Program.single_nest
+    (Workloads.Spmv.make_program ~name:"bench-nest" ~make_matrix:(fun () ->
+         Workloads.Matrix_gen.arrowhead ~n:64))
+
+let bench_pipeline =
+  Test.make ~name:"HBC pipeline: compile spmv nest"
+    (Staged.stage (fun () -> ignore (Hbc_core.Pipeline.compile_nest (spmv_nest_for_bench ()))))
+
+let bench_rollforward =
+  let listing =
+    Hbc_core.Pseudo_asm.generate (Hbc_core.Pipeline.compile_nest (spmv_nest_for_bench ()))
+  in
+  Test.make ~name:"rollforward compiler (RFC)"
+    (Staged.stage (fun () -> ignore (Hbc_core.Rollforward.compile listing)))
+
+(* One miniature run per figure: these are the end-to-end units the full
+   tables below are made of. *)
+let bench_figure (f : Experiments.Figure.t) =
+  Test.make ~name:(f.Experiments.Figure.id ^ " (miniature)")
+    (Staged.stage (fun () ->
+         Experiments.Harness.clear_cache ();
+         ignore (f.Experiments.Figure.render tiny)))
+
+let bench_fork_join =
+  Test.make ~name:"fork-join: heartbeat fib(15)"
+    (Staged.stage (fun () ->
+         let rec fib ctx n =
+           if n < 2 then n
+           else begin
+             let a, b =
+               Hbc_core.Fork_join.fork2 ctx (fun c -> fib c (n - 1)) (fun c -> fib c (n - 2))
+             in
+             a + b
+           end
+         in
+         let out = ref 0 in
+         ignore
+           (Hbc_core.Fork_join.run
+              ~cfg:{ Hbc_core.Rt_config.default with workers = 4 }
+              (fun ctx -> out := fib ctx 15))))
+
+let bench_native_pool =
+  Test.make ~name:"native domains: parallel_reduce 50k"
+    (Staged.stage
+       (let pool = Hb_parallel.Hb_par.create ~num_domains:2 () in
+        at_exit (fun () -> Hb_parallel.Hb_par.shutdown pool);
+        fun () ->
+          ignore
+            (Hb_parallel.Hb_par.parallel_reduce pool ~lo:0 ~hi:50_000 ~init:0
+               ~body:(fun a i -> a + (i land 7))
+               ~combine:( + ))))
+
+let micro_tests =
+  [
+    bench_deque;
+    bench_rng;
+    bench_perfect_hash;
+    bench_ac;
+    bench_membus;
+    bench_engine;
+    bench_pipeline;
+    bench_rollforward;
+    bench_fork_join;
+    bench_native_pool;
+  ]
+
+let run_bechamel tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) ~stabilize:false ~kde:None () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name est ->
+          let ns =
+            match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> Float.nan
+          in
+          Printf.printf "  %-44s %14.1f ns/run\n%!" name ns)
+        results)
+    tests
+
+let () =
+  let scale =
+    match Sys.getenv_opt "HBC_BENCH_SCALE" with Some s -> float_of_string s | None -> 1.0
+  in
+  let workers =
+    match Sys.getenv_opt "HBC_BENCH_WORKERS" with Some s -> int_of_string s | None -> 64
+  in
+  print_endline "=== Part 1: micro-benchmarks (bechamel) ===";
+  run_bechamel micro_tests;
+  print_endline "\n=== Part 1b: per-figure miniature benchmarks (bechamel) ===";
+  run_bechamel (List.map bench_figure Experiments.Run_all.figures);
+  Printf.printf "\n=== Part 2: full reproduction of Figures 4-16 (scale %.2f, %d workers) ===\n\n%!"
+    scale workers;
+  Experiments.Harness.clear_cache ();
+  let config = { Experiments.Harness.default_config with scale; workers } in
+  print_string (Experiments.Run_all.render_all config);
+  match Experiments.Harness.validation_failures () with
+  | [] -> print_endline "\nAll runs validated against the sequential reference."
+  | fails ->
+      Printf.printf "\nVALIDATION FAILURES: %s\n"
+        (String.concat ", " (List.map (fun (b, t) -> b ^ "/" ^ t) fails));
+      exit 1

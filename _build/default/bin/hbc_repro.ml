@@ -1,0 +1,280 @@
+(* Command-line driver over the experiment harness: reproduce any of the
+   paper's figures (4-16), list benchmarks, or run a single benchmark under a
+   chosen executor. *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Input-size multiplier (1.0 = documented defaults)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let workers_arg =
+  let doc = "Number of simulated cores (the paper uses 64)." in
+  Arg.(value & opt int 64 & info [ "workers"; "w" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Simulation seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let verbose_arg =
+  let doc = "Log each simulation run to stderr as it starts." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let config_term =
+  let make scale workers seed verbose = { Experiments.Harness.scale; workers; seed; verbose } in
+  Term.(const make $ scale_arg $ workers_arg $ seed_arg $ verbose_arg)
+
+let fig_cmd (f : Experiments.Figure.t) =
+  let doc = f.Experiments.Figure.caption in
+  let run config =
+    print_string (Experiments.Run_all.render_one config f);
+    (match Experiments.Harness.validation_failures () with
+    | [] -> ()
+    | _ -> exit 2);
+    ()
+  in
+  Cmd.v (Cmd.info f.Experiments.Figure.id ~doc) Term.(const run $ config_term)
+
+let all_cmd =
+  let doc = "Reproduce every figure (4-16)." in
+  let run config = print_string (Experiments.Run_all.render_all config) in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ config_term)
+
+let list_cmd =
+  let doc = "List the benchmarks (Table 1) with their metadata." in
+  let run () =
+    let table =
+      Report.Table.create ~title:"Benchmarks (Table 1)"
+        ~columns:[ "name"; "source"; "regularity"; "TPAL suite"; "TPAL chunk" ]
+    in
+    List.iter
+      (fun e ->
+        Report.Table.add_row table
+          [
+            e.Workloads.Registry.name;
+            e.Workloads.Registry.source;
+            (if e.Workloads.Registry.regular then "regular" else "irregular");
+            (if e.Workloads.Registry.tpal_suite then "yes" else "no");
+            string_of_int e.Workloads.Registry.tpal_chunk;
+          ])
+      Workloads.Registry.all;
+    Report.Table.print table
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one benchmark under one executor and print its statistics." in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
+  in
+  let exec_arg =
+    let doc = "Executor: seq, hbc, hbc-km, hbc-ping, tpal, omp-static, or omp-dynamic." in
+    Arg.(value & opt string "hbc" & info [ "executor"; "e" ] ~docv:"EXEC" ~doc)
+  in
+  let run config bench executor =
+    let entry =
+      try Workloads.Registry.find bench
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %s; try `hbc_repro list`\n" bench;
+        exit 1
+    in
+    let base = Experiments.Harness.baseline config entry in
+    let outcome =
+      match executor with
+      | "seq" -> { Experiments.Harness.result = base; speedup = 1.0; valid = true }
+      | "hbc" -> Experiments.Harness.run_hbc config entry
+      | "hbc-km" ->
+          Experiments.Harness.run_hbc config ~tag:"hbc-km"
+            ~cfg:(fun c ->
+              {
+                c with
+                Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_kernel_module;
+                chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
+              })
+            entry
+      | "hbc-ping" ->
+          Experiments.Harness.run_hbc config ~tag:"hbc-ping"
+            ~cfg:(fun c ->
+              {
+                c with
+                Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_ping_thread;
+                chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
+              })
+            entry
+      | "tpal" -> Experiments.Harness.run_tpal config entry
+      | "omp-static" ->
+          Experiments.Harness.run_omp config ~tag:"omp-static"
+            ~cfg:(fun c -> { c with Baselines.Openmp.schedule = Baselines.Openmp.Static })
+            entry
+      | "omp-dynamic" -> Experiments.Harness.run_omp config entry
+      | other ->
+          Printf.eprintf "unknown executor %s\n" other;
+          exit 1
+    in
+    let r = outcome.Experiments.Harness.result in
+    let m = r.Sim.Run_result.metrics in
+    Printf.printf "benchmark        : %s (%s)\n" entry.Workloads.Registry.name executor;
+    Printf.printf "baseline work    : %d cycles\n" base.Sim.Run_result.work_cycles;
+    Printf.printf "makespan         : %d cycles (%.3f simulated ms)\n" r.Sim.Run_result.makespan
+      (1000.0 *. Sim.Cost_model.seconds_of_cycles Sim.Cost_model.default r.Sim.Run_result.makespan);
+    Printf.printf "speedup          : %.2fx on %d workers\n" outcome.Experiments.Harness.speedup
+      config.Experiments.Harness.workers;
+    Printf.printf "output valid     : %b\n" outcome.Experiments.Harness.valid;
+    Printf.printf "promotions       : %d (levels:" m.Sim.Metrics.promotions;
+    Array.iteri
+      (fun l n -> if n > 0 then Printf.printf " L%d=%d" l n)
+      m.Sim.Metrics.promotions_by_level;
+    Printf.printf ")\n";
+    Printf.printf "tasks spawned    : %d (leftovers run: %d)\n" m.Sim.Metrics.tasks_spawned
+      m.Sim.Metrics.leftover_tasks_run;
+    Printf.printf "steals           : %d of %d attempts\n" m.Sim.Metrics.steals
+      m.Sim.Metrics.steal_attempts;
+    Printf.printf "heartbeats       : %d detected / %d generated (%d missed)\n"
+      m.Sim.Metrics.heartbeats_detected m.Sim.Metrics.heartbeats_generated
+      m.Sim.Metrics.heartbeats_missed;
+    Printf.printf "polls            : %d\n" m.Sim.Metrics.polls;
+    Printf.printf "overhead cycles  : %d\n" m.Sim.Metrics.overhead_cycles;
+    Hashtbl.iter
+      (fun k v -> Printf.printf "  %-16s %d\n" k v)
+      m.Sim.Metrics.overhead_by_kind;
+    if r.Sim.Run_result.dnf then print_endline "run DID NOT FINISH (virtual-time cap)"
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ config_term $ bench_arg $ exec_arg)
+
+let asm_cmd =
+  let doc =
+    "Show the compiler and linker artifacts for a benchmark: nesting tree, leftover tasks, \
+     pseudo-assembly, and the rollforward twins and tables."
+  in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
+  in
+  let mode_arg =
+    let doc = "Linker mode: polling or interrupts." in
+    Arg.(value & opt string "interrupts" & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
+  in
+  let run bench mode =
+    let entry =
+      try Workloads.Registry.find bench
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %s; try `hbc_repro list`\n" bench;
+        exit 1
+    in
+    let (Ir.Program.Any p) = entry.Workloads.Registry.make 0.05 in
+    let compiled = Hbc_core.Pipeline.compile_program p in
+    List.iter
+      (fun (_, nest) ->
+        Printf.printf "=== nest %s ===\n" nest.Hbc_core.Compiled.source_name;
+        Printf.printf "--- loop nesting tree ---\n%s"
+          (Format.asprintf "%a" Ir.Nesting_tree.pp nest.Hbc_core.Compiled.tree);
+        Printf.printf "--- leftover tasks (%d) ---\n" (Array.length nest.Hbc_core.Compiled.leftovers);
+        Array.iter
+          (fun (l : Hbc_core.Compiled.leftover) ->
+            Printf.printf "  (heartbeat in %d, split %d): %s\n" l.Hbc_core.Compiled.li
+              l.Hbc_core.Compiled.lj
+              (String.concat "; "
+                 (List.map
+                    (function
+                      | Hbc_core.Compiled.Increase_iv o -> Printf.sprintf "iv[%d]++" o
+                      | Hbc_core.Compiled.Call_slice o -> Printf.sprintf "slice(%d)" o
+                      | Hbc_core.Compiled.Tail_work { of_; after } ->
+                          Printf.sprintf "tail(%d after %d)" of_ after)
+                    l.Hbc_core.Compiled.steps)))
+          nest.Hbc_core.Compiled.leftovers;
+        match mode with
+        | "polling" ->
+            let a = Hbc_core.Linker.link Hbc_core.Linker.Software_polling nest in
+            Printf.printf "--- linked image (software polling, %d poll sites) ---\n%s\n"
+              a.Hbc_core.Linker.polling_sites
+              (Hbc_core.Pseudo_asm.to_string a.Hbc_core.Linker.listing)
+        | _ -> (
+            let a = Hbc_core.Linker.link Hbc_core.Linker.Interrupts nest in
+            match a.Hbc_core.Linker.rollforward with
+            | Some rf ->
+                Printf.printf "--- source twin (polls elided) ---\n%s\n"
+                  (Hbc_core.Pseudo_asm.to_string rf.Hbc_core.Rollforward.source);
+                Printf.printf "--- destination twin ---\n%s\n"
+                  (Hbc_core.Pseudo_asm.to_string rf.Hbc_core.Rollforward.destination);
+                Printf.printf "--- rollforward table (%d entries) ---\n"
+                  (List.length rf.Hbc_core.Rollforward.table);
+                List.iter
+                  (fun (src, dst) ->
+                    Printf.printf "  %s (0x%x) -> %s (0x%x)\n" src
+                      (Option.value ~default:0 (Hbc_core.Rollforward.lookup_address rf src))
+                      dst
+                      (Option.value ~default:0 (Hbc_core.Rollforward.lookup_address rf dst)))
+                  rf.Hbc_core.Rollforward.table
+            | None -> ()))
+      compiled.Hbc_core.Pipeline.nests
+  in
+  Cmd.v (Cmd.info "asm" ~doc) Term.(const run $ bench_arg $ mode_arg)
+
+let ablation_cmd =
+  let doc =
+    "Run ablation/sensitivity studies (leftover-task, promotion-policy, chunk-transferring, \
+     leftover-pairs, heartbeat-rate, ac-window, worker-scaling, hybrid, or `all`)."
+  in
+  let which_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"STUDY" ~doc:"Study name or `all`.")
+  in
+  let run config which =
+    let studies =
+      if which = "all" then Experiments.Ablations.all
+      else
+        match List.assoc_opt which Experiments.Ablations.all with
+        | Some f -> [ (which, f) ]
+        | None ->
+            Printf.eprintf "unknown study %s; available: %s\n" which
+              (String.concat ", " (List.map fst Experiments.Ablations.all));
+            exit 1
+    in
+    List.iter
+      (fun (name, f) ->
+        Printf.printf "== ablation: %s ==\n%s\n\n" name (f config))
+      studies;
+    match Experiments.Harness.validation_failures () with
+    | [] -> ()
+    | fails ->
+        Printf.printf "VALIDATION FAILURES: %s\n"
+          (String.concat ", " (List.map (fun (b, t) -> b ^ "/" ^ t) fails));
+        exit 2
+  in
+  Cmd.v (Cmd.info "ablations" ~doc) Term.(const run $ config_term $ which_arg)
+
+let timeline_cmd =
+  let doc = "Render a per-worker execution timeline (ASCII gantt) for one benchmark under HBC." in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
+  in
+  let run config bench =
+    let entry =
+      try Workloads.Registry.find bench
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %s; try `hbc_repro list`\n" bench;
+        exit 1
+    in
+    let (Ir.Program.Any p) = entry.Workloads.Registry.make config.Experiments.Harness.scale in
+    let rt =
+      {
+        Hbc_core.Rt_config.default with
+        workers = config.Experiments.Harness.workers;
+        seed = config.Experiments.Harness.seed;
+        timeline = true;
+      }
+    in
+    let r = Hbc_core.Executor.run rt p in
+    print_string
+      (Report.Gantt.render ~workers:config.Experiments.Harness.workers
+         ~makespan:r.Sim.Run_result.makespan r.Sim.Run_result.metrics.Sim.Metrics.timeline)
+  in
+  Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ config_term $ bench_arg)
+
+let () =
+  let doc = "Reproduction harness for 'Compiling Loop-Based Nested Parallelism for Irregular Workloads' (ASPLOS'24)" in
+  let info = Cmd.info "hbc_repro" ~doc in
+  let cmds =
+    [ all_cmd; list_cmd; run_cmd; asm_cmd; ablation_cmd; timeline_cmd ] @ List.map fig_cmd Experiments.Run_all.figures
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

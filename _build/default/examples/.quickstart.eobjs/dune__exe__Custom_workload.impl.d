@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Array Baselines Float Format Hbc_core Ir List Printf Seq Sim

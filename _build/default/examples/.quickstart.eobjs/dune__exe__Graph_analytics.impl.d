@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Baselines Float Hbc_core List Printf Sim Workloads

@@ -1,0 +1,1 @@
+examples/native_heartbeat.ml: Array Float Hb_parallel Printf Unix

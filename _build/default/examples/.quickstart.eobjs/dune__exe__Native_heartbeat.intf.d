@@ -1,0 +1,1 @@
+examples/native_heartbeat.mli:

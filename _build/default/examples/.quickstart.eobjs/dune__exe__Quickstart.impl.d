@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Baselines Hbc_core Printf Sim Workloads

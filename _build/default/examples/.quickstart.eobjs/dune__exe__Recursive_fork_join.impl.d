@@ -1,0 +1,1 @@
+examples/recursive_fork_join.ml: Array Float Hbc_core Printf Sim Stdlib

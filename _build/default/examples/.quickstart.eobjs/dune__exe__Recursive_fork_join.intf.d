@@ -1,0 +1,1 @@
+examples/recursive_fork_join.mli:

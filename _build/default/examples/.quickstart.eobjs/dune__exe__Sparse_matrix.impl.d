@@ -1,0 +1,1 @@
+examples/sparse_matrix.ml: Array Baselines Float Hbc_core Ir List Printf Report Sim Workloads

@@ -1,0 +1,1 @@
+examples/sparse_matrix.mli:

@@ -1,0 +1,1 @@
+examples/tensor_algebra.ml: Array Baselines Hbc_core Printf Sim Workloads

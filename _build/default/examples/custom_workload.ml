@@ -1,0 +1,120 @@
+(* Writing your own workload against the public API, end to end:
+
+   - an environment type holding inputs and outputs;
+   - a two-level DOALL nest with a vector-valued reduction (a histogram:
+     outer loop over text blocks, inner loop over a block's tokens,
+     accumulating counts in the loop's locals, committed to the env);
+   - validation against the sequential reference, inspection of the
+     compiler artifacts (nesting tree, leftover tasks, rollforward tables).
+
+   Run with: dune exec examples/custom_workload.exe *)
+
+type env = {
+  nblocks : int;
+  block_ptr : int array;
+  tokens : int array;  (** token class per word, 0..nbins-1 *)
+  histogram : int array;  (** output: global counts per class *)
+}
+
+let nbins = 16
+
+let block_ord = 0
+
+let scan_ord = 1
+
+let nest () =
+  let scan_loop =
+    Ir.Nest.loop ~name:"scan_block" ~bytes_per_iter:6
+      ~locals_spec:{ Ir.Locals.nfloats = 0; nints = nbins }
+      ~init:(fun _ (l : Ir.Locals.t) -> Array.fill l.Ir.Locals.ints 0 nbins 0)
+      ~reduction:(fun dst src ->
+        for b = 0 to nbins - 1 do
+          dst.Ir.Locals.ints.(b) <- dst.Ir.Locals.ints.(b) + src.Ir.Locals.ints.(b)
+        done)
+      ~bounds:(fun e (ctxs : Ir.Ctx.set) ->
+        let blk = ctxs.(block_ord).Ir.Ctx.lo in
+        (e.block_ptr.(blk), e.block_ptr.(blk + 1)))
+      [
+        Ir.Nest.stmt ~name:"count" (fun e ctxs t ->
+            let l = ctxs.(scan_ord).Ir.Ctx.locals in
+            let bin = e.tokens.(t) in
+            l.Ir.Locals.ints.(bin) <- l.Ir.Locals.ints.(bin) + 1;
+            6);
+      ]
+  in
+  Ir.Nest.loop ~name:"blocks"
+    ~bounds:(fun e _ -> (0, e.nblocks))
+    [
+      Ir.Nest.Nested scan_loop;
+      (* Tail work: merge the block's private counts into the global
+         histogram. Runs in a leftover task when a promotion interrupts the
+         scan mid-block. *)
+      Ir.Nest.stmt ~name:"merge" (fun e ctxs _blk ->
+          let l = ctxs.(scan_ord).Ir.Ctx.locals in
+          for b = 0 to nbins - 1 do
+            e.histogram.(b) <- e.histogram.(b) + l.Ir.Locals.ints.(b)
+          done;
+          3 * nbins);
+    ]
+
+let program =
+  let root = nest () in
+  Ir.Program.v ~name:"histogram"
+    ~make_env:(fun () ->
+      let rng = Sim.Sim_rng.create 2024 in
+      let nblocks = 30_000 in
+      (* Skewed block lengths: a few giant documents among many small ones. *)
+      let sizes =
+        Array.init nblocks (fun _ -> Sim.Sim_rng.zipf rng ~alpha:1.4 ~n:4_000)
+      in
+      let block_ptr = Array.make (nblocks + 1) 0 in
+      for i = 0 to nblocks - 1 do
+        block_ptr.(i + 1) <- block_ptr.(i) + sizes.(i)
+      done;
+      let tokens = Array.init block_ptr.(nblocks) (fun _ -> Sim.Sim_rng.int rng nbins) in
+      { nblocks; block_ptr; tokens; histogram = Array.make nbins 0 })
+    ~nests:[ root ]
+    ~driver:(fun _ cpu -> cpu.Ir.Program.exec root)
+    ~fingerprint:(fun e ->
+      Array.to_seq e.histogram |> Seq.fold_lefti (fun acc i c -> acc +. (Float.of_int c *. Float.of_int (i + 1))) 0.0)
+    ()
+
+let () =
+  (* Compiler artifacts. *)
+  let compiled = Hbc_core.Pipeline.compile_program program in
+  let nest = Hbc_core.Pipeline.nest_of compiled (Ir.Program.single_nest program) in
+  Printf.printf "nesting tree:\n%s\n" (Format.asprintf "%a" Ir.Nesting_tree.pp nest.Hbc_core.Compiled.tree);
+  Printf.printf "leftover tasks generated: %d (table size %d)\n"
+    (Array.length nest.Hbc_core.Compiled.leftovers)
+    (Hbc_core.Perfect_hash.table_size nest.Hbc_core.Compiled.leftover_table);
+  Array.iter
+    (fun (l : Hbc_core.Compiled.leftover) ->
+      Printf.printf "  leftover (heartbeat in %d, split %d): %d steps\n" l.Hbc_core.Compiled.li
+        l.Hbc_core.Compiled.lj (List.length l.Hbc_core.Compiled.steps))
+    nest.Hbc_core.Compiled.leftovers;
+
+  (* Heartbeat linker, both modes. *)
+  let polling = Hbc_core.Linker.link Hbc_core.Linker.Software_polling nest in
+  let interrupts = Hbc_core.Linker.link Hbc_core.Linker.Interrupts nest in
+  Printf.printf "\nlinked (polling): %d instructions, %d poll sites\n"
+    (Hbc_core.Pseudo_asm.instruction_count polling.Hbc_core.Linker.listing)
+    polling.Hbc_core.Linker.polling_sites;
+  (match interrupts.Hbc_core.Linker.rollforward with
+  | Some rf ->
+      Printf.printf "linked (interrupts): rollforward table with %d entries, e.g. %s -> %s\n"
+        (List.length rf.Hbc_core.Rollforward.table)
+        (fst (List.hd rf.Hbc_core.Rollforward.table))
+        (snd (List.hd rf.Hbc_core.Rollforward.table))
+  | None -> ());
+
+  (* Run everywhere and validate. *)
+  let seq = Baselines.Serial_exec.run_program program in
+  let hbc = Hbc_core.Executor.run_program Hbc_core.Rt_config.default compiled in
+  let omp = Baselines.Openmp.run_program (Baselines.Openmp.dynamic ()) program in
+  Printf.printf "\nsequential fingerprint %.1f\n" seq.Sim.Run_result.fingerprint;
+  Printf.printf "HBC    : %5.1fx speedup, output valid %b\n"
+    (Sim.Run_result.speedup ~baseline:seq hbc)
+    (Sim.Run_result.fingerprints_close seq hbc);
+  Printf.printf "OpenMP : %5.1fx speedup, output valid %b\n"
+    (Sim.Run_result.speedup ~baseline:seq omp)
+    (Sim.Run_result.fingerprints_close seq omp)

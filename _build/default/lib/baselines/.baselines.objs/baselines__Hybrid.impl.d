@@ -1,0 +1,1 @@
+lib/baselines/hybrid.ml: Hbc_core Ir Openmp

@@ -1,0 +1,1 @@
+lib/baselines/hybrid.mli: Hbc_core Ir Openmp Sim

@@ -1,0 +1,1 @@
+lib/baselines/openmp.ml: Array Ir List Option Serial_exec Sim Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/openmp.mli: Ir Sim

@@ -1,0 +1,1 @@
+lib/baselines/serial_exec.ml: Array Ir List Sim

@@ -1,0 +1,1 @@
+lib/baselines/serial_exec.mli: Ir Sim

@@ -1,0 +1,1 @@
+lib/baselines/tpal.ml: Hbc_core

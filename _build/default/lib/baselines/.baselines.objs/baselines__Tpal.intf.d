@@ -1,0 +1,1 @@
+lib/baselines/tpal.mli: Hbc_core Ir Sim

@@ -1,0 +1,42 @@
+let run_nest ~charge env (root : _ Ir.Nest.loop) =
+  let n = Ir.Nest.index root in
+  let specs = Ir.Nest.locals_specs root in
+  let ctxs = Array.init n (fun o -> Ir.Ctx.make ~ordinal:o ~spec:specs.(o)) in
+  let acc = ref 0 in
+  let rec run_loop (l : _ Ir.Nest.loop) =
+    let ctx = ctxs.(l.Ir.Nest.ordinal) in
+    (match l.Ir.Nest.init with Some f -> f env ctx.Ir.Ctx.locals | None -> ());
+    while ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
+      List.iter
+        (fun seg ->
+          match seg with
+          | Ir.Nest.Stmt s -> acc := !acc + s.Ir.Nest.exec env ctxs ctx.Ir.Ctx.lo
+          | Ir.Nest.Nested child ->
+              let lo, hi = child.Ir.Nest.bounds env ctxs in
+              Ir.Ctx.set_slice ctxs.(child.Ir.Nest.ordinal) ~lo ~hi;
+              run_loop child)
+        l.Ir.Nest.body;
+      ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+    done
+  in
+  let lo, hi = root.Ir.Nest.bounds env ctxs in
+  Ir.Ctx.set_slice ctxs.(root.Ir.Nest.ordinal) ~lo ~hi;
+  run_loop root;
+  (match root.Ir.Nest.commit with Some f -> f env ctxs | None -> ());
+  charge !acc
+
+let run_program (p : _ Ir.Program.t) =
+  let env = p.Ir.Program.make_env () in
+  let work = ref 0 in
+  let charge c = work := !work + c in
+  let cpu =
+    { Ir.Program.exec = (fun nest -> run_nest ~charge env nest); advance = charge }
+  in
+  p.Ir.Program.driver env cpu;
+  {
+    Sim.Run_result.makespan = !work;
+    work_cycles = !work;
+    fingerprint = p.Ir.Program.fingerprint env;
+    dnf = false;
+    metrics = Sim.Metrics.create ();
+  }

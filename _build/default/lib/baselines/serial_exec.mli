@@ -1,0 +1,14 @@
+(** Sequential reference executor.
+
+    Runs a program exactly as the clang [-O3] sequential build would: body
+    statements only, no scheduling machinery, no polling, no outlining
+    costs. Its [work_cycles] is the baseline of every speedup in the paper's
+    figures, and its fingerprint is the ground truth all parallel executors
+    are validated against. *)
+
+val run_nest : charge:(int -> unit) -> 'e -> 'e Ir.Nest.loop -> unit
+(** Execute one nest in place with a caller-supplied cycle sink. The nest
+    must have been indexed ({!Ir.Nest.index} or {!Ir.Program.v}). *)
+
+val run_program : 'e Ir.Program.t -> Sim.Run_result.t
+(** [makespan = work_cycles] by construction. *)

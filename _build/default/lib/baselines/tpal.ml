@@ -1,0 +1,3 @@
+let config ~chunk = Hbc_core.Rt_config.tpal ~chunk
+
+let run_program ~chunk prog = Hbc_core.Executor.run (config ~chunk) prog

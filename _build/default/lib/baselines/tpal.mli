@@ -1,0 +1,18 @@
+(** The TPAL baseline (Rainey et al., PLDI'21), Sec. 6.3.
+
+    TPAL is heartbeat scheduling with the manual code generation the paper
+    automates. Three differences against HBC, all encoded as runtime
+    configuration of the same heartbeat executor:
+
+    - heartbeats come from an interrupt ping thread (no software polling);
+    - leaf loops use a hand-tuned static chunk size (no adaptive chunking,
+      and hence no chunk-size-transferring cost on the critical path beyond
+      the static counter);
+    - a promotion produces only two parallel loop-slice tasks; the leftover
+      work runs inline on the promoting task's critical path and, lacking a
+      complete closure, is never itself promoted. *)
+
+val config : chunk:int -> Hbc_core.Rt_config.t
+
+val run_program : chunk:int -> 'e Ir.Program.t -> Sim.Run_result.t
+(** [chunk] is the per-benchmark hand-tuned static chunk size. *)

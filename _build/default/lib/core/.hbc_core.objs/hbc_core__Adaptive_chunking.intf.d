@@ -1,0 +1,1 @@
+lib/core/adaptive_chunking.mli:

@@ -1,0 +1,1 @@
+lib/core/chunking.mli: Compiled Ir

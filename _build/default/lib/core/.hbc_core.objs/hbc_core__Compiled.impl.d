@@ -1,0 +1,1 @@
+lib/core/compiled.ml: Array Ir List Perfect_hash

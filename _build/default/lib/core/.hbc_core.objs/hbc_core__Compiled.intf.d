@@ -1,0 +1,1 @@
+lib/core/compiled.mli: Ir Perfect_hash

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Adaptive_chunking Array Compiled Hashtbl Heartbeat Ir List Option Pipeline Printf Rt_config Sim Stdlib

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Ir Pipeline Rt_config Sim

@@ -1,0 +1,1 @@
+lib/core/fork_join.ml: Array Fun Heartbeat List Option Rt_config Sim

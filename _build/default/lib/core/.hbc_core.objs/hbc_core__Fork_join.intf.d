@@ -1,0 +1,1 @@
+lib/core/fork_join.mli: Rt_config Sim

@@ -1,0 +1,1 @@
+lib/core/heartbeat.ml: Array List Rt_config Sim Stdlib

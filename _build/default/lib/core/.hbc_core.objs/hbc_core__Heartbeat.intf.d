@@ -1,0 +1,1 @@
+lib/core/heartbeat.mli: Rt_config Sim

@@ -1,0 +1,1 @@
+lib/core/leftover.ml: Compiled Ir List

@@ -1,0 +1,1 @@
+lib/core/leftover.mli: Compiled Ir

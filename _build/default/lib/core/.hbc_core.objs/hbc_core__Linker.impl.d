@@ -1,0 +1,1 @@
+lib/core/linker.ml: List Pipeline Pseudo_asm Rollforward

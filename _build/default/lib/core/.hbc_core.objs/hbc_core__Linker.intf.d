@@ -1,0 +1,1 @@
+lib/core/linker.mli: Compiled Pipeline Pseudo_asm Rollforward

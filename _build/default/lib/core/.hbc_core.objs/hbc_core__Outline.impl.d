@@ -1,0 +1,1 @@
+lib/core/outline.ml: Compiled Ir List Printf

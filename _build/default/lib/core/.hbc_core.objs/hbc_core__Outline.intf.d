@@ -1,0 +1,1 @@
+lib/core/outline.mli: Compiled Ir

@@ -1,0 +1,1 @@
+lib/core/perfect_hash.ml: Array Float Int64 List Sim Stdlib

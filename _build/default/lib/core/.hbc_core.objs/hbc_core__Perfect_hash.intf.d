@@ -1,0 +1,1 @@
+lib/core/perfect_hash.mli:

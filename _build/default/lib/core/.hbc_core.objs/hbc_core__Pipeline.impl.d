@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Chunking Compiled Format Ir Leftover List Option Outline String Task_linking

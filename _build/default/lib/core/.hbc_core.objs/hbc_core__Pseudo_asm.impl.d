@@ -1,0 +1,1 @@
+lib/core/pseudo_asm.ml: Array Compiled Ir List Outline Printf String

@@ -1,0 +1,1 @@
+lib/core/pseudo_asm.mli: Compiled

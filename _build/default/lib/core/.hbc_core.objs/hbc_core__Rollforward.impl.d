@@ -1,0 +1,1 @@
+lib/core/rollforward.ml: Buffer Hashtbl List Printf Pseudo_asm String

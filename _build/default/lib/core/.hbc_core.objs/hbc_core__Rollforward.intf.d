@@ -1,0 +1,1 @@
+lib/core/rollforward.mli: Pseudo_asm

@@ -1,0 +1,1 @@
+lib/core/rt_config.ml: Compiled Sim

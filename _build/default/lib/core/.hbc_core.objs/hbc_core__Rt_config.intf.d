@@ -1,0 +1,1 @@
+lib/core/rt_config.mli: Compiled Sim

@@ -1,0 +1,1 @@
+lib/core/task_linking.ml: Array Compiled Ir List Perfect_hash Stdlib

@@ -1,0 +1,1 @@
+lib/core/task_linking.mli: Compiled Ir Perfect_hash

@@ -1,0 +1,33 @@
+type t = {
+  target : int;
+  window : int;
+  mutable chunk : int;
+  mutable polls : int;  (* since last heartbeat *)
+  mutable log : int list;  (* poll counts of closed intervals, newest first *)
+}
+
+let create ?(initial_chunk = 1) ~target_polls ~window () =
+  if target_polls < 1 then invalid_arg "Adaptive_chunking.create: target_polls < 1";
+  if window < 1 then invalid_arg "Adaptive_chunking.create: window < 1";
+  { target = target_polls; window; chunk = Stdlib.max 1 initial_chunk; polls = 0; log = [] }
+
+let chunk_size t = t.chunk
+
+let on_poll t = t.polls <- t.polls + 1
+
+let on_heartbeat t =
+  t.log <- t.polls :: t.log;
+  t.polls <- 0;
+  if List.length t.log >= t.window then begin
+    let minimum = List.fold_left Stdlib.min max_int t.log in
+    t.log <- [];
+    let ratio = Float.of_int minimum /. Float.of_int t.target in
+    let chunk = Stdlib.max 1 (int_of_float (Float.round (Float.of_int t.chunk *. ratio))) in
+    t.chunk <- chunk;
+    Some chunk
+  end
+  else None
+
+let polls_since_heartbeat t = t.polls
+
+let intervals_logged t = List.length t.log

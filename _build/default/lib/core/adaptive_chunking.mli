@@ -1,0 +1,29 @@
+(** Adaptive chunking, AC (Sec. 5.1).
+
+    Per worker and per leaf loop, AC adjusts the chunk size so that a small
+    target number of polls happens per heartbeat interval. A sliding window
+    logs the polls observed in each of the last [window] heartbeat
+    intervals; at the end of a window the minimum poll count m is compared
+    to the target T and the chunk size is rescaled by m/T (minimum 1).
+
+    The module is a pure state machine so it can be property-tested in
+    isolation; the executor drives it from the polling path. *)
+
+type t
+
+val create : ?initial_chunk:int -> target_polls:int -> window:int -> unit -> t
+(** [initial_chunk] defaults to 1 as in the paper. *)
+
+val chunk_size : t -> int
+
+val on_poll : t -> unit
+(** Record one poll in the current heartbeat interval. *)
+
+val on_heartbeat : t -> int option
+(** Close the current interval. Returns [Some new_chunk] when this heartbeat
+    completed a window and the chunk size was recomputed (even if unchanged
+    in value). *)
+
+val polls_since_heartbeat : t -> int
+
+val intervals_logged : t -> int

@@ -1,0 +1,1 @@
+let plan tree ~mode = List.map (fun leaf -> (leaf, mode)) (Ir.Nesting_tree.leaves tree)

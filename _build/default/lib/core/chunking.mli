@@ -1,0 +1,10 @@
+(** Loop chunking transformation (Sec. 3.2).
+
+    Applied to every innermost DOALL loop of a nesting tree: the promotion
+    handler is invoked every S iterations instead of every iteration, with
+    the residual counter R transferred across loop invocations (chunk size
+    transferring). This pass only decides {e where} chunking applies and with
+    which mode; the runtime maintains R per task. *)
+
+val plan : Ir.Nesting_tree.t -> mode:Compiled.chunk_mode -> (int * Compiled.chunk_mode) list
+(** [(leaf ordinal, mode)] for every DOALL leaf. Non-leaves never chunk. *)

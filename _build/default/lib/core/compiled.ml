@@ -1,0 +1,64 @@
+type chunk_mode = No_chunking | Static of int | Adaptive
+
+type step =
+  | Increase_iv of int
+  | Call_slice of int
+  | Tail_work of { of_ : int; after : int }
+
+type leftover = { li : int; lj : int; steps : step list }
+
+type outlined = {
+  out_ordinal : int;
+  fn_name : string;
+  live_out_floats : int;
+  live_out_ints : int;
+}
+
+type 'e loop_info = {
+  loop : 'e Ir.Nest.loop;
+  ordinal : int;
+  id : Ir.Loop_id.t;
+  parent : int option;
+  ancestors_up : int list;
+  chain_from_root : int list;
+  is_leaf : bool;
+  doall : bool;
+  depth : int;
+  subtree : int list;
+  tails : (int * 'e Ir.Nest.segment list) list;
+  prppt : bool;
+  chunk : chunk_mode;
+}
+
+type 'e nest = {
+  source_name : string;
+  tree : Ir.Nesting_tree.t;
+  infos : 'e loop_info array;
+  specs : Ir.Locals.spec array;
+  root : int;
+  outlined : outlined list;
+  slice_array : int array array;
+  leftovers : leftover array;
+  leftover_table : Perfect_hash.t;
+}
+
+let info nest o = nest.infos.(o)
+
+let tail_of info ~after = List.assoc after info.tails
+
+let find_leftover nest ~li ~lj =
+  match Perfect_hash.lookup nest.leftover_table (li, lj) with
+  | Some i -> Some nest.leftovers.(i)
+  | None -> None
+
+let slice_ordinal nest (id : Ir.Loop_id.t) =
+  if Ir.Loop_id.is_none id then None
+  else if id.Ir.Loop_id.level >= Array.length nest.slice_array then None
+  else begin
+    let row = nest.slice_array.(id.Ir.Loop_id.level) in
+    if id.Ir.Loop_id.index >= Array.length row then None
+    else begin
+      let o = row.(id.Ir.Loop_id.index) in
+      if o < 0 then None else Some o
+    end
+  end

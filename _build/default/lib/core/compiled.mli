@@ -1,0 +1,75 @@
+(** Artifacts produced by the HBC middle-end (Sec. 3).
+
+    Each loop nest compiles into per-loop slice-task descriptors, a chunking
+    plan for the leaves, the set of generated leftover tasks (as explicit
+    step programs, the output of Algorithms 1 and 2), and the two lookup
+    structures of the task-linking step: the loop-slice task array and the
+    perfectly-hashed leftover task table. *)
+
+type chunk_mode =
+  | No_chunking  (** a promotion point runs at every leaf iteration *)
+  | Static of int  (** fixed chunk size, as TPAL's hand tuning *)
+  | Adaptive  (** runtime-controlled (Sec. 5.1) *)
+
+(** One instruction of a leftover task (Algorithm 2). Interpreted against the
+    task's LST context set. *)
+type step =
+  | Increase_iv of int  (** ordinal: advance that loop's induction variable *)
+  | Call_slice of int  (** ordinal: run that loop's slice task over [lo, hi) *)
+  | Tail_work of { of_ : int; after : int }
+      (** run body segments of loop [of_] located after child [after], for
+          the iteration currently in [of_]'s context *)
+
+type leftover = {
+  li : int;  (** loop that received the heartbeat *)
+  lj : int;  (** loop that gets split *)
+  steps : step list;
+}
+
+type outlined = {
+  out_ordinal : int;
+  fn_name : string;  (** name of the generated loop-slice function *)
+  live_out_floats : int;  (** live-outs promoted into the LST context *)
+  live_out_ints : int;
+}
+
+type 'e loop_info = {
+  loop : 'e Ir.Nest.loop;
+  ordinal : int;
+  id : Ir.Loop_id.t;
+  parent : int option;
+  ancestors_up : int list;  (** parent, grandparent, ..., root *)
+  chain_from_root : int list;  (** root, ..., self *)
+  is_leaf : bool;
+  doall : bool;
+  depth : int;
+  subtree : int list;  (** self + descendants, for context refresh on split *)
+  tails : (int * 'e Ir.Nest.segment list) list;
+      (** child ordinal -> segments after it (tail work), precomputed *)
+  prppt : bool;  (** a promotion point was inserted at this loop's latch *)
+  chunk : chunk_mode;  (** meaningful for leaves *)
+}
+
+type 'e nest = {
+  source_name : string;
+  tree : Ir.Nesting_tree.t;
+  infos : 'e loop_info array;  (** indexed by ordinal *)
+  specs : Ir.Locals.spec array;
+  root : int;
+  outlined : outlined list;
+  slice_array : int array array;
+      (** the loop-slice task array: [slice_array.(level).(index)] is the
+          ordinal of the task with that loop ID; [-1] where undefined *)
+  leftovers : leftover array;
+  leftover_table : Perfect_hash.t;  (** (li, lj) -> index into [leftovers] *)
+}
+
+val info : 'e nest -> int -> 'e loop_info
+
+val tail_of : 'e loop_info -> after:int -> 'e Ir.Nest.segment list
+(** @raise Not_found if [after] is not a direct child. *)
+
+val find_leftover : 'e nest -> li:int -> lj:int -> leftover option
+
+val slice_ordinal : 'e nest -> Ir.Loop_id.t -> int option
+(** Resolve a loop ID through the loop-slice task array. *)

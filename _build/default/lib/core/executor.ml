@@ -1,0 +1,655 @@
+exception Did_not_finish
+
+exception Internal_error of string
+
+type status = Done | Promoted of int
+
+type seg_result = Seg_ok | Seg_promoted of int
+
+type task = { run : unit -> unit }
+
+type join = { mutable pending : int; owner : int }
+
+(* [forbidden]: ordinal of the lowest loop in the enclosing context this
+   task does NOT own (its frozen ancestors' iterations belong to the task
+   that spawned it); promotions must never split it or anything above it.
+   -1 when the task owns its whole chain (the root task). *)
+type task_state = { residual : int array; mutable no_promote : bool; mutable forbidden : int }
+
+type run_state = {
+  cfg : Rt_config.t;
+  eng : Sim.Engine.t;
+  hb : Heartbeat.t;
+  metrics : Sim.Metrics.t;
+  deques : task Sim.Deque.t array;
+  ac : (int * int * int, Adaptive_chunking.t) Hashtbl.t;
+  bus : Sim.Membus.t;
+  mutable last_pusher : int;  (* steal-affinity hint: deque that grew last *)
+  depth : int array;  (* task-nesting depth per worker, drives the busy flag *)
+  mutable finished : bool;
+}
+
+type 'e nest_handle = { st : run_state; nest : 'e Compiled.nest; nest_id : int; env : 'e }
+
+let cm (st : run_state) = st.cfg.Rt_config.cost
+
+let wid (st : run_state) = Sim.Engine.worker_id st.eng
+
+(* Charge overhead cycles: one engine advance, per-kind attribution. *)
+let overhead (st : run_state) kind c =
+  if c > 0 then begin
+    Sim.Engine.advance st.eng c;
+    Sim.Metrics.add_overhead st.metrics kind c
+  end
+
+let overheads (st : run_state) parts =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 parts in
+  if total > 0 then begin
+    Sim.Engine.advance st.eng total;
+    List.iter (fun (k, c) -> if c > 0 then Sim.Metrics.add_overhead st.metrics k c) parts
+  end
+
+(* Work plus overheads in a single advance (hot path: one event per chunk).
+   Memory traffic is booked on the shared bus; time past the compute cost is
+   a bandwidth stall. *)
+let advance_mixed (st : run_state) ~work ?(bytes = 0) parts =
+  let compute = List.fold_left (fun acc (_, c) -> acc + c) work parts in
+  let total = Sim.Membus.serve st.bus ~now:(Sim.Engine.now st.eng) ~compute ~bytes in
+  if total > 0 then Sim.Engine.advance st.eng total;
+  st.metrics.Sim.Metrics.work_cycles <- st.metrics.Sim.Metrics.work_cycles + work;
+  List.iter (fun (k, c) -> if c > 0 then Sim.Metrics.add_overhead st.metrics k c) parts;
+  if total > compute then Sim.Metrics.add_overhead st.metrics "membus" (total - compute)
+
+let add_work (st : run_state) c =
+  st.metrics.Sim.Metrics.work_cycles <- st.metrics.Sim.Metrics.work_cycles + c;
+  if c > 0 then Sim.Engine.advance st.eng c
+
+let reduction_cost (spec : Ir.Locals.spec) =
+  8 + (2 * (spec.Ir.Locals.nfloats + spec.Ir.Locals.nints))
+
+let fresh_task_state c =
+  {
+    residual = Array.make (Ir.Nesting_tree.size c.nest.Compiled.tree) 0;
+    no_promote = false;
+    forbidden = -1;
+  }
+
+let ac_for st ~worker ~nest_id ~ord =
+  let key = (worker, nest_id, ord) in
+  match Hashtbl.find_opt st.ac key with
+  | Some a -> a
+  | None ->
+      let a =
+        Adaptive_chunking.create ~target_polls:st.cfg.Rt_config.ac_target_polls
+          ~window:st.cfg.Rt_config.ac_window ()
+      in
+      Hashtbl.add st.ac key a;
+      a
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: deques, stealing, joins.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let wake_one (st : run_state) =
+  let n = Array.length st.deques in
+  let start = Sim.Sim_rng.int (Sim.Engine.rng st.eng) n in
+  let rec find k =
+    if k < n then begin
+      let w = (start + k) mod n in
+      if Sim.Engine.is_parked st.eng w then Sim.Engine.unpark st.eng w else find (k + 1)
+    end
+  in
+  find 0
+
+let push_task (st : run_state) task =
+  Sim.Deque.push_bottom st.deques.(wid st) task;
+  st.last_pusher <- wid st;
+  st.metrics.Sim.Metrics.tasks_spawned <- st.metrics.Sim.Metrics.tasks_spawned + 1;
+  overhead st "promotion" (cm st).Sim.Cost_model.deque_push_cost;
+  wake_one st
+
+let run_task (st : run_state) task =
+  let w = wid st in
+  st.depth.(w) <- st.depth.(w) + 1;
+  if st.depth.(w) = 1 then Heartbeat.set_busy st.hb ~worker:w true;
+  let t0 = Sim.Engine.now st.eng in
+  task.run ();
+  if st.cfg.Rt_config.timeline && st.depth.(w) = 1 then
+    Sim.Metrics.record_interval st.metrics ~worker:w ~t0 ~t1:(Sim.Engine.now st.eng) ~kind:"task";
+  st.depth.(w) <- st.depth.(w) - 1;
+  if st.depth.(w) = 0 then Heartbeat.set_busy st.hb ~worker:w false
+
+let try_steal (st : run_state) =
+  let n = Array.length st.deques in
+  let w = wid st in
+  let probe v =
+    st.metrics.Sim.Metrics.steal_attempts <- st.metrics.Sim.Metrics.steal_attempts + 1;
+    overhead st "steal" (cm st).Sim.Cost_model.steal_attempt_cost;
+    match Sim.Deque.steal st.deques.(v) with
+    | Some t ->
+        st.metrics.Sim.Metrics.steals <- st.metrics.Sim.Metrics.steals + 1;
+        overhead st "steal" (cm st).Sim.Cost_model.steal_success_cost;
+        Some t
+    | None -> None
+  in
+  let rec attempt k =
+    if k = 0 || n = 1 then None
+    else begin
+      let v = Sim.Sim_rng.int (Sim.Engine.rng st.eng) n in
+      if v = w then attempt (k - 1) else match probe v with Some t -> Some t | None -> attempt (k - 1)
+    end
+  in
+  (* Deques are usually empty under heartbeat scheduling; probing the deque
+     that grew most recently first saves most of the random-walk probes. *)
+  if n > 1 && st.last_pusher <> w && not (Sim.Deque.is_empty st.deques.(st.last_pusher)) then
+    match probe st.last_pusher with Some t -> Some t | None -> attempt 8
+  else attempt 8
+
+let finish_join (st : run_state) join =
+  join.pending <- join.pending - 1;
+  if wid st <> join.owner then begin
+    st.metrics.Sim.Metrics.join_slow_paths <- st.metrics.Sim.Metrics.join_slow_paths + 1;
+    overhead st "join" (cm st).Sim.Cost_model.join_slow_path_cost
+  end;
+  if join.pending = 0 then Sim.Engine.unpark st.eng join.owner
+
+let join_wait (st : run_state) join =
+  while join.pending > 0 do
+    match Sim.Deque.pop_bottom st.deques.(wid st) with
+    | Some t ->
+        overhead st "join" (cm st).Sim.Cost_model.deque_pop_cost;
+        run_task st t
+    | None -> (
+        match try_steal st with
+        | Some t -> run_task st t
+        | None -> if join.pending > 0 then Sim.Engine.park st.eng)
+  done
+
+let scavenge (st : run_state) w =
+  while not st.finished do
+    match Sim.Deque.pop_bottom st.deques.(w) with
+    | Some t -> run_task st t
+    | None -> (
+        match try_steal st with
+        | Some t -> run_task st t
+        | None -> if not st.finished then Sim.Engine.park st.eng)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter for compiled nests.                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequential subtree execution for non-DOALL (pruned) loops: pure work,
+   accumulated into [acc] and advanced by the caller. *)
+let rec serial_loop c (ctxs : Ir.Ctx.set) (l : _ Ir.Nest.loop) acc acc_bytes =
+  let ctx = ctxs.(l.Ir.Nest.ordinal) in
+  let lo, hi = l.Ir.Nest.bounds c.env ctxs in
+  Ir.Ctx.set_slice ctx ~lo ~hi;
+  (match l.Ir.Nest.init with Some f -> f c.env ctx.Ir.Ctx.locals | None -> ());
+  acc_bytes := !acc_bytes + ((hi - lo) * l.Ir.Nest.bytes_per_iter);
+  while ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
+    List.iter
+      (fun seg ->
+        match seg with
+        | Ir.Nest.Stmt s -> acc := !acc + s.Ir.Nest.exec c.env ctxs ctx.Ir.Ctx.lo
+        | Ir.Nest.Nested child -> serial_loop c ctxs child acc acc_bytes)
+      l.Ir.Nest.body;
+    ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+  done
+
+(* One leaf iteration: statements plus sequential sub-loops, cost
+   accumulated without advancing. *)
+let exec_leaf_iteration c ctxs (info : _ Compiled.loop_info) iter acc acc_bytes =
+  List.iter
+    (fun seg ->
+      match seg with
+      | Ir.Nest.Stmt s -> acc := !acc + s.Ir.Nest.exec c.env ctxs iter
+      | Ir.Nest.Nested child -> serial_loop c ctxs child acc acc_bytes)
+    info.Compiled.loop.Ir.Nest.body
+
+let rec run_slice : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> int -> status =
+ fun c ts ctxs ord ->
+  let st = c.st in
+  let info = c.nest.Compiled.infos.(ord) in
+  overheads st
+    [
+      ("outline-call", (cm st).Sim.Cost_model.outline_call_cost);
+      ("closure", (cm st).Sim.Cost_model.closure_load_cost);
+    ];
+  let ctx = ctxs.(ord) in
+  if not info.Compiled.doall then begin
+    let acc = ref 0 in
+    let acc_bytes = ref ((ctx.Ir.Ctx.hi - ctx.Ir.Ctx.lo) * info.Compiled.loop.Ir.Nest.bytes_per_iter) in
+    (* Bounds were set by the caller; re-run the subtree serially. *)
+    let saved_lo = ctx.Ir.Ctx.lo and saved_hi = ctx.Ir.Ctx.hi in
+    let body_only () =
+      while ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
+        List.iter
+          (fun seg ->
+            match seg with
+            | Ir.Nest.Stmt s -> acc := !acc + s.Ir.Nest.exec c.env ctxs ctx.Ir.Ctx.lo
+            | Ir.Nest.Nested child -> serial_loop c ctxs child acc acc_bytes)
+          info.Compiled.loop.Ir.Nest.body;
+        ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+      done
+    in
+    Ir.Ctx.set_slice ctx ~lo:saved_lo ~hi:saved_hi;
+    body_only ();
+    advance_mixed st ~work:!acc ~bytes:!acc_bytes [];
+    Done
+  end
+  else if info.Compiled.is_leaf then run_leaf c ts ctxs info
+  else run_general c ts ctxs info
+
+and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loop_info -> status
+    =
+ fun c ts ctxs info ->
+  let st = c.st in
+  let costs = cm st in
+  let ord = info.Compiled.ordinal in
+  let ctx = ctxs.(ord) in
+  let w = wid st in
+  let ac =
+    match info.Compiled.chunk with
+    | Compiled.Adaptive -> Some (ac_for st ~worker:w ~nest_id:c.nest_id ~ord)
+    | Compiled.Static _ | Compiled.No_chunking -> None
+  in
+  let transferring = st.cfg.Rt_config.chunk_transferring in
+  if not transferring then ts.residual.(ord) <- 0;
+  let transfer_cost = if transferring then costs.Sim.Cost_model.chunk_transfer_cost else 0 in
+  let result = ref None in
+  let handle_beat () =
+    (* A detected heartbeat: let AC close its interval, then promote. *)
+    (match ac with
+    | Some a -> (
+        match Adaptive_chunking.on_heartbeat a with
+        | Some chunk ->
+            if st.cfg.Rt_config.chunk_trace then
+              Sim.Metrics.record_chunk_update st.metrics ~time:(Sim.Engine.now st.eng)
+                ~key:ctxs.(c.nest.Compiled.root).Ir.Ctx.lo ~chunk
+            else st.metrics.Sim.Metrics.chunk_updates <- st.metrics.Sim.Metrics.chunk_updates + 1
+        | None -> ())
+    | None -> ());
+    if st.cfg.Rt_config.promotion && not ts.no_promote then promote c ts ctxs info else None
+  in
+  while !result = None && ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
+    match info.Compiled.chunk with
+    | Compiled.No_chunking ->
+        (* Promotion point at every iteration: the configuration Fig. 8 calls
+           "No chunking". *)
+        let acc = ref 0 in
+        let acc_bytes = ref info.Compiled.loop.Ir.Nest.bytes_per_iter in
+        exec_leaf_iteration c ctxs info ctx.Ir.Ctx.lo acc acc_bytes;
+        let poll = Heartbeat.poll_cost st.hb in
+        advance_mixed st ~work:!acc ~bytes:!acc_bytes
+          [ ("poll", poll); ("promotion-branch", costs.Sim.Cost_model.promotion_branch_cost) ];
+        (match ac with Some a -> Adaptive_chunking.on_poll a | None -> ());
+        let beat =
+          Heartbeat.consume st.hb ~worker:w ~count_poll:true
+          || st.cfg.Rt_config.force_promotion
+        in
+        if beat then begin
+          match handle_beat () with
+          | Some s -> result := Some s
+          | None -> ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+        end
+        else ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+    | Compiled.Static _ | Compiled.Adaptive ->
+        let s =
+          match info.Compiled.chunk with
+          | Compiled.Static s -> s
+          | Compiled.Adaptive -> Adaptive_chunking.chunk_size (Option.get ac)
+          | Compiled.No_chunking -> 1
+        in
+        if ts.residual.(ord) <= 0 then ts.residual.(ord) <- s;
+        let start = ctx.Ir.Ctx.lo in
+        let n_left = ctx.Ir.Ctx.hi - start in
+        let todo = Stdlib.min ts.residual.(ord) n_left in
+        let acc = ref 0 in
+        let acc_bytes = ref (todo * info.Compiled.loop.Ir.Nest.bytes_per_iter) in
+        for k = 0 to todo - 1 do
+          ctx.Ir.Ctx.lo <- start + k;
+          exec_leaf_iteration c ctxs info (start + k) acc acc_bytes
+        done;
+        (* ctx.lo is the last executed iteration: the latch sees it, the
+           leftover task resumes at lo + 1. *)
+        ts.residual.(ord) <- ts.residual.(ord) - todo;
+        let full_chunk = ts.residual.(ord) = 0 in
+        if full_chunk then begin
+          let poll = Heartbeat.poll_cost st.hb in
+          advance_mixed st ~work:!acc ~bytes:!acc_bytes
+            [
+              ("chunking", 2);
+              ("chunk-transfer", transfer_cost);
+              ("poll", poll);
+              ("promotion-branch", costs.Sim.Cost_model.promotion_branch_cost);
+            ];
+          (match ac with Some a -> Adaptive_chunking.on_poll a | None -> ());
+          let beat =
+            let b = Heartbeat.consume st.hb ~worker:w ~count_poll:true in
+            b || st.cfg.Rt_config.force_promotion
+          in
+          if beat then begin
+            match handle_beat () with
+            | Some s -> result := Some s
+            | None -> ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+          end
+          else ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+        end
+        else begin
+          (* Partial chunk: the invocation ends here and the residual
+             transfers to the next invocation of this leaf in this task. *)
+          advance_mixed st ~work:!acc ~bytes:!acc_bytes
+            [ ("chunking", 2); ("chunk-transfer", transfer_cost) ];
+          ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+        end
+  done;
+  match !result with Some s -> s | None -> Done
+
+and run_general :
+    'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loop_info -> status =
+ fun c ts ctxs info ->
+  let st = c.st in
+  let costs = cm st in
+  let ctx = ctxs.(info.Compiled.ordinal) in
+  let result = ref None in
+  while !result = None && ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
+    let iter = ctx.Ir.Ctx.lo in
+    match run_segments c ts ctxs info info.Compiled.loop.Ir.Nest.body iter with
+    | Seg_promoted j when j = info.Compiled.ordinal -> result := Some Done
+    | Seg_promoted j -> result := Some (Promoted j)
+    | Seg_ok ->
+        (* Latch of a non-leaf DOALL loop: promotion-handler call guarded by
+           a branch; the heartbeat visibility itself is the leaf poll's (or
+           the interrupt flag), so no poll cost here. The iteration's own
+           memory traffic is booked here too. *)
+        advance_mixed st ~work:0 ~bytes:info.Compiled.loop.Ir.Nest.bytes_per_iter
+          [ ("promotion-branch", costs.Sim.Cost_model.promotion_branch_cost) ];
+        let beat =
+          Heartbeat.consume st.hb ~worker:(wid st) ~count_poll:false
+          || st.cfg.Rt_config.force_promotion
+        in
+        if beat && st.cfg.Rt_config.promotion && not ts.no_promote then begin
+          match promote c ts ctxs info with
+          | Some s -> result := Some s
+          | None -> ctx.Ir.Ctx.lo <- iter + 1
+        end
+        else ctx.Ir.Ctx.lo <- iter + 1
+  done;
+  match !result with Some s -> s | None -> Done
+
+and run_segments :
+    'e.
+    'e nest_handle ->
+    task_state ->
+    Ir.Ctx.set ->
+    'e Compiled.loop_info ->
+    'e Ir.Nest.segment list ->
+    int ->
+    seg_result =
+ fun c ts ctxs _info segs iter ->
+  let st = c.st in
+  let rec go = function
+    | [] -> Seg_ok
+    | Ir.Nest.Stmt s :: rest ->
+        add_work st (s.Ir.Nest.exec c.env ctxs iter);
+        go rest
+    | Ir.Nest.Nested child :: rest ->
+        let cinfo = c.nest.Compiled.infos.(child.Ir.Nest.ordinal) in
+        if cinfo.Compiled.doall then begin
+          let lo, hi = child.Ir.Nest.bounds c.env ctxs in
+          Ir.Ctx.set_slice ctxs.(child.Ir.Nest.ordinal) ~lo ~hi;
+          (* A fresh invocation (re)establishes the child's locals; a slice
+             resumed by a leftover task keeps its partial state instead. *)
+          (match child.Ir.Nest.init with
+          | Some f -> f c.env ctxs.(child.Ir.Nest.ordinal).Ir.Ctx.locals
+          | None -> ());
+          overhead st "lst-store" (cm st).Sim.Cost_model.lst_store_cost;
+          match run_slice c ts ctxs child.Ir.Nest.ordinal with
+          | Done -> go rest
+          | Promoted j -> Seg_promoted j
+        end
+        else begin
+          let acc = ref 0 and acc_bytes = ref 0 in
+          serial_loop c ctxs child acc acc_bytes;
+          advance_mixed st ~work:!acc ~bytes:!acc_bytes [];
+          go rest
+        end
+  in
+  go segs
+
+(* The promotion handler: outer-loop-first split of the current context
+   chain, task creation, clone-optimized join. *)
+and promote :
+    'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loop_info -> status option =
+ fun c ts ctxs cur ->
+  let st = c.st in
+  let ts_forbidden = ts.forbidden in
+  let splittable o =
+    c.nest.Compiled.infos.(o).Compiled.doall
+    && Ir.Ctx.remaining ctxs.(o) >= 1
+    (* splitting an ancestor needs its compiled leftover task; with
+       Algorithm 1's leaves-only enumeration, promotions at non-leaf latches
+       can only split the interrupted loop itself *)
+    && (o = cur.Compiled.ordinal
+       || Compiled.find_leftover c.nest ~li:cur.Compiled.ordinal ~lj:o <> None)
+  in
+  (* Only the suffix of the chain below the task's ownership boundary is a
+     legal split target: contexts at or above [forbidden] are frozen
+     snapshots whose remaining iterations belong to the spawning task. *)
+  let rec owned_suffix = function
+    | [] -> []
+    | o :: rest when o = ts_forbidden -> rest
+    | _ :: rest -> owned_suffix rest
+  in
+  let chain =
+    if ts_forbidden < 0 then cur.Compiled.chain_from_root
+    else owned_suffix cur.Compiled.chain_from_root
+  in
+  let target =
+    match st.cfg.Rt_config.policy with
+    | Rt_config.Outer_loop_first -> List.find_opt splittable chain
+    | Rt_config.Innermost_first -> List.find_opt splittable (List.rev chain)
+  in
+  match target with
+  | None -> None
+  | Some tgt ->
+      let tinfo = c.nest.Compiled.infos.(tgt) in
+      Sim.Metrics.promotion_at_level st.metrics tinfo.Compiled.depth;
+      overhead st "promotion" (cm st).Sim.Cost_model.promotion_handler_cost;
+      let tctx = ctxs.(tgt) in
+      let rem_lo = tctx.Ir.Ctx.lo + 1 and rem_hi = tctx.Ir.Ctx.hi in
+      (* Consume the remaining iterations from the running task; everything
+         from here on belongs to the spawned tasks. *)
+      tctx.Ir.Ctx.hi <- tctx.Ir.Ctx.lo + 1;
+      let mid = rem_lo + (((rem_hi - rem_lo) + 1) / 2) in
+      let join = { pending = 0; owner = wid st } in
+      let reduction = tinfo.Compiled.loop.Ir.Nest.reduction in
+      let spawn_slice lo hi =
+        if hi > lo then begin
+          let nctxs = Ir.Ctx.copy_set ctxs in
+          Ir.Ctx.refresh_subtree nctxs ~ordinals:tinfo.Compiled.subtree ~specs:c.nest.Compiled.specs;
+          Ir.Ctx.set_slice nctxs.(tgt) ~lo ~hi;
+          (match tinfo.Compiled.loop.Ir.Nest.init with
+          | Some f -> f c.env nctxs.(tgt).Ir.Ctx.locals
+          | None -> ());
+          join.pending <- join.pending + 1;
+          push_task st
+            {
+              run =
+                (fun () ->
+                  let ts' = fresh_task_state c in
+                  ts'.forbidden <- Option.value ~default:(-1) tinfo.Compiled.parent;
+                  (match run_slice c ts' nctxs tgt with
+                  | Done | Promoted _ -> ());
+                  (match reduction with
+                  | Some combine ->
+                      overhead st "reduction" (reduction_cost c.nest.Compiled.specs.(tgt));
+                      combine tctx.Ir.Ctx.locals nctxs.(tgt).Ir.Ctx.locals
+                  | None -> ());
+                  finish_join st join);
+            }
+        end
+      in
+      spawn_slice rem_lo mid;
+      spawn_slice mid rem_hi;
+      if tgt <> cur.Compiled.ordinal then begin
+        match Compiled.find_leftover c.nest ~li:cur.Compiled.ordinal ~lj:tgt with
+        | None ->
+            raise
+              (Internal_error
+                 (Printf.sprintf "missing leftover task for pair (%d, %d)" cur.Compiled.ordinal
+                    tgt))
+        | Some leftover -> (
+            let lctxs = Ir.Ctx.copy_set ctxs in
+            match st.cfg.Rt_config.leftover with
+            | Rt_config.Spawn ->
+                join.pending <- join.pending + 1;
+                push_task st
+                  {
+                    run =
+                      (fun () ->
+                        run_leftover c ~no_promote:false lctxs leftover;
+                        finish_join st join);
+                  }
+            | Rt_config.Inline ->
+                (* TPAL: the leftover stays on the promoting task's critical
+                   path — executed here, inside the handler, before the join;
+                   it cannot be stolen, but its loops keep their promotion
+                   points. *)
+                run_leftover c ~no_promote:false lctxs leftover)
+      end;
+      join_wait st join;
+      Some (if tgt = cur.Compiled.ordinal then Done else Promoted tgt)
+
+and run_leftover : 'e. 'e nest_handle -> no_promote:bool -> Ir.Ctx.set -> Compiled.leftover -> unit
+    =
+ fun c ~no_promote ctxs leftover ->
+  let st = c.st in
+  st.metrics.Sim.Metrics.leftover_tasks_run <- st.metrics.Sim.Metrics.leftover_tasks_run + 1;
+  let ts = fresh_task_state c in
+  ts.no_promote <- no_promote;
+  ts.forbidden <- leftover.Compiled.lj;
+  let steps = Array.of_list leftover.Compiled.steps in
+  let len = Array.length steps in
+  let i = ref 0 in
+  (* A promotion inside the leftover split ancestor [j]: the new leftover
+     took over everything up to and including [j]'s remaining iterations and
+     tail; resume after our own Call_slice of [j]. *)
+  let skip_past_call j =
+    let rec find k =
+      if k >= len then
+        raise (Internal_error (Printf.sprintf "leftover skip: no Call_slice %d" j))
+      else
+        match steps.(k) with
+        | Compiled.Call_slice o when o = j -> k + 1
+        | Compiled.Call_slice _ | Compiled.Increase_iv _ | Compiled.Tail_work _ -> find (k + 1)
+    in
+    i := find (!i + 1)
+  in
+  while !i < len do
+    match steps.(!i) with
+    | Compiled.Increase_iv o ->
+        ctxs.(o).Ir.Ctx.lo <- ctxs.(o).Ir.Ctx.lo + 1;
+        incr i
+    | Compiled.Call_slice o -> (
+        match run_slice c ts ctxs o with
+        | Done -> incr i
+        | Promoted j when j = o -> incr i
+        | Promoted j -> skip_past_call j)
+    | Compiled.Tail_work { of_; after } -> (
+        let info = c.nest.Compiled.infos.(of_) in
+        let segs = Compiled.tail_of info ~after in
+        match run_segments c ts ctxs info segs ctxs.(of_).Ir.Ctx.lo with
+        | Seg_ok -> incr i
+        | Seg_promoted j -> skip_past_call j)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Top level.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exec_nest st (compiled : 'e Pipeline.program) (env : 'e) nest =
+  let rec find i = function
+    | [] -> raise (Internal_error "exec of a nest the program did not declare")
+    | (src, cn) :: rest -> if src == nest then (i, cn) else find (i + 1) rest
+  in
+  let nest_id, cn = find 0 compiled.Pipeline.nests in
+  let c = { st; nest = cn; nest_id; env } in
+  let n = Ir.Nesting_tree.size cn.Compiled.tree in
+  let ctxs = Array.init n (fun o -> Ir.Ctx.make ~ordinal:o ~spec:cn.Compiled.specs.(o)) in
+  let root = cn.Compiled.root in
+  let rinfo = cn.Compiled.infos.(root) in
+  let lo, hi = rinfo.Compiled.loop.Ir.Nest.bounds env ctxs in
+  Ir.Ctx.set_slice ctxs.(root) ~lo ~hi;
+  (match rinfo.Compiled.loop.Ir.Nest.init with
+  | Some f -> f env ctxs.(root).Ir.Ctx.locals
+  | None -> ());
+  overhead st "lst-store" (cm st).Sim.Cost_model.lst_store_cost;
+  let ts = fresh_task_state c in
+  (match run_slice c ts ctxs root with
+  | Done -> ()
+  | Promoted _ -> raise (Internal_error "root slice reported an ancestor promotion"));
+  match rinfo.Compiled.loop.Ir.Nest.commit with Some f -> f env ctxs | None -> ()
+
+let run_program (cfg : Rt_config.t) (compiled : 'e Pipeline.program) : Sim.Run_result.t =
+  let program = compiled.Pipeline.source in
+  let env = program.Ir.Program.make_env () in
+  let eng = Sim.Engine.create ~seed:cfg.Rt_config.seed ~num_workers:cfg.Rt_config.workers () in
+  let metrics = Sim.Metrics.create () in
+  let hb = Heartbeat.create cfg eng metrics in
+  let st =
+    {
+      cfg;
+      eng;
+      hb;
+      metrics;
+      deques = Array.init cfg.Rt_config.workers (fun _ -> Sim.Deque.create ());
+      ac = Hashtbl.create 64;
+      bus = Sim.Membus.create ~bytes_per_cycle:cfg.Rt_config.cost.Sim.Cost_model.dram_bytes_per_cycle;
+      last_pusher = 0;
+      depth = Array.make cfg.Rt_config.workers 0;
+      finished = false;
+    }
+  in
+  Heartbeat.start hb;
+  (match cfg.Rt_config.max_cycles with
+  | Some cap -> Sim.Engine.schedule_at eng ~time:cap (fun () -> raise Did_not_finish)
+  | None -> ());
+  let dnf = ref false in
+  (try
+     Sim.Engine.run eng (fun w ->
+         if w = 0 then begin
+           (* The driver itself counts as task depth so inline tasks do not
+              clear worker 0's busy flag when they finish. *)
+           st.depth.(0) <- 1;
+           Heartbeat.set_busy hb ~worker:0 true;
+           let cpu =
+             {
+               Ir.Program.exec = (fun nest -> exec_nest st compiled env nest);
+               advance = (fun cyc -> add_work st cyc);
+             }
+           in
+           let t0 = Sim.Engine.now eng in
+           program.Ir.Program.driver env cpu;
+           if cfg.Rt_config.timeline then
+             Sim.Metrics.record_interval metrics ~worker:0 ~t0 ~t1:(Sim.Engine.now eng)
+               ~kind:"driver";
+           st.depth.(0) <- 0;
+           Heartbeat.set_busy hb ~worker:0 false;
+           st.finished <- true;
+           Heartbeat.stop hb;
+           Sim.Engine.unpark_all eng
+         end
+         else scavenge st w)
+   with Did_not_finish -> dnf := true);
+  {
+    Sim.Run_result.makespan = Sim.Engine.max_time eng;
+    metrics;
+    fingerprint = program.Ir.Program.fingerprint env;
+    work_cycles = metrics.Sim.Metrics.work_cycles;
+    dnf = !dnf;
+  }
+
+let run cfg program =
+  run_program cfg (Pipeline.compile_program ~chunk:cfg.Rt_config.chunk program)

@@ -1,0 +1,28 @@
+(** The heartbeat runtime (Sec. 5) running a compiled program on the
+    simulated multicore machine.
+
+    Worker 0 executes the program's serial driver; invoking a nest runs its
+    root loop-slice task. All workers share per-worker task deques under a
+    work-stealing discipline with the clone optimization: a promotion pushes
+    the two loop-slice halves and the leftover task onto the promoting
+    worker's deque, runs them itself if nobody steals them (fast path, no
+    synchronization cost), and pays the slow-path synchronization only for
+    stolen tasks.
+
+    A promotion (outer-loop-first, Sec. 2) picks the outermost loop of the
+    current context chain with at least one remaining iteration, consumes
+    its remaining iterations from the running task, splits them into two
+    slice tasks, and materializes the leftover task from the leftover table.
+    Reductions get fresh locals per slice half, combined at the join. *)
+
+exception Did_not_finish
+(** Raised internally when the run exceeds [max_cycles]; reported as
+    [dnf = true] in the result. *)
+
+exception Internal_error of string
+(** A runtime invariant broke (a bug, not a user error). *)
+
+val run_program : Rt_config.t -> 'e Pipeline.program -> Sim.Run_result.t
+
+val run : Rt_config.t -> 'e Ir.Program.t -> Sim.Run_result.t
+(** Compile (with the chunk mode from the config) and run. *)

@@ -1,0 +1,149 @@
+type t = {
+  config : Rt_config.t;
+  eng : Sim.Engine.t;
+  metrics : Sim.Metrics.t;
+  busy : bool array;
+  (* software polling: index of the last heartbeat interval seen per worker *)
+  last_interval : int array;
+  (* interrupt mechanisms: pending-delivery flags *)
+  pending : bool array;
+  mutable cancel : (unit -> unit) option;
+  mutable stopped : bool;
+  mutable stretch_debt : int;  (* ping thread: accumulated period overrun *)
+}
+
+let create config eng metrics =
+  let n = Sim.Engine.num_workers eng in
+  {
+    config;
+    eng;
+    metrics;
+    busy = Array.make n false;
+    last_interval = Array.make n 0;
+    pending = Array.make n false;
+    cancel = None;
+    stopped = false;
+    stretch_debt = 0;
+  }
+
+let interval t = t.config.Rt_config.cost.Sim.Cost_model.heartbeat_interval
+
+let kernel_module_beat t () =
+  for w = 0 to Array.length t.busy - 1 do
+    if t.busy.(w) then begin
+      t.metrics.Sim.Metrics.heartbeats_generated <-
+        t.metrics.Sim.Metrics.heartbeats_generated + 1;
+      if t.pending.(w) then
+        t.metrics.Sim.Metrics.heartbeats_missed <- t.metrics.Sim.Metrics.heartbeats_missed + 1
+      else t.pending.(w) <- true
+    end
+  done
+
+(* The ping thread is one sequential sender: each beat it walks the busy
+   workers issuing one POSIX signal at a time. When signaling the team takes
+   longer than the heartbeat interval, the next beat starts late — the
+   effective heartbeat rate stretches and the difference shows up as missed
+   beats, uniformly over workers (the paper reports up to 45% missed). *)
+let rec ping_thread_beat t scheduled_time () =
+  if not t.stopped then begin
+    let beat_time = Sim.Engine.now t.eng in
+    let send = t.config.Rt_config.cost.Sim.Cost_model.signal_send_cost in
+    let busy_workers = ref [] in
+    for w = Array.length t.busy - 1 downto 0 do
+      if t.busy.(w) then busy_workers := w :: !busy_workers
+    done;
+    let finish = ref beat_time in
+    List.iteri
+      (fun i w ->
+        let delivery = beat_time + ((i + 1) * send) in
+        finish := delivery;
+        t.metrics.Sim.Metrics.heartbeats_generated <-
+          t.metrics.Sim.Metrics.heartbeats_generated + 1;
+        Sim.Engine.schedule_at t.eng ~time:delivery (fun () ->
+            if t.pending.(w) then
+              t.metrics.Sim.Metrics.heartbeats_missed <-
+                t.metrics.Sim.Metrics.heartbeats_missed + 1
+            else t.pending.(w) <- true))
+      !busy_workers;
+    (* Next beat: on schedule if the team was signaled in time, otherwise as
+       soon as the sender is free; skipped periods are lost heartbeats. *)
+    let next_nominal = scheduled_time + interval t in
+    let next = Stdlib.max next_nominal !finish in
+    (* Period overrun accumulates; every full interval of accumulated debt
+       is one heartbeat the machine never received. *)
+    t.stretch_debt <- t.stretch_debt + (next - next_nominal);
+    let nbusy = List.length !busy_workers in
+    while t.stretch_debt >= interval t do
+      t.stretch_debt <- t.stretch_debt - interval t;
+      t.metrics.Sim.Metrics.heartbeats_generated <-
+        t.metrics.Sim.Metrics.heartbeats_generated + nbusy;
+      t.metrics.Sim.Metrics.heartbeats_missed <-
+        t.metrics.Sim.Metrics.heartbeats_missed + nbusy
+    done;
+    Sim.Engine.schedule_at t.eng ~time:next (ping_thread_beat t next)
+  end
+
+let start t =
+  let arm beat =
+    t.cancel <- Some (Sim.Engine.every t.eng ~start:(interval t) ~interval:(interval t) beat)
+  in
+  match t.config.Rt_config.mechanism with
+  | Rt_config.Software_polling -> ()
+  | Rt_config.Interrupt_kernel_module -> arm (kernel_module_beat t)
+  | Rt_config.Interrupt_ping_thread ->
+      Sim.Engine.schedule_at t.eng ~time:(interval t) (ping_thread_beat t (interval t))
+
+let stop t =
+  t.stopped <- true;
+  match t.cancel with
+  | Some cancel ->
+      cancel ();
+      t.cancel <- None
+  | None -> ()
+
+let set_busy t ~worker v =
+  t.busy.(worker) <- v;
+  if v && t.config.Rt_config.mechanism = Rt_config.Software_polling then
+    t.last_interval.(worker) <- Sim.Engine.now t.eng / interval t
+
+let poll_cost t =
+  match t.config.Rt_config.mechanism with
+  | Rt_config.Software_polling -> t.config.Rt_config.cost.Sim.Cost_model.poll_cost
+  | Rt_config.Interrupt_kernel_module | Rt_config.Interrupt_ping_thread -> 0
+
+let consume t ~worker ~count_poll =
+  let cm = t.config.Rt_config.cost in
+  match t.config.Rt_config.mechanism with
+  | Rt_config.Software_polling ->
+      if count_poll then t.metrics.Sim.Metrics.polls <- t.metrics.Sim.Metrics.polls + 1;
+      let cur = Sim.Engine.now t.eng / interval t in
+      let last = t.last_interval.(worker) in
+      if cur > last then begin
+        t.last_interval.(worker) <- cur;
+        let gap = cur - last in
+        t.metrics.Sim.Metrics.heartbeats_generated <-
+          t.metrics.Sim.Metrics.heartbeats_generated + gap;
+        t.metrics.Sim.Metrics.heartbeats_detected <-
+          t.metrics.Sim.Metrics.heartbeats_detected + 1;
+        t.metrics.Sim.Metrics.heartbeats_missed <-
+          t.metrics.Sim.Metrics.heartbeats_missed + (gap - 1);
+        true
+      end
+      else false
+  | Rt_config.Interrupt_kernel_module | Rt_config.Interrupt_ping_thread ->
+      if t.pending.(worker) then begin
+        t.pending.(worker) <- false;
+        let c =
+          (match t.config.Rt_config.mechanism with
+          | Rt_config.Interrupt_kernel_module -> cm.Sim.Cost_model.interrupt_delivery_cost
+          | Rt_config.Interrupt_ping_thread -> cm.Sim.Cost_model.signal_delivery_cost
+          | Rt_config.Software_polling -> 0)
+          + cm.Sim.Cost_model.rollforward_lookup_cost
+        in
+        Sim.Engine.advance t.eng c;
+        Sim.Metrics.add_overhead t.metrics "interrupt" c;
+        t.metrics.Sim.Metrics.heartbeats_detected <-
+          t.metrics.Sim.Metrics.heartbeats_detected + 1;
+        true
+      end
+      else false

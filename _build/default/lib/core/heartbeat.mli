@@ -1,0 +1,41 @@
+(** Heartbeat signaling mechanisms (Secs. 4 and 5).
+
+    The executor consults this module at every promotion-ready program
+    point. Mechanisms differ in cost and in how a beat becomes visible:
+
+    - {e Software polling}: a poll (TSC read, {!poll_cost} cycles, charged by
+      the caller as part of its batched advance) compares the worker's clock
+      against heartbeat-interval boundaries.
+    - {e Kernel module}: the executed image carries no polls; a broadcast
+      timer callback marks every busy worker and {!consume} charges the
+      interrupt delivery cost (3800 cycles) plus a rollforward-table lookup
+      when a pending beat is taken.
+    - {e Ping thread}: like the kernel module, but deliveries are serialized
+      through one signaling thread; beats whose signal cannot be issued
+      before the next beat are dropped — the source of the up-to-45%%-missed
+      heartbeats the paper reports.
+
+    Generated/detected/missed counts land in the run's {!Sim.Metrics.t}
+    (Fig. 13). *)
+
+type t
+
+val create : Rt_config.t -> Sim.Engine.t -> Sim.Metrics.t -> t
+
+val start : t -> unit
+(** Arm the timer callbacks (no-op for software polling). *)
+
+val stop : t -> unit
+
+val set_busy : t -> worker:int -> bool -> unit
+(** Only busy workers receive or account for heartbeats. *)
+
+val poll_cost : t -> int
+(** Cycles a PRPPT poll costs under this mechanism (0 for interrupts). *)
+
+val consume : t -> worker:int -> count_poll:bool -> bool
+(** Check (and consume) a heartbeat at a PRPPT. [count_poll] marks the call
+    as a real leaf-latch poll for the polling statistics; the cached checks
+    at outer-loop latches pass [false]. Charges the interrupt delivery cost
+    when an interrupt-mode beat is taken; never charges the poll cost (the
+    caller batches it via {!poll_cost}). *)

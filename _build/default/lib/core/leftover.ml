@@ -1,0 +1,38 @@
+(* Algorithm 2: build the step program of the leftover task for the case
+   where L_i received a heartbeat and L_j was split. *)
+let generate_one tree ~li ~lj =
+  let steps = ref [] in
+  let add s = steps := s :: !steps in
+  (* Complete the current invocation of L_i, starting at its next iteration. *)
+  add (Compiled.Increase_iv li);
+  add (Compiled.Call_slice li);
+  (* Walk ancestors strictly between L_i and L_j. *)
+  let rec walk prev p =
+    if p <> lj then begin
+      add (Compiled.Tail_work { of_ = p; after = prev });
+      add (Compiled.Increase_iv p);
+      add (Compiled.Call_slice p);
+      match (Ir.Nesting_tree.node tree p).Ir.Nesting_tree.parent with
+      | Some gp -> walk p gp
+      | None -> invalid_arg "Leftover.generate_one: lj is not an ancestor of li"
+    end
+    else add (Compiled.Tail_work { of_ = lj; after = prev })
+  in
+  (match (Ir.Nesting_tree.node tree li).Ir.Nesting_tree.parent with
+  | Some p -> walk li p
+  | None -> invalid_arg "Leftover.generate_one: li has no ancestor");
+  { Compiled.li; lj; steps = List.rev !steps }
+
+(* Algorithm 1: enumerate the (L_i, ancestor) pairs needing a leftover. *)
+let generate_all ?(all_pairs = true) tree =
+  let origins =
+    if all_pairs then
+      List.filter
+        (fun o -> (Ir.Nesting_tree.node tree o).Ir.Nesting_tree.parent <> None)
+        (Ir.Nesting_tree.doall_ordinals tree)
+    else Ir.Nesting_tree.leaves tree
+  in
+  List.concat_map
+    (fun l ->
+      List.map (fun p -> generate_one tree ~li:l ~lj:p) (Ir.Nesting_tree.ancestors tree l))
+    origins

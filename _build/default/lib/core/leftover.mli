@@ -1,0 +1,22 @@
+(** Leftover task generation (Sec. 3.3, Algorithms 1 and 2).
+
+    A leftover task completes the current iteration of the split loop L_j
+    after a heartbeat interrupted loop L_i: it finishes L_i's remaining
+    iterations (through L_i's slice task, so they stay promotable), then for
+    each intermediate ancestor runs its tail work, advances its induction
+    variable, and runs its remaining iterations, and finally runs L_j's tail
+    work. The task's code is the explicit {!Compiled.step} list.
+
+    Algorithm 1 enumerates (leaf, ancestor) pairs. Because HBC also inserts
+    promotion points at non-leaf latches, a heartbeat can interrupt an
+    intermediate loop too; with [all_pairs] (the default used by the
+    pipeline) the enumeration covers every (loop, proper-ancestor) pair so
+    that such promotions also find their leftover task. *)
+
+val generate_one : Ir.Nesting_tree.t -> li:int -> lj:int -> Compiled.leftover
+(** Algorithm 2 for one (L_i, L_j) pair. [lj] must be a proper ancestor of
+    [li]. *)
+
+val generate_all : ?all_pairs:bool -> Ir.Nesting_tree.t -> Compiled.leftover list
+(** Algorithm 1. [all_pairs] defaults to [true]; [false] reproduces the
+    paper's leaves-only enumeration. *)

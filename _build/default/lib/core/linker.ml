@@ -1,0 +1,27 @@
+type mode = Software_polling | Interrupts
+
+type artifact = {
+  mode : mode;
+  listing : Pseudo_asm.listing;
+  polling_sites : int;
+  rollforward : Rollforward.t option;
+}
+
+let link mode nest =
+  let listing = Pseudo_asm.generate nest in
+  match mode with
+  | Software_polling ->
+      { mode; listing; polling_sites = Pseudo_asm.poll_sites listing; rollforward = None }
+  | Interrupts ->
+      let rf = Rollforward.compile listing in
+      (* The executed image is the poll-free source twin; the destination twin
+         is entered only through the rollforward table. *)
+      {
+        mode;
+        listing = rf.Rollforward.source;
+        polling_sites = 0;
+        rollforward = Some rf;
+      }
+
+let link_program mode (p : _ Pipeline.program) =
+  List.map (fun (_, nest) -> link mode nest) p.Pipeline.nests

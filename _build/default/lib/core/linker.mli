@@ -1,0 +1,22 @@
+(** The heartbeat linker (Sec. 4): the final pipeline stage that makes
+    heartbeats visible to the program, in one of two ways.
+
+    Software polling: keep the [poll] instructions at every promotion-ready
+    program point and link the program against the polling runtime.
+
+    Hardware interrupts: run the rollforward compiler, link both twins, and
+    embed the rollforward/rollback tables for the signal handler or kernel
+    module to use. *)
+
+type mode = Software_polling | Interrupts
+
+type artifact = {
+  mode : mode;
+  listing : Pseudo_asm.listing;  (** the image actually executed *)
+  polling_sites : int;  (** PRPPTs carrying a poll in the executed image *)
+  rollforward : Rollforward.t option;  (** present in [Interrupts] mode *)
+}
+
+val link : mode -> 'e Compiled.nest -> artifact
+
+val link_program : mode -> 'e Pipeline.program -> artifact list

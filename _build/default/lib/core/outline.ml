@@ -1,0 +1,16 @@
+let fn_name (l : _ Ir.Nest.loop) = Printf.sprintf "__hbc_slice_%s@%d" l.Ir.Nest.loop_name l.Ir.Nest.ordinal
+
+let run root =
+  let tree = Ir.Nesting_tree.build root in
+  let outlined =
+    Ir.Nest.loops_preorder root
+    |> List.filter (fun (l : _ Ir.Nest.loop) -> l.Ir.Nest.doall && not (Ir.Loop_id.is_none l.Ir.Nest.id))
+    |> List.map (fun (l : _ Ir.Nest.loop) ->
+           {
+             Compiled.out_ordinal = l.Ir.Nest.ordinal;
+             fn_name = fn_name l;
+             live_out_floats = l.Ir.Nest.locals_spec.Ir.Locals.nfloats;
+             live_out_ints = l.Ir.Nest.locals_spec.Ir.Locals.nints;
+           })
+  in
+  (tree, outlined)

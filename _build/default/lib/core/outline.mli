@@ -1,0 +1,15 @@
+(** Loop nested tree outlining (Sec. 3.1).
+
+    Isolates each DOALL loop into its own callable loop-slice function,
+    identifies live-ins/live-outs, and builds the inter-procedural
+    loop-nesting tree with (level, index) IDs. In this embedding the
+    "function" is the runtime's slice interpreter specialized by the
+    descriptor produced here; the live-out analysis reads the loop's locals
+    spec (the storage HBC would pass by reference). *)
+
+val run : 'e Ir.Nest.loop -> Ir.Nesting_tree.t * Compiled.outlined list
+(** Build the pruned nesting tree (assigning ordinals and loop IDs as a side
+    effect) and one outlined-function descriptor per DOALL loop. *)
+
+val fn_name : 'e Ir.Nest.loop -> string
+(** Deterministic generated name, e.g. ["__hbc_slice_col@1"]. *)

@@ -1,0 +1,70 @@
+type t = {
+  mult : int64;
+  shift : int;
+  (* slot -> (encoded key, value); -1 encodes an empty slot *)
+  keys : int array;
+  values : int array;
+}
+
+let encode (a, b) = (a * 65_536) + b + 1
+
+let slot_of mult shift key =
+  let h = Int64.mul (Int64.of_int key) mult in
+  Int64.to_int (Int64.shift_right_logical h shift)
+
+let rec next_pow2 n = if n <= 1 then 1 else 2 * next_pow2 ((n + 1) / 2)
+
+let build pairs =
+  let n = List.length pairs in
+  let encoded = List.map encode pairs in
+  let distinct = List.sort_uniq Stdlib.compare encoded in
+  if List.length distinct <> n then invalid_arg "Perfect_hash.build: duplicate keys";
+  let try_size size =
+    let shift = 64 - int_of_float (Float.round (Float.log2 (Float.of_int size))) in
+    let rng = Sim.Sim_rng.create (size + n) in
+    let rec attempt tries =
+      if tries = 0 then None
+      else begin
+        let mult = Int64.logor (Sim.Sim_rng.next_int64 rng) 1L in
+        let seen = Array.make size false in
+        let ok =
+          List.for_all
+            (fun k ->
+              let s = slot_of mult shift k in
+              if s < size && not seen.(s) then begin
+                seen.(s) <- true;
+                true
+              end
+              else false)
+            encoded
+        in
+        if ok then Some (mult, shift) else attempt (tries - 1)
+      end
+    in
+    attempt 64
+  in
+  let rec search size =
+    match try_size size with
+    | Some (mult, shift) -> (size, mult, shift)
+    | None -> search (2 * size)
+  in
+  let size0 = Stdlib.max 2 (next_pow2 (2 * Stdlib.max n 1)) in
+  let size, mult, shift = search size0 in
+  let keys = Array.make size (-1) in
+  let values = Array.make size (-1) in
+  List.iteri
+    (fun i k ->
+      let s = slot_of mult shift k in
+      keys.(s) <- k;
+      values.(s) <- i)
+    encoded;
+  { mult; shift; keys; values }
+
+let lookup t pair =
+  let k = encode pair in
+  let s = slot_of t.mult t.shift k in
+  if s < Array.length t.keys && t.keys.(s) = k then Some t.values.(s) else None
+
+let table_size t = Array.length t.keys
+
+let multiplier t = t.mult

@@ -1,0 +1,22 @@
+(** Compile-time perfect hashing for the leftover-task table (Sec. 3.4).
+
+    The table maps a pair of loop ordinals (the loop that received the
+    heartbeat, the loop that gets split) to a leftover-task index. HBC
+    generates a perfect hash at compile time so the runtime lookup is one
+    multiply-shift and one probe; we do the same: the builder searches for a
+    multiplier that maps all keys to distinct slots of a power-of-two table. *)
+
+type t
+
+val build : (int * int) list -> t
+(** [build keys] constructs a perfect (collision-free) table over the given
+    distinct keys; the value of key [i] is its position in the input list.
+    @raise Invalid_argument on duplicate keys. *)
+
+val lookup : t -> int * int -> int option
+(** One-probe lookup; [None] when the pair was not a key. *)
+
+val table_size : t -> int
+
+val multiplier : t -> int64
+(** Exposed for tests and for the linker's table dump. *)

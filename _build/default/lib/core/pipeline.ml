@@ -1,0 +1,86 @@
+exception Compile_error of string
+
+let compile_nest ?(chunk = Compiled.Adaptive) ?(all_leftover_pairs = true) root =
+  let tree, outlined = Outline.run root in
+  (match Ir.Validate.errors (Ir.Validate.check root) with
+  | [] -> ()
+  | issues ->
+      let msg =
+        String.concat "; " (List.map (Format.asprintf "%a" Ir.Validate.pp_issue) issues)
+      in
+      raise (Compile_error msg));
+  let n = Ir.Nesting_tree.size tree in
+  let chunk_plan = Chunking.plan tree ~mode:chunk in
+  let loops = Ir.Nest.loops_preorder root in
+  let infos = Array.make n None in
+  List.iter
+    (fun (l : _ Ir.Nest.loop) ->
+      let o = l.Ir.Nest.ordinal in
+      let node = Ir.Nesting_tree.node tree o in
+      let ancestors_up = Ir.Nesting_tree.ancestors tree o in
+      let chain_from_root = List.rev (o :: ancestors_up) in
+      let children = Ir.Nest.nested_of l in
+      let tails =
+        List.map
+          (fun (c : _ Ir.Nest.loop) -> (c.Ir.Nest.ordinal, Ir.Nest.tail_segments l ~after:c))
+          children
+      in
+      let is_leaf = node.Ir.Nesting_tree.children = [] in
+      let doall = l.Ir.Nest.doall && not (Ir.Loop_id.is_none l.Ir.Nest.id) in
+      infos.(o) <-
+        Some
+          {
+            Compiled.loop = l;
+            ordinal = o;
+            id = l.Ir.Nest.id;
+            parent = node.Ir.Nesting_tree.parent;
+            ancestors_up;
+            chain_from_root;
+            is_leaf;
+            doall;
+            depth = node.Ir.Nesting_tree.depth;
+            subtree = Ir.Nest.subtree_ordinals l;
+            tails;
+            (* Promotion points go at the latch of every DOALL loop
+               (Sec. 3.2). *)
+            prppt = doall;
+            chunk =
+              (match List.assoc_opt o chunk_plan with
+              | Some mode when doall -> mode
+              | _ -> Compiled.No_chunking);
+          })
+    loops;
+  let infos = Array.map Option.get infos in
+  let leftovers, leftover_table =
+    Task_linking.leftover_table (Leftover.generate_all ~all_pairs:all_leftover_pairs tree)
+  in
+  {
+    Compiled.source_name = root.Ir.Nest.loop_name;
+    tree;
+    infos;
+    specs = Ir.Nest.locals_specs root;
+    root = root.Ir.Nest.ordinal;
+    outlined;
+    slice_array = Task_linking.slice_array tree;
+    leftovers;
+    leftover_table;
+  }
+
+type 'e program = {
+  source : 'e Ir.Program.t;
+  nests : ('e Ir.Nest.loop * 'e Compiled.nest) list;
+}
+
+let compile_program ?chunk ?all_leftover_pairs (p : _ Ir.Program.t) =
+  {
+    source = p;
+    nests =
+      List.map
+        (fun nest -> (nest, compile_nest ?chunk ?all_leftover_pairs nest))
+        p.Ir.Program.nests;
+  }
+
+let nest_of t nest =
+  match List.find_opt (fun (src, _) -> src == nest) t.nests with
+  | Some (_, compiled) -> compiled
+  | None -> raise Not_found

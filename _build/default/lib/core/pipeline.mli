@@ -1,0 +1,24 @@
+(** The HBC middle-end driver (Fig. 2): validation, outlining + nesting-tree
+    construction, loop-slice task generation, promotion-point insertion,
+    chunking, leftover generation, and task linking. *)
+
+exception Compile_error of string
+
+val compile_nest :
+  ?chunk:Compiled.chunk_mode -> ?all_leftover_pairs:bool -> 'e Ir.Nest.loop -> 'e Compiled.nest
+(** Compile one loop nest. [chunk] (default [Adaptive]) applies to every
+    innermost DOALL loop.
+    @raise Compile_error when {!Ir.Validate} reports errors. *)
+
+type 'e program = {
+  source : 'e Ir.Program.t;
+  nests : ('e Ir.Nest.loop * 'e Compiled.nest) list;
+      (** keyed by physical equality on the source nest *)
+}
+
+val compile_program :
+  ?chunk:Compiled.chunk_mode -> ?all_leftover_pairs:bool -> 'e Ir.Program.t -> 'e program
+
+val nest_of : 'e program -> 'e Ir.Nest.loop -> 'e Compiled.nest
+(** Find the compiled form of a source nest (physical equality).
+    @raise Not_found otherwise. *)

@@ -1,0 +1,103 @@
+type listing = string list
+
+let poll_mnemonic = "poll"
+
+let strip line = String.trim line
+
+let is_blank line = strip line = ""
+
+let is_comment line =
+  let s = strip line in
+  String.length s > 0 && (s.[0] = ';' || s.[0] = '#')
+
+let is_directive line =
+  let s = strip line in
+  String.length s > 0 && s.[0] = '.' && not (String.contains s ':')
+
+let is_label_def line =
+  let s = strip line in
+  String.length s > 1 && s.[String.length s - 1] = ':' && not (String.contains s ' ')
+
+let label_name line =
+  if is_label_def line then begin
+    let s = strip line in
+    Some (String.sub s 0 (String.length s - 1))
+  end
+  else None
+
+let is_poll line =
+  (* Tolerate a leading "label:" prefix, as the rollforward twins carry. *)
+  let s = strip line in
+  let s =
+    match String.index_opt s ':' with
+    | Some i when not (String.contains (String.sub s 0 i) ' ') ->
+        strip (String.sub s (i + 1) (String.length s - i - 1))
+    | _ -> s
+  in
+  s = poll_mnemonic
+  || String.length s > String.length poll_mnemonic
+     && String.sub s 0 (String.length poll_mnemonic + 1) = poll_mnemonic ^ " "
+
+let is_instruction line =
+  (not (is_blank line)) && (not (is_comment line)) && (not (is_directive line))
+  && not (is_label_def line)
+
+let instruction_count listing = List.length (List.filter is_instruction listing)
+
+let poll_sites listing = List.length (List.filter is_poll listing)
+
+let to_string listing = String.concat "\n" listing ^ "\n"
+
+(* Lowering. The body statements become symbolic instruction placeholders;
+   loop skeleton (header compare, latch, promotion branch) is spelled out so
+   the rollforward transform sees realistic control flow. *)
+let generate (nest : _ Compiled.nest) =
+  let buf = ref [] in
+  let emit line = buf := line :: !buf in
+  emit "\t.text";
+  Array.iter
+    (fun (info : _ Compiled.loop_info) ->
+      if info.Compiled.doall then begin
+        let o = info.Compiled.ordinal in
+        let fname = Outline.fn_name info.Compiled.loop in
+        emit (Printf.sprintf "\t.globl %s" fname);
+        emit (Printf.sprintf "%s:" fname);
+        emit "\tpush rbp";
+        emit "\tmov rbp, rsp";
+        emit (Printf.sprintf "\tmov r12, [rdi+%d]\t; LST context of loop %d" (8 * o) o);
+        emit "\tmov r13, [r12+0]\t; lo";
+        emit "\tmov r14, [r12+8]\t; hi";
+        emit (Printf.sprintf ".L_header_%d:" o);
+        emit "\tcmp r13, r14";
+        emit (Printf.sprintf "\tjge .L_exit_%d" o);
+        List.iteri
+          (fun k seg ->
+            match seg with
+            | Ir.Nest.Stmt s ->
+                emit (Printf.sprintf "\tcall __body_%s_%d\t; %s" info.Compiled.loop.Ir.Nest.loop_name k s.Ir.Nest.stmt_name)
+            | Ir.Nest.Nested child ->
+                emit (Printf.sprintf "\tlea rsi, [r12+%d]" (8 * child.Ir.Nest.ordinal));
+                emit (Printf.sprintf "\tcall %s" (Outline.fn_name child)))
+          info.Compiled.loop.Ir.Nest.body;
+        emit (Printf.sprintf ".L_latch_%d:" o);
+        (match info.Compiled.chunk with
+        | Compiled.No_chunking -> ()
+        | Compiled.Static _ | Compiled.Adaptive ->
+            emit "\tsub r15, 1\t; residual chunk";
+            emit (Printf.sprintf "\tjnz .L_next_%d" o));
+        if info.Compiled.prppt then begin
+          emit ("\t" ^ poll_mnemonic);
+          emit "\ttest rax, rax";
+          emit (Printf.sprintf "\tjnz .L_promote_%d" o)
+        end;
+        emit (Printf.sprintf ".L_next_%d:" o);
+        emit "\tadd r13, 1";
+        emit (Printf.sprintf "\tjmp .L_header_%d" o);
+        emit (Printf.sprintf ".L_promote_%d:" o);
+        emit "\tcall __hbc_promotion_handler";
+        emit (Printf.sprintf ".L_exit_%d:" o);
+        emit "\tpop rbp";
+        emit "\tret"
+      end)
+    nest.Compiled.infos;
+  List.rev !buf

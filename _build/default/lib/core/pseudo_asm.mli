@@ -1,0 +1,34 @@
+(** Pseudo-assembly emission.
+
+    The heartbeat linker of the paper operates on the textual ".s" file
+    produced by the back-end. We reproduce that stage faithfully on a small
+    x86-flavoured pseudo-assembly: each compiled nest lowers to a listing
+    with one slice function per DOALL loop, their chunked latches, and a
+    [poll] instruction at every promotion-ready program point. The
+    rollforward compiler ({!Rollforward}) then transforms this text exactly
+    as the paper's 250-line Perl RFC does. *)
+
+type listing = string list
+
+val generate : 'e Compiled.nest -> listing
+(** Deterministic lowering of a compiled nest. *)
+
+val poll_mnemonic : string
+(** The instruction injected at PRPPTs ("poll"). *)
+
+val is_poll : string -> bool
+(** Does this line contain the poll instruction? *)
+
+val is_label_def : string -> bool
+
+val label_name : string -> string option
+(** Label being defined on the line, when {!is_label_def}. *)
+
+val is_directive : string -> bool
+
+val instruction_count : listing -> int
+(** Lines that are real instructions (not labels/directives/blank). *)
+
+val poll_sites : listing -> int
+
+val to_string : listing -> string

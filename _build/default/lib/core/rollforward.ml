@@ -1,0 +1,98 @@
+type t = {
+  source : Pseudo_asm.listing;
+  destination : Pseudo_asm.listing;
+  table : (string * string) list;
+  rollback : (string * string) list;
+  addresses : (string * int) list;
+}
+
+let src_label n = Printf.sprintf "__RF_SRC_%d" n
+
+let dst_label n = Printf.sprintf "__RF_DST_%d" n
+
+let dst_suffix = "__rf_dst"
+
+(* Rewrite every occurrence of the original labels in a destination line,
+   token-wise, so the twin copies link without duplicate symbols. *)
+let rename_labels labels line =
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+    || c = '.' || c = '@'
+  in
+  let buf = Buffer.create (String.length line + 16) in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    if is_ident_char line.[!i] then begin
+      let start = !i in
+      while !i < n && is_ident_char line.[!i] do
+        incr i
+      done;
+      let tok = String.sub line start (!i - start) in
+      if Hashtbl.mem labels tok then Buffer.add_string buf (tok ^ dst_suffix)
+      else Buffer.add_string buf tok
+    end
+    else begin
+      Buffer.add_char buf line.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let compile listing =
+  let labels = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      match Pseudo_asm.label_name line with
+      | Some l -> Hashtbl.replace labels l ()
+      | None -> ())
+    listing;
+  let source = ref [] and destination = ref [] and table = ref [] in
+  List.iteri
+    (fun n line ->
+      if Pseudo_asm.is_directive line || String.trim line = "" then begin
+        (* Directives appear once, in the source image only. *)
+        source := line :: !source
+      end
+      else if Pseudo_asm.is_label_def line then begin
+        source := line :: !source;
+        destination := rename_labels labels line :: !destination
+      end
+      else begin
+        (* Instruction line: prepend the generated twin labels. *)
+        table := (src_label n, dst_label n) :: !table;
+        if Pseudo_asm.is_poll line then
+          (* Poll elided in the source twin; label kept for table alignment. *)
+          source := Printf.sprintf "%s:" (src_label n) :: !source
+        else source := Printf.sprintf "%s:%s" (src_label n) line :: !source;
+        destination := Printf.sprintf "%s:%s" (dst_label n) (rename_labels labels line) :: !destination
+      end)
+    listing;
+  let source = List.rev !source and destination = List.rev !destination in
+  let table = List.rev !table in
+  let rollback = List.map (fun (s, d) -> (d, s)) table in
+  (* "GNU ld resolves all the labels to addresses": lay the two twins out
+     back to back, 4 bytes per line. *)
+  let addresses = ref [] in
+  let place base lines label_of =
+    List.iteri
+      (fun i line ->
+        match label_of line with
+        | Some l -> addresses := (l, base + (4 * i)) :: !addresses
+        | None -> ())
+      lines
+  in
+  let generated_label line =
+    match String.index_opt line ':' with
+    | Some i when String.length line > 5 && String.sub line 0 5 = "__RF_" -> Some (String.sub line 0 i)
+    | _ -> None
+  in
+  place 0 source generated_label;
+  place (4 * List.length source) destination generated_label;
+  { source; destination; table; rollback; addresses = List.rev !addresses }
+
+let lookup t l = List.assoc_opt l t.table
+
+let lookup_rollback t l = List.assoc_opt l t.rollback
+
+let lookup_address t l = List.assoc_opt l t.addresses

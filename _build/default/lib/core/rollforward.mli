@@ -1,0 +1,33 @@
+(** The rollforward compiler, RFC (Sec. 4).
+
+    A source-to-source translator over the assembly text: it emits a
+    "source" twin of the code with every polling instruction elided and a
+    "destination" twin with the polls kept, prepends a generated label to
+    every instruction line ([__RF_SRC_n] / [__RF_DST_n]), renames original
+    labels in the destination so the linked image has no duplicate symbols,
+    and emits the rollforward table mapping each source label to its
+    destination twin (plus the inverse rollback table). A hardware interrupt
+    then only needs a table lookup on the interrupted instruction pointer to
+    switch the execution into the polling version of the code. *)
+
+type t = {
+  source : Pseudo_asm.listing;  (** polls elided *)
+  destination : Pseudo_asm.listing;  (** polls kept, labels renamed *)
+  table : (string * string) list;  (** __RF_SRC_n -> __RF_DST_n *)
+  rollback : (string * string) list;  (** inverse *)
+  addresses : (string * int) list;
+      (** "linker"-resolved byte addresses of every generated label *)
+}
+
+val compile : Pseudo_asm.listing -> t
+
+val lookup : t -> string -> string option
+(** Rollforward: destination label for a source label. *)
+
+val lookup_rollback : t -> string -> string option
+
+val lookup_address : t -> string -> int option
+
+val src_label : int -> string
+
+val dst_label : int -> string

@@ -1,0 +1,61 @@
+type mechanism = Software_polling | Interrupt_ping_thread | Interrupt_kernel_module
+
+type leftover_mode = Spawn | Inline
+
+type promotion_policy = Outer_loop_first | Innermost_first
+
+type t = {
+  cost : Sim.Cost_model.t;
+  workers : int;
+  mechanism : mechanism;
+  chunk : Compiled.chunk_mode;
+  ac_target_polls : int;
+  ac_window : int;
+  promotion : bool;
+  force_promotion : bool;
+  leftover : leftover_mode;
+  policy : promotion_policy;
+  chunk_transferring : bool;
+  seed : int;
+  max_cycles : int option;
+  chunk_trace : bool;
+  timeline : bool;
+}
+
+let default =
+  {
+    cost = Sim.Cost_model.default;
+    workers = 64;
+    mechanism = Software_polling;
+    chunk = Compiled.Adaptive;
+    ac_target_polls = 8;
+    ac_window = 2;
+    promotion = true;
+    force_promotion = false;
+    leftover = Spawn;
+    policy = Outer_loop_first;
+    chunk_transferring = true;
+    seed = 1;
+    max_cycles = None;
+    chunk_trace = false;
+    timeline = false;
+  }
+
+let hbc = default
+
+let hbc_kernel_module =
+  { default with mechanism = Interrupt_kernel_module; chunk = Compiled.Static 64 }
+
+let hbc_ping_thread =
+  { default with mechanism = Interrupt_ping_thread; chunk = Compiled.Static 64 }
+
+let tpal ~chunk =
+  {
+    default with
+    mechanism = Interrupt_ping_thread;
+    chunk = Compiled.Static chunk;
+    leftover = Inline;
+    force_promotion = false;
+    policy = Outer_loop_first;
+    chunk_transferring = false;
+  }

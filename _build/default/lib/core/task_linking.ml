@@ -1,0 +1,19 @@
+let slice_array tree =
+  let max_level = Ir.Nesting_tree.max_level tree in
+  Array.init (max_level + 1) (fun level ->
+      let at_level = Ir.Nesting_tree.loops_at_level tree level in
+      let max_index =
+        List.fold_left
+          (fun acc o -> Stdlib.max acc (Ir.Nesting_tree.node tree o).Ir.Nesting_tree.id.Ir.Loop_id.index)
+          (-1) at_level
+      in
+      let row = Array.make (max_index + 1) (-1) in
+      List.iter
+        (fun o -> row.((Ir.Nesting_tree.node tree o).Ir.Nesting_tree.id.Ir.Loop_id.index) <- o)
+        at_level;
+      row)
+
+let leftover_table leftovers =
+  let arr = Array.of_list leftovers in
+  let keys = List.map (fun l -> (l.Compiled.li, l.Compiled.lj)) leftovers in
+  (arr, Perfect_hash.build keys)

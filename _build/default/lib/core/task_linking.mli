@@ -1,0 +1,12 @@
+(** Task linking (Sec. 3.4).
+
+    Organizes the generated tasks for O(1) retrieval by the runtime: the
+    two-dimensional loop-slice task array indexed by loop ID (level, index),
+    and the perfectly-hashed leftover task table keyed by the (heartbeat
+    loop, split loop) ordinal pair. *)
+
+val slice_array : Ir.Nesting_tree.t -> int array array
+(** [.(level).(index)] is the ordinal of the loop-slice task with that loop
+    ID; [-1] for holes. *)
+
+val leftover_table : Compiled.leftover list -> Compiled.leftover array * Perfect_hash.t

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Baselines Float Harness Hbc_core Ir List Printf Report Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Figure Harness Hbc_core List Report Sim Workloads

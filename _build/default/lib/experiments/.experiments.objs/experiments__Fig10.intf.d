@@ -1,0 +1,1 @@
+lib/experiments/fig10.mli: Figure Harness

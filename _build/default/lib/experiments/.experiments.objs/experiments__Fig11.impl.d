@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Baselines Figure Harness Hbc_core List Printf Report Sim Workloads

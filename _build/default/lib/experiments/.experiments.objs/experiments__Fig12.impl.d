@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Array Buffer Figure Float Harness Hbc_core Ir List Printf Report Sim Stdlib Workloads

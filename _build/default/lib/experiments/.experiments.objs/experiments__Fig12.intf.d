@@ -1,0 +1,1 @@
+lib/experiments/fig12.mli: Figure Harness

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Figure Harness Hbc_core List Printf Report Sim Workloads

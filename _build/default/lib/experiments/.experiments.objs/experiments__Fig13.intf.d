@@ -1,0 +1,1 @@
+lib/experiments/fig13.mli: Figure Harness

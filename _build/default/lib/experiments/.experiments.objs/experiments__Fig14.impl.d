@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Baselines Figure Harness List Printf Report Workloads

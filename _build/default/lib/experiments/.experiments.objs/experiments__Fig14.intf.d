@@ -1,0 +1,1 @@
+lib/experiments/fig14.mli: Figure Harness

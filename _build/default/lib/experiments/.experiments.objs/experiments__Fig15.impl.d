@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Baselines Figure Harness List Report Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig15.mli: Figure Harness

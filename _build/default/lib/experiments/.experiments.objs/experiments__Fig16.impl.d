@@ -1,0 +1,1 @@
+lib/experiments/fig16.ml: Baselines Figure Float Harness List Report Workloads

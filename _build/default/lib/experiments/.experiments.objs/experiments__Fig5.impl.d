@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Figure Harness List Report Sim Workloads

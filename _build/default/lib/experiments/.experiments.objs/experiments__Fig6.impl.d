@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Figure Float Harness List Report Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig6.mli: Figure Harness

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Figure Float Harness Hbc_core List Report Sim Stdlib Workloads

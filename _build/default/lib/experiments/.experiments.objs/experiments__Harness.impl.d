@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Baselines Hashtbl Hbc_core Ir List Printf Report Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Baselines Hbc_core Sim Workloads

@@ -1,0 +1,1 @@
+lib/experiments/run_all.ml: Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 Figure Harness List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/run_all.mli: Figure Harness

@@ -1,0 +1,40 @@
+(** Ablation and sensitivity studies beyond the paper's figures, probing the
+    design decisions DESIGN.md calls out. Each returns a rendered table.
+
+    - {!leftover_task}: HBC's third parallel task (spawned leftover with a
+      full closure) vs TPAL's inline leftover — the Sec. 6.3 mechanism.
+    - {!promotion_policy}: the paper's outer-loop-first policy vs splitting
+      the interrupted loop itself.
+    - {!chunk_transferring}: carrying the residual chunk across leaf
+      invocations (HBC) vs resetting per invocation (TPAL) — responsiveness
+      vs critical-path bookkeeping.
+    - {!leftover_pairs}: Algorithm 1's leaves-only enumeration vs the
+      all-pairs extension this implementation defaults to.
+    - {!heartbeat_rate}: sensitivity to the heartbeat interval around the
+      default (the paper tunes to 100 us following TPAL).
+    - {!ac_window}: the paper's claim that any AC window >= 2 behaves the
+      same (Sec. 6.6).
+    - {!worker_scaling}: speedup vs simulated core count.
+    - {!hybrid}: the conclusion's combined static+heartbeat scheduler
+      against each policy alone, over regular and irregular benchmarks. *)
+
+val leftover_task : Harness.config -> string
+
+val promotion_policy : Harness.config -> string
+
+val chunk_transferring : Harness.config -> string
+
+val leftover_pairs : Harness.config -> string
+
+val heartbeat_rate : Harness.config -> string
+
+val ac_window : Harness.config -> string
+
+val worker_scaling : Harness.config -> string
+
+val hybrid : Harness.config -> string
+
+val omp_schedules : Harness.config -> string
+
+val all : (string * (Harness.config -> string)) list
+(** (name, render) pairs, for the CLI. *)

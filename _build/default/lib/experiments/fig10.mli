@@ -1,0 +1,7 @@
+(** Fig. 10: mandelbrot run time across static chunk sizes for a
+    high-latency and a low-latency input; their optima sit at opposite ends
+    of the sweep. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

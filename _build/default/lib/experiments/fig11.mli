@@ -1,0 +1,6 @@
+(** Fig. 11: ten mandelbrot invocations over mixed inputs — static chunk
+    sizes against adaptive chunking. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

@@ -1,0 +1,6 @@
+(** Fig. 12: visualization of adaptive chunking on the four spmv inputs
+    (chunk size vs per-row non-zeros). *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

@@ -1,0 +1,36 @@
+(* Fig. 13: heartbeat detection rate under AC as the target polling count
+   sweeps 0..20. Expected shape: a too-low target misses a large share of
+   beats (down to ~50% for spmv-powerlaw); a target of 4 or more detects
+   over 99%. *)
+
+let targets = [ 1; 2; 3; 4; 6; 8; 12; 16; 20 ]
+
+let render config =
+  let entries = Workloads.Registry.tpal_set () in
+  let table =
+    Report.Table.create
+      ~title:"Figure 13: heartbeat detection rate (%) vs AC target polling count"
+      ~columns:("benchmark" :: List.map (fun t -> Printf.sprintf "target %d" t) targets)
+  in
+  List.iter
+    (fun entry ->
+      let cells =
+        List.map
+          (fun target ->
+            let o =
+              Harness.run_hbc config
+                ~cfg:(fun c -> { c with Hbc_core.Rt_config.ac_target_polls = target })
+                ~tag:(Printf.sprintf "ac-target-%d" target)
+                entry
+            in
+            Report.Table.cell_f ~decimals:2
+              (Sim.Metrics.detection_rate o.Harness.result.Sim.Run_result.metrics))
+          targets
+      in
+      Report.Table.add_row table (entry.Workloads.Registry.name :: cells))
+    entries;
+  Report.Table.render table
+
+let figure =
+  Figure.make ~id:"fig13" ~caption:"Heartbeat detection rate via AC as the target polling count varies"
+    render

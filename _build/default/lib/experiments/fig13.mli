@@ -1,0 +1,6 @@
+(** Fig. 13: heartbeat detection rate as the AC target polling count
+    sweeps; the paper's operating point (target 4 captures ~99%). *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

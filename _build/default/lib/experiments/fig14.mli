@@ -1,0 +1,6 @@
+(** Fig. 14: OpenMP dynamic scheduling under hand-tuned chunk sizes on
+    the manually written irregular benchmarks. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

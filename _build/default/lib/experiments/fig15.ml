@@ -1,0 +1,40 @@
+(* Fig. 15: OpenMP parallelizing the outermost loop only vs every DOALL loop
+   (nested parallel regions). Expected shape: nested regions flood the
+   runtime with team creations and task spawns — the spmv variants and
+   mandelbulb do not finish (DNF = slower than twice the sequential time),
+   mandelbrot collapses to ~1.5x. *)
+
+let render config =
+  let entries = Workloads.Registry.manual_irregular_set () in
+  let table =
+    Report.Table.create
+      ~title:"Figure 15: OpenMP dynamic, outermost-only vs all DOALL loops parallelized"
+      ~columns:[ "benchmark"; "outermost only"; "all DOALL loops" ]
+  in
+  List.iter
+    (fun entry ->
+      let outer = Harness.run_omp ~tag:"omp-dyn1" config entry in
+      let base = Harness.baseline config entry in
+      let nested =
+        Harness.run_omp config
+          ~cfg:(fun c ->
+            {
+              c with
+              Baselines.Openmp.nested = Baselines.Openmp.All_doall;
+              max_cycles = Some (Harness.dnf_cap base);
+            })
+          ~tag:"omp-nested" entry
+      in
+      let nested_cell =
+        if nested.Harness.result.Sim.Run_result.dnf then "DNF"
+        else Report.Table.cell_f nested.Harness.speedup
+      in
+      Report.Table.add_row table
+        [ entry.Workloads.Registry.name; Report.Table.cell_f outer.Harness.speedup; nested_cell ])
+    entries;
+  Report.Table.render table
+
+let figure =
+  Figure.make ~id:"fig15"
+    ~caption:"OpenMP parallelizing the outermost loop only vs all DOALL loops (DNF = did not finish)"
+    render

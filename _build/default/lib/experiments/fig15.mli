@@ -1,0 +1,7 @@
+(** Fig. 15: OpenMP parallelizing the outermost loop only vs every DOALL
+    loop (nested regions) — the task explosion that motivates heartbeat
+    scheduling. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

@@ -1,0 +1,6 @@
+(** Fig. 16: OpenMP static scheduling vs HBC on the regular benchmarks —
+    where heartbeat scheduling is not the right sole policy. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

@@ -1,0 +1,42 @@
+(* Fig. 4: 64-core speedups of OpenMP dynamic scheduling vs HBC over the 13
+   irregular benchmarks. Expected shape: HBC wins on every benchmark; the
+   paper reports geomeans 14.2x (OpenMP) vs 21.7x (HBC). *)
+
+let render config =
+  let entries = Workloads.Registry.irregular_set () in
+  let table =
+    Report.Table.create
+      ~title:"Figure 4: speedup over sequential, irregular workloads (OpenMP dynamic vs HBC)"
+      ~columns:[ "benchmark"; "OpenMP (dynamic)"; "HBC"; "HBC/OpenMP" ]
+  in
+  let omps = ref [] and hbcs = ref [] in
+  List.iter
+    (fun entry ->
+      let omp = Harness.run_omp ~tag:"omp-dyn1" config entry in
+      let hbc = Harness.run_hbc config entry in
+      omps := omp.Harness.speedup :: !omps;
+      hbcs := hbc.Harness.speedup :: !hbcs;
+      Report.Table.add_row table
+        [
+          entry.Workloads.Registry.name;
+          Report.Table.cell_f omp.Harness.speedup;
+          Report.Table.cell_f hbc.Harness.speedup;
+          Report.Table.cell_f ~decimals:2 (hbc.Harness.speedup /. Float.max 0.01 omp.Harness.speedup);
+        ])
+    entries;
+  Report.Table.add_separator table;
+  Report.Table.add_row table (Harness.geomean_row ~label:"geomean" [ !omps; !hbcs ]);
+  let chart =
+    Report.Ascii_chart.grouped ~title:"speedup (x)" ~series:[ "OpenMP (dynamic)"; "HBC" ]
+      (List.map
+         (fun row -> match row with
+           | name :: a :: b :: _ -> (name, [ float_of_string a; float_of_string b ])
+           | _ -> ("", []))
+         (Report.Table.rows table))
+  in
+  Report.Table.render table ^ "\n" ^ chart
+
+let figure =
+  Figure.make ~id:"fig4"
+    ~caption:"64-core evaluation comparing OpenMP dynamic scheduling and HBC over irregular workloads"
+    render

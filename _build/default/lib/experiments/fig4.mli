@@ -1,0 +1,7 @@
+(** Fig. 4: 64-core speedups of OpenMP dynamic scheduling vs HBC over the
+    13 irregular benchmarks — the paper's headline result (geomeans 14.2x
+    vs 21.7x). *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

@@ -1,0 +1,6 @@
+(** Fig. 5: share of parallelism promotions generated at each loop nesting
+    level — evidence that the right granularity is input-dependent. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

@@ -1,0 +1,42 @@
+(* Fig. 6: HBC vs the manually written TPAL binaries on the 8 iterative TPAL
+   benchmarks. Expected shape: comparable geomeans; HBC ahead on
+   mandelbrot/kmeans/srad (three-task promotions), behind ~20% on
+   spmv-arrowhead (chunk-size transferring on tiny rows). *)
+
+let render config =
+  let entries = Workloads.Registry.tpal_set () in
+  let table =
+    Report.Table.create ~title:"Figure 6: speedup, TPAL (manual) vs HBC (automatic), 64 cores"
+      ~columns:[ "benchmark"; "TPAL"; "HBC"; "HBC/TPAL" ]
+  in
+  let tpals = ref [] and hbcs = ref [] in
+  List.iter
+    (fun entry ->
+      let tpal = Harness.run_tpal config entry in
+      let hbc = Harness.run_hbc config entry in
+      tpals := tpal.Harness.speedup :: !tpals;
+      hbcs := hbc.Harness.speedup :: !hbcs;
+      Report.Table.add_row table
+        [
+          entry.Workloads.Registry.name;
+          Report.Table.cell_f tpal.Harness.speedup;
+          Report.Table.cell_f hbc.Harness.speedup;
+          Report.Table.cell_f ~decimals:2 (hbc.Harness.speedup /. Float.max 0.01 tpal.Harness.speedup);
+        ])
+    entries;
+  Report.Table.add_separator table;
+  Report.Table.add_row table (Harness.geomean_row ~label:"geomean" [ !tpals; !hbcs ]);
+  let chart =
+    Report.Ascii_chart.grouped ~title:"speedup (x)" ~series:[ "TPAL"; "HBC" ]
+      (List.map
+         (fun row -> match row with
+           | name :: a :: b :: _ -> (name, [ float_of_string a; float_of_string b ])
+           | _ -> ("", []))
+         (Report.Table.rows table))
+  in
+  Report.Table.render table ^ "\n" ^ chart
+
+let figure =
+  Figure.make ~id:"fig6"
+    ~caption:"HBC automatically delivers comparable performance to the manually-generated TPAL binaries"
+    render

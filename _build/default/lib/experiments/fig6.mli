@@ -1,0 +1,6 @@
+(** Fig. 6: HBC's automatically generated binaries against the manually
+    written TPAL ones on the 8 iterative TPAL benchmarks. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

@@ -1,0 +1,7 @@
+(** Fig. 7: overhead of the compiled-in machinery over the sequential
+    baseline with promotions disabled, with the per-component breakdown of
+    the software-polling configuration. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

@@ -1,0 +1,6 @@
+(** Fig. 8: software-polling overhead under no / static / adaptive
+    chunking (promotions disabled). *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

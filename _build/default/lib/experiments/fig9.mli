@@ -1,0 +1,7 @@
+(** Fig. 9: the three heartbeat signaling mechanisms compared — the
+    paper's counter-intuitive result that software polling matches the
+    custom-OS kernel module. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

@@ -1,0 +1,3 @@
+type t = { id : string; caption : string; render : Harness.config -> string }
+
+let make ~id ~caption render = { id; caption; render }

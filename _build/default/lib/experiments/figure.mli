@@ -1,0 +1,10 @@
+(** One reproduced figure: an identifier, the paper's caption, and a
+    renderer producing the tables/charts for a given configuration. *)
+
+type t = {
+  id : string;  (** "fig4" ... "fig16" *)
+  caption : string;
+  render : Harness.config -> string;
+}
+
+val make : id:string -> caption:string -> (Harness.config -> string) -> t

@@ -1,0 +1,85 @@
+type config = { scale : float; workers : int; seed : int; verbose : bool }
+
+let default_config = { scale = 1.0; workers = 64; seed = 1; verbose = false }
+
+type outcome = { result : Sim.Run_result.t; speedup : float; valid : bool }
+
+let cache : (string, Sim.Run_result.t) Hashtbl.t = Hashtbl.create 64
+
+let failures : (string * string) list ref = ref []
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  failures := []
+
+let validation_failures () = List.rev !failures
+
+let key config entry tag = Printf.sprintf "%s/%s/%.3f/%d" entry.Workloads.Registry.name tag config.scale config.workers
+
+let cached config entry tag compute =
+  let k = key config entry tag in
+  match Hashtbl.find_opt cache k with
+  | Some r -> r
+  | None ->
+      if config.verbose then Printf.eprintf "[run] %s\n%!" k;
+      let r = compute () in
+      Hashtbl.add cache k r;
+      r
+
+let baseline config entry =
+  cached config entry "seq" (fun () ->
+      let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
+      Baselines.Serial_exec.run_program p)
+
+let outcome_of config entry tag result =
+  let base = baseline config entry in
+  let valid = result.Sim.Run_result.dnf || Sim.Run_result.fingerprints_close base result in
+  if not valid then failures := (entry.Workloads.Registry.name, tag) :: !failures;
+  { result; speedup = Sim.Run_result.speedup ~baseline:base result; valid }
+
+let run_hbc ?(cfg = fun c -> c) ?(tag = "hbc") config entry =
+  let result =
+    cached config entry tag (fun () ->
+        let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
+        let rt =
+          { (cfg Hbc_core.Rt_config.default) with
+            Hbc_core.Rt_config.workers = config.workers;
+            seed = config.seed;
+          }
+        in
+        Hbc_core.Executor.run rt p)
+  in
+  outcome_of config entry tag result
+
+let run_tpal ?(tag = "tpal") config entry =
+  let result =
+    cached config entry tag (fun () ->
+        let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
+        let rt =
+          { (Hbc_core.Rt_config.tpal ~chunk:entry.Workloads.Registry.tpal_chunk) with
+            Hbc_core.Rt_config.workers = config.workers;
+            seed = config.seed;
+          }
+        in
+        Hbc_core.Executor.run rt p)
+  in
+  outcome_of config entry tag result
+
+let run_omp ?(cfg = fun c -> c) ?(tag = "omp") config entry =
+  let result =
+    cached config entry tag (fun () ->
+        let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
+        let oc =
+          { (cfg (Baselines.Openmp.dynamic ())) with
+            Baselines.Openmp.workers = config.workers;
+            seed = config.seed;
+          }
+        in
+        Baselines.Openmp.run_program oc p)
+  in
+  outcome_of config entry tag result
+
+let dnf_cap base = 2 * base.Sim.Run_result.work_cycles
+
+let geomean_row ~label columns =
+  label :: List.map (fun col -> Report.Table.cell_f (Report.Stats.geomean col)) columns

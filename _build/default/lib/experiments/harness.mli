@@ -1,0 +1,49 @@
+(** Shared machinery for the per-figure experiments: configuration, cached
+    runs, output validation against the sequential reference, and geomean
+    summaries. *)
+
+type config = {
+  scale : float;  (** input-size multiplier (1.0 = the documented defaults) *)
+  workers : int;  (** simulated cores (paper: 64) *)
+  seed : int;
+  verbose : bool;
+}
+
+val default_config : config
+
+type outcome = { result : Sim.Run_result.t; speedup : float; valid : bool }
+
+val baseline : config -> Workloads.Registry.entry -> Sim.Run_result.t
+(** Sequential reference run (cached per benchmark and scale). *)
+
+val run_hbc :
+  ?cfg:(Hbc_core.Rt_config.t -> Hbc_core.Rt_config.t) ->
+  ?tag:string ->
+  config ->
+  Workloads.Registry.entry ->
+  outcome
+(** Run under the heartbeat runtime; [cfg] tweaks the default HBC
+    configuration (workers and seed are applied afterwards). Results are
+    cached under [tag] when given. *)
+
+val run_tpal : ?tag:string -> config -> Workloads.Registry.entry -> outcome
+
+val run_omp :
+  ?cfg:(Baselines.Openmp.config -> Baselines.Openmp.config) ->
+  ?tag:string ->
+  config ->
+  Workloads.Registry.entry ->
+  outcome
+
+val dnf_cap : Sim.Run_result.t -> int
+(** Virtual-time cap marking a run as DNF: twice the sequential time — a
+    parallel run slower than that reproduces the paper's
+    did-not-finish-in-2-hours outcomes. *)
+
+val validation_failures : unit -> (string * string) list
+(** (benchmark, tag) pairs whose fingerprint diverged from the reference. *)
+
+val geomean_row : label:string -> float list list -> string list
+(** Build a geomean summary row from the speedup columns. *)
+
+val clear_cache : unit -> unit

@@ -1,0 +1,38 @@
+let figures =
+  [
+    Fig4.figure;
+    Fig5.figure;
+    Fig6.figure;
+    Fig7.figure;
+    Fig8.figure;
+    Fig9.figure;
+    Fig10.figure;
+    Fig11.figure;
+    Fig12.figure;
+    Fig13.figure;
+    Fig14.figure;
+    Fig15.figure;
+    Fig16.figure;
+  ]
+
+let find id =
+  match List.find_opt (fun f -> f.Figure.id = id) figures with
+  | Some f -> f
+  | None -> raise Not_found
+
+let render_one config (f : Figure.t) =
+  let before = List.length (Harness.validation_failures ()) in
+  let body = f.Figure.render config in
+  let failures = Harness.validation_failures () in
+  let fresh = List.filteri (fun i _ -> i >= before) failures in
+  let warn =
+    if fresh = [] then ""
+    else
+      "\nWARNING: output mismatch vs sequential reference: "
+      ^ String.concat ", " (List.map (fun (b, t) -> b ^ "/" ^ t) fresh)
+      ^ "\n"
+  in
+  Printf.sprintf "== %s: %s ==\n%s%s\n" f.Figure.id f.Figure.caption body warn
+
+let render_all config =
+  String.concat "\n" (List.map (render_one config) figures)

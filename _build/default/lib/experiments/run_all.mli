@@ -1,0 +1,14 @@
+(** Entry points over the full figure set. *)
+
+val figures : Figure.t list
+(** Figures 4 through 16, in order. *)
+
+val find : string -> Figure.t
+(** Lookup by id ("fig4" .. "fig16").
+    @raise Not_found otherwise. *)
+
+val render_one : Harness.config -> Figure.t -> string
+(** Render one figure, appending a validation warning when any run's output
+    diverged from the sequential reference. *)
+
+val render_all : Harness.config -> string

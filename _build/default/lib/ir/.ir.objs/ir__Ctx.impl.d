@@ -1,0 +1,1 @@
+lib/ir/ctx.ml: Array List Locals Stdlib

@@ -1,0 +1,1 @@
+lib/ir/locals.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/ir/loop_id.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/ir/loop_id.mli: Format

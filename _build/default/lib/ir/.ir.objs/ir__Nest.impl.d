@@ -1,0 +1,1 @@
+lib/ir/nest.ml: Array Ctx Hashtbl List Locals Loop_id Option

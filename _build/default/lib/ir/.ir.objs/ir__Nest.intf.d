@@ -1,0 +1,1 @@
+lib/ir/nest.mli: Ctx Locals Loop_id

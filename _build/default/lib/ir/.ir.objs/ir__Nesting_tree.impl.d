@@ -1,0 +1,1 @@
+lib/ir/nesting_tree.ml: Array Format List Loop_id Nest Option Stdlib

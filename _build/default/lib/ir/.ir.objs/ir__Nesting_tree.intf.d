@@ -1,0 +1,1 @@
+lib/ir/nesting_tree.mli: Format Loop_id Nest

@@ -1,0 +1,1 @@
+lib/ir/program.ml: List Nest Printf

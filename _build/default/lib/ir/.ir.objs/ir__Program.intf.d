@@ -1,0 +1,1 @@
+lib/ir/program.mli: Nest

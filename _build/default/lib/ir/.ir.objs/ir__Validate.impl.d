@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Format Hashtbl List Nest

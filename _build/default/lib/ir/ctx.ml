@@ -1,0 +1,25 @@
+type t = {
+  ordinal : int;
+  mutable lo : int;
+  mutable hi : int;
+  mutable locals : Locals.t;
+}
+
+type set = t array
+
+let make ~ordinal ~spec = { ordinal; lo = 0; hi = 0; locals = Locals.create spec }
+
+let remaining t = Stdlib.max 0 (t.hi - t.lo - 1)
+
+let set_slice t ~lo ~hi =
+  t.lo <- lo;
+  t.hi <- hi
+
+let copy_set set = Array.map (fun c -> { c with ordinal = c.ordinal }) set
+
+let refresh_subtree set ~ordinals ~specs =
+  List.iter
+    (fun o ->
+      let fresh = make ~ordinal:o ~spec:specs.(o) in
+      set.(o) <- fresh)
+    ordinals

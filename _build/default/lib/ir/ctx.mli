@@ -1,0 +1,38 @@
+(** Loop-Slice Task (LST) contexts (Sec. 3.2).
+
+    One context per DOALL loop of a nesting tree, owned by a task. It
+    captures the loop's closure (its {!Locals.t}), its iteration space
+    [\[lo, hi)], and its induction variable. [lo] doubles as the induction
+    variable: during execution it is the index of the iteration currently
+    running; the promotion handler reads it to split the remaining space and
+    leftover tasks resume from [lo + 1].
+
+    A context {e set} is the array of contexts for all loops of one nesting
+    tree, indexed by loop ordinal, allocated before the root loop is invoked
+    and passed down to every nested loop — exactly the structure HBC
+    allocates in its task-linking step. *)
+
+type t = {
+  ordinal : int;  (** ordinal of the loop this context belongs to *)
+  mutable lo : int;  (** induction variable: iteration currently running *)
+  mutable hi : int;  (** exclusive upper bound of the slice *)
+  mutable locals : Locals.t;
+}
+
+type set = t array
+
+val make : ordinal:int -> spec:Locals.spec -> t
+
+val remaining : t -> int
+(** Iterations strictly after the current one: [hi - lo - 1], clamped at 0. *)
+
+val set_slice : t -> lo:int -> hi:int -> unit
+
+val copy_set : set -> set
+(** Shallow per-context copy: new context records sharing the same locals
+    objects. Used to seed leftover tasks. *)
+
+val refresh_subtree : set -> ordinals:int list -> specs:Locals.spec array -> unit
+(** Replace the contexts of the given ordinals (in an already-copied set)
+    with fresh contexts and fresh locals. Used to seed loop-slice tasks so
+    that parallel siblings never share mutable state below the split loop. *)

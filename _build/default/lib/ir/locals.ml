@@ -1,0 +1,15 @@
+type t = { floats : float array; ints : int array }
+
+type spec = { nfloats : int; nints : int }
+
+let no_spec = { nfloats = 0; nints = 0 }
+
+let create spec = { floats = Array.make (Stdlib.max spec.nfloats 0) 0.0; ints = Array.make (Stdlib.max spec.nints 0) 0 }
+
+let copy t = { floats = Array.copy t.floats; ints = Array.copy t.ints }
+
+let clear t =
+  Array.fill t.floats 0 (Array.length t.floats) 0.0;
+  Array.fill t.ints 0 (Array.length t.ints) 0
+
+let equal a b = a.floats = b.floats && a.ints = b.ints

@@ -1,0 +1,23 @@
+(** Per-loop-invocation local storage.
+
+    A loop's locals hold the values that must survive task boundaries: they
+    are the live-outs and reduction accumulators that HBC would place in the
+    loop's closure. Statements read and write them through the loop's
+    {!Ctx.t}. Splitting a slice with a declared reduction gives each half a
+    fresh copy (built with {!create} + the loop's init) that is later combined
+    into the canonical copy. *)
+
+type t = { floats : float array; ints : int array }
+
+type spec = { nfloats : int; nints : int }
+
+val no_spec : spec
+
+val create : spec -> t
+
+val copy : t -> t
+
+val clear : t -> unit
+(** Zero all slots. *)
+
+val equal : t -> t -> bool

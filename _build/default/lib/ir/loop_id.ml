@@ -1,0 +1,18 @@
+type t = { level : int; index : int }
+
+let make ~level ~index = { level; index }
+
+let none = { level = -1; index = -1 }
+
+let is_none t = t.level < 0
+
+let equal a b = a.level = b.level && a.index = b.index
+
+let compare a b =
+  match Stdlib.compare a.level b.level with 0 -> Stdlib.compare a.index b.index | c -> c
+
+let hash t = (t.level * 8191) + t.index
+
+let pp fmt t = Format.fprintf fmt "(%d, %d)" t.level t.index
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,26 @@
+(** Identity of a DOALL loop inside its loop-nesting tree (Sec. 3.1).
+
+    The ID is the pair (level, index): [level] is the nesting depth among
+    DOALL loops, starting at 0 for the root loop; [index] is the position of
+    the loop within its level, left to right. In spmv the row loop is (0, 0)
+    and the col loop is (1, 0). Loops pruned from the tree (non-DOALL) carry
+    {!none}. *)
+
+type t = { level : int; index : int }
+
+val make : level:int -> index:int -> t
+
+val none : t
+(** Sentinel for loops outside the DOALL tree: [(-1, -1)]. *)
+
+val is_none : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

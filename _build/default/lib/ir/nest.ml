@@ -1,0 +1,85 @@
+type 'e stmt = { stmt_name : string; exec : 'e -> Ctx.set -> int -> int }
+
+type 'e loop = {
+  loop_name : string;
+  doall : bool;
+  mutable ordinal : int;
+  mutable id : Loop_id.t;
+  bounds : 'e -> Ctx.set -> int * int;
+  locals_spec : Locals.spec;
+  bytes_per_iter : int;
+  init : ('e -> Locals.t -> unit) option;
+  reduction : (Locals.t -> Locals.t -> unit) option;
+  commit : ('e -> Ctx.set -> unit) option;
+  body : 'e segment list;
+}
+
+and 'e segment = Stmt of 'e stmt | Nested of 'e loop
+
+let stmt ~name exec = Stmt { stmt_name = name; exec }
+
+let loop ?(doall = true) ?(locals_spec = Locals.no_spec) ?(bytes_per_iter = 0) ?init ?reduction
+    ?commit ~name ~bounds body =
+  {
+    loop_name = name;
+    doall;
+    ordinal = -1;
+    id = Loop_id.none;
+    bounds;
+    locals_spec;
+    bytes_per_iter;
+    init;
+    reduction;
+    commit;
+    body;
+  }
+
+let nested_of l =
+  List.filter_map (function Nested child -> Some child | Stmt _ -> None) l.body
+
+let rec loops_preorder l = l :: List.concat_map loops_preorder (nested_of l)
+
+let index root =
+  let counter = ref 0 in
+  let per_level = Hashtbl.create 8 in
+  let rec assign l level =
+    l.ordinal <- !counter;
+    incr counter;
+    if l.doall && level >= 0 then begin
+      let idx = Option.value ~default:0 (Hashtbl.find_opt per_level level) in
+      Hashtbl.replace per_level level (idx + 1);
+      l.id <- Loop_id.make ~level ~index:idx
+    end
+    else l.id <- Loop_id.none;
+    (* A non-DOALL loop is pruned from the tree: its DOALL descendants do not
+       exist for the heartbeat runtime (they run serially inside it), which we
+       encode by pushing them outside any valid level. *)
+    let child_level = if l.doall && level >= 0 then level + 1 else -1 in
+    List.iter (fun c -> assign c child_level) (nested_of l)
+  in
+  assign root 0;
+  !counter
+
+let loop_of_ordinal root o =
+  match List.find_opt (fun l -> l.ordinal = o) (loops_preorder root) with
+  | Some l -> l
+  | None -> raise Not_found
+
+let is_leaf l = nested_of l = []
+
+let tail_segments l ~after =
+  let rec drop = function
+    | [] -> raise Not_found
+    | Nested c :: rest when c == after -> rest
+    | _ :: rest -> drop rest
+  in
+  drop l.body
+
+let locals_specs root =
+  let loops = loops_preorder root in
+  let n = List.length loops in
+  let specs = Array.make n Locals.no_spec in
+  List.iter (fun l -> specs.(l.ordinal) <- l.locals_spec) loops;
+  specs
+
+let subtree_ordinals l = List.map (fun x -> x.ordinal) (loops_preorder l)

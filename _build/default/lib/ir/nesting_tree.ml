@@ -1,0 +1,76 @@
+type node = {
+  ordinal : int;
+  id : Loop_id.t;
+  name : string;
+  doall : bool;
+  parent : int option;
+  children : int list;
+  depth : int;
+}
+
+type t = { nodes : node array; root_ordinal : int }
+
+let build root =
+  let n = Nest.index root in
+  let nodes = Array.make n None in
+  let rec walk (l : _ Nest.loop) parent =
+    let doall_children =
+      List.filter_map
+        (fun (c : _ Nest.loop) -> if c.Nest.doall then Some c.Nest.ordinal else None)
+        (Nest.nested_of l)
+    in
+    nodes.(l.Nest.ordinal) <-
+      Some
+        {
+          ordinal = l.Nest.ordinal;
+          id = l.Nest.id;
+          name = l.Nest.loop_name;
+          doall = l.Nest.doall;
+          parent = (if l.Nest.doall then parent else None);
+          children = (if l.Nest.doall then doall_children else []);
+          depth = l.Nest.id.Loop_id.level;
+        };
+    let next_parent = if l.Nest.doall then Some l.Nest.ordinal else None in
+    List.iter (fun c -> walk c next_parent) (Nest.nested_of l)
+  in
+  walk root None;
+  let nodes = Array.map Option.get nodes in
+  { nodes; root_ordinal = root.Nest.ordinal }
+
+let size t = Array.length t.nodes
+
+let node t o = t.nodes.(o)
+
+let root t = t.root_ordinal
+
+let doall_ordinals t =
+  Array.to_list t.nodes |> List.filter (fun n -> n.doall && not (Loop_id.is_none n.id))
+  |> List.map (fun n -> n.ordinal)
+
+let leaves t =
+  doall_ordinals t
+  |> List.filter (fun o ->
+         let n = node t o in
+         n.children = [])
+
+let ancestors t o =
+  let rec up acc o =
+    match (node t o).parent with None -> List.rev acc | Some p -> up (p :: acc) p
+  in
+  up [] o
+
+let is_ancestor t ~ancestor ~of_ = List.mem ancestor (ancestors t of_)
+
+let max_level t = Array.fold_left (fun acc n -> Stdlib.max acc n.depth) 0 t.nodes
+
+let loops_at_level t level =
+  doall_ordinals t |> List.filter (fun o -> (node t o).depth = level)
+
+let pp fmt t =
+  Array.iter
+    (fun n ->
+      Format.fprintf fmt "%d %s %a doall=%b parent=%s depth=%d@." n.ordinal n.name Loop_id.pp
+        n.id n.doall
+        (match n.parent with None -> "-" | Some p -> string_of_int p)
+        n.depth)
+    t.nodes

@@ -1,0 +1,44 @@
+(** Inter-procedural loop-nesting tree (Sec. 3.1), pruned to DOALL loops.
+
+    Built once per nest by the compiler front half; drives loop-slice task
+    generation, the outer-loop-first promotion policy, and leftover-task
+    enumeration (Algorithm 1). *)
+
+type node = {
+  ordinal : int;
+  id : Loop_id.t;  (** [Loop_id.none] for pruned (non-DOALL) loops *)
+  name : string;
+  doall : bool;
+  parent : int option;  (** ordinal of the nearest enclosing DOALL loop *)
+  children : int list;  (** DOALL children ordinals, body order *)
+  depth : int;  (** DOALL nesting level; -1 for pruned loops *)
+}
+
+type t
+
+val build : 'e Nest.loop -> t
+(** Assigns ordinals and IDs on the loop records (via {!Nest.index}) and
+    returns the pruned tree. *)
+
+val size : t -> int
+(** Number of loops, including pruned ones. *)
+
+val node : t -> int -> node
+
+val root : t -> int
+
+val doall_ordinals : t -> int list
+
+val leaves : t -> int list
+(** DOALL loops with no DOALL children, preorder. *)
+
+val ancestors : t -> int -> int list
+(** DOALL ancestors from the parent upward to the root. *)
+
+val is_ancestor : t -> ancestor:int -> of_:int -> bool
+
+val max_level : t -> int
+
+val loops_at_level : t -> int -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type 'e cpu = { exec : 'e Nest.loop -> unit; advance : int -> unit }
+
+type 'e t = {
+  name : string;
+  make_env : unit -> 'e;
+  nests : 'e Nest.loop list;
+  omp_serial_nests : string list;
+  driver : 'e -> 'e cpu -> unit;
+  fingerprint : 'e -> float;
+  regularity : [ `Regular | `Irregular ];
+}
+
+type any = Any : 'e t -> any
+
+let v ?(omp_serial_nests = []) ?(regularity = `Irregular) ~name ~make_env ~nests ~driver
+    ~fingerprint () =
+  List.iter (fun nest -> ignore (Nest.index nest)) nests;
+  { name; make_env; nests; omp_serial_nests; driver; fingerprint; regularity }
+
+let single_nest t =
+  match t.nests with
+  | [ nest ] -> nest
+  | _ -> invalid_arg (Printf.sprintf "program %s does not have exactly one nest" t.name)

@@ -1,0 +1,49 @@
+(** A whole benchmark program: environment construction, the static loop
+    nests, and a serial driver that invokes them.
+
+    This mirrors the structure of the paper's benchmarks: ordinary serial
+    C/C++ control flow (convergence loops, phase sequencing) around a small
+    number of parallel loop nests that the compiler transforms. Executors
+    (sequential, OpenMP-like, TPAL, HBC) provide the [cpu] handle; the driver
+    calls [exec] to run a nest and [advance] to account for serial work
+    between nests. *)
+
+type 'e cpu = {
+  exec : 'e Nest.loop -> unit;  (** run one of the program's nests to completion *)
+  advance : int -> unit;  (** consume cycles of serial (non-nest) driver work *)
+}
+
+type 'e t = {
+  name : string;
+  make_env : unit -> 'e;
+      (** build inputs (deterministically) and fresh output storage *)
+  nests : 'e Nest.loop list;  (** every parallel nest, for ahead-of-time compilation *)
+  omp_serial_nests : string list;
+      (** nests the original benchmark's OpenMP pragmas leave sequential
+          (e.g. Rodinia kmeans' center-update reduction); the OpenMP
+          executors honor this, heartbeat executors parallelize everything *)
+  driver : 'e -> 'e cpu -> unit;
+  fingerprint : 'e -> float;
+      (** checksum over the outputs, used to validate every executor against
+          the sequential reference *)
+  regularity : [ `Regular | `Irregular ];
+}
+
+type any = Any : 'e t -> any
+
+val v :
+  ?omp_serial_nests:string list ->
+  ?regularity:[ `Regular | `Irregular ] ->
+  name:string ->
+  make_env:(unit -> 'e) ->
+  nests:'e Nest.loop list ->
+  driver:('e -> 'e cpu -> unit) ->
+  fingerprint:('e -> float) ->
+  unit ->
+  'e t
+(** Smart constructor; indexes every nest (ordinals and loop IDs).
+    [regularity] defaults to [`Irregular]. *)
+
+val single_nest : 'e t -> 'e Nest.loop
+(** The nest of a single-nest program.
+    @raise Invalid_argument otherwise. *)

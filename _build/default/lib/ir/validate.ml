@@ -1,0 +1,38 @@
+type issue =
+  | Duplicate_ordinal of int
+  | Unassigned_ordinal of string
+  | Empty_body of string
+  | Doall_under_sequential of string
+
+let pp_issue fmt = function
+  | Duplicate_ordinal o -> Format.fprintf fmt "duplicate ordinal %d" o
+  | Unassigned_ordinal name -> Format.fprintf fmt "loop %s has no ordinal (call Nest.index)" name
+  | Empty_body name -> Format.fprintf fmt "loop %s has an empty body" name
+  | Doall_under_sequential name ->
+      Format.fprintf fmt "DOALL loop %s is nested under a sequential loop and will never be promoted" name
+
+let check root =
+  let loops = Nest.loops_preorder root in
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (l : _ Nest.loop) ->
+      if l.Nest.ordinal < 0 then add (Unassigned_ordinal l.Nest.loop_name)
+      else if Hashtbl.mem seen l.Nest.ordinal then add (Duplicate_ordinal l.Nest.ordinal)
+      else Hashtbl.add seen l.Nest.ordinal ();
+      if l.Nest.body = [] then add (Empty_body l.Nest.loop_name))
+    loops;
+  let rec warn (l : _ Nest.loop) under_sequential =
+    if l.Nest.doall && under_sequential then add (Doall_under_sequential l.Nest.loop_name);
+    List.iter (fun c -> warn c (under_sequential || not l.Nest.doall)) (Nest.nested_of l)
+  in
+  warn root false;
+  List.rev !issues
+
+let errors issues =
+  List.filter
+    (function
+      | Duplicate_ordinal _ | Unassigned_ordinal _ | Empty_body _ -> true
+      | Doall_under_sequential _ -> false)
+    issues

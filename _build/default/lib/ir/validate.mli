@@ -1,0 +1,20 @@
+(** Structural validation of loop nests, run by the compiler pipeline before
+    any transformation. *)
+
+type issue =
+  | Duplicate_ordinal of int
+  | Unassigned_ordinal of string  (** loop name *)
+  | Empty_body of string
+  | Doall_under_sequential of string
+      (** a DOALL loop nested inside a non-DOALL loop: legal but pruned, the
+          heartbeat runtime will never promote it — reported so the user can
+          restructure (paper Sec. 3.1 prunes such loops from the tree) *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check : 'e Nest.loop -> issue list
+(** Hard errors first ([Duplicate_ordinal], [Unassigned_ordinal],
+    [Empty_body]), then warnings. *)
+
+val errors : issue list -> issue list
+(** The subset that must abort compilation. *)

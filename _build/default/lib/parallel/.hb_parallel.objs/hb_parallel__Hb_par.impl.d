@@ -1,0 +1,1 @@
+lib/parallel/hb_par.ml: Array Atomic Domain Fun Hbc_core List Option Stdlib Unix Ws_deque

@@ -1,0 +1,1 @@
+lib/parallel/hb_par.mli:

@@ -1,0 +1,1 @@
+lib/parallel/ws_deque.mli:

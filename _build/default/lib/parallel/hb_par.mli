@@ -1,0 +1,41 @@
+(** A real heartbeat-scheduled parallel-for on OCaml 5 domains.
+
+    This is the runtime half of the paper running natively (not simulated):
+    a work-stealing domain pool whose [parallel_for] polls a monotonic clock
+    at chunk boundaries and, when a heartbeat interval has elapsed, promotes
+    the remaining iterations by splitting them in half and pushing the upper
+    half as a stealable task — all parallelism is latent until a heartbeat
+    materializes it, so tight loops run at near-sequential speed.
+
+    On the single-core container this library is exercised for correctness
+    (results equal the sequential ones under any interleaving); on a real
+    multicore it provides speedup too. *)
+
+type pool
+
+val create : ?heartbeat_us:float -> num_domains:int -> unit -> pool
+(** Spawn [num_domains - 1] worker domains (the caller participates as the
+    last member). [heartbeat_us] defaults to 100 (the paper's rate). *)
+
+val shutdown : pool -> unit
+(** Join all worker domains. Idempotent. *)
+
+val with_pool : ?heartbeat_us:float -> num_domains:int -> (pool -> 'a) -> 'a
+
+val parallel_for : pool -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Heartbeat-promoted loop over [\[lo, hi)]. The body may itself call
+    [parallel_for] (nested parallelism) but must not raise. *)
+
+val parallel_reduce :
+  pool -> lo:int -> hi:int -> init:'a -> body:('a -> int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
+(** Heartbeat-promoted reduction; [combine] must be associative and is
+    applied in deterministic split order. *)
+
+val num_domains : pool -> int
+
+val promotions : pool -> int
+(** Promotions performed since pool creation (observability/tests). *)
+
+val chunk_size_of : pool -> member:int -> int
+(** Current adaptive chunk size of a pool member (Sec. 5.1 running natively;
+    observability/tests). *)

@@ -1,0 +1,28 @@
+(** Lock-free Chase–Lev work-stealing deque on OCaml [Atomic].
+
+    The owner pushes and pops at the bottom without contention in the common
+    case; thieves steal from the top with a compare-and-set. This is the
+    classic dynamic circular work-stealing deque (Chase & Lev, SPAA'05) in
+    its sequentially-consistent form — OCaml's [Atomic] operations are SC,
+    so no explicit fences are needed.
+
+    Safety contract: {!push} and {!pop} may only be called by the owning
+    domain; {!steal} may be called by any domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner-side push at the bottom; grows the buffer as needed. *)
+
+val pop : 'a t -> 'a option
+(** Owner-side pop of the newest element; races with thieves only on the
+    last element. *)
+
+val steal : 'a t -> 'a option
+(** Thief-side removal of the oldest element; [None] when empty or when the
+    race for the element was lost. *)
+
+val size : 'a t -> int
+(** Snapshot size (approximate under concurrency; exact when quiescent). *)

@@ -1,0 +1,1 @@
+lib/report/ascii_chart.ml: Buffer Float List Printf Stdlib String

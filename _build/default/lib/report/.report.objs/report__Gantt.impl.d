@@ -1,0 +1,1 @@
+lib/report/gantt.ml: Array Buffer Bytes Float List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/report/stats.ml: Float List

@@ -1,0 +1,43 @@
+let bar_of width vmax v =
+  if vmax <= 0.0 then ""
+  else begin
+    let n = int_of_float (Float.round (Float.of_int width *. v /. vmax)) in
+    String.make (Stdlib.max 0 (Stdlib.min width n)) '#'
+  end
+
+let bars ~title ?(unit_label = "") ?(width = 50) rows =
+  let vmax = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 rows in
+  let lw = List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 rows in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (label, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s %8.2f%s |%s\n" lw label v unit_label (bar_of width vmax v)))
+    rows;
+  Buffer.contents buf
+
+let grouped ~title ?(unit_label = "") ?(width = 40) ~series rows =
+  let vmax =
+    List.fold_left (fun acc (_, vs) -> List.fold_left Float.max acc vs) 0.0 rows
+  in
+  let lw =
+    List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 rows
+    |> Stdlib.max
+         (List.fold_left (fun acc s -> Stdlib.max acc (String.length s)) 0 series)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (label, vs) ->
+      List.iteri
+        (fun i v ->
+          let tag = if i = 0 then label else "" in
+          let sname = try List.nth series i with _ -> "" in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %-12s %8.2f%s |%s\n" lw tag sname v unit_label
+               (bar_of width vmax v)))
+        vs;
+      Buffer.add_string buf "\n")
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Horizontal bar charts rendered in ASCII, mirroring the paper's figures. *)
+
+val bars :
+  title:string -> ?unit_label:string -> ?width:int -> (string * float) list -> string
+(** One bar per (label, value); bar lengths scaled to the maximum. *)
+
+val grouped :
+  title:string ->
+  ?unit_label:string ->
+  ?width:int ->
+  series:string list ->
+  (string * float list) list ->
+  string
+(** Grouped bars: each row carries one value per series. *)

@@ -1,0 +1,40 @@
+let utilization ~workers ~makespan intervals =
+  if makespan <= 0 || workers <= 0 then 0.0
+  else begin
+    let busy =
+      List.fold_left (fun acc (_, t0, t1, _) -> acc + (Stdlib.max 0 (t1 - t0))) 0 intervals
+    in
+    100.0 *. Float.of_int busy /. Float.of_int (workers * makespan)
+  end
+
+let render ?(width = 80) ~workers ~makespan intervals =
+  let buf = Buffer.create 4096 in
+  if makespan <= 0 then Buffer.add_string buf "(empty timeline)\n"
+  else begin
+    let cell_cycles = Float.of_int makespan /. Float.of_int width in
+    let rows = Array.init workers (fun _ -> Bytes.make width '.') in
+    let busy = Array.make workers 0 in
+    List.iter
+      (fun (w, t0, t1, _) ->
+        if w >= 0 && w < workers && t1 > t0 then begin
+          busy.(w) <- busy.(w) + (t1 - t0);
+          let c0 = int_of_float (Float.of_int t0 /. cell_cycles) in
+          let c1 = int_of_float (Float.of_int (t1 - 1) /. cell_cycles) in
+          for c = Stdlib.max 0 c0 to Stdlib.min (width - 1) c1 do
+            Bytes.set rows.(w) c '#'
+          done
+        end)
+      intervals;
+    Buffer.add_string buf
+      (Printf.sprintf "timeline: %d workers, %d cycles, %.1f cycles/column\n" workers makespan
+         cell_cycles);
+    Array.iteri
+      (fun w row ->
+        Buffer.add_string buf
+          (Printf.sprintf "w%02d |%s| %5.1f%%\n" w (Bytes.to_string row)
+             (100.0 *. Float.of_int busy.(w) /. Float.of_int makespan)))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf "aggregate utilization: %.1f%%\n" (utilization ~workers ~makespan intervals))
+  end;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** ASCII gantt chart of per-worker execution timelines. *)
+
+val render :
+  ?width:int -> workers:int -> makespan:int -> (int * int * int * string) list -> string
+(** [render ~workers ~makespan intervals] draws one row per worker, one
+    column per [makespan/width] cycles: '#' = executing, '.' = idle, with a
+    per-worker utilization percentage and an aggregate summary. Intervals
+    are (worker, start, end, kind) as recorded by {!Sim.Metrics}. *)
+
+val utilization : workers:int -> makespan:int -> (int * int * int * string) list -> float
+(** Aggregate busy fraction in percent. *)

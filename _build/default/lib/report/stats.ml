@@ -1,0 +1,23 @@
+let geomean xs =
+  let xs = List.filter (fun x -> x > 0.0) xs in
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let n = Float.of_int (List.length xs) in
+      Float.exp (List.fold_left (fun acc x -> acc +. Float.log x) 0.0 xs /. n)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+      let sorted = List.sort Float.compare xs in
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let minimum = function [] -> 0.0 | xs -> List.fold_left Float.min Float.infinity xs
+
+let maximum = function [] -> 0.0 | xs -> List.fold_left Float.max Float.neg_infinity xs

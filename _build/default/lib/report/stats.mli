@@ -1,0 +1,12 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val geomean : float list -> float
+(** Geometric mean of the positive entries; 0 if none. *)
+
+val mean : float list -> float
+
+val median : float list -> float
+
+val minimum : float list -> float
+
+val maximum : float list -> float

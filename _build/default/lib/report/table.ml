@@ -1,0 +1,59 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable body : [ `Row of string list | `Sep ] list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; body = [] }
+
+let add_row t row = t.body <- `Row row :: t.body
+
+let add_separator t = t.body <- `Sep :: t.body
+
+let cell_f ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+
+let cell_pct v = Printf.sprintf "%.2f%%" v
+
+let cell_i = string_of_int
+
+let title t = t.title
+
+let rows t =
+  List.rev t.body |> List.filter_map (function `Row r -> Some r | `Sep -> None)
+
+let render t =
+  let body = List.rev t.body in
+  let all_rows = t.columns :: List.filter_map (function `Row r -> Some r | `Sep -> None) body in
+  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all_rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row)
+    all_rows;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render_row row =
+    let cells = List.mapi pad row in
+    let missing = ncols - List.length row in
+    let cells =
+      if missing > 0 then
+        cells @ List.init missing (fun k -> String.make widths.(List.length row + k) ' ')
+      else cells
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule = "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (t.title ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter
+    (fun item ->
+      match item with
+      | `Row r -> Buffer.add_string buf (render_row r ^ "\n")
+      | `Sep -> Buffer.add_string buf (rule ^ "\n"))
+    body;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t = print_endline (render t)

@@ -1,0 +1,26 @@
+(** Plain-text tables, one per reproduced figure. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val add_separator : t -> unit
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell (default 1 decimal). *)
+
+val cell_pct : float -> string
+
+val cell_i : int -> string
+
+val title : t -> string
+
+val rows : t -> string list list
+
+val render : t -> string
+(** Aligned, boxed with ASCII rules. *)
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/sim/deque.ml: Array List

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Effect Option Sim_rng Stdlib

@@ -1,0 +1,1 @@
+lib/sim/membus.ml: Float Stdlib

@@ -1,0 +1,1 @@
+lib/sim/run_result.ml: Float Metrics

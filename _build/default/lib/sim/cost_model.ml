@@ -1,0 +1,88 @@
+type t = {
+  ghz : float;
+  heartbeat_interval : int;
+  poll_cost : int;
+  promotion_branch_cost : int;
+  chunk_transfer_cost : int;
+  closure_load_cost : int;
+  outline_call_cost : int;
+  lst_store_cost : int;
+  promotion_handler_cost : int;
+  deque_push_cost : int;
+  deque_pop_cost : int;
+  steal_attempt_cost : int;
+  steal_success_cost : int;
+  join_slow_path_cost : int;
+  interrupt_delivery_cost : int;
+  rollforward_lookup_cost : int;
+  signal_send_cost : int;
+  signal_delivery_cost : int;
+  omp_fork_cost : int;
+  omp_join_cost : int;
+  omp_dispatch_cost : int;
+  omp_static_setup_cost : int;
+  omp_task_spawn_cost : int;
+  omp_dispatch_hold : int;
+  dram_bytes_per_cycle : float;
+  idle_backoff : int;
+}
+
+(* Paper-exact constants: 3 GHz, 100 us heartbeat = 300k cycles, 50-cycle
+   polls, 3800-cycle kernel-module events, few-thousand-cycle task spawns. *)
+let paper =
+  {
+    ghz = 3.0;
+    heartbeat_interval = 300_000;
+    poll_cost = 50;
+    promotion_branch_cost = 2;
+    chunk_transfer_cost = 10;
+    closure_load_cost = 6;
+    outline_call_cost = 4;
+    lst_store_cost = 4;
+    promotion_handler_cost = 900;
+    deque_push_cost = 30;
+    deque_pop_cost = 30;
+    steal_attempt_cost = 400;
+    steal_success_cost = 1_200;
+    join_slow_path_cost = 600;
+    interrupt_delivery_cost = 3_800;
+    rollforward_lookup_cost = 120;
+    signal_send_cost = 2_600;
+    signal_delivery_cost = 5_200;
+    omp_fork_cost = 12_000;
+    omp_join_cost = 9_000;
+    omp_dispatch_cost = 180;
+    omp_static_setup_cost = 120;
+    omp_task_spawn_cost = 5_000;
+    omp_dispatch_hold = 8;
+    dram_bytes_per_cycle = 44.0;
+    idle_backoff = 500;
+  }
+
+(* Default preset: every heartbeat-frequency-linked constant divided by 10
+   so container-scale inputs see the same beats-per-run and overhead-per-beat
+   ratios as the paper's second-long runs (see DESIGN.md). Per-instruction
+   costs (polls, chunk bookkeeping, OpenMP dispatch) are physical and stay. *)
+let default =
+  {
+    paper with
+    heartbeat_interval = 30_000;
+    promotion_handler_cost = 300;
+    deque_push_cost = 20;
+    deque_pop_cost = 20;
+    steal_attempt_cost = 200;
+    steal_success_cost = 600;
+    join_slow_path_cost = 300;
+    interrupt_delivery_cost = 1_200;
+    rollforward_lookup_cost = 40;
+    signal_send_cost = 850;
+    signal_delivery_cost = 1_800;
+    omp_fork_cost = 9_000;
+    omp_join_cost = 7_000;
+  }
+
+let cycles_of_us t us = int_of_float (us *. t.ghz *. 1_000.0)
+
+let us_of_cycles t cy = Float.of_int cy /. (t.ghz *. 1_000.0)
+
+let seconds_of_cycles t cy = us_of_cycles t cy /. 1_000_000.0

@@ -1,0 +1,64 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable top : int;    (* index of oldest element *)
+  mutable bottom : int; (* one past the newest element *)
+}
+
+let create () = { buf = Array.make 16 None; top = 0; bottom = 0 }
+
+let length t = t.bottom - t.top
+
+let is_empty t = length t = 0
+
+let slot t i = i land (Array.length t.buf - 1)
+
+let grow t =
+  let old = t.buf in
+  let n = Array.length old in
+  let nbuf = Array.make (2 * n) None in
+  for i = t.top to t.bottom - 1 do
+    nbuf.(i land (2 * n - 1)) <- old.(i land (n - 1))
+  done;
+  t.buf <- nbuf
+
+let push_bottom t x =
+  if length t = Array.length t.buf then grow t;
+  t.buf.(slot t t.bottom) <- Some x;
+  t.bottom <- t.bottom + 1
+
+let pop_bottom t =
+  if is_empty t then None
+  else begin
+    t.bottom <- t.bottom - 1;
+    let i = slot t t.bottom in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    x
+  end
+
+let steal t =
+  if is_empty t then None
+  else begin
+    let i = slot t t.top in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.top <- t.top + 1;
+    x
+  end
+
+let peek_bottom t = if is_empty t then None else t.buf.(slot t (t.bottom - 1))
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.top <- 0;
+  t.bottom <- 0
+
+let to_list t =
+  let rec gather i acc =
+    if i >= t.bottom then List.rev acc
+    else
+      match t.buf.(slot t i) with
+      | Some x -> gather (i + 1) (x :: acc)
+      | None -> gather (i + 1) acc
+  in
+  gather t.top []

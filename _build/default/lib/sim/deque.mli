@@ -1,0 +1,31 @@
+(** Per-worker work-stealing deque.
+
+    The owning worker pushes and pops at the bottom (LIFO, cache-friendly);
+    thieves steal from the top (FIFO, oldest — hence largest — task first).
+    The simulator is single-threaded, so no synchronization is needed; the
+    structure only reproduces the Chase–Lev access discipline. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_bottom : 'a t -> 'a -> unit
+(** Owner-side push. *)
+
+val pop_bottom : 'a t -> 'a option
+(** Owner-side pop of the most recently pushed element. *)
+
+val steal : 'a t -> 'a option
+(** Thief-side removal of the oldest element. *)
+
+val peek_bottom : 'a t -> 'a option
+(** Owner-side inspection without removal. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements from top (oldest) to bottom (newest); for tests. *)

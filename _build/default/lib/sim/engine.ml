@@ -1,0 +1,215 @@
+type event =
+  | Resume of (unit, unit) Effect.Deep.continuation * int
+  | Callback of (unit -> unit)
+
+exception Deadlock of string
+
+(* Binary min-heap on (time, seq); seq breaks ties FIFO for determinism. *)
+module Heap = struct
+  type entry = { time : int; seq : int; ev : event }
+  type t = { mutable arr : entry array; mutable size : int }
+
+  let dummy = { time = 0; seq = 0; ev = Callback ignore }
+  let create () = { arr = Array.make 64 dummy; size = 0 }
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h e =
+    if h.size = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.arr 0 bigger 0 h.size;
+      h.arr <- bigger
+    end;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    h.arr.(!i) <- e;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if less h.arr.(!i) h.arr.(parent) then begin
+        let tmp = h.arr.(parent) in
+        h.arr.(parent) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.size <- h.size - 1;
+      h.arr.(0) <- h.arr.(h.size);
+      h.arr.(h.size) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+        if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.arr.(!smallest) in
+          h.arr.(!smallest) <- h.arr.(!i);
+          h.arr.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+type t = {
+  nworkers : int;
+  clocks : int array;
+  parked : (unit, unit) Effect.Deep.continuation option array;
+  finished : bool array;
+  heap : Heap.t;
+  mutable seq : int;
+  mutable live : int;
+  mutable current : int;  (* worker id, or -1 in engine/callback context *)
+  mutable engine_time : int;
+  mutable pending_resumes : int;
+  rng : Sim_rng.t;
+}
+
+type _ Effect.t += Advance : int -> unit Effect.t
+type _ Effect.t += Park : unit Effect.t
+
+let create ?(seed = 42) ~num_workers () =
+  {
+    nworkers = num_workers;
+    clocks = Array.make num_workers 0;
+    parked = Array.make num_workers None;
+    finished = Array.make num_workers false;
+    heap = Heap.create ();
+    seq = 0;
+    live = 0;
+    current = -1;
+    engine_time = 0;
+    pending_resumes = 0;
+    rng = Sim_rng.create seed;
+  }
+
+let num_workers t = t.nworkers
+let rng t = t.rng
+let worker_id t = t.current
+
+let now t = if t.current >= 0 then t.clocks.(t.current) else t.engine_time
+
+let clock_of t w = t.clocks.(w)
+
+let push_event t time ev =
+  (match ev with Resume _ -> t.pending_resumes <- t.pending_resumes + 1 | Callback _ -> ());
+  Heap.push t.heap { time; seq = t.seq; ev };
+  t.seq <- t.seq + 1
+
+let advance t c =
+  assert (t.current >= 0);
+  assert (c >= 0);
+  Effect.perform (Advance c)
+
+let park t =
+  assert (t.current >= 0);
+  Effect.perform Park
+
+let is_parked t w = Option.is_some t.parked.(w)
+
+let unpark t w =
+  match t.parked.(w) with
+  | None -> ()
+  | Some k ->
+      t.parked.(w) <- None;
+      t.clocks.(w) <- Stdlib.max t.clocks.(w) (now t);
+      push_event t t.clocks.(w) (Resume (k, w))
+
+let unpark_all t =
+  for w = 0 to t.nworkers - 1 do
+    unpark t w
+  done
+
+let schedule_at t ~time f = push_event t time (Callback f)
+
+let every t ~start ~interval f =
+  let alive = ref true in
+  let rec arm time =
+    schedule_at t ~time (fun () ->
+        if !alive then begin
+          f ();
+          arm (time + interval)
+        end)
+  in
+  arm start;
+  fun () -> alive := false
+
+let start_worker t w main =
+  t.current <- w;
+  Effect.Deep.match_with
+    (fun () -> main w)
+    ()
+    {
+      retc =
+        (fun () ->
+          t.finished.(w) <- true;
+          t.live <- t.live - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Advance c ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  t.clocks.(w) <- t.clocks.(w) + c;
+                  push_event t t.clocks.(w) (Resume (k, w)))
+          | Park -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> t.parked.(w) <- Some k)
+          | _ -> None);
+    }
+
+let run t main =
+  t.live <- t.nworkers;
+  for w = 0 to t.nworkers - 1 do
+    push_event t 0 (Callback (fun () -> start_worker t w main))
+  done;
+  let starved = ref 0 in
+  let rec loop () =
+    if t.live > 0 then begin
+      if t.pending_resumes = 0 then begin
+        (* Only callbacks remain. If every live worker is parked, no callback
+           body can produce progress by itself unless it unparks someone, so
+           run callbacks until one does or the heap drains. *)
+        incr starved;
+        if !starved > 100_000 then
+          raise (Deadlock "workers parked; callbacks firing without waking anyone");
+        match Heap.pop t.heap with
+        | None -> raise (Deadlock "live workers parked and event queue empty")
+        | Some { time; ev = Callback f; _ } ->
+            t.current <- -1;
+            t.engine_time <- time;
+            f ();
+            loop ()
+        | Some { ev = Resume _; _ } -> assert false
+      end
+      else begin
+        starved := 0;
+        match Heap.pop t.heap with
+        | None -> raise (Deadlock "pending resumes not in heap")
+        | Some { time; ev; _ } ->
+            (match ev with
+            | Resume (k, w) ->
+                t.pending_resumes <- t.pending_resumes - 1;
+                t.current <- w;
+                t.engine_time <- time;
+                Effect.Deep.continue k ()
+            | Callback f ->
+                t.current <- -1;
+                t.engine_time <- time;
+                f ());
+            loop ()
+      end
+    end
+  in
+  loop ();
+  t.current <- -1
+
+let max_time t = Array.fold_left Stdlib.max 0 t.clocks

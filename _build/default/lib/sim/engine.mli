@@ -1,0 +1,64 @@
+(** Deterministic virtual-time multicore engine.
+
+    Each simulated worker (core) runs as an OCaml-5 fiber. Workers advance a
+    private virtual clock by performing {!advance}; the engine always resumes
+    the runnable fiber with the smallest clock, so all shared-state mutations
+    happen in virtual-time order and a run is a pure function of its inputs.
+
+    Besides workers, the engine supports timed callbacks ({!schedule_at},
+    {!every}); the heartbeat interrupt sources are built on them. *)
+
+type t
+
+exception Deadlock of string
+(** Raised when live workers are all parked and no event can wake them. *)
+
+val create : ?seed:int -> num_workers:int -> unit -> t
+
+val num_workers : t -> int
+
+val rng : t -> Sim_rng.t
+(** Engine-level RNG (steal victim selection); deterministic per seed. *)
+
+val worker_id : t -> int
+(** Id of the currently running worker; [-1] inside a timed callback. *)
+
+val now : t -> int
+(** Virtual time of the running worker (or of the callback being run). *)
+
+val clock_of : t -> int -> int
+(** Virtual clock of an arbitrary worker. *)
+
+val advance : t -> int -> unit
+(** [advance t c] consumes [c] cycles on the current worker, yielding to any
+    worker or callback whose virtual time is earlier. Must be called from
+    worker context. *)
+
+val park : t -> unit
+(** Block the current worker until {!unpark} or {!unpark_all}. Its clock
+    jumps to the waking time. *)
+
+val is_parked : t -> int -> bool
+
+val unpark : t -> int -> unit
+(** Wake worker [w] (no-op if it is not parked) at the caller's time. *)
+
+val unpark_all : t -> unit
+
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+(** Run a callback at an absolute virtual time (engine context). *)
+
+val every : t -> start:int -> interval:int -> (unit -> unit) -> unit -> unit
+(** [every t ~start ~interval f] runs [f] at [start], [start+interval], ...
+    Returns a cancellation function. Recurring callbacks do not keep the
+    engine alive once all workers finished. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t main] starts [num_workers] fibers, worker [w] executing [main w]
+    from virtual time 0, and processes events until all workers finish.
+    @raise Deadlock if all unfinished workers are parked with nothing
+    scheduled to wake them. *)
+
+val max_time : t -> int
+(** Largest virtual clock reached across workers (the makespan after
+    {!run} returns). *)

@@ -1,0 +1,23 @@
+(** Shared memory-bus model.
+
+    Irregular kernels like spmv are bandwidth-bound on real multicores: the
+    paper's 64-core spmv speedups saturate far below core count. The bus is
+    a single shared resource serving [bytes_per_cycle]; a chunk of work
+    occupying the bus past the caller's own compute time stalls the caller.
+    One core alone never saturates it (the sequential baseline is
+    compute-priced), matching how the paper's baselines already include
+    single-thread memory time. *)
+
+type t
+
+val create : bytes_per_cycle:float -> t
+
+val serve : t -> now:int -> compute:int -> bytes:int -> int
+(** [serve t ~now ~compute ~bytes] books [bytes] of traffic starting at
+    [now] and returns the total cycles the requester occupies (compute
+    overlapped with its memory service time; never less than [compute]). *)
+
+val reset : t -> unit
+
+val busy_until : t -> float
+(** For tests. *)

@@ -1,0 +1,75 @@
+type t = {
+  mutable heartbeats_generated : int;
+  mutable heartbeats_detected : int;
+  mutable heartbeats_missed : int;
+  mutable polls : int;
+  mutable promotions : int;
+  promotions_by_level : int array;
+  mutable tasks_spawned : int;
+  mutable leftover_tasks_run : int;
+  mutable steals : int;
+  mutable steal_attempts : int;
+  mutable join_slow_paths : int;
+  mutable chunk_updates : int;
+  mutable work_cycles : int;
+  mutable overhead_cycles : int;
+  overhead_by_kind : (string, int) Hashtbl.t;
+  mutable chunk_trace : (int * int * int) list;
+  mutable timeline : (int * int * int * string) list;
+}
+
+let create () =
+  {
+    heartbeats_generated = 0;
+    heartbeats_detected = 0;
+    heartbeats_missed = 0;
+    polls = 0;
+    promotions = 0;
+    promotions_by_level = Array.make 8 0;
+    tasks_spawned = 0;
+    leftover_tasks_run = 0;
+    steals = 0;
+    steal_attempts = 0;
+    join_slow_paths = 0;
+    chunk_updates = 0;
+    work_cycles = 0;
+    overhead_cycles = 0;
+    overhead_by_kind = Hashtbl.create 16;
+    chunk_trace = [];
+    timeline = [];
+  }
+
+let add_overhead t kind c =
+  t.overhead_cycles <- t.overhead_cycles + c;
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.overhead_by_kind kind) in
+  Hashtbl.replace t.overhead_by_kind kind (prev + c)
+
+let promotion_at_level t level =
+  t.promotions <- t.promotions + 1;
+  let level = Stdlib.min level (Array.length t.promotions_by_level - 1) in
+  t.promotions_by_level.(level) <- t.promotions_by_level.(level) + 1
+
+let overhead_of t kind =
+  Option.value ~default:0 (Hashtbl.find_opt t.overhead_by_kind kind)
+
+let promotion_share_by_level t =
+  let total = Float.of_int t.promotions in
+  Array.map
+    (fun n -> if total = 0.0 then 0.0 else 100.0 *. Float.of_int n /. total)
+    t.promotions_by_level
+
+let detection_rate t =
+  if t.heartbeats_generated = 0 then 100.0
+  else 100.0 *. Float.of_int t.heartbeats_detected /. Float.of_int t.heartbeats_generated
+
+let record_interval t ~worker ~t0 ~t1 ~kind =
+  if t1 > t0 then t.timeline <- (worker, t0, t1, kind) :: t.timeline
+
+let busy_cycles_of t worker =
+  List.fold_left
+    (fun acc (w, t0, t1, _) -> if w = worker then acc + (t1 - t0) else acc)
+    0 t.timeline
+
+let record_chunk_update t ~time ~key ~chunk =
+  t.chunk_updates <- t.chunk_updates + 1;
+  t.chunk_trace <- (time, key, chunk) :: t.chunk_trace

@@ -1,0 +1,54 @@
+(** Counters collected during a simulated run.
+
+    One [Metrics.t] is attached to each run; the experiment harness reads it
+    to build the paper's figures (promotion nesting levels for Fig. 5,
+    heartbeat detection rates for Fig. 13, chunk-size traces for Fig. 12,
+    overhead component attribution for Figs. 7 and 8). *)
+
+type t = {
+  mutable heartbeats_generated : int;
+  mutable heartbeats_detected : int;
+  mutable heartbeats_missed : int;
+  mutable polls : int;
+  mutable promotions : int;
+  promotions_by_level : int array;  (** indexed by nesting level, up to 8 *)
+  mutable tasks_spawned : int;
+  mutable leftover_tasks_run : int;
+  mutable steals : int;
+  mutable steal_attempts : int;
+  mutable join_slow_paths : int;
+  mutable chunk_updates : int;
+  mutable work_cycles : int;  (** useful (baseline) body cycles *)
+  mutable overhead_cycles : int;  (** everything that is not body work *)
+  overhead_by_kind : (string, int) Hashtbl.t;
+      (** attribution: "poll", "chunk-transfer", "closure", "outline-call",
+          "promotion-branch", "interrupt", ... *)
+  mutable chunk_trace : (int * int * int) list;
+      (** (virtual time, outer iteration key, new chunk size), newest first *)
+  mutable timeline : (int * int * int * string) list;
+      (** execution intervals (worker, start, end, kind), newest first;
+          recorded only when the run asks for a timeline *)
+}
+
+val create : unit -> t
+
+val add_overhead : t -> string -> int -> unit
+(** Bump both the per-kind attribution and the overhead total. *)
+
+val promotion_at_level : t -> int -> unit
+
+val overhead_of : t -> string -> int
+
+val promotion_share_by_level : t -> float array
+(** Percentage of promotions per nesting level (sums to 100 when any). *)
+
+val detection_rate : t -> float
+(** Detected heartbeats as a percentage of generated ones (100.0 if none
+    were generated). *)
+
+val record_chunk_update : t -> time:int -> key:int -> chunk:int -> unit
+
+val record_interval : t -> worker:int -> t0:int -> t1:int -> kind:string -> unit
+
+val busy_cycles_of : t -> int -> int
+(** Total recorded interval cycles for one worker. *)

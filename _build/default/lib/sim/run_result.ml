@@ -1,0 +1,19 @@
+type t = {
+  makespan : int;
+  work_cycles : int;
+  fingerprint : float;
+  dnf : bool;
+  metrics : Metrics.t;
+}
+
+let speedup ~baseline r =
+  if r.dnf || r.makespan = 0 then 0.0
+  else Float.of_int baseline.work_cycles /. Float.of_int r.makespan
+
+let overhead_pct r =
+  if r.work_cycles = 0 then 0.0
+  else 100.0 *. Float.of_int (r.makespan - r.work_cycles) /. Float.of_int r.work_cycles
+
+let fingerprints_close ?(tol = 1e-6) a b =
+  let scale = Float.max (Float.abs a.fingerprint) (Float.abs b.fingerprint) in
+  if scale = 0.0 then true else Float.abs (a.fingerprint -. b.fingerprint) /. scale <= tol

@@ -1,0 +1,22 @@
+(** Common result record for every executor (sequential, OpenMP-like, TPAL,
+    HBC): the experiment harness computes speedups, overheads, and figure
+    rows from these. *)
+
+type t = {
+  makespan : int;  (** virtual cycles from program start to completion *)
+  work_cycles : int;  (** pure body work (equals the sequential baseline) *)
+  fingerprint : float;  (** output checksum, compared against sequential *)
+  dnf : bool;  (** true when the run exceeded its virtual-time cap *)
+  metrics : Metrics.t;
+}
+
+val speedup : baseline:t -> t -> float
+(** [speedup ~baseline r] is baseline work over [r]'s makespan; 0 for DNF. *)
+
+val overhead_pct : t -> float
+(** Overhead of a sequential-with-overheads run against its own pure work,
+    in percent. *)
+
+val fingerprints_close : ?tol:float -> t -> t -> bool
+(** Relative comparison (default tolerance 1e-6) — parallel reductions
+    reassociate floating-point sums. *)

@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits OCaml's 63-bit int without wrapping. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  (* 53 random bits scaled to [0, 1). *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Inverse-CDF sampling against the generalized harmonic number; the CDF is
+   approximated by the continuous integral, which is accurate enough for
+   workload generation and avoids O(n) tables. *)
+let zipf t ~alpha ~n =
+  assert (n >= 1);
+  if n = 1 then 1
+  else begin
+    let u = Stdlib.max 1e-12 (float t 1.0) in
+    if Float.abs (alpha -. 1.0) < 1e-9 then begin
+      let hmax = Float.log (Float.of_int n +. 0.5) -. Float.log 0.5 in
+      let x = 0.5 *. Float.exp (u *. hmax) in
+      let k = Stdlib.max 1 (Stdlib.min n (int_of_float (Float.round x))) in
+      k
+    end
+    else begin
+      let one_minus = 1.0 -. alpha in
+      let edge v = ((v ** one_minus) -. (0.5 ** one_minus)) /. one_minus in
+      let hmax = edge (Float.of_int n +. 0.5) in
+      let x = ((u *. hmax *. one_minus) +. (0.5 ** one_minus)) ** (1.0 /. one_minus) in
+      Stdlib.max 1 (Stdlib.min n (int_of_float (Float.round x)))
+    end
+  end

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator and in the synthetic input
+    generators goes through this module so that whole experiments are
+    reproducible from a single seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child generator and
+    advances [t]; used to give each worker or generator its own stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val zipf : t -> alpha:float -> n:int -> int
+(** [zipf t ~alpha ~n] samples from a Zipf distribution over [\[1, n\]] with
+    exponent [alpha] (rejection-free inverse-CDF approximation). Used by the
+    power-law matrix, tensor, and graph generators. *)

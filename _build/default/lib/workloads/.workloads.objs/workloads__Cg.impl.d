@@ -1,0 +1,1 @@
+lib/workloads/cg.ml: Array Ir Matrix_gen Sim Stdlib Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/cg.mli: Ir Matrix_gen

@@ -1,0 +1,1 @@
+lib/workloads/floyd_warshall.ml: Array Ir Sim Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/floyd_warshall.mli: Ir

@@ -1,0 +1,1 @@
+lib/workloads/graph.ml: Array Float Sim Stdlib Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/graph_kernels.ml: Array Float Graph Ir Stdlib Workload_util

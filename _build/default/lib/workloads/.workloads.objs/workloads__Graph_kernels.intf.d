@@ -1,0 +1,1 @@
+lib/workloads/graph_kernels.mli: Graph Ir

@@ -1,0 +1,1 @@
+lib/workloads/io_formats.ml: Array Fun Graph In_channel List Matrix_gen Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/workloads/io_formats.mli: Graph Matrix_gen

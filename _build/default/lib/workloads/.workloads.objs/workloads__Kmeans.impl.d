@@ -1,0 +1,1 @@
+lib/workloads/kmeans.ml: Array Float Ir Sim Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/kmeans.mli: Ir

@@ -1,0 +1,1 @@
+lib/workloads/mandelbrot.ml: Array Float Ir List Stdlib Workload_util

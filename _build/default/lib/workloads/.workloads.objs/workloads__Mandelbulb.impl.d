@@ -1,0 +1,1 @@
+lib/workloads/mandelbulb.ml: Array Float Ir Workload_util

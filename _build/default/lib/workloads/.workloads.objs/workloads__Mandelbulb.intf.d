@@ -1,0 +1,1 @@
+lib/workloads/mandelbulb.mli: Ir

@@ -1,0 +1,1 @@
+lib/workloads/matrix_gen.mli:

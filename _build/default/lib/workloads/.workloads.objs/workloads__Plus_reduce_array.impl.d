@@ -1,0 +1,1 @@
+lib/workloads/plus_reduce_array.ml: Array Ir Sim Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/plus_reduce_array.mli: Ir

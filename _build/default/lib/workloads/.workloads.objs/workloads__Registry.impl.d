@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cg Floyd_warshall Graph_kernels Ir Kmeans List Mandelbrot Mandelbulb Plus_reduce_array Spmv Srad Ttm Ttv

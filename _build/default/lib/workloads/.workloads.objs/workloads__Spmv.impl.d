@@ -1,0 +1,1 @@
+lib/workloads/spmv.ml: Array Ir Matrix_gen Sim Workload_util

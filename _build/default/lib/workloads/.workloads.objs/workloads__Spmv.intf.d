@@ -1,0 +1,1 @@
+lib/workloads/spmv.mli: Ir Matrix_gen

@@ -1,0 +1,1 @@
+lib/workloads/srad.ml: Array Float Ir Sim Stdlib Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/srad.mli: Ir

@@ -1,0 +1,1 @@
+lib/workloads/tensor.ml: Array Float Sim Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/ttm.ml: Array Ir Sim Tensor Workload_util

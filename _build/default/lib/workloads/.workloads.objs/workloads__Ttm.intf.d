@@ -1,0 +1,1 @@
+lib/workloads/ttm.mli: Ir Tensor

@@ -1,0 +1,1 @@
+lib/workloads/ttv.ml: Array Ir Sim Tensor Workload_util

@@ -1,0 +1,1 @@
+lib/workloads/ttv.mli: Ir Tensor

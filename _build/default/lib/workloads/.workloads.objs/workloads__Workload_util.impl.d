@@ -1,0 +1,1 @@
+lib/workloads/workload_util.ml: Array Float Stdlib

@@ -1,0 +1,117 @@
+type env = {
+  matrix : Matrix_gen.csr;
+  p : float array;
+  q : float array;
+  r : float array;
+  z : float array;
+  mutable alpha : float;
+  mutable beta : float;
+  mutable rho : float;
+  mutable dot_result : float;
+  iterations : int;
+}
+
+let row_ord = 0
+
+let col_ord = 1
+
+let spmv_nest () =
+  let col =
+    Ir.Nest.loop ~name:"cg_spmv_col" ~bytes_per_iter:20
+      ~locals_spec:{ Ir.Locals.nfloats = 1; nints = 0 }
+      ~init:(fun _ (l : Ir.Locals.t) -> l.Ir.Locals.floats.(0) <- 0.0)
+      ~reduction:(fun dst src ->
+        dst.Ir.Locals.floats.(0) <- dst.Ir.Locals.floats.(0) +. src.Ir.Locals.floats.(0))
+      ~bounds:(fun e (ctxs : Ir.Ctx.set) ->
+        let i = ctxs.(row_ord).Ir.Ctx.lo in
+        (e.matrix.Matrix_gen.row_ptr.(i), e.matrix.Matrix_gen.row_ptr.(i + 1)))
+      [
+        Ir.Nest.stmt ~name:"mac" (fun e ctxs k ->
+            let l = ctxs.(col_ord).Ir.Ctx.locals in
+            l.Ir.Locals.floats.(0) <-
+              l.Ir.Locals.floats.(0)
+              +. (e.matrix.Matrix_gen.vals.(k) *. e.p.(e.matrix.Matrix_gen.col_ind.(k)));
+            11);
+      ]
+  in
+  Ir.Nest.loop ~name:"cg_spmv_row" ~bytes_per_iter:64
+    ~bounds:(fun e _ -> (0, e.matrix.Matrix_gen.n))
+    [
+      Ir.Nest.Nested col;
+      Ir.Nest.stmt ~name:"store_q" (fun e ctxs i ->
+          e.q.(i) <- ctxs.(col_ord).Ir.Ctx.locals.Ir.Locals.floats.(0);
+          8);
+    ]
+
+let dot_nest ~name get_a get_b =
+  Ir.Nest.loop ~name ~bytes_per_iter:16
+    ~locals_spec:{ Ir.Locals.nfloats = 1; nints = 0 }
+    ~init:(fun _ (l : Ir.Locals.t) -> l.Ir.Locals.floats.(0) <- 0.0)
+    ~reduction:(fun dst src ->
+      dst.Ir.Locals.floats.(0) <- dst.Ir.Locals.floats.(0) +. src.Ir.Locals.floats.(0))
+    ~commit:(fun e (ctxs : Ir.Ctx.set) -> e.dot_result <- ctxs.(0).Ir.Ctx.locals.Ir.Locals.floats.(0))
+    ~bounds:(fun e _ -> (0, e.matrix.Matrix_gen.n))
+    [
+      Ir.Nest.stmt ~name:"dot" (fun e (ctxs : Ir.Ctx.set) i ->
+          let l = ctxs.(0).Ir.Ctx.locals in
+          l.Ir.Locals.floats.(0) <- l.Ir.Locals.floats.(0) +. (get_a e i *. get_b e i);
+          7);
+    ]
+
+let axpy_nest ~name f =
+  Ir.Nest.loop ~name ~bytes_per_iter:24
+    ~bounds:(fun e _ -> (0, e.matrix.Matrix_gen.n))
+    [ Ir.Nest.stmt ~name:"axpy" (fun e _ i -> f e i; 7) ]
+
+let program ~scale =
+  let n = Workload_util.scaled scale 60_000 in
+  let spmv = spmv_nest () in
+  let dot_pq = dot_nest ~name:"cg_dot_pq" (fun e i -> e.p.(i)) (fun e i -> e.q.(i)) in
+  let dot_rr = dot_nest ~name:"cg_dot_rr" (fun e i -> e.r.(i)) (fun e i -> e.r.(i)) in
+  let axpy_z =
+    axpy_nest ~name:"cg_axpy_z" (fun e i -> e.z.(i) <- e.z.(i) +. (e.alpha *. e.p.(i)))
+  in
+  let axpy_r =
+    axpy_nest ~name:"cg_axpy_r" (fun e i -> e.r.(i) <- e.r.(i) -. (e.alpha *. e.q.(i)))
+  in
+  let axpy_p =
+    axpy_nest ~name:"cg_axpy_p" (fun e i -> e.p.(i) <- e.r.(i) +. (e.beta *. e.p.(i)))
+  in
+  Ir.Program.v ~name:"cg"
+    ~make_env:(fun () ->
+      (* cage15-like: moderately skewed row lengths. *)
+      let matrix =
+        Matrix_gen.symmetric_spd (Matrix_gen.powerlaw ~reverse:false ~n ~avg_nnz:10 ~seed:77)
+      in
+      let rng = Sim.Sim_rng.create 78 in
+      let r = Array.init n (fun _ -> Sim.Sim_rng.float rng 1.0) in
+      {
+        matrix;
+        p = Array.copy r;
+        q = Array.make n 0.0;
+        r;
+        z = Array.make n 0.0;
+        alpha = 0.0;
+        beta = 0.0;
+        rho = 0.0;
+        dot_result = 0.0;
+        iterations = 4;
+      })
+    ~nests:[ spmv; dot_pq; dot_rr; axpy_z; axpy_r; axpy_p ]
+    ~driver:(fun e cpu ->
+      cpu.Ir.Program.exec dot_rr;
+      e.rho <- e.dot_result;
+      for _ = 1 to e.iterations do
+        cpu.Ir.Program.exec spmv;
+        cpu.Ir.Program.exec dot_pq;
+        e.alpha <- e.rho /. Stdlib.max 1e-30 e.dot_result;
+        cpu.Ir.Program.exec axpy_z;
+        cpu.Ir.Program.exec axpy_r;
+        cpu.Ir.Program.exec dot_rr;
+        e.beta <- e.dot_result /. Stdlib.max 1e-30 e.rho;
+        e.rho <- e.dot_result;
+        cpu.Ir.Program.exec axpy_p;
+        cpu.Ir.Program.advance 60
+      done)
+    ~fingerprint:(fun e -> Workload_util.checksum e.z +. e.rho)
+    ()

@@ -1,0 +1,22 @@
+(** NAS conjugate gradient (cg), the only NAS benchmark whose input can make
+    the workload irregular; the paper runs it on the cage15 matrix from the
+    SuiteSparse collection. We substitute a synthetic matrix with the same
+    moderate power-law row-length skew (DESIGN.md).
+
+    The driver runs fixed CG iterations around five nests: the two-level
+    spmv nest [q = A p] and flat dot/axpy nests with scalar reductions. *)
+
+type env = {
+  matrix : Matrix_gen.csr;
+  p : float array;
+  q : float array;
+  r : float array;
+  z : float array;
+  mutable alpha : float;
+  mutable beta : float;
+  mutable rho : float;
+  mutable dot_result : float;
+  iterations : int;
+}
+
+val program : scale:float -> env Ir.Program.t

@@ -1,0 +1,45 @@
+type env = { n : int; dist : float array; mutable k : int }
+
+let i_ord = 0
+
+let cost_per_cell = 10
+
+let nest () =
+  let j_loop =
+    Ir.Nest.loop ~name:"fw_j" ~bytes_per_iter:12
+      ~bounds:(fun e _ -> (0, e.n))
+      [
+        Ir.Nest.stmt ~name:"relax" (fun e (ctxs : Ir.Ctx.set) j ->
+            let i = ctxs.(i_ord).Ir.Ctx.lo in
+            let ik = e.dist.((i * e.n) + e.k) and kj = e.dist.((e.k * e.n) + j) in
+            let via = ik +. kj in
+            if via < e.dist.((i * e.n) + j) then e.dist.((i * e.n) + j) <- via;
+            cost_per_cell);
+      ]
+  in
+  Ir.Nest.loop ~name:"fw_i" ~bounds:(fun e _ -> (0, e.n)) [ Ir.Nest.Nested j_loop ]
+
+let program ~scale =
+  let n = Workload_util.scaled_dim scale 384 ~dims:3 in
+  let root = nest () in
+  Ir.Program.v ~name:"floyd-warshall" ~regularity:`Regular
+    ~make_env:(fun () ->
+      let rng = Sim.Sim_rng.create 23 in
+      let dist =
+        Array.init (n * n) (fun idx ->
+            let i = idx / n and j = idx mod n in
+            if i = j then 0.0
+            else if Sim.Sim_rng.int rng 100 < 20 then 1.0 +. Sim.Sim_rng.float rng 9.0
+            else 1.0e9)
+      in
+      { n; dist; k = 0 })
+    ~nests:[ root ]
+    ~driver:(fun e cpu ->
+      for k = 0 to e.n - 1 do
+        e.k <- k;
+        cpu.Ir.Program.exec root;
+        cpu.Ir.Program.advance 40
+      done)
+    ~fingerprint:(fun e ->
+      Workload_util.checksum (Array.map (fun d -> Workload_util.fmin d 1.0e9) e.dist))
+    ()

@@ -1,0 +1,11 @@
+(** Floyd–Warshall all-pairs shortest paths: a serial driver over k with a
+    regular two-level DOALL nest (i over j) per step — one of the paper's
+    regular benchmarks (Figs. 6, 16). *)
+
+type env = {
+  n : int;
+  dist : float array;  (** n*n row-major *)
+  mutable k : int;
+}
+
+val program : scale:float -> env Ir.Program.t

@@ -1,0 +1,43 @@
+type t = {
+  n : int;
+  in_ptr : int array;
+  in_src : int array;
+  weights : float array;
+  out_deg : int array;
+}
+
+let edges g = g.in_ptr.(g.n)
+
+let in_degree g v = g.in_ptr.(v + 1) - g.in_ptr.(v)
+
+let powerlaw ~n ~avg_deg ~alpha ~seed =
+  let rng = Sim.Sim_rng.create seed in
+  let raw = Array.init n (fun _ -> Sim.Sim_rng.zipf rng ~alpha ~n:(Stdlib.min n 100_000)) in
+  let total_raw = Array.fold_left ( + ) 0 raw in
+  let target = n * avg_deg in
+  let factor = Float.of_int target /. Float.of_int (Stdlib.max 1 total_raw) in
+  let degs =
+    Array.map (fun s -> Stdlib.max 1 (int_of_float (Float.round (Float.of_int s *. factor)))) raw
+  in
+  let in_ptr = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    in_ptr.(v + 1) <- in_ptr.(v) + degs.(v)
+  done;
+  let m = in_ptr.(n) in
+  let in_src = Array.init m (fun _ -> Sim.Sim_rng.int rng n) in
+  let weights = Array.init m (fun _ -> 1.0 +. Sim.Sim_rng.float rng 9.0) in
+  let out_deg = Array.make n 0 in
+  Array.iter (fun s -> out_deg.(s) <- out_deg.(s) + 1) in_src;
+  (* Every vertex needs at least one outgoing edge for PageRank's division. *)
+  for v = 0 to n - 1 do
+    if out_deg.(v) = 0 then out_deg.(v) <- 1
+  done;
+  { n; in_ptr; in_src; weights; out_deg }
+
+let twitter_like ~scale =
+  let n = Workload_util.scaled scale 60_000 in
+  powerlaw ~n ~avg_deg:32 ~alpha:1.8 ~seed:301
+
+let livejournal_like ~scale =
+  let n = Workload_util.scaled scale 60_000 in
+  powerlaw ~n ~avg_deg:16 ~alpha:1.5 ~seed:302

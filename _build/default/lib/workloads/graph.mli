@@ -1,0 +1,23 @@
+(** CSR graphs (incoming edges, for GraphIt's DensePull direction) and a
+    power-law generator substituting the paper's Twitter and LiveJournal
+    inputs with the same degree skew (DESIGN.md). *)
+
+type t = {
+  n : int;
+  in_ptr : int array;  (** n+1 *)
+  in_src : int array;  (** source vertex per incoming edge *)
+  weights : float array;  (** per incoming edge *)
+  out_deg : int array;
+}
+
+val edges : t -> int
+
+val in_degree : t -> int -> int
+
+val powerlaw : n:int -> avg_deg:int -> alpha:float -> seed:int -> t
+(** Zipf in-degrees rescaled to [avg_deg], uniform random sources. *)
+
+val twitter_like : scale:float -> t
+(** Heavy-tailed, higher average degree. *)
+
+val livejournal_like : scale:float -> t

@@ -1,0 +1,345 @@
+type common = {
+  g : Graph.t;
+  rank : float array;
+  rank_next : float array;
+  parent : int array;
+  label : int array;
+  dist : float array;
+  delta : float array;
+  active : bool array;
+  active_next : bool array;
+  latent : float array;
+  latent_next : float array;
+  mutable round : int;
+  mutable changed : int;
+}
+
+let dst_ord = 0
+
+let edge_ord = 1
+
+let latent_k = 8
+
+let make_common g =
+  let n = g.Graph.n in
+  {
+    g;
+    rank = Array.make n (1.0 /. Float.of_int n);
+    rank_next = Array.make n 0.0;
+    parent = Array.make n (-1);
+    label = Array.init n (fun v -> v);
+    dist = Array.make n Float.infinity;
+    delta = Array.make n 1.0;
+    active = Array.make n true;
+    active_next = Array.make n false;
+    latent = Array.init (n * latent_k) (fun i -> Float.of_int ((i * 37 mod 101) + 1) /. 101.0);
+    latent_next = Array.make (n * latent_k) 0.0;
+    round = 0;
+    changed = 0;
+  }
+
+let edge_bounds ?(skip = fun _ _ -> false) () =
+ fun e (ctxs : Ir.Ctx.set) ->
+  let dst = ctxs.(dst_ord).Ir.Ctx.lo in
+  if skip e dst then (0, 0) else (e.g.Graph.in_ptr.(dst), e.g.Graph.in_ptr.(dst + 1))
+
+let dst_nest ~name ~edge_loop ~tail =
+  Ir.Nest.loop ~name ~bytes_per_iter:16
+    ~bounds:(fun e _ -> (0, e.g.Graph.n))
+    [ Ir.Nest.Nested edge_loop; Ir.Nest.stmt ~name:(name ^ "_apply") tail ]
+
+let int_min_reduction =
+  ( (fun (l : Ir.Locals.t) -> l.Ir.Locals.ints.(0) <- max_int),
+    fun (dst : Ir.Locals.t) (src : Ir.Locals.t) ->
+      dst.Ir.Locals.ints.(0) <- Stdlib.min dst.Ir.Locals.ints.(0) src.Ir.Locals.ints.(0) )
+
+let float_min_reduction =
+  ( (fun (l : Ir.Locals.t) -> l.Ir.Locals.floats.(0) <- Float.infinity),
+    fun (dst : Ir.Locals.t) (src : Ir.Locals.t) ->
+      dst.Ir.Locals.floats.(0) <- Workload_util.fmin dst.Ir.Locals.floats.(0) src.Ir.Locals.floats.(0)
+  )
+
+let float_sum_reduction =
+  ( (fun (l : Ir.Locals.t) -> l.Ir.Locals.floats.(0) <- 0.0),
+    fun (dst : Ir.Locals.t) (src : Ir.Locals.t) ->
+      dst.Ir.Locals.floats.(0) <- dst.Ir.Locals.floats.(0) +. src.Ir.Locals.floats.(0) )
+
+let rounds_driver ~max_rounds ~until_quiet nest prepare finalize e (cpu : _ Ir.Program.cpu) =
+  let continue_ = ref true in
+  while !continue_ do
+    e.changed <- 0;
+    prepare e;
+    cpu.Ir.Program.exec nest;
+    finalize e;
+    cpu.Ir.Program.advance (2 * e.g.Graph.n);
+    e.round <- e.round + 1;
+    if e.round >= max_rounds || (until_quiet && e.changed = 0) then continue_ := false
+  done
+
+(* --------------------------- bfs --------------------------------- *)
+
+let bfs_program g_make name =
+  let init_, combine = int_min_reduction in
+  let edge_loop =
+    Ir.Nest.loop ~name:(name ^ "_edges") ~bytes_per_iter:6
+      ~locals_spec:{ Ir.Locals.nfloats = 0; nints = 1 }
+      ~init:(fun _ l -> init_ l)
+      ~reduction:combine
+      ~bounds:(edge_bounds ~skip:(fun e dst -> e.parent.(dst) >= 0) ())
+      [
+        Ir.Nest.stmt ~name:"scan" (fun e ctxs k ->
+            let src = e.g.Graph.in_src.(k) in
+            if e.active.(src) then begin
+              let l = ctxs.(edge_ord).Ir.Ctx.locals in
+              if src < l.Ir.Locals.ints.(0) then l.Ir.Locals.ints.(0) <- src
+            end;
+            5);
+      ]
+  in
+  let nest =
+    dst_nest ~name:(name ^ "_dst") ~edge_loop ~tail:(fun e ctxs dst ->
+        let found = ctxs.(edge_ord).Ir.Ctx.locals.Ir.Locals.ints.(0) in
+        if e.parent.(dst) < 0 && found < max_int then begin
+          e.parent.(dst) <- found;
+          e.active_next.(dst) <- true;
+          e.changed <- e.changed + 1
+        end;
+        8)
+  in
+  Ir.Program.v ~name
+    ~make_env:(fun () ->
+      let e = make_common (g_make ()) in
+      Array.fill e.active 0 e.g.Graph.n false;
+      e.active.(0) <- true;
+      e.parent.(0) <- 0;
+      e)
+    ~nests:[ nest ]
+    ~driver:
+      (rounds_driver ~max_rounds:24 ~until_quiet:true nest
+         (fun e -> Array.fill e.active_next 0 e.g.Graph.n false)
+         (fun e -> Array.blit e.active_next 0 e.active 0 e.g.Graph.n))
+    ~fingerprint:(fun e -> Workload_util.checksum_int e.parent)
+    ()
+
+(* --------------------------- cc ---------------------------------- *)
+
+let cc_program g_make name =
+  let init_, combine = int_min_reduction in
+  let edge_loop =
+    Ir.Nest.loop ~name:(name ^ "_edges") ~bytes_per_iter:6
+      ~locals_spec:{ Ir.Locals.nfloats = 0; nints = 1 }
+      ~init:(fun _ l -> init_ l)
+      ~reduction:combine ~bounds:(edge_bounds ())
+      [
+        Ir.Nest.stmt ~name:"min_label" (fun e ctxs k ->
+            let src = e.g.Graph.in_src.(k) in
+            let l = ctxs.(edge_ord).Ir.Ctx.locals in
+            if e.label.(src) < l.Ir.Locals.ints.(0) then l.Ir.Locals.ints.(0) <- e.label.(src);
+            4);
+      ]
+  in
+  let nest =
+    dst_nest ~name:(name ^ "_dst") ~edge_loop ~tail:(fun e ctxs dst ->
+        let m = ctxs.(edge_ord).Ir.Ctx.locals.Ir.Locals.ints.(0) in
+        let m = Stdlib.min m e.label.(dst) in
+        (* Synchronous label propagation: the new labels are staged in the
+           (otherwise unused) rank_next buffer and installed by the driver,
+           keeping rounds deterministic. *)
+        if m < e.label.(dst) then e.changed <- e.changed + 1;
+        e.rank_next.(dst) <- Float.of_int m;
+        10)
+  in
+  Ir.Program.v ~name
+    ~make_env:(fun () -> make_common (g_make ()))
+    ~nests:[ nest ]
+    ~driver:
+      (rounds_driver ~max_rounds:10 ~until_quiet:true nest
+         (fun _ -> ())
+         (fun e ->
+           for v = 0 to e.g.Graph.n - 1 do
+             e.label.(v) <- int_of_float e.rank_next.(v)
+           done))
+    ~fingerprint:(fun e -> Workload_util.checksum_int e.label)
+    ()
+
+(* --------------------------- pr ---------------------------------- *)
+
+let pr_program g_make name =
+  let init_, combine = float_sum_reduction in
+  let edge_loop =
+    Ir.Nest.loop ~name:(name ^ "_edges") ~bytes_per_iter:8
+      ~locals_spec:{ Ir.Locals.nfloats = 1; nints = 0 }
+      ~init:(fun _ l -> init_ l)
+      ~reduction:combine ~bounds:(edge_bounds ())
+      [
+        Ir.Nest.stmt ~name:"gather" (fun e ctxs k ->
+            let src = e.g.Graph.in_src.(k) in
+            let l = ctxs.(edge_ord).Ir.Ctx.locals in
+            l.Ir.Locals.floats.(0) <-
+              l.Ir.Locals.floats.(0) +. (e.rank.(src) /. Float.of_int e.g.Graph.out_deg.(src));
+            6);
+      ]
+  in
+  let nest =
+    dst_nest ~name:(name ^ "_dst") ~edge_loop ~tail:(fun e ctxs dst ->
+        let sum = ctxs.(edge_ord).Ir.Ctx.locals.Ir.Locals.floats.(0) in
+        e.rank_next.(dst) <- (0.15 /. Float.of_int e.g.Graph.n) +. (0.85 *. sum);
+        12)
+  in
+  Ir.Program.v ~name
+    ~make_env:(fun () -> make_common (g_make ()))
+    ~nests:[ nest ]
+    ~driver:
+      (rounds_driver ~max_rounds:5 ~until_quiet:false nest
+         (fun _ -> ())
+         (fun e -> Array.blit e.rank_next 0 e.rank 0 e.g.Graph.n))
+    ~fingerprint:(fun e -> Workload_util.checksum e.rank)
+    ()
+
+(* --------------------------- pr-delta ----------------------------- *)
+
+let pr_delta_program g_make name =
+  let init_, combine = float_sum_reduction in
+  let edge_loop =
+    Ir.Nest.loop ~name:(name ^ "_edges") ~bytes_per_iter:8
+      ~locals_spec:{ Ir.Locals.nfloats = 1; nints = 0 }
+      ~init:(fun _ l -> init_ l)
+      ~reduction:combine
+      ~bounds:(edge_bounds ~skip:(fun e dst -> not e.active.(dst)) ())
+      [
+        Ir.Nest.stmt ~name:"gather" (fun e ctxs k ->
+            let src = e.g.Graph.in_src.(k) in
+            let l = ctxs.(edge_ord).Ir.Ctx.locals in
+            l.Ir.Locals.floats.(0) <-
+              l.Ir.Locals.floats.(0) +. (e.rank.(src) /. Float.of_int e.g.Graph.out_deg.(src));
+            6);
+      ]
+  in
+  let nest =
+    dst_nest ~name:(name ^ "_dst") ~edge_loop ~tail:(fun e ctxs dst ->
+        if e.active.(dst) then begin
+          let sum = ctxs.(edge_ord).Ir.Ctx.locals.Ir.Locals.floats.(0) in
+          let fresh = (0.15 /. Float.of_int e.g.Graph.n) +. (0.85 *. sum) in
+          e.delta.(dst) <- Float.abs (fresh -. e.rank.(dst));
+          e.rank_next.(dst) <- fresh;
+          (* Vertices whose rank still moves stay in the active set: the
+             shrinking-frontier irregularity of GraphIt's PageRankDelta. *)
+          if e.delta.(dst) > 1e-7 then begin
+            e.active_next.(dst) <- true;
+            e.changed <- e.changed + 1
+          end
+        end
+        else e.rank_next.(dst) <- e.rank.(dst);
+        14)
+  in
+  Ir.Program.v ~name
+    ~make_env:(fun () -> make_common (g_make ()))
+    ~nests:[ nest ]
+    ~driver:
+      (rounds_driver ~max_rounds:8 ~until_quiet:true nest
+         (fun e -> Array.fill e.active_next 0 e.g.Graph.n false)
+         (fun e ->
+           Array.blit e.rank_next 0 e.rank 0 e.g.Graph.n;
+           Array.blit e.active_next 0 e.active 0 e.g.Graph.n))
+    ~fingerprint:(fun e -> Workload_util.checksum e.rank)
+    ()
+
+(* --------------------------- sssp --------------------------------- *)
+
+let sssp_program g_make name =
+  let init_, combine = float_min_reduction in
+  let edge_loop =
+    Ir.Nest.loop ~name:(name ^ "_edges") ~bytes_per_iter:12
+      ~locals_spec:{ Ir.Locals.nfloats = 1; nints = 0 }
+      ~init:(fun _ l -> init_ l)
+      ~reduction:combine ~bounds:(edge_bounds ())
+      [
+        Ir.Nest.stmt ~name:"relax" (fun e ctxs k ->
+            let src = e.g.Graph.in_src.(k) in
+            let l = ctxs.(edge_ord).Ir.Ctx.locals in
+            let cand = e.dist.(src) +. e.g.Graph.weights.(k) in
+            if cand < l.Ir.Locals.floats.(0) then l.Ir.Locals.floats.(0) <- cand;
+            6);
+      ]
+  in
+  let nest =
+    dst_nest ~name:(name ^ "_dst") ~edge_loop ~tail:(fun e ctxs dst ->
+        let m = ctxs.(edge_ord).Ir.Ctx.locals.Ir.Locals.floats.(0) in
+        if m < e.dist.(dst) then begin
+          e.rank_next.(dst) <- m;
+          e.changed <- e.changed + 1
+        end
+        else e.rank_next.(dst) <- e.dist.(dst);
+        10)
+  in
+  Ir.Program.v ~name
+    ~make_env:(fun () ->
+      let e = make_common (g_make ()) in
+      e.dist.(0) <- 0.0;
+      e)
+    ~nests:[ nest ]
+    ~driver:
+      (rounds_driver ~max_rounds:8 ~until_quiet:true nest
+         (fun _ -> ())
+         (fun e -> Array.blit e.rank_next 0 e.dist 0 e.g.Graph.n))
+    ~fingerprint:(fun e ->
+      Workload_util.checksum (Array.map (fun d -> Workload_util.fmin d 1.0e9) e.dist))
+    ()
+
+(* --------------------------- cf ----------------------------------- *)
+
+let cf_program g_make name =
+  let edge_loop =
+    Ir.Nest.loop ~name:(name ^ "_edges") ~bytes_per_iter:48
+      ~locals_spec:{ Ir.Locals.nfloats = latent_k; nints = 0 }
+      ~init:(fun _ (l : Ir.Locals.t) -> Array.fill l.Ir.Locals.floats 0 latent_k 0.0)
+      ~reduction:(fun dst src ->
+        for c = 0 to latent_k - 1 do
+          dst.Ir.Locals.floats.(c) <- dst.Ir.Locals.floats.(c) +. src.Ir.Locals.floats.(c)
+        done)
+      ~bounds:(edge_bounds ())
+      [
+        Ir.Nest.stmt ~name:"gather_latent" (fun e ctxs k ->
+            let src = e.g.Graph.in_src.(k) in
+            let w = e.g.Graph.weights.(k) in
+            let l = ctxs.(edge_ord).Ir.Ctx.locals in
+            for c = 0 to latent_k - 1 do
+              l.Ir.Locals.floats.(c) <-
+                l.Ir.Locals.floats.(c) +. (w *. e.latent.((src * latent_k) + c))
+            done;
+            6 * latent_k);
+      ]
+  in
+  let nest =
+    dst_nest ~name:(name ^ "_dst") ~edge_loop ~tail:(fun e ctxs dst ->
+        let l = ctxs.(edge_ord).Ir.Ctx.locals in
+        let deg = Float.of_int (Stdlib.max 1 (Graph.in_degree e.g dst)) in
+        for c = 0 to latent_k - 1 do
+          e.latent_next.((dst * latent_k) + c) <-
+            (0.5 *. e.latent.((dst * latent_k) + c)) +. (0.5 *. l.Ir.Locals.floats.(c) /. deg /. 10.0)
+        done;
+        30)
+  in
+  Ir.Program.v ~name
+    ~make_env:(fun () -> make_common (g_make ()))
+    ~nests:[ nest ]
+    ~driver:
+      (rounds_driver ~max_rounds:2 ~until_quiet:false nest
+         (fun _ -> ())
+         (fun e -> Array.blit e.latent_next 0 e.latent 0 (e.g.Graph.n * latent_k)))
+    ~fingerprint:(fun e -> Workload_util.checksum e.latent)
+    ()
+
+(* --------------------------- entry points ------------------------- *)
+
+let bfs ~scale = bfs_program (fun () -> Graph.twitter_like ~scale) "bfs"
+
+let cc ~scale = cc_program (fun () -> Graph.twitter_like ~scale) "cc"
+
+let pr ~scale = pr_program (fun () -> Graph.twitter_like ~scale) "pr"
+
+let pr_delta ~scale = pr_delta_program (fun () -> Graph.livejournal_like ~scale) "pr-delta"
+
+let sssp ~scale = sssp_program (fun () -> Graph.livejournal_like ~scale) "sssp"
+
+let cf ~scale = cf_program (fun () -> Graph.livejournal_like ~scale) "cf"

@@ -1,0 +1,34 @@
+(** The six GraphIt benchmarks of the paper (DensePull direction): each
+    round is a two-level DOALL nest — destination vertices over incoming
+    edges — whose inner trip count is the vertex in-degree, the source of
+    the benchmarks' heavy irregularity on power-law graphs. bfs, cc, and pr
+    run on the Twitter-like graph; cf, pr-delta, and sssp on the
+    LiveJournal-like graph, matching the paper's input assignment. *)
+
+type common = {
+  g : Graph.t;
+  rank : float array;  (** pr/pr-delta ranks, cf latents use [latent] *)
+  rank_next : float array;
+  parent : int array;  (** bfs *)
+  label : int array;  (** cc *)
+  dist : float array;  (** sssp *)
+  delta : float array;  (** pr-delta *)
+  active : bool array;
+  active_next : bool array;
+  latent : float array;  (** cf: n*k latent vectors *)
+  latent_next : float array;
+  mutable round : int;
+  mutable changed : int;
+}
+
+val bfs : scale:float -> common Ir.Program.t
+
+val cc : scale:float -> common Ir.Program.t
+
+val pr : scale:float -> common Ir.Program.t
+
+val pr_delta : scale:float -> common Ir.Program.t
+
+val sssp : scale:float -> common Ir.Program.t
+
+val cf : scale:float -> common Ir.Program.t

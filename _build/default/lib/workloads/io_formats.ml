@@ -1,0 +1,171 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let with_lines path f =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+
+let split_ws line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+(* ------------------------- MatrixMarket --------------------------- *)
+
+type mm_field = Real | Integer | Pattern
+
+type mm_symmetry = General | Symmetric
+
+let parse_mm_header line =
+  match String.lowercase_ascii line |> split_ws with
+  | [ "%%matrixmarket"; "matrix"; "coordinate"; field; symmetry ] ->
+      let field =
+        match field with
+        | "real" -> Real
+        | "integer" -> Integer
+        | "pattern" -> Pattern
+        | other -> fail "unsupported MatrixMarket field %s" other
+      in
+      let symmetry =
+        match symmetry with
+        | "general" -> General
+        | "symmetric" -> Symmetric
+        | other -> fail "unsupported MatrixMarket symmetry %s" other
+      in
+      (field, symmetry)
+  | _ -> fail "not a coordinate MatrixMarket header: %s" line
+
+let read_matrix_market path =
+  with_lines path (fun ic ->
+      let header =
+        match In_channel.input_line ic with
+        | Some l -> l
+        | None -> fail "%s: empty file" path
+      in
+      let field, symmetry = parse_mm_header header in
+      let rec dims () =
+        match In_channel.input_line ic with
+        | None -> fail "%s: missing size line" path
+        | Some l when String.length l > 0 && l.[0] = '%' -> dims ()
+        | Some l -> (
+            match split_ws l with
+            | [ r; c; n ] -> (int_of_string r, int_of_string c, int_of_string n)
+            | _ -> fail "%s: bad size line: %s" path l)
+      in
+      let rows, cols, nnz = dims () in
+      if rows <> cols then fail "%s: only square matrices are supported (%dx%d)" path rows cols;
+      let entries = ref [] in
+      let count = ref 0 in
+      (try
+         while !count < nnz do
+           match In_channel.input_line ic with
+           | None -> fail "%s: expected %d entries, found %d" path nnz !count
+           | Some l when String.length l = 0 || l.[0] = '%' -> ()
+           | Some l ->
+               (match (split_ws l, field) with
+               | [ i; j ], Pattern ->
+                   entries := (int_of_string i - 1, int_of_string j - 1, 1.0) :: !entries
+               | [ i; j; v ], (Real | Integer) ->
+                   entries := (int_of_string i - 1, int_of_string j - 1, float_of_string v) :: !entries
+               | _ -> fail "%s: bad entry line: %s" path l);
+               incr count
+         done
+       with Failure _ -> fail "%s: malformed number" path);
+      let entries =
+        match symmetry with
+        | General -> !entries
+        | Symmetric ->
+            List.concat_map (fun (i, j, v) -> if i = j then [ (i, j, v) ] else [ (i, j, v); (j, i, v) ]) !entries
+      in
+      let n = rows in
+      let sizes = Array.make n 0 in
+      List.iter
+        (fun (i, j, _) ->
+          if i < 0 || i >= n || j < 0 || j >= n then fail "%s: index out of range (%d, %d)" path i j;
+          sizes.(i) <- sizes.(i) + 1)
+        entries;
+      let row_ptr = Array.make (n + 1) 0 in
+      for i = 0 to n - 1 do
+        row_ptr.(i + 1) <- row_ptr.(i) + sizes.(i)
+      done;
+      let total = row_ptr.(n) in
+      let col_ind = Array.make total 0 and vals = Array.make total 0.0 in
+      let cursor = Array.copy row_ptr in
+      List.iter
+        (fun (i, j, v) ->
+          col_ind.(cursor.(i)) <- j;
+          vals.(cursor.(i)) <- v;
+          cursor.(i) <- cursor.(i) + 1)
+        (List.rev entries);
+      { Matrix_gen.n; row_ptr; col_ind; vals })
+
+let write_matrix_market path (m : Matrix_gen.csr) =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc "%%MatrixMarket matrix coordinate real general\n";
+      Printf.fprintf oc "%% written by hbc\n";
+      Printf.fprintf oc "%d %d %d\n" m.Matrix_gen.n m.Matrix_gen.n (Matrix_gen.nnz m);
+      for i = 0 to m.Matrix_gen.n - 1 do
+        for k = m.Matrix_gen.row_ptr.(i) to m.Matrix_gen.row_ptr.(i + 1) - 1 do
+          Printf.fprintf oc "%d %d %.17g\n" (i + 1) (m.Matrix_gen.col_ind.(k) + 1) m.Matrix_gen.vals.(k)
+        done
+      done)
+
+(* --------------------------- edge lists --------------------------- *)
+
+let read_edge_list ?(default_weight = 1.0) path =
+  with_lines path (fun ic ->
+      let edges = ref [] in
+      let max_id = ref (-1) in
+      let rec go () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some l ->
+            (if String.length l > 0 && l.[0] <> '#' then
+               match split_ws l with
+               | [] -> ()
+               | [ s; d ] ->
+                   let s = int_of_string s and d = int_of_string d in
+                   max_id := Stdlib.max !max_id (Stdlib.max s d);
+                   edges := (s, d, default_weight) :: !edges
+               | [ s; d; w ] ->
+                   let s = int_of_string s and d = int_of_string d in
+                   max_id := Stdlib.max !max_id (Stdlib.max s d);
+                   edges := (s, d, float_of_string w) :: !edges
+               | _ -> fail "%s: bad edge line: %s" path l);
+            go ()
+      in
+      (try go () with Failure _ -> fail "%s: malformed number" path);
+      let n = !max_id + 1 in
+      if n <= 0 then fail "%s: no edges" path;
+      let in_deg = Array.make n 0 in
+      List.iter (fun (_, d, _) -> in_deg.(d) <- in_deg.(d) + 1) !edges;
+      let in_ptr = Array.make (n + 1) 0 in
+      for v = 0 to n - 1 do
+        in_ptr.(v + 1) <- in_ptr.(v) + in_deg.(v)
+      done;
+      let m = in_ptr.(n) in
+      let in_src = Array.make m 0 and weights = Array.make m 0.0 in
+      let cursor = Array.copy in_ptr in
+      List.iter
+        (fun (s, d, w) ->
+          in_src.(cursor.(d)) <- s;
+          weights.(cursor.(d)) <- w;
+          cursor.(d) <- cursor.(d) + 1)
+        (List.rev !edges);
+      let out_deg = Array.make n 0 in
+      Array.iter (fun s -> out_deg.(s) <- out_deg.(s) + 1) in_src;
+      for v = 0 to n - 1 do
+        if out_deg.(v) = 0 then out_deg.(v) <- 1
+      done;
+      { Graph.n; in_ptr; in_src; weights; out_deg })
+
+let write_edge_list path (g : Graph.t) =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      Printf.fprintf oc "# %d vertices, %d edges (src dst weight)\n" g.Graph.n (Graph.edges g);
+      for dst = 0 to g.Graph.n - 1 do
+        for k = g.Graph.in_ptr.(dst) to g.Graph.in_ptr.(dst + 1) - 1 do
+          Printf.fprintf oc "%d %d %.17g\n" g.Graph.in_src.(k) dst g.Graph.weights.(k)
+        done
+      done)

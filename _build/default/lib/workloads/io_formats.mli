@@ -1,0 +1,28 @@
+(** Readers and writers for the standard exchange formats of the paper's
+    input collections, so real inputs (SuiteSparse .mtx matrices, SNAP edge
+    lists) can be dropped in for the synthetic generators.
+
+    MatrixMarket: the coordinate format of the SuiteSparse collection
+    (cage15 in the paper). Supports [real], [integer], and [pattern] fields,
+    [general] and [symmetric] symmetry (mirrored on read), 1-based indices,
+    '%' comments.
+
+    Edge lists: SNAP's whitespace-separated "src dst [weight]" lines with
+    '#' comments (Twitter/LiveJournal in the paper); read as incoming-edge
+    CSR for the DensePull kernels. *)
+
+exception Parse_error of string
+(** Raised with a message naming the offending line. *)
+
+val read_matrix_market : string -> Matrix_gen.csr
+(** Read a square sparse matrix from a .mtx file.
+    @raise Parse_error on malformed input. *)
+
+val write_matrix_market : string -> Matrix_gen.csr -> unit
+(** Write in coordinate/real/general form (round-trips with the reader). *)
+
+val read_edge_list : ?default_weight:float -> string -> Graph.t
+(** Read a graph from an edge-list file; vertex ids may be sparse (the graph
+    is sized by the maximum id + 1). *)
+
+val write_edge_list : string -> Graph.t -> unit

@@ -1,0 +1,111 @@
+type env = {
+  n : int;
+  k : int;
+  d : int;
+  points : float array;
+  centers : float array;
+  assignment : int array;
+  sums : float array;
+  counts : int array;
+  iterations : int;
+}
+
+let update_nest_name = "kmeans_update"
+
+let assign_cost e = (e.k * e.d * 3) + 12
+
+let update_cost = 5
+
+let assign_nest () =
+  Ir.Nest.loop ~name:"kmeans_assign" ~bytes_per_iter:36
+    ~bounds:(fun e _ -> (0, e.n))
+    [
+      Ir.Nest.stmt ~name:"nearest" (fun e _ p ->
+          let best = ref 0 and best_d = ref Float.infinity in
+          for c = 0 to e.k - 1 do
+            let acc = ref 0.0 in
+            for j = 0 to e.d - 1 do
+              let diff = e.points.((p * e.d) + j) -. e.centers.((c * e.d) + j) in
+              acc := !acc +. (diff *. diff)
+            done;
+            if !acc < !best_d then begin
+              best_d := !acc;
+              best := c
+            end
+          done;
+          e.assignment.(p) <- !best;
+          assign_cost e);
+    ]
+
+(* Per-task partial sums and counts live in the loop's locals; the reduction
+   merges sibling slices, the commit publishes into the environment. *)
+let update_nest ~k ~d =
+  let nf = k * d and ni = k in
+  Ir.Nest.loop ~name:update_nest_name ~bytes_per_iter:36
+    ~locals_spec:{ Ir.Locals.nfloats = nf; nints = ni }
+    ~init:(fun _ (l : Ir.Locals.t) ->
+      Array.fill l.Ir.Locals.floats 0 nf 0.0;
+      Array.fill l.Ir.Locals.ints 0 ni 0)
+    ~reduction:(fun dst src ->
+      for i = 0 to nf - 1 do
+        dst.Ir.Locals.floats.(i) <- dst.Ir.Locals.floats.(i) +. src.Ir.Locals.floats.(i)
+      done;
+      for i = 0 to ni - 1 do
+        dst.Ir.Locals.ints.(i) <- dst.Ir.Locals.ints.(i) + src.Ir.Locals.ints.(i)
+      done)
+    ~commit:(fun e (ctxs : Ir.Ctx.set) ->
+      let l = ctxs.(0).Ir.Ctx.locals in
+      Array.blit l.Ir.Locals.floats 0 e.sums 0 nf;
+      Array.blit l.Ir.Locals.ints 0 e.counts 0 ni)
+    ~bounds:(fun e _ -> (0, e.n))
+    [
+      Ir.Nest.stmt ~name:"accumulate" (fun e (ctxs : Ir.Ctx.set) p ->
+          let l = ctxs.(0).Ir.Ctx.locals in
+          let c = e.assignment.(p) in
+          for j = 0 to e.d - 1 do
+            l.Ir.Locals.floats.((c * e.d) + j) <-
+              l.Ir.Locals.floats.((c * e.d) + j) +. e.points.((p * e.d) + j)
+          done;
+          l.Ir.Locals.ints.(c) <- l.Ir.Locals.ints.(c) + 1;
+          update_cost);
+    ]
+
+let program ~scale =
+  let n = Workload_util.scaled scale 120_000 in
+  let k = 8 and d = 4 in
+  let assign = assign_nest () in
+  let update = update_nest ~k ~d in
+  Ir.Program.v ~name:"kmeans" ~regularity:`Regular
+    ~omp_serial_nests:[ update_nest_name ]
+    ~make_env:(fun () ->
+      let rng = Sim.Sim_rng.create 31 in
+      let points = Array.init (n * d) (fun _ -> Sim.Sim_rng.float rng 10.0) in
+      let centers = Array.init (k * d) (fun _ -> Sim.Sim_rng.float rng 10.0) in
+      {
+        n;
+        k;
+        d;
+        points;
+        centers;
+        assignment = Array.make n 0;
+        sums = Array.make (k * d) 0.0;
+        counts = Array.make k 0;
+        iterations = 3;
+      })
+    ~nests:[ assign; update ]
+    ~driver:(fun e cpu ->
+      for _ = 1 to e.iterations do
+        cpu.Ir.Program.exec assign;
+        cpu.Ir.Program.exec update;
+        (* Recompute the centers from the reduced sums: serial driver work. *)
+        for c = 0 to e.k - 1 do
+          if e.counts.(c) > 0 then
+            for j = 0 to e.d - 1 do
+              e.centers.((c * e.d) + j) <-
+                e.sums.((c * e.d) + j) /. Float.of_int e.counts.(c)
+            done
+        done;
+        cpu.Ir.Program.advance (e.k * e.d * 4)
+      done)
+    ~fingerprint:(fun e -> Workload_util.checksum e.centers +. Workload_util.checksum_int e.assignment)
+    ()

@@ -1,0 +1,24 @@
+(** K-means clustering (Rodinia-style, the TPAL benchmark set).
+
+    Each of the fixed iterations runs two nests: the assignment loop (DOALL
+    over points) and the center-update loop (DOALL over points with an
+    array reduction over per-cluster sums and counts). The original Rodinia
+    OpenMP code leaves the update reduction sequential on the main thread —
+    declared via [omp_serial_nests] — which is why HBC beats OpenMP static
+    by >50% on this benchmark (Sec. 6.8). *)
+
+type env = {
+  n : int;
+  k : int;
+  d : int;
+  points : float array;  (** n*d *)
+  centers : float array;  (** k*d *)
+  assignment : int array;
+  sums : float array;  (** k*d, refreshed per iteration *)
+  counts : int array;  (** k *)
+  iterations : int;
+}
+
+val program : scale:float -> env Ir.Program.t
+
+val update_nest_name : string

@@ -1,0 +1,104 @@
+type view = {
+  x0 : float;
+  y0 : float;
+  x1 : float;
+  y1 : float;
+  max_iters : int;
+  width : int;
+  height : int;
+}
+
+type env = { mutable view : view; out : int array; mutable runs : int }
+
+let input1 ~scale =
+  let w = Workload_util.scaled_dim scale 256 ~dims:2 in
+  {
+    x0 = -0.7463;
+    y0 = 0.1102;
+    x1 = -0.7453;
+    y1 = 0.1112;
+    max_iters = 1500;
+    width = w;
+    height = w;
+  }
+
+let input2 ~scale =
+  (* Entirely outside the set: every pixel escapes within a couple of
+     iterations, so per-pixel latency is tens of cycles and only large
+     chunks amortize the poll. *)
+  let w = Workload_util.scaled_dim scale 256 ~dims:2 in
+  { x0 = -3.5; y0 = -3.0; x1 = -2.5; y1 = -2.0; max_iters = 24; width = w; height = w }
+
+let classic ~scale =
+  (* The paper's input uses a 40k iteration cap: single interior pixels are
+     huge, so whole rows dwarf a fair per-core share and row-granular
+     scheduling cannot balance them. Scaled-down equivalent. *)
+  let w = Workload_util.scaled_dim scale 256 ~dims:2 in
+  { x0 = -1.5; y0 = -0.95; x1 = 0.4; y1 = 0.95; max_iters = 2_000; width = w; height = w }
+
+let escape_iterations v ~px ~py =
+  let cx = v.x0 +. ((v.x1 -. v.x0) *. Float.of_int px /. Float.of_int v.width) in
+  let cy = v.y0 +. ((v.y1 -. v.y0) *. Float.of_int py /. Float.of_int v.height) in
+  let rec go zx zy k =
+    if k >= v.max_iters then k
+    else begin
+      let zx2 = zx *. zx and zy2 = zy *. zy in
+      if zx2 +. zy2 > 4.0 then k
+      else go (zx2 -. zy2 +. cx) ((2.0 *. zx *. zy) +. cy) (k + 1)
+    end
+  in
+  go 0.0 0.0 0
+
+let row_ord = 0
+
+let cost_of_iters k = 10 + (14 * k)
+
+let nest () =
+  let col_loop =
+    Ir.Nest.loop ~name:"mandelbrot_col"
+      ~bounds:(fun e _ -> (0, e.view.width))
+      [
+        Ir.Nest.stmt ~name:"pixel" (fun e (ctxs : Ir.Ctx.set) px ->
+            let py = ctxs.(row_ord).Ir.Ctx.lo in
+            let k = escape_iterations e.view ~px ~py in
+            e.out.((py * e.view.width) + px) <- k;
+            cost_of_iters k);
+      ]
+  in
+  Ir.Nest.loop ~name:"mandelbrot_row"
+    ~bounds:(fun e _ -> (0, e.view.height))
+    [ Ir.Nest.Nested col_loop ]
+
+let fingerprint e =
+  let acc = ref 0.0 in
+  let n = e.view.width * e.view.height in
+  for i = 0 to n - 1 do
+    let w = 1.0 +. (Float.of_int ((i * 2654435761) land 1023) /. 1024.0) in
+    acc := !acc +. (Float.of_int e.out.(i) *. w)
+  done;
+  !acc +. (Float.of_int e.runs *. 0.5)
+
+let program_of_views ~name views =
+  let root = nest () in
+  let max_pixels =
+    List.fold_left (fun acc v -> Stdlib.max acc (v.width * v.height)) 0 views
+  in
+  let first = List.hd views in
+  Ir.Program.v ~name
+    ~make_env:(fun () -> { view = first; out = Array.make max_pixels 0; runs = 0 })
+    ~nests:[ root ]
+    ~driver:(fun e cpu ->
+      List.iter
+        (fun v ->
+          e.view <- v;
+          cpu.Ir.Program.exec root;
+          e.runs <- e.runs + 1;
+          cpu.Ir.Program.advance 2_000)
+        views)
+    ~fingerprint ()
+
+let program_of_view ~name view = program_of_views ~name [ view ]
+
+let program ~scale = program_of_view ~name:"mandelbrot" (classic ~scale)
+
+let repeated ~scale:_ ~views = program_of_views ~name:"mandelbrot-repeated" views

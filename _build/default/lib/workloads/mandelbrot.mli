@@ -1,0 +1,45 @@
+(** Mandelbrot escape-time rendering: a two-level DOALL nest (rows over
+    columns) whose per-pixel latency is the escape iteration count — the
+    paper's canonical input-sensitive workload (Figs. 10 and 11).
+
+    [view] describes one input: the complex-plane window and the iteration
+    cap. [input1] (a deep zoom on the set boundary with a high cap) has
+    high, wildly varying per-pixel latency; [input2] (a wide view with a low
+    cap) is cheap everywhere. *)
+
+type view = {
+  x0 : float;
+  y0 : float;
+  x1 : float;
+  y1 : float;
+  max_iters : int;
+  width : int;
+  height : int;
+}
+
+type env = {
+  mutable view : view;
+  out : int array;  (** escape iteration per pixel, row-major, max size *)
+  mutable runs : int;
+}
+
+val input1 : scale:float -> view
+(** High latency (Fig. 10's input 1). *)
+
+val input2 : scale:float -> view
+(** Low latency (Fig. 10's input 2). *)
+
+val classic : scale:float -> view
+(** The standard full-set view used for Figs. 4 and 6. *)
+
+val program_of_view : name:string -> view -> env Ir.Program.t
+
+val program : scale:float -> env Ir.Program.t
+(** The Fig. 4 / Fig. 6 benchmark. *)
+
+val repeated : scale:float -> views:view list -> env Ir.Program.t
+(** One program invoking the render nest once per view — Fig. 11's scenario
+    of an important loop repeatedly invoked with different inputs. *)
+
+val escape_iterations : view -> px:int -> py:int -> int
+(** The actual escape-time computation (also used by tests). *)

@@ -1,0 +1,63 @@
+type env = { nz : int; ny : int; nx : int; power : int; max_iters : int; out : int array }
+
+let escape_iterations e ~x ~y ~z =
+  let cx = (2.4 *. Float.of_int x /. Float.of_int e.nx) -. 1.2 in
+  let cy = (2.4 *. Float.of_int y /. Float.of_int e.ny) -. 1.2 in
+  let cz = (2.4 *. Float.of_int z /. Float.of_int e.nz) -. 1.2 in
+  let p = Float.of_int e.power in
+  let rec go zx zy zz k =
+    if k >= e.max_iters then k
+    else begin
+      let r2 = (zx *. zx) +. (zy *. zy) +. (zz *. zz) in
+      if r2 > 4.0 then k
+      else begin
+        (* White's triplex power: spherical coordinates raised to p. *)
+        let r = Float.sqrt r2 in
+        let theta = Float.atan2 (Float.sqrt ((zx *. zx) +. (zy *. zy))) zz in
+        let phi = Float.atan2 zy zx in
+        let rp = r ** p in
+        let zx' = (rp *. Float.sin (theta *. p) *. Float.cos (phi *. p)) +. cx in
+        let zy' = (rp *. Float.sin (theta *. p) *. Float.sin (phi *. p)) +. cy in
+        let zz' = (rp *. Float.cos (theta *. p)) +. cz in
+        go zx' zy' zz' (k + 1)
+      end
+    end
+  in
+  go 0.0 0.0 0.0 0
+
+let plane_ord = 0
+
+let row_ord = 1
+
+(* A triplex iteration is trigonometry-heavy: ~90 cycles each. *)
+let cost_of_iters k = 14 + (90 * k)
+
+let nest () =
+  let col_loop =
+    Ir.Nest.loop ~name:"mandelbulb_col"
+      ~bounds:(fun e _ -> (0, e.nx))
+      [
+        Ir.Nest.stmt ~name:"voxel" (fun e (ctxs : Ir.Ctx.set) x ->
+            let z = ctxs.(plane_ord).Ir.Ctx.lo and y = ctxs.(row_ord).Ir.Ctx.lo in
+            let k = escape_iterations e ~x ~y ~z in
+            e.out.((((z * e.ny) + y) * e.nx) + x) <- k;
+            cost_of_iters k);
+      ]
+  in
+  let row_loop =
+    Ir.Nest.loop ~name:"mandelbulb_row" ~bounds:(fun e _ -> (0, e.ny)) [ Ir.Nest.Nested col_loop ]
+  in
+  Ir.Nest.loop ~name:"mandelbulb_plane"
+    ~bounds:(fun e _ -> (0, e.nz))
+    [ Ir.Nest.Nested row_loop ]
+
+let program ~scale =
+  let side = Workload_util.scaled_dim scale 48 ~dims:3 in
+  let nz = 2 * side and ny = side and nx = side in
+  let root = nest () in
+  Ir.Program.v ~name:"mandelbulb"
+    ~make_env:(fun () -> { nz; ny; nx; power = 8; max_iters = 60; out = Array.make (nz * ny * nx) 0 })
+    ~nests:[ root ]
+    ~driver:(fun _ cpu -> cpu.Ir.Program.exec root)
+    ~fingerprint:(fun e -> Workload_util.checksum_int e.out)
+    ()

@@ -1,0 +1,17 @@
+(** Mandelbulb: the 3D extension of mandelbrot (White's z^8 + c triplex
+    iteration) over a voxel grid — a three-level DOALL nest (planes, rows,
+    columns), the deepest nesting in the benchmark set (Fig. 5 shows its
+    promotions span three levels). *)
+
+type env = {
+  nz : int;  (** outer planes (the paper's input has a wide outer dimension) *)
+  ny : int;
+  nx : int;
+  power : int;
+  max_iters : int;
+  out : int array;
+}
+
+val program : scale:float -> env Ir.Program.t
+
+val escape_iterations : env -> x:int -> y:int -> z:int -> int

@@ -1,0 +1,143 @@
+type csr = { n : int; row_ptr : int array; col_ind : int array; vals : float array }
+
+let nnz m = m.row_ptr.(m.n)
+
+let nnz_of_row m i = m.row_ptr.(i + 1) - m.row_ptr.(i)
+
+let of_row_sizes ~n ~sizes ~fill =
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + sizes.(i)
+  done;
+  let total = row_ptr.(n) in
+  let col_ind = Array.make total 0 in
+  let vals = Array.make total 0.0 in
+  for i = 0 to n - 1 do
+    fill i row_ptr.(i) sizes.(i) col_ind vals
+  done;
+  { n; row_ptr; col_ind; vals }
+
+let arrowhead ~n =
+  let sizes = Array.init n (fun i -> if i = 0 then n else 2) in
+  let rng = Sim.Sim_rng.create 97 in
+  of_row_sizes ~n ~sizes ~fill:(fun i base len col_ind vals ->
+      if i = 0 then
+        for k = 0 to len - 1 do
+          col_ind.(base + k) <- k;
+          vals.(base + k) <- 0.5 +. Sim.Sim_rng.float rng 1.0
+        done
+      else begin
+        col_ind.(base) <- 0;
+        vals.(base) <- 0.5 +. Sim.Sim_rng.float rng 1.0;
+        col_ind.(base + 1) <- i;
+        vals.(base + 1) <- 0.5 +. Sim.Sim_rng.float rng 1.0
+      end)
+
+let powerlaw ~reverse ~n ~avg_nnz ~seed =
+  let rng = Sim.Sim_rng.create seed in
+  let raw = Array.init n (fun _ -> Sim.Sim_rng.zipf rng ~alpha:1.35 ~n:(Stdlib.min n 50_000)) in
+  let total_raw = Array.fold_left ( + ) 0 raw in
+  let target = n * avg_nnz in
+  let factor = Float.of_int target /. Float.of_int (Stdlib.max 1 total_raw) in
+  let sizes =
+    Array.map
+      (fun s -> Stdlib.max 1 (Stdlib.min n (int_of_float (Float.round (Float.of_int s *. factor)))))
+      raw
+  in
+  Array.sort (fun a b -> if reverse then Stdlib.compare a b else Stdlib.compare b a) sizes;
+  of_row_sizes ~n ~sizes ~fill:(fun _ base len col_ind vals ->
+      for k = 0 to len - 1 do
+        col_ind.(base + k) <- Sim.Sim_rng.int rng n;
+        vals.(base + k) <- 0.5 +. Sim.Sim_rng.float rng 1.0
+      done)
+
+let random_uniform ~n ~nnz_per_row ~seed =
+  let rng = Sim.Sim_rng.create seed in
+  let sizes = Array.make n nnz_per_row in
+  of_row_sizes ~n ~sizes ~fill:(fun _ base len col_ind vals ->
+      for k = 0 to len - 1 do
+        col_ind.(base + k) <- Sim.Sim_rng.int rng n;
+        vals.(base + k) <- 0.5 +. Sim.Sim_rng.float rng 1.0
+      done)
+
+(* Append a dominant diagonal entry to every row: makes iterative solvers
+   on the synthetic matrix numerically stable (contraction-like recurrences
+   instead of divergence that amplifies float reassociation noise). *)
+let with_dominant_diagonal m =
+  let n = m.n in
+  let sizes = Array.init n (fun i -> m.row_ptr.(i + 1) - m.row_ptr.(i) + 1) in
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + sizes.(i)
+  done;
+  let total = row_ptr.(n) in
+  let col_ind = Array.make total 0 in
+  let vals = Array.make total 0.0 in
+  for i = 0 to n - 1 do
+    let src = m.row_ptr.(i) and dst = row_ptr.(i) and len = sizes.(i) - 1 in
+    let row_sum = ref 0.0 in
+    for k = 0 to len - 1 do
+      col_ind.(dst + k) <- m.col_ind.(src + k);
+      vals.(dst + k) <- m.vals.(src + k);
+      row_sum := !row_sum +. Float.abs m.vals.(src + k)
+    done;
+    col_ind.(dst + len) <- i;
+    vals.(dst + len) <- (2.0 *. !row_sum) +. 1.0
+  done;
+  { n; row_ptr; col_ind; vals }
+
+(* Symmetrize (A := M + M^T) and add a dominant diagonal: the result is
+   symmetric positive definite, the class NAS cg's conjugate gradient is
+   defined for. *)
+let symmetric_spd m =
+  let n = m.n in
+  let counts = Array.make n 1 (* diagonal slot *) in
+  for i = 0 to n - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let j = m.col_ind.(k) in
+      if j <> i then begin
+        counts.(i) <- counts.(i) + 1;
+        counts.(j) <- counts.(j) + 1
+      end
+    done
+  done;
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + counts.(i)
+  done;
+  let total = row_ptr.(n) in
+  let col_ind = Array.make total 0 in
+  let vals = Array.make total 0.0 in
+  let cursor = Array.copy row_ptr in
+  let push r c v =
+    col_ind.(cursor.(r)) <- c;
+    vals.(cursor.(r)) <- v;
+    cursor.(r) <- cursor.(r) + 1
+  in
+  for i = 0 to n - 1 do
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      let j = m.col_ind.(k) and v = m.vals.(k) in
+      if j <> i then begin
+        push i j v;
+        push j i v
+      end
+    done
+  done;
+  (* dominant diagonal in the reserved slots *)
+  for i = 0 to n - 1 do
+    let sum = ref 0.0 in
+    for k = row_ptr.(i) to cursor.(i) - 1 do
+      sum := !sum +. Float.abs vals.(k)
+    done;
+    push i i ((2.0 *. !sum) +. 1.0)
+  done;
+  { n; row_ptr; col_ind; vals }
+
+let spmv_reference m ~x ~y =
+  for i = 0 to m.n - 1 do
+    let acc = ref 0.0 in
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (m.vals.(k) *. x.(m.col_ind.(k)))
+    done;
+    y.(i) <- !acc
+  done

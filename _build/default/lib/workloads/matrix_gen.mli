@@ -1,0 +1,41 @@
+(** Sparse-matrix generators in compressed sparse-row format.
+
+    Ports of the TPAL matrix generator used by the paper for the spmv
+    inputs: the arrowhead pattern (dense first row, first column, and
+    diagonal — the classic granularity-control challenge input), a power-law
+    pattern with Zipf-distributed row lengths, and a uniform random
+    pattern. *)
+
+type csr = {
+  n : int;  (** rows *)
+  row_ptr : int array;  (** length n+1 *)
+  col_ind : int array;
+  vals : float array;
+}
+
+val nnz : csr -> int
+
+val nnz_of_row : csr -> int -> int
+
+val arrowhead : n:int -> csr
+(** Row 0 holds the dense first row; every other row holds the first-column
+    and diagonal entries. *)
+
+val powerlaw : reverse:bool -> n:int -> avg_nnz:int -> seed:int -> csr
+(** Zipf row lengths rescaled to the requested average, rows sorted longest
+    first ([reverse] sorts shortest first, the paper's powerlaw-reverse
+    input of Fig. 12). *)
+
+val random_uniform : n:int -> nnz_per_row:int -> seed:int -> csr
+(** Every row has exactly [nnz_per_row] entries: the regular input. *)
+
+val with_dominant_diagonal : csr -> csr
+(** Append a dominant diagonal entry to every row (numerical stability for
+    iterative solvers on the synthetic inputs). *)
+
+val symmetric_spd : csr -> csr
+(** [M + M^T] plus a dominant diagonal: symmetric positive definite, the
+    matrix class conjugate gradient requires (NAS cg's inputs are SPD). *)
+
+val spmv_reference : csr -> x:float array -> y:float array -> unit
+(** Straightforward sequential product, for tests. *)

@@ -1,0 +1,30 @@
+type env = { n : int; data : float array; mutable result : float }
+
+let cost_per_element = 5
+
+let nest () =
+  Ir.Nest.loop ~name:"plus_reduce" ~bytes_per_iter:8
+    ~locals_spec:{ Ir.Locals.nfloats = 1; nints = 0 }
+    ~init:(fun _ (l : Ir.Locals.t) -> l.Ir.Locals.floats.(0) <- 0.0)
+    ~reduction:(fun dst src ->
+      dst.Ir.Locals.floats.(0) <- dst.Ir.Locals.floats.(0) +. src.Ir.Locals.floats.(0))
+    ~commit:(fun e (ctxs : Ir.Ctx.set) -> e.result <- ctxs.(0).Ir.Ctx.locals.Ir.Locals.floats.(0))
+    ~bounds:(fun e _ -> (0, e.n))
+    [
+      Ir.Nest.stmt ~name:"add" (fun e (ctxs : Ir.Ctx.set) i ->
+          let l = ctxs.(0).Ir.Ctx.locals in
+          l.Ir.Locals.floats.(0) <- l.Ir.Locals.floats.(0) +. e.data.(i);
+          cost_per_element);
+    ]
+
+let program ~scale =
+  let n = Workload_util.scaled scale 3_000_000 in
+  let root = nest () in
+  Ir.Program.v ~name:"plus-reduce-array" ~regularity:`Regular
+    ~make_env:(fun () ->
+      let rng = Sim.Sim_rng.create 41 in
+      { n; data = Array.init n (fun _ -> Sim.Sim_rng.float rng 1.0); result = 0.0 })
+    ~nests:[ root ]
+    ~driver:(fun _ cpu -> cpu.Ir.Program.exec root)
+    ~fingerprint:(fun e -> e.result)
+    ()

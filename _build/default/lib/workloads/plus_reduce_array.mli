@@ -1,0 +1,6 @@
+(** Sum of a large float array: a single flat DOALL loop with a scalar
+    reduction — the simplest, most regular TPAL benchmark. *)
+
+type env = { n : int; data : float array; mutable result : float }
+
+val program : scale:float -> env Ir.Program.t

@@ -1,0 +1,68 @@
+type entry = {
+  name : string;
+  source : string;
+  regular : bool;
+  tpal_suite : bool;
+  manual_irregular : bool;
+  tpal_chunk : int;
+  make : float -> Ir.Program.any;
+}
+
+let entry ?(regular = false) ?(tpal_suite = false) ?(manual_irregular = false) ?(tpal_chunk = 64)
+    ~name ~source make =
+  { name; source; regular; tpal_suite; manual_irregular; tpal_chunk; make }
+
+let all =
+  [
+    entry ~name:"mandelbrot" ~source:"TPAL" ~tpal_suite:true ~manual_irregular:true
+      ~tpal_chunk:4 (fun scale -> Ir.Program.Any (Mandelbrot.program ~scale));
+    entry ~name:"spmv-arrowhead" ~source:"TPAL" ~tpal_suite:true ~manual_irregular:true
+      ~tpal_chunk:128 (fun scale -> Ir.Program.Any (Spmv.arrowhead ~scale));
+    entry ~name:"spmv-powerlaw" ~source:"TPAL" ~tpal_suite:true ~manual_irregular:true
+      ~tpal_chunk:128 (fun scale -> Ir.Program.Any (Spmv.powerlaw ~scale));
+    entry ~name:"spmv-random" ~source:"TPAL" ~regular:true ~tpal_suite:true ~tpal_chunk:128
+      (fun scale -> Ir.Program.Any (Spmv.random ~scale));
+    entry ~name:"floyd-warshall" ~source:"TPAL" ~regular:true ~tpal_suite:true ~tpal_chunk:256
+      (fun scale -> Ir.Program.Any (Floyd_warshall.program ~scale));
+    entry ~name:"kmeans" ~source:"TPAL" ~regular:true ~tpal_suite:true ~tpal_chunk:256
+      (fun scale -> Ir.Program.Any (Kmeans.program ~scale));
+    entry ~name:"plus-reduce-array" ~source:"TPAL" ~regular:true ~tpal_suite:true
+      ~tpal_chunk:1024 (fun scale -> Ir.Program.Any (Plus_reduce_array.program ~scale));
+    entry ~name:"srad" ~source:"TPAL" ~regular:true ~tpal_suite:true ~tpal_chunk:128
+      (fun scale -> Ir.Program.Any (Srad.program ~scale));
+    entry ~name:"mandelbulb" ~source:"3D-mandelbrot" ~manual_irregular:true ~tpal_chunk:4
+      (fun scale -> Ir.Program.Any (Mandelbulb.program ~scale));
+    entry ~name:"cg" ~source:"NAS" ~manual_irregular:true ~tpal_chunk:128 (fun scale ->
+        Ir.Program.Any (Cg.program ~scale));
+    entry ~name:"ttv" ~source:"TACO" ~tpal_chunk:64 (fun scale ->
+        Ir.Program.Any (Ttv.program ~scale));
+    entry ~name:"ttm" ~source:"TACO" ~tpal_chunk:32 (fun scale ->
+        Ir.Program.Any (Ttm.program ~scale));
+    entry ~name:"bfs" ~source:"GraphIt" ~tpal_chunk:64 (fun scale ->
+        Ir.Program.Any (Graph_kernels.bfs ~scale));
+    entry ~name:"cc" ~source:"GraphIt" ~tpal_chunk:64 (fun scale ->
+        Ir.Program.Any (Graph_kernels.cc ~scale));
+    entry ~name:"pr" ~source:"GraphIt" ~tpal_chunk:64 (fun scale ->
+        Ir.Program.Any (Graph_kernels.pr ~scale));
+    entry ~name:"cf" ~source:"GraphIt" ~tpal_chunk:16 (fun scale ->
+        Ir.Program.Any (Graph_kernels.cf ~scale));
+    entry ~name:"pr-delta" ~source:"GraphIt" ~tpal_chunk:64 (fun scale ->
+        Ir.Program.Any (Graph_kernels.pr_delta ~scale));
+    entry ~name:"sssp" ~source:"GraphIt" ~tpal_chunk:64 (fun scale ->
+        Ir.Program.Any (Graph_kernels.sssp ~scale));
+  ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let names () = List.map (fun e -> e.name) all
+
+let irregular_set () = List.filter (fun e -> not e.regular) all
+
+let regular_set () = List.filter (fun e -> e.regular) all
+
+let tpal_set () = List.filter (fun e -> e.tpal_suite) all
+
+let manual_irregular_set () = List.filter (fun e -> e.manual_irregular) all

@@ -1,0 +1,32 @@
+(** Benchmark registry: Table 1 of the paper, with per-benchmark metadata
+    the experiments need (which figure sets a benchmark belongs to, TPAL's
+    hand-tuned static chunk size). *)
+
+type entry = {
+  name : string;
+  source : string;  (** TPAL / NAS / TACO / GraphIt / 3D-mandelbrot *)
+  regular : bool;
+  tpal_suite : bool;  (** the 8 iterative TPAL benchmarks (Figs. 6-9) *)
+  manual_irregular : bool;
+      (** the 5 hand-written irregular benchmarks of Figs. 14 and 15 *)
+  tpal_chunk : int;  (** TPAL's per-benchmark static chunk size *)
+  make : float -> Ir.Program.any;  (** scale -> program *)
+}
+
+val all : entry list
+(** In the paper's Table 1 order. *)
+
+val find : string -> entry
+(** @raise Not_found for unknown names. *)
+
+val names : unit -> string list
+
+val irregular_set : unit -> entry list
+(** The 13 irregular benchmarks of Fig. 4. *)
+
+val regular_set : unit -> entry list
+(** The 5 regular benchmarks of Fig. 16. *)
+
+val tpal_set : unit -> entry list
+
+val manual_irregular_set : unit -> entry list

@@ -1,0 +1,76 @@
+type env = {
+  matrix : Matrix_gen.csr;
+  x : float array;
+  y : float array;
+  mutable invocations : int;
+}
+
+let cost_per_nnz = 11
+
+let cost_store = 8
+
+let row_loop_ordinal = 0
+
+let col_loop_ordinal = 1
+
+let nest () =
+  let col_loop =
+    Ir.Nest.loop ~name:"spmv_col" ~bytes_per_iter:20
+      ~locals_spec:{ Ir.Locals.nfloats = 1; nints = 0 }
+      ~init:(fun _ (l : Ir.Locals.t) -> l.Ir.Locals.floats.(0) <- 0.0)
+      ~reduction:(fun dst src ->
+        dst.Ir.Locals.floats.(0) <- dst.Ir.Locals.floats.(0) +. src.Ir.Locals.floats.(0))
+      ~bounds:(fun e (ctxs : Ir.Ctx.set) ->
+        let i = ctxs.(row_loop_ordinal).Ir.Ctx.lo in
+        (e.matrix.Matrix_gen.row_ptr.(i), e.matrix.Matrix_gen.row_ptr.(i + 1)))
+      [
+        Ir.Nest.stmt ~name:"mac" (fun e ctxs j ->
+            let l = ctxs.(col_loop_ordinal).Ir.Ctx.locals in
+            l.Ir.Locals.floats.(0) <-
+              l.Ir.Locals.floats.(0)
+              +. (e.matrix.Matrix_gen.vals.(j) *. e.x.(e.matrix.Matrix_gen.col_ind.(j)));
+            cost_per_nnz);
+      ]
+  in
+  Ir.Nest.loop ~name:"spmv_row" ~bytes_per_iter:64
+    ~bounds:(fun e _ -> (0, e.matrix.Matrix_gen.n))
+    [
+      Ir.Nest.Nested col_loop;
+      Ir.Nest.stmt ~name:"store" (fun e ctxs i ->
+          e.y.(i) <- ctxs.(col_loop_ordinal).Ir.Ctx.locals.Ir.Locals.floats.(0);
+          cost_store);
+    ]
+
+let make_program ~name ~make_matrix =
+  let root = nest () in
+  Ir.Program.v ~name
+    ~make_env:(fun () ->
+      let matrix = make_matrix () in
+      let rng = Sim.Sim_rng.create 11 in
+      let x = Array.init matrix.Matrix_gen.n (fun _ -> Sim.Sim_rng.float rng 2.0) in
+      { matrix; x; y = Array.make matrix.Matrix_gen.n 0.0; invocations = 0 })
+    ~nests:[ root ]
+    ~driver:(fun e cpu ->
+      e.invocations <- e.invocations + 1;
+      cpu.Ir.Program.exec root)
+    ~fingerprint:(fun e -> Workload_util.checksum e.y)
+    ()
+
+let arrowhead ~scale =
+  let n = Workload_util.scaled scale 300_000 in
+  make_program ~name:"spmv-arrowhead" ~make_matrix:(fun () -> Matrix_gen.arrowhead ~n)
+
+let powerlaw ~scale =
+  let n = Workload_util.scaled scale 120_000 in
+  make_program ~name:"spmv-powerlaw" ~make_matrix:(fun () ->
+      Matrix_gen.powerlaw ~reverse:false ~n ~avg_nnz:20 ~seed:5)
+
+let powerlaw_reverse ~scale =
+  let n = Workload_util.scaled scale 120_000 in
+  make_program ~name:"spmv-powerlaw-reverse" ~make_matrix:(fun () ->
+      Matrix_gen.powerlaw ~reverse:true ~n ~avg_nnz:20 ~seed:5)
+
+let random ~scale =
+  let n = Workload_util.scaled scale 50_000 in
+  make_program ~name:"spmv-random" ~make_matrix:(fun () ->
+      Matrix_gen.random_uniform ~n ~nnz_per_row:48 ~seed:6)

@@ -1,0 +1,36 @@
+(** Sparse-matrix by dense-vector product, the paper's running example
+    (Fig. 1): a two-level DOALL nest (row loop over col loop) with a scalar
+    reduction in the inner loop.
+
+    Three inputs reproduce the paper's spmv variants: arrowhead (dense first
+    row makes the outer-only parallelization collapse), power-law (skewed
+    row lengths), and uniform random (the regular control). *)
+
+type env = {
+  matrix : Matrix_gen.csr;
+  x : float array;
+  y : float array;
+  mutable invocations : int;
+}
+
+val cost_per_nnz : int
+(** Simulated cycles per non-zero in the inner loop. *)
+
+val cost_store : int
+
+val make_program : name:string -> make_matrix:(unit -> Matrix_gen.csr) -> env Ir.Program.t
+(** Build an spmv program over any matrix source (also the entry point for
+    the quickstart example). *)
+
+val arrowhead : scale:float -> env Ir.Program.t
+
+val powerlaw : scale:float -> env Ir.Program.t
+
+val powerlaw_reverse : scale:float -> env Ir.Program.t
+(** Fig. 12's ascending-row-length input. *)
+
+val random : scale:float -> env Ir.Program.t
+
+val row_loop_ordinal : int
+
+val col_loop_ordinal : int

@@ -1,0 +1,117 @@
+type env = {
+  rows : int;
+  cols : int;
+  img : float array;
+  coeff : float array;
+  dn : float array;
+  ds : float array;
+  de : float array;
+  dw : float array;
+  mutable q0sqr : float;
+  iterations : int;
+  lambda : float;
+}
+
+let row_ord = 0
+
+let cost_coeff = 42
+
+let cost_update = 28
+
+let idx e i j = (i * e.cols) + j
+
+let coeff_nest () =
+  let col =
+    Ir.Nest.loop ~name:"srad_coeff_col" ~bytes_per_iter:24
+      ~bounds:(fun e _ -> (0, e.cols))
+      [
+        Ir.Nest.stmt ~name:"coeff" (fun e (ctxs : Ir.Ctx.set) j ->
+            let i = ctxs.(row_ord).Ir.Ctx.lo in
+            let c = e.img.(idx e i j) in
+            let n = if i = 0 then c else e.img.(idx e (i - 1) j) in
+            let s = if i = e.rows - 1 then c else e.img.(idx e (i + 1) j) in
+            let w = if j = 0 then c else e.img.(idx e i (j - 1)) in
+            let east = if j = e.cols - 1 then c else e.img.(idx e i (j + 1)) in
+            let dn = n -. c and ds = s -. c and dw = w -. c and de = east -. c in
+            e.dn.(idx e i j) <- dn;
+            e.ds.(idx e i j) <- ds;
+            e.dw.(idx e i j) <- dw;
+            e.de.(idx e i j) <- de;
+            let g2 = ((dn *. dn) +. (ds *. ds) +. (dw *. dw) +. (de *. de)) /. (c *. c) in
+            let l = (dn +. ds +. dw +. de) /. c in
+            let num = (0.5 *. g2) -. (0.0625 *. l *. l) in
+            let den = 1.0 +. (0.25 *. l) in
+            let qsqr = num /. (den *. den) in
+            let cden = (qsqr -. e.q0sqr) /. (e.q0sqr *. (1.0 +. e.q0sqr)) in
+            let v = 1.0 /. (1.0 +. cden) in
+            e.coeff.(idx e i j) <- (if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v);
+            cost_coeff);
+      ]
+  in
+  Ir.Nest.loop ~name:"srad_coeff_row" ~bounds:(fun e _ -> (0, e.rows)) [ Ir.Nest.Nested col ]
+
+let update_nest () =
+  let col =
+    Ir.Nest.loop ~name:"srad_update_col" ~bytes_per_iter:28
+      ~bounds:(fun e _ -> (0, e.cols))
+      [
+        Ir.Nest.stmt ~name:"update" (fun e (ctxs : Ir.Ctx.set) j ->
+            let i = ctxs.(row_ord).Ir.Ctx.lo in
+            let cc = e.coeff.(idx e i j) in
+            let cs = if i = e.rows - 1 then cc else e.coeff.(idx e (i + 1) j) in
+            let ce = if j = e.cols - 1 then cc else e.coeff.(idx e i (j + 1)) in
+            let d =
+              (cc *. e.dn.(idx e i j))
+              +. (cs *. e.ds.(idx e i j))
+              +. (cc *. e.dw.(idx e i j))
+              +. (ce *. e.de.(idx e i j))
+            in
+            e.img.(idx e i j) <- e.img.(idx e i j) +. (0.25 *. e.lambda *. d);
+            cost_update);
+      ]
+  in
+  Ir.Nest.loop ~name:"srad_update_row" ~bounds:(fun e _ -> (0, e.rows)) [ Ir.Nest.Nested col ]
+
+let program ~scale =
+  let side = Workload_util.scaled_dim scale 640 ~dims:2 in
+  let coeff = coeff_nest () and update = update_nest () in
+  Ir.Program.v ~name:"srad" ~regularity:`Regular
+    ~make_env:(fun () ->
+      let rng = Sim.Sim_rng.create 53 in
+      let npx = side * side in
+      {
+        rows = side;
+        cols = side;
+        img = Array.init npx (fun _ -> Float.exp (Sim.Sim_rng.float rng 1.0));
+        coeff = Array.make npx 0.0;
+        dn = Array.make npx 0.0;
+        ds = Array.make npx 0.0;
+        de = Array.make npx 0.0;
+        dw = Array.make npx 0.0;
+        q0sqr = 0.05;
+        iterations = 2;
+        lambda = 0.5;
+      })
+    ~nests:[ coeff; update ]
+    ~driver:(fun e cpu ->
+      for _ = 1 to e.iterations do
+        (* Global statistics over a fixed ROI, serial as in Rodinia. *)
+        let sum = ref 0.0 and sum2 = ref 0.0 in
+        let roi = Stdlib.min 64 e.rows in
+        for i = 0 to roi - 1 do
+          for j = 0 to roi - 1 do
+            let v = e.img.(idx e i j) in
+            sum := !sum +. v;
+            sum2 := !sum2 +. (v *. v)
+          done
+        done;
+        let npx = Float.of_int (roi * roi) in
+        let mean = !sum /. npx in
+        let var = (!sum2 /. npx) -. (mean *. mean) in
+        e.q0sqr <- var /. (mean *. mean);
+        cpu.Ir.Program.advance (roi * roi * 4);
+        cpu.Ir.Program.exec coeff;
+        cpu.Ir.Program.exec update
+      done)
+    ~fingerprint:(fun e -> Workload_util.checksum e.img)
+    ()

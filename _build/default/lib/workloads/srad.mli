@@ -1,0 +1,21 @@
+(** SRAD: speckle-reducing anisotropic diffusion (Rodinia), a regular
+    stencil benchmark. Each iteration computes per-pixel diffusion
+    coefficients from the four-neighbour gradients (first nest), then
+    applies the divergence update (second nest); the global statistics q0
+    come from serial driver work as in the original code. *)
+
+type env = {
+  rows : int;
+  cols : int;
+  img : float array;
+  coeff : float array;
+  dn : float array;
+  ds : float array;
+  de : float array;
+  dw : float array;
+  mutable q0sqr : float;
+  iterations : int;
+  lambda : float;
+}
+
+val program : scale:float -> env Ir.Program.t

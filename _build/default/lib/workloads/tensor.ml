@@ -1,0 +1,53 @@
+type csf = {
+  ni : int;
+  fiber_ptr : int array;
+  fiber_j : int array;
+  nnz_ptr : int array;
+  nnz_k : int array;
+  vals : float array;
+}
+
+let nfibers t = t.fiber_ptr.(t.ni)
+
+let nnz t = t.nnz_ptr.(nfibers t)
+
+let generate ~ni ~avg_fibers ~avg_nnz ~nk ~seed =
+  let rng = Sim.Sim_rng.create seed in
+  let scale_sizes raw target =
+    let total = Array.fold_left ( + ) 0 raw in
+    let f = Float.of_int target /. Float.of_int (Stdlib.max 1 total) in
+    Array.map (fun s -> Stdlib.max 1 (int_of_float (Float.round (Float.of_int s *. f)))) raw
+  in
+  let fibers_per_slice =
+    scale_sizes
+      (Array.init ni (fun _ -> Sim.Sim_rng.zipf rng ~alpha:1.4 ~n:1000))
+      (ni * avg_fibers)
+  in
+  let fiber_ptr = Array.make (ni + 1) 0 in
+  for i = 0 to ni - 1 do
+    fiber_ptr.(i + 1) <- fiber_ptr.(i) + fibers_per_slice.(i)
+  done;
+  let nf = fiber_ptr.(ni) in
+  let fiber_j = Array.init nf (fun _ -> Sim.Sim_rng.int rng 4096) in
+  let nnz_per_fiber =
+    scale_sizes (Array.init nf (fun _ -> Sim.Sim_rng.zipf rng ~alpha:1.5 ~n:500)) (nf * avg_nnz)
+  in
+  let nnz_ptr = Array.make (nf + 1) 0 in
+  for f = 0 to nf - 1 do
+    nnz_ptr.(f + 1) <- nnz_ptr.(f) + nnz_per_fiber.(f)
+  done;
+  let total = nnz_ptr.(nf) in
+  let nnz_k = Array.init total (fun _ -> Sim.Sim_rng.int rng nk) in
+  let vals = Array.init total (fun _ -> 0.5 +. Sim.Sim_rng.float rng 1.0) in
+  { ni; fiber_ptr; fiber_j; nnz_ptr; nnz_k; vals }
+
+let ttv_reference t ~v ~out =
+  for i = 0 to t.ni - 1 do
+    for f = t.fiber_ptr.(i) to t.fiber_ptr.(i + 1) - 1 do
+      let acc = ref 0.0 in
+      for e = t.nnz_ptr.(f) to t.nnz_ptr.(f + 1) - 1 do
+        acc := !acc +. (t.vals.(e) *. v.(t.nnz_k.(e)))
+      done;
+      out.(f) <- !acc
+    done
+  done

@@ -1,0 +1,23 @@
+(** Third-order sparse tensors in compressed sparse fiber (CSF) format, as
+    TACO compiles them with a dense first dimension and sparse second and
+    third dimensions. The synthetic generator substitutes the paper's NELL-2
+    input with the same kind of skew: Zipf-distributed fibers per slice and
+    non-zeros per fiber. *)
+
+type csf = {
+  ni : int;  (** dense slices *)
+  fiber_ptr : int array;  (** ni+1: fibers of slice i *)
+  fiber_j : int array;  (** j coordinate per fiber *)
+  nnz_ptr : int array;  (** nfibers+1: non-zeros of fiber f *)
+  nnz_k : int array;  (** k coordinate per non-zero *)
+  vals : float array;
+}
+
+val nfibers : csf -> int
+
+val nnz : csf -> int
+
+val generate : ni:int -> avg_fibers:int -> avg_nnz:int -> nk:int -> seed:int -> csf
+
+val ttv_reference : csf -> v:float array -> out:float array -> unit
+(** out.(fiber index) = sum_k B(i,j,k) * v(k); for tests. *)

@@ -1,0 +1,69 @@
+type env = { tensor : Tensor.csf; factor : float array; f : int; out : float array }
+
+let fiber_ord = 1
+
+let k_ord = 2
+
+let nk = 2048
+
+let fcols = 8
+
+let nest () =
+  let k_loop =
+    Ir.Nest.loop ~name:"ttm_k" ~bytes_per_iter:76
+      ~locals_spec:{ Ir.Locals.nfloats = fcols; nints = 0 }
+      ~init:(fun _ (l : Ir.Locals.t) -> Array.fill l.Ir.Locals.floats 0 fcols 0.0)
+      ~reduction:(fun dst src ->
+        for c = 0 to fcols - 1 do
+          dst.Ir.Locals.floats.(c) <- dst.Ir.Locals.floats.(c) +. src.Ir.Locals.floats.(c)
+        done)
+      ~bounds:(fun e (ctxs : Ir.Ctx.set) ->
+        let fb = ctxs.(fiber_ord).Ir.Ctx.lo in
+        (e.tensor.Tensor.nnz_ptr.(fb), e.tensor.Tensor.nnz_ptr.(fb + 1)))
+      [
+        Ir.Nest.stmt ~name:"mac_row" (fun e ctxs p ->
+            let l = ctxs.(k_ord).Ir.Ctx.locals in
+            let k = e.tensor.Tensor.nnz_k.(p) in
+            let v = e.tensor.Tensor.vals.(p) in
+            for c = 0 to e.f - 1 do
+              l.Ir.Locals.floats.(c) <- l.Ir.Locals.floats.(c) +. (v *. e.factor.((k * e.f) + c))
+            done;
+            6 * fcols);
+      ]
+  in
+  let fiber_loop =
+    Ir.Nest.loop ~name:"ttm_fiber" ~bytes_per_iter:80
+      ~bounds:(fun e (ctxs : Ir.Ctx.set) ->
+        let i = ctxs.(0).Ir.Ctx.lo in
+        (e.tensor.Tensor.fiber_ptr.(i), e.tensor.Tensor.fiber_ptr.(i + 1)))
+      [
+        Ir.Nest.Nested k_loop;
+        Ir.Nest.stmt ~name:"store_row" (fun e ctxs fb ->
+            let l = ctxs.(k_ord).Ir.Ctx.locals in
+            for c = 0 to e.f - 1 do
+              e.out.((fb * e.f) + c) <- l.Ir.Locals.floats.(c)
+            done;
+            4 * fcols);
+      ]
+  in
+  Ir.Nest.loop ~name:"ttm_slice"
+    ~bounds:(fun e _ -> (0, e.tensor.Tensor.ni))
+    [ Ir.Nest.Nested fiber_loop ]
+
+let program ~scale =
+  let ni = Workload_util.scaled scale 12_000 in
+  let root = nest () in
+  Ir.Program.v ~name:"ttm"
+    ~make_env:(fun () ->
+      let tensor = Tensor.generate ~ni ~avg_fibers:5 ~avg_nnz:8 ~nk ~seed:91 in
+      let rng = Sim.Sim_rng.create 92 in
+      {
+        tensor;
+        factor = Array.init (nk * fcols) (fun _ -> Sim.Sim_rng.float rng 1.0);
+        f = fcols;
+        out = Array.make (Tensor.nfibers tensor * fcols) 0.0;
+      })
+    ~nests:[ root ]
+    ~driver:(fun _ cpu -> cpu.Ir.Program.exec root)
+    ~fingerprint:(fun e -> Workload_util.checksum e.out)
+    ()

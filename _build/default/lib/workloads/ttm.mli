@@ -1,0 +1,12 @@
+(** TACO's tensor-times-matrix kernel A(i,j,c) = sum_k B(i,j,k) C(k,c) on a
+    CSF tensor with a dense factor matrix: like TTV but with a vector-valued
+    reduction (one accumulator per factor column) in the leaf. *)
+
+type env = {
+  tensor : Tensor.csf;
+  factor : float array;  (** nk * f, row-major *)
+  f : int;  (** factor columns *)
+  out : float array;  (** nfibers * f *)
+}
+
+val program : scale:float -> env Ir.Program.t

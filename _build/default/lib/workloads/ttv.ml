@@ -1,0 +1,60 @@
+type env = { tensor : Tensor.csf; v : float array; out : float array }
+
+let slice_ord = 0
+
+let fiber_ord = 1
+
+let k_ord = 2
+
+let nk = 4096
+
+let nest () =
+  let k_loop =
+    Ir.Nest.loop ~name:"ttv_k" ~bytes_per_iter:48
+      ~locals_spec:{ Ir.Locals.nfloats = 1; nints = 0 }
+      ~init:(fun _ (l : Ir.Locals.t) -> l.Ir.Locals.floats.(0) <- 0.0)
+      ~reduction:(fun dst src ->
+        dst.Ir.Locals.floats.(0) <- dst.Ir.Locals.floats.(0) +. src.Ir.Locals.floats.(0))
+      ~bounds:(fun e (ctxs : Ir.Ctx.set) ->
+        let f = ctxs.(fiber_ord).Ir.Ctx.lo in
+        (e.tensor.Tensor.nnz_ptr.(f), e.tensor.Tensor.nnz_ptr.(f + 1)))
+      [
+        Ir.Nest.stmt ~name:"mac" (fun e ctxs p ->
+            let l = ctxs.(k_ord).Ir.Ctx.locals in
+            l.Ir.Locals.floats.(0) <-
+              l.Ir.Locals.floats.(0) +. (e.tensor.Tensor.vals.(p) *. e.v.(e.tensor.Tensor.nnz_k.(p)));
+            11);
+      ]
+  in
+  let fiber_loop =
+    Ir.Nest.loop ~name:"ttv_fiber" ~bytes_per_iter:24
+      ~bounds:(fun e (ctxs : Ir.Ctx.set) ->
+        let i = ctxs.(slice_ord).Ir.Ctx.lo in
+        (e.tensor.Tensor.fiber_ptr.(i), e.tensor.Tensor.fiber_ptr.(i + 1)))
+      [
+        Ir.Nest.Nested k_loop;
+        Ir.Nest.stmt ~name:"store" (fun e ctxs f ->
+            e.out.(f) <- ctxs.(k_ord).Ir.Ctx.locals.Ir.Locals.floats.(0);
+            8);
+      ]
+  in
+  Ir.Nest.loop ~name:"ttv_slice"
+    ~bounds:(fun e _ -> (0, e.tensor.Tensor.ni))
+    [ Ir.Nest.Nested fiber_loop ]
+
+let program ~scale =
+  let ni = Workload_util.scaled scale 30_000 in
+  let root = nest () in
+  Ir.Program.v ~name:"ttv"
+    ~make_env:(fun () ->
+      let tensor = Tensor.generate ~ni ~avg_fibers:6 ~avg_nnz:8 ~nk ~seed:83 in
+      let rng = Sim.Sim_rng.create 84 in
+      {
+        tensor;
+        v = Array.init nk (fun _ -> Sim.Sim_rng.float rng 1.0);
+        out = Array.make (Tensor.nfibers tensor) 0.0;
+      })
+    ~nests:[ root ]
+    ~driver:(fun _ cpu -> cpu.Ir.Program.exec root)
+    ~fingerprint:(fun e -> Workload_util.checksum e.out)
+    ()

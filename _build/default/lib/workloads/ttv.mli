@@ -1,0 +1,7 @@
+(** TACO's tensor-times-vector kernel A(i,j) = sum_k B(i,j,k) v(k) on a CSF
+    tensor: a three-level DOALL nest (slices, fibers, non-zeros) with a
+    scalar reduction in the leaf. *)
+
+type env = { tensor : Tensor.csf; v : float array; out : float array }
+
+val program : scale:float -> env Ir.Program.t

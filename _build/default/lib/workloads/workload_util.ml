@@ -1,0 +1,16 @@
+let checksum a =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let w = 1.0 +. (Float.of_int ((i * 2654435761) land 1023) /. 1024.0) in
+    acc := !acc +. (a.(i) *. w)
+  done;
+  !acc
+
+let checksum_int a = checksum (Array.map Float.of_int a)
+
+let scaled s base = Stdlib.max 1 (int_of_float (Float.round (s *. Float.of_int base)))
+
+let scaled_dim s base ~dims =
+  Stdlib.max 1 (int_of_float (Float.round (Float.of_int base *. (s ** (1.0 /. Float.of_int dims)))))
+
+let fmin (a : float) b = if a < b then a else b

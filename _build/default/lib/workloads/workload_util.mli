@@ -1,0 +1,18 @@
+(** Shared helpers for benchmark construction. *)
+
+val checksum : float array -> float
+(** Position-weighted checksum of an output array: catches both wrong values
+    and values landing at wrong indices, while staying stable under the
+    floating-point reassociation of parallel reductions (relative error
+    below 1e-9 for our sizes). *)
+
+val checksum_int : int array -> float
+
+val scaled : float -> int -> int
+(** [scaled s base] is [base * s] rounded, at least 1. *)
+
+val scaled_dim : float -> int -> dims:int -> int
+(** Scale one dimension of a [dims]-dimensional grid so total volume scales
+    by [s]. *)
+
+val fmin : float -> float -> float

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Hbc_core Ir List Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_fork_join.ml: Alcotest Array Float Hbc_core List Printf QCheck QCheck_alcotest Sim

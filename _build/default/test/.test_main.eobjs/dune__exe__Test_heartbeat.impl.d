@@ -1,0 +1,1 @@
+test/test_heartbeat.ml: Alcotest Hbc_core Sim

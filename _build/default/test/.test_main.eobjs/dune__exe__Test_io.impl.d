@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Baselines Experiments Filename Fun Hbc_core List Report Sim Stdlib String Sys Workloads

@@ -1,0 +1,1 @@
+test/test_linker.ml: Alcotest Hbc_core Ir List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Atomic Domain Float Hb_parallel Printf

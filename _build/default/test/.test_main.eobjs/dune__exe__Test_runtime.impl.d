@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Baselines Float Hashtbl Hbc_core Ir List Printf QCheck QCheck_alcotest Seq Sim Stdlib Workloads

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Baselines Float Hbc_core Ir List Queue Sim Stdlib Workloads

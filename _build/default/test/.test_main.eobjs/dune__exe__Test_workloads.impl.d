@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Baselines Float Hbc_core Ir List Sim Stdlib String Workloads

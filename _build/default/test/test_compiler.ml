@@ -1,0 +1,210 @@
+(* Tests for the HBC middle-end: perfect hash, outlining, chunking plans,
+   leftover generation (Algorithms 1 and 2), task linking, pipeline. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* a(0) > b(1) > c(2); a also has a second child d(3). *)
+let nest () =
+  let c =
+    Ir.Nest.loop ~name:"c" ~bounds:(fun () _ -> (0, 4)) [ Ir.Nest.stmt ~name:"w" (fun () _ _ -> 1) ]
+  in
+  let b =
+    Ir.Nest.loop ~name:"b"
+      ~bounds:(fun () _ -> (0, 3))
+      [ Ir.Nest.Nested c; Ir.Nest.stmt ~name:"tb" (fun () _ _ -> 1) ]
+  in
+  let d =
+    Ir.Nest.loop ~name:"d" ~bounds:(fun () _ -> (0, 2)) [ Ir.Nest.stmt ~name:"wd" (fun () _ _ -> 1) ]
+  in
+  let a =
+    Ir.Nest.loop ~name:"a"
+      ~bounds:(fun () _ -> (0, 5))
+      [ Ir.Nest.Nested b; Ir.Nest.stmt ~name:"mid" (fun () _ _ -> 1); Ir.Nest.Nested d ]
+  in
+  (a, b, c, d)
+
+(* -------------------------- perfect hash -------------------------- *)
+
+let ph_basic () =
+  let keys = [ (1, 0); (2, 0); (2, 1); (7, 3) ] in
+  let t = Hbc_core.Perfect_hash.build keys in
+  List.iteri
+    (fun i k -> Alcotest.(check (option int)) "lookup" (Some i) (Hbc_core.Perfect_hash.lookup t k))
+    keys;
+  Alcotest.(check (option int)) "miss" None (Hbc_core.Perfect_hash.lookup t (9, 9))
+
+let ph_duplicate_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Perfect_hash.build: duplicate keys") (fun () ->
+      ignore (Hbc_core.Perfect_hash.build [ (1, 2); (1, 2) ]))
+
+let ph_random =
+  QCheck.Test.make ~name:"perfect hash: random key sets" ~count:200
+    QCheck.(small_list (pair (int_range 0 40) (int_range 0 40)))
+    (fun pairs ->
+      let keys = List.sort_uniq Stdlib.compare pairs in
+      let t = Hbc_core.Perfect_hash.build keys in
+      List.for_all
+        (fun k ->
+          match Hbc_core.Perfect_hash.lookup t k with
+          | Some i -> List.nth keys i = k
+          | None -> false)
+        keys)
+
+(* ---------------------------- pipeline ---------------------------- *)
+
+let pipeline_artifacts () =
+  let a, b, c, d = nest () in
+  let compiled = Hbc_core.Pipeline.compile_nest a in
+  check_int "loops" 4 (Array.length compiled.Hbc_core.Compiled.infos);
+  (* outlined: one slice function per DOALL loop *)
+  check_int "outlined" 4 (List.length compiled.Hbc_core.Compiled.outlined);
+  (* slice array resolves loop ids *)
+  let resolve l = Hbc_core.Compiled.slice_ordinal compiled l.Ir.Nest.id in
+  Alcotest.(check (option int)) "a" (Some a.Ir.Nest.ordinal) (resolve a);
+  Alcotest.(check (option int)) "b" (Some b.Ir.Nest.ordinal) (resolve b);
+  Alcotest.(check (option int)) "c" (Some c.Ir.Nest.ordinal) (resolve c);
+  Alcotest.(check (option int)) "d" (Some d.Ir.Nest.ordinal) (resolve d);
+  (* chunking on leaves only *)
+  let info o = Hbc_core.Compiled.info compiled o in
+  check_bool "c chunked" true ((info c.Ir.Nest.ordinal).Hbc_core.Compiled.chunk = Hbc_core.Compiled.Adaptive);
+  check_bool "d chunked" true ((info d.Ir.Nest.ordinal).Hbc_core.Compiled.chunk = Hbc_core.Compiled.Adaptive);
+  check_bool "a not chunked" true ((info a.Ir.Nest.ordinal).Hbc_core.Compiled.chunk = Hbc_core.Compiled.No_chunking);
+  check_bool "b not chunked" true ((info b.Ir.Nest.ordinal).Hbc_core.Compiled.chunk = Hbc_core.Compiled.No_chunking);
+  (* promotion points at every DOALL latch *)
+  Array.iter (fun i -> check_bool "prppt" true i.Hbc_core.Compiled.prppt) compiled.Hbc_core.Compiled.infos
+
+let pipeline_rejects_invalid () =
+  let bad = Ir.Nest.loop ~name:"bad" ~bounds:(fun () _ -> (0, 1)) [] in
+  check_bool "raises" true
+    (try
+       ignore (Hbc_core.Pipeline.compile_nest bad);
+       false
+     with Hbc_core.Pipeline.Compile_error _ -> true)
+
+(* ----------------------- leftover generation ---------------------- *)
+
+let leftover_pairs_leaves_only () =
+  let a, b, c, d = nest () in
+  let tree = Ir.Nesting_tree.build a in
+  let ls = Hbc_core.Leftover.generate_all ~all_pairs:false tree in
+  let pairs = List.map (fun l -> (l.Hbc_core.Compiled.li, l.Hbc_core.Compiled.lj)) ls in
+  (* Algorithm 1: leaves are c and d; ancestors of c: b, a; of d: a. *)
+  Alcotest.(check (list (pair int int)))
+    "pairs"
+    [
+      (c.Ir.Nest.ordinal, b.Ir.Nest.ordinal);
+      (c.Ir.Nest.ordinal, a.Ir.Nest.ordinal);
+      (d.Ir.Nest.ordinal, a.Ir.Nest.ordinal);
+    ]
+    pairs
+
+let leftover_pairs_all () =
+  let a, b, _, _ = nest () in
+  let tree = Ir.Nesting_tree.build a in
+  let ls = Hbc_core.Leftover.generate_all ~all_pairs:true tree in
+  (* every (loop, proper ancestor) pair: (b,a), (c,b), (c,a), (d,a) *)
+  check_int "count" 4 (List.length ls);
+  check_bool "includes (b, a)" true
+    (List.exists
+       (fun l -> l.Hbc_core.Compiled.li = b.Ir.Nest.ordinal && l.Hbc_core.Compiled.lj = a.Ir.Nest.ordinal)
+       ls)
+
+let leftover_steps_shape () =
+  let a, b, c, _ = nest () in
+  let tree = Ir.Nesting_tree.build a in
+  (* Algorithm 2 for (c, a): complete c, then tail of b after c, advance b,
+     run b's slice, finally tail of a after b. *)
+  let l = Hbc_core.Leftover.generate_one tree ~li:c.Ir.Nest.ordinal ~lj:a.Ir.Nest.ordinal in
+  let co = c.Ir.Nest.ordinal and bo = b.Ir.Nest.ordinal and ao = a.Ir.Nest.ordinal in
+  Alcotest.(check bool) "steps" true
+    (l.Hbc_core.Compiled.steps
+    = [
+        Hbc_core.Compiled.Increase_iv co;
+        Hbc_core.Compiled.Call_slice co;
+        Hbc_core.Compiled.Tail_work { of_ = bo; after = co };
+        Hbc_core.Compiled.Increase_iv bo;
+        Hbc_core.Compiled.Call_slice bo;
+        Hbc_core.Compiled.Tail_work { of_ = ao; after = bo };
+      ])
+
+let leftover_parent_pair_short () =
+  let a, b, c, _ = nest () in
+  let tree = Ir.Nesting_tree.build a in
+  let l = Hbc_core.Leftover.generate_one tree ~li:c.Ir.Nest.ordinal ~lj:b.Ir.Nest.ordinal in
+  Alcotest.(check bool) "3 steps for direct parent" true
+    (l.Hbc_core.Compiled.steps
+    = [
+        Hbc_core.Compiled.Increase_iv c.Ir.Nest.ordinal;
+        Hbc_core.Compiled.Call_slice c.Ir.Nest.ordinal;
+        Hbc_core.Compiled.Tail_work { of_ = b.Ir.Nest.ordinal; after = c.Ir.Nest.ordinal };
+      ])
+
+let leftover_invalid_pair () =
+  let a, _, c, _ = nest () in
+  let tree = Ir.Nesting_tree.build a in
+  check_bool "root has no ancestor" true
+    (try
+       ignore (Hbc_core.Leftover.generate_one tree ~li:a.Ir.Nest.ordinal ~lj:c.Ir.Nest.ordinal);
+       false
+     with Invalid_argument _ -> true)
+
+let leftover_table_resolves () =
+  let a, _, c, _ = nest () in
+  let compiled = Hbc_core.Pipeline.compile_nest a in
+  (match Hbc_core.Compiled.find_leftover compiled ~li:c.Ir.Nest.ordinal ~lj:a.Ir.Nest.ordinal with
+  | Some l ->
+      check_int "li" c.Ir.Nest.ordinal l.Hbc_core.Compiled.li;
+      check_int "lj" a.Ir.Nest.ordinal l.Hbc_core.Compiled.lj
+  | None -> Alcotest.fail "missing leftover");
+  check_bool "no (a, c) entry" true
+    (Hbc_core.Compiled.find_leftover compiled ~li:a.Ir.Nest.ordinal ~lj:c.Ir.Nest.ordinal = None)
+
+(* A deeper chain exercises the quadratic pair growth. *)
+let leftover_quadratic_growth () =
+  let rec chain depth =
+    if depth = 0 then
+      Ir.Nest.loop ~name:"leaf" ~bounds:(fun () _ -> (0, 2)) [ Ir.Nest.stmt ~name:"w" (fun () _ _ -> 1) ]
+    else
+      Ir.Nest.loop ~name:(Printf.sprintf "l%d" depth)
+        ~bounds:(fun () _ -> (0, 2))
+        [ Ir.Nest.Nested (chain (depth - 1)) ]
+  in
+  let root = chain 5 in
+  let tree = Ir.Nesting_tree.build root in
+  let all = Hbc_core.Leftover.generate_all ~all_pairs:true tree in
+  (* chain of 6 loops: sum_{k=1..5} k = 15 pairs *)
+  check_int "pairs" 15 (List.length all);
+  let leaves_only = Hbc_core.Leftover.generate_all ~all_pairs:false tree in
+  check_int "leaf pairs" 5 (List.length leaves_only)
+
+(* ------------------------- chunking plan -------------------------- *)
+
+let chunking_modes () =
+  let a, _, c, d = nest () in
+  let tree = Ir.Nesting_tree.build a in
+  let plan = Hbc_core.Chunking.plan tree ~mode:(Hbc_core.Compiled.Static 99) in
+  Alcotest.(check (list (pair int bool)))
+    "leaves get the mode"
+    [ (c.Ir.Nest.ordinal, true); (d.Ir.Nest.ordinal, true) ]
+    (List.map (fun (o, m) -> (o, m = Hbc_core.Compiled.Static 99)) plan)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "perfect hash: basic" `Quick ph_basic;
+    Alcotest.test_case "perfect hash: duplicates" `Quick ph_duplicate_rejected;
+    qt ph_random;
+    Alcotest.test_case "pipeline: artifacts" `Quick pipeline_artifacts;
+    Alcotest.test_case "pipeline: rejects invalid nests" `Quick pipeline_rejects_invalid;
+    Alcotest.test_case "leftovers: Algorithm 1 (leaves)" `Quick leftover_pairs_leaves_only;
+    Alcotest.test_case "leftovers: all pairs" `Quick leftover_pairs_all;
+    Alcotest.test_case "leftovers: Algorithm 2 steps" `Quick leftover_steps_shape;
+    Alcotest.test_case "leftovers: parent pair" `Quick leftover_parent_pair_short;
+    Alcotest.test_case "leftovers: invalid pair" `Quick leftover_invalid_pair;
+    Alcotest.test_case "leftovers: table lookup" `Quick leftover_table_resolves;
+    Alcotest.test_case "leftovers: quadratic growth" `Quick leftover_quadratic_growth;
+    Alcotest.test_case "chunking: leaves only" `Quick chunking_modes;
+  ]

@@ -1,0 +1,126 @@
+(* Tests for the recursive fork-join heartbeat extension. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* Naive Fibonacci with per-call leaf work: the canonical fork-join
+   recursion with no manual granularity control. *)
+let rec fib ctx n =
+  if n < 2 then begin
+    Hbc_core.Fork_join.advance ctx 25;
+    n
+  end
+  else begin
+    let a, b = Hbc_core.Fork_join.fork2 ctx (fun c -> fib c (n - 1)) (fun c -> fib c (n - 2)) in
+    Hbc_core.Fork_join.advance ctx 12;
+    a + b
+  end
+
+let rec fib_ref n = if n < 2 then n else fib_ref (n - 1) + fib_ref (n - 2)
+
+(* Divide-and-conquer sum over an array slice. *)
+let rec dc_sum ctx (data : float array) lo hi =
+  if hi - lo <= 16 then begin
+    let acc = ref 0.0 in
+    for i = lo to hi - 1 do
+      acc := !acc +. data.(i)
+    done;
+    Hbc_core.Fork_join.advance_bytes ctx ~compute:(9 * (hi - lo)) ~bytes:(8 * (hi - lo));
+    !acc
+  end
+  else begin
+    let mid = (lo + hi) / 2 in
+    let a, b =
+      Hbc_core.Fork_join.fork2 ctx
+        (fun c -> dc_sum c data lo mid)
+        (fun c -> dc_sum c data mid hi)
+    in
+    Hbc_core.Fork_join.advance ctx 8;
+    a +. b
+  end
+
+let fib_correct_and_parallel () =
+  let n = 21 in
+  let result = ref 0 in
+  let r = Hbc_core.Fork_join.run (fun ctx -> result := fib ctx n) in
+  check_int "value" (fib_ref n) !result;
+  check_bool "work recorded" true (r.Hbc_core.Fork_join.work_cycles > 0);
+  check_bool "parallel" true (r.Hbc_core.Fork_join.makespan < r.Hbc_core.Fork_join.work_cycles);
+  (* The heartbeat amortization claim: almost all forks stay sequential. *)
+  check_bool "forks mostly sequential" true
+    (r.Hbc_core.Fork_join.sequential_forks > 20 * r.Hbc_core.Fork_join.promoted_forks);
+  check_bool "but some promoted" true (r.Hbc_core.Fork_join.promoted_forks > 0)
+
+let dc_sum_matches_sequential () =
+  let n = 150_000 in
+  let data = Array.init n (fun i -> Float.of_int (i mod 91) /. 91.0) in
+  let expected = Array.fold_left ( +. ) 0.0 data in
+  let result = ref 0.0 in
+  let r = Hbc_core.Fork_join.run (fun ctx -> result := dc_sum ctx data 0 n) in
+  Alcotest.(check (float 1e-6)) "sum" expected !result;
+  check_bool "speedup > 4x" true
+    (Float.of_int r.Hbc_core.Fork_join.work_cycles
+     /. Float.of_int r.Hbc_core.Fork_join.makespan
+    > 4.0)
+
+let deterministic () =
+  let go () =
+    let result = ref 0 in
+    let r = Hbc_core.Fork_join.run (fun ctx -> result := fib ctx 18) in
+    (r.Hbc_core.Fork_join.makespan, !result)
+  in
+  let a = go () and b = go () in
+  check_bool "identical" true (a = b)
+
+let no_promotion_stays_serial () =
+  let cfg = { Hbc_core.Rt_config.default with promotion = false; workers = 4 } in
+  let result = ref 0 in
+  let r = Hbc_core.Fork_join.run ~cfg (fun ctx -> result := fib ctx 16) in
+  check_int "value" (fib_ref 16) !result;
+  check_int "no tasks" 0 r.Hbc_core.Fork_join.metrics.Sim.Metrics.tasks_spawned
+
+let worker_sweep () =
+  List.iter
+    (fun w ->
+      let cfg = { Hbc_core.Rt_config.default with workers = w } in
+      let result = ref 0.0 in
+      let data = Array.init 5_000 (fun i -> Float.of_int i) in
+      ignore (Hbc_core.Fork_join.run ~cfg (fun ctx -> result := dc_sum ctx data 0 5_000));
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "%d workers" w)
+        (Array.fold_left ( +. ) 0.0 data)
+        !result)
+    [ 1; 2; 16; 64 ]
+
+let fib_values =
+  QCheck.Test.make ~name:"fork-join fib equals reference for random n" ~count:12
+    QCheck.(int_range 3 17)
+    (fun n ->
+      let result = ref 0 in
+      ignore (Hbc_core.Fork_join.run (fun ctx -> result := fib ctx n));
+      !result = fib_ref n)
+
+let amortization_bound () =
+  (* Heartbeat guarantee: promotions are bounded by delivered beats (each
+     detected beat promotes at most one fork per worker). *)
+  let r =
+    Hbc_core.Fork_join.run (fun ctx ->
+        ignore (dc_sum ctx (Array.make 120_000 1.0) 0 120_000))
+  in
+  let m = r.Hbc_core.Fork_join.metrics in
+  check_bool "promotions <= detected beats" true
+    (r.Hbc_core.Fork_join.promoted_forks <= m.Sim.Metrics.heartbeats_detected);
+  check_bool "tasks = promotions" true
+    (m.Sim.Metrics.tasks_spawned = r.Hbc_core.Fork_join.promoted_forks)
+
+let suite =
+  [
+    Alcotest.test_case "fib: correct, parallel, amortized" `Quick fib_correct_and_parallel;
+    Alcotest.test_case "dc-sum: matches sequential" `Quick dc_sum_matches_sequential;
+    Alcotest.test_case "deterministic" `Quick deterministic;
+    Alcotest.test_case "promotions off = serial" `Quick no_promotion_stays_serial;
+    Alcotest.test_case "worker sweep" `Quick worker_sweep;
+    QCheck_alcotest.to_alcotest fib_values;
+    Alcotest.test_case "amortization bound" `Quick amortization_bound;
+  ]

@@ -1,0 +1,200 @@
+(* Tests for the loop-nest IR: indexing, loop IDs, nesting tree, tail
+   segments, contexts, validation. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* A reusable 3-deep nest: a > b > c, plus a sequential sibling s under a. *)
+let deep_nest () =
+  let c =
+    Ir.Nest.loop ~name:"c" ~bounds:(fun () _ -> (0, 4)) [ Ir.Nest.stmt ~name:"w" (fun () _ _ -> 1) ]
+  in
+  let b =
+    Ir.Nest.loop ~name:"b"
+      ~bounds:(fun () _ -> (0, 3))
+      [ Ir.Nest.Nested c; Ir.Nest.stmt ~name:"tail_b" (fun () _ _ -> 1) ]
+  in
+  let s =
+    Ir.Nest.loop ~name:"s" ~doall:false
+      ~bounds:(fun () _ -> (0, 2))
+      [ Ir.Nest.stmt ~name:"sw" (fun () _ _ -> 1) ]
+  in
+  let a =
+    Ir.Nest.loop ~name:"a"
+      ~bounds:(fun () _ -> (0, 5))
+      [
+        Ir.Nest.stmt ~name:"head_a" (fun () _ _ -> 1);
+        Ir.Nest.Nested b;
+        Ir.Nest.Nested s;
+        Ir.Nest.stmt ~name:"tail_a" (fun () _ _ -> 1);
+      ]
+  in
+  (a, b, c, s)
+
+let index_assigns_preorder () =
+  let a, b, c, s = deep_nest () in
+  let n = Ir.Nest.index a in
+  check_int "count" 4 n;
+  check_int "a" 0 a.Ir.Nest.ordinal;
+  check_int "b" 1 b.Ir.Nest.ordinal;
+  check_int "c" 2 c.Ir.Nest.ordinal;
+  check_int "s" 3 s.Ir.Nest.ordinal
+
+let ids_level_index () =
+  let a, b, c, s = deep_nest () in
+  ignore (Ir.Nest.index a);
+  check_bool "a = (0,0)" true (Ir.Loop_id.equal a.Ir.Nest.id (Ir.Loop_id.make ~level:0 ~index:0));
+  check_bool "b = (1,0)" true (Ir.Loop_id.equal b.Ir.Nest.id (Ir.Loop_id.make ~level:1 ~index:0));
+  check_bool "c = (2,0)" true (Ir.Loop_id.equal c.Ir.Nest.id (Ir.Loop_id.make ~level:2 ~index:0));
+  check_bool "s pruned" true (Ir.Loop_id.is_none s.Ir.Nest.id)
+
+let sibling_index_increments () =
+  let mk name = Ir.Nest.loop ~name ~bounds:(fun () _ -> (0, 2)) [ Ir.Nest.stmt ~name:"w" (fun () _ _ -> 1) ] in
+  let l1 = mk "l1" and l2 = mk "l2" in
+  let root =
+    Ir.Nest.loop ~name:"r" ~bounds:(fun () _ -> (0, 2)) [ Ir.Nest.Nested l1; Ir.Nest.Nested l2 ]
+  in
+  ignore (Ir.Nest.index root);
+  check_int "l1 index" 0 l1.Ir.Nest.id.Ir.Loop_id.index;
+  check_int "l2 index" 1 l2.Ir.Nest.id.Ir.Loop_id.index;
+  check_int "same level" l1.Ir.Nest.id.Ir.Loop_id.level l2.Ir.Nest.id.Ir.Loop_id.level
+
+let doall_under_sequential_pruned () =
+  let inner =
+    Ir.Nest.loop ~name:"inner" ~bounds:(fun () _ -> (0, 2)) [ Ir.Nest.stmt ~name:"w" (fun () _ _ -> 1) ]
+  in
+  let seq =
+    Ir.Nest.loop ~name:"seq" ~doall:false ~bounds:(fun () _ -> (0, 2)) [ Ir.Nest.Nested inner ]
+  in
+  let root = Ir.Nest.loop ~name:"root" ~bounds:(fun () _ -> (0, 2)) [ Ir.Nest.Nested seq ] in
+  ignore (Ir.Nest.index root);
+  check_bool "inner pruned" true (Ir.Loop_id.is_none inner.Ir.Nest.id);
+  let issues = Ir.Validate.check root in
+  check_bool "warning raised" true
+    (List.exists (function Ir.Validate.Doall_under_sequential _ -> true | _ -> false) issues);
+  check_bool "not an error" true (Ir.Validate.errors issues = [])
+
+let tree_structure () =
+  let a, b, c, _ = deep_nest () in
+  let tree = Ir.Nesting_tree.build a in
+  check_int "size" 4 (Ir.Nesting_tree.size tree);
+  Alcotest.(check (list int)) "leaves" [ c.Ir.Nest.ordinal ] (Ir.Nesting_tree.leaves tree);
+  Alcotest.(check (list int)) "ancestors of c" [ b.Ir.Nest.ordinal; a.Ir.Nest.ordinal ]
+    (Ir.Nesting_tree.ancestors tree c.Ir.Nest.ordinal);
+  check_bool "a ancestor of c" true
+    (Ir.Nesting_tree.is_ancestor tree ~ancestor:a.Ir.Nest.ordinal ~of_:c.Ir.Nest.ordinal);
+  check_bool "c not ancestor of a" false
+    (Ir.Nesting_tree.is_ancestor tree ~ancestor:c.Ir.Nest.ordinal ~of_:a.Ir.Nest.ordinal);
+  check_int "max level" 2 (Ir.Nesting_tree.max_level tree)
+
+let tail_segments () =
+  let a, b, _, s = deep_nest () in
+  ignore (Ir.Nest.index a);
+  let tail_after_b = Ir.Nest.tail_segments a ~after:b in
+  check_int "b tail: s and tail_a" 2 (List.length tail_after_b);
+  let tail_after_s = Ir.Nest.tail_segments a ~after:s in
+  check_int "s tail: tail_a" 1 (List.length tail_after_s);
+  match tail_after_s with
+  | [ Ir.Nest.Stmt st ] -> Alcotest.(check string) "name" "tail_a" st.Ir.Nest.stmt_name
+  | _ -> Alcotest.fail "expected single stmt"
+
+let tail_segments_missing () =
+  let a, _, c, _ = deep_nest () in
+  ignore (Ir.Nest.index a);
+  Alcotest.check_raises "not a direct child" Not_found (fun () ->
+      ignore (Ir.Nest.tail_segments a ~after:c))
+
+let ctx_copy_shares_locals () =
+  let set =
+    [| Ir.Ctx.make ~ordinal:0 ~spec:{ Ir.Locals.nfloats = 1; nints = 0 } |]
+  in
+  set.(0).Ir.Ctx.lo <- 5;
+  set.(0).Ir.Ctx.locals.Ir.Locals.floats.(0) <- 3.0;
+  let copy = Ir.Ctx.copy_set set in
+  copy.(0).Ir.Ctx.lo <- 9;
+  check_int "original iv frozen" 5 set.(0).Ir.Ctx.lo;
+  copy.(0).Ir.Ctx.locals.Ir.Locals.floats.(0) <- 7.0;
+  Alcotest.(check (float 0.0)) "locals shared" 7.0 set.(0).Ir.Ctx.locals.Ir.Locals.floats.(0)
+
+let ctx_refresh_subtree () =
+  let specs = [| { Ir.Locals.nfloats = 1; nints = 0 }; { Ir.Locals.nfloats = 2; nints = 1 } |] in
+  let set = [| Ir.Ctx.make ~ordinal:0 ~spec:specs.(0); Ir.Ctx.make ~ordinal:1 ~spec:specs.(1) |] in
+  set.(1).Ir.Ctx.locals.Ir.Locals.floats.(0) <- 4.0;
+  let copy = Ir.Ctx.copy_set set in
+  Ir.Ctx.refresh_subtree copy ~ordinals:[ 1 ] ~specs;
+  check_bool "fresh locals" true (copy.(1).Ir.Ctx.locals != set.(1).Ir.Ctx.locals);
+  Alcotest.(check (float 0.0)) "zeroed" 0.0 copy.(1).Ir.Ctx.locals.Ir.Locals.floats.(0);
+  check_bool "untouched ordinal still shared" true (copy.(0).Ir.Ctx.locals == set.(0).Ir.Ctx.locals)
+
+let ctx_remaining () =
+  let c = Ir.Ctx.make ~ordinal:0 ~spec:Ir.Locals.no_spec in
+  Ir.Ctx.set_slice c ~lo:3 ~hi:10;
+  check_int "remaining after current" 6 (Ir.Ctx.remaining c);
+  Ir.Ctx.set_slice c ~lo:9 ~hi:10;
+  check_int "none left" 0 (Ir.Ctx.remaining c)
+
+let validate_empty_body () =
+  let bad = Ir.Nest.loop ~name:"bad" ~bounds:(fun () _ -> (0, 1)) [] in
+  ignore (Ir.Nest.index bad);
+  let issues = Ir.Validate.check bad in
+  check_bool "empty body is an error" true
+    (List.exists (function Ir.Validate.Empty_body _ -> true | _ -> false)
+       (Ir.Validate.errors issues))
+
+let program_single_nest () =
+  let l =
+    Ir.Nest.loop ~name:"only" ~bounds:(fun _ _ -> (0, 1)) [ Ir.Nest.stmt ~name:"w" (fun _ _ _ -> 1) ]
+  in
+  let p =
+    Ir.Program.v ~name:"p" ~make_env:(fun () -> ()) ~nests:[ l ]
+      ~driver:(fun _ cpu -> cpu.Ir.Program.exec l)
+      ~fingerprint:(fun _ -> 0.0)
+      ()
+  in
+  check_bool "found" true (Ir.Program.single_nest p == l)
+
+let loop_id_basics () =
+  let id = Ir.Loop_id.make ~level:2 ~index:3 in
+  Alcotest.(check string) "printing" "(2, 3)" (Ir.Loop_id.to_string id);
+  check_bool "ordering" true (Ir.Loop_id.compare (Ir.Loop_id.make ~level:1 ~index:9) id < 0);
+  check_bool "hash distinct" true (Ir.Loop_id.hash id <> Ir.Loop_id.hash Ir.Loop_id.none)
+
+let locals_helpers () =
+  let l = Ir.Locals.create { Ir.Locals.nfloats = 2; nints = 1 } in
+  l.Ir.Locals.floats.(0) <- 3.0;
+  l.Ir.Locals.ints.(0) <- 7;
+  let c = Ir.Locals.copy l in
+  c.Ir.Locals.floats.(0) <- 9.0;
+  Alcotest.(check (float 0.0)) "copy is deep" 3.0 l.Ir.Locals.floats.(0);
+  check_bool "equal on same content" true (Ir.Locals.equal l (Ir.Locals.copy l));
+  Ir.Locals.clear l;
+  Alcotest.(check (float 0.0)) "cleared" 0.0 l.Ir.Locals.floats.(0);
+  check_int "cleared int" 0 l.Ir.Locals.ints.(0)
+
+let loop_of_ordinal_lookup () =
+  let a, b, c, _ = deep_nest () in
+  ignore (Ir.Nest.index a);
+  check_bool "finds b" true (Ir.Nest.loop_of_ordinal a b.Ir.Nest.ordinal == b);
+  check_bool "finds c" true (Ir.Nest.loop_of_ordinal a c.Ir.Nest.ordinal == c);
+  Alcotest.check_raises "missing ordinal" Not_found (fun () ->
+      ignore (Ir.Nest.loop_of_ordinal a 99))
+
+let suite =
+  [
+    Alcotest.test_case "index: preorder ordinals" `Quick index_assigns_preorder;
+    Alcotest.test_case "index: (level, index) ids" `Quick ids_level_index;
+    Alcotest.test_case "index: sibling indices" `Quick sibling_index_increments;
+    Alcotest.test_case "prune: DOALL under sequential" `Quick doall_under_sequential_pruned;
+    Alcotest.test_case "tree: structure queries" `Quick tree_structure;
+    Alcotest.test_case "tail segments after child" `Quick tail_segments;
+    Alcotest.test_case "tail segments: not a child" `Quick tail_segments_missing;
+    Alcotest.test_case "ctx: copy freezes ivs, shares locals" `Quick ctx_copy_shares_locals;
+    Alcotest.test_case "ctx: refresh subtree" `Quick ctx_refresh_subtree;
+    Alcotest.test_case "ctx: remaining" `Quick ctx_remaining;
+    Alcotest.test_case "validate: empty body" `Quick validate_empty_body;
+    Alcotest.test_case "program: single nest" `Quick program_single_nest;
+    Alcotest.test_case "loop ids" `Quick loop_id_basics;
+    Alcotest.test_case "locals helpers" `Quick locals_helpers;
+    Alcotest.test_case "loop_of_ordinal" `Quick loop_of_ordinal_lookup;
+  ]

@@ -1,0 +1,161 @@
+(* Tests for the heartbeat linker: pseudo-assembly emission and the
+   rollforward compiler (source/destination twins and tables). *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let sample_nest () =
+  let inner =
+    Ir.Nest.loop ~name:"inner" ~bounds:(fun () _ -> (0, 4)) [ Ir.Nest.stmt ~name:"w" (fun () _ _ -> 1) ]
+  in
+  Ir.Nest.loop ~name:"outer"
+    ~bounds:(fun () _ -> (0, 4))
+    [ Ir.Nest.Nested inner; Ir.Nest.stmt ~name:"t" (fun () _ _ -> 1) ]
+
+let compiled () = Hbc_core.Pipeline.compile_nest (sample_nest ())
+
+let asm_structure () =
+  let listing = Hbc_core.Pseudo_asm.generate (compiled ()) in
+  check_bool "has instructions" true (Hbc_core.Pseudo_asm.instruction_count listing > 10);
+  (* one poll per DOALL loop latch *)
+  check_int "poll sites" 2 (Hbc_core.Pseudo_asm.poll_sites listing);
+  check_bool "labels present" true
+    (List.exists (fun l -> Hbc_core.Pseudo_asm.is_label_def l) listing)
+
+let asm_line_classifiers () =
+  check_bool "directive" true (Hbc_core.Pseudo_asm.is_directive "\t.text");
+  check_bool "label" true (Hbc_core.Pseudo_asm.is_label_def ".L_header_0:");
+  Alcotest.(check (option string)) "label name" (Some ".L_header_0")
+    (Hbc_core.Pseudo_asm.label_name ".L_header_0:");
+  check_bool "poll" true (Hbc_core.Pseudo_asm.is_poll "\tpoll");
+  check_bool "not poll" false (Hbc_core.Pseudo_asm.is_poll "\tpollute rax")
+
+let rfc_poll_elision () =
+  let listing = Hbc_core.Pseudo_asm.generate (compiled ()) in
+  let rf = Hbc_core.Rollforward.compile listing in
+  check_int "source has no polls" 0 (Hbc_core.Pseudo_asm.poll_sites rf.Hbc_core.Rollforward.source);
+  check_int "destination keeps polls" 2
+    (Hbc_core.Pseudo_asm.poll_sites rf.Hbc_core.Rollforward.destination)
+
+let rfc_table_bijective () =
+  let listing = Hbc_core.Pseudo_asm.generate (compiled ()) in
+  let rf = Hbc_core.Rollforward.compile listing in
+  check_int "one entry per instruction"
+    (Hbc_core.Pseudo_asm.instruction_count listing)
+    (List.length rf.Hbc_core.Rollforward.table);
+  List.iter
+    (fun (src, dst) ->
+      Alcotest.(check (option string)) "forward" (Some dst) (Hbc_core.Rollforward.lookup rf src);
+      Alcotest.(check (option string)) "inverse" (Some src) (Hbc_core.Rollforward.lookup_rollback rf dst))
+    rf.Hbc_core.Rollforward.table
+
+let rfc_no_duplicate_labels () =
+  let listing = Hbc_core.Pseudo_asm.generate (compiled ()) in
+  let rf = Hbc_core.Rollforward.compile listing in
+  (* Link both twins: every label definition must be unique. *)
+  let labels =
+    List.filter_map Hbc_core.Pseudo_asm.label_name
+      (rf.Hbc_core.Rollforward.source @ rf.Hbc_core.Rollforward.destination)
+    @ List.filter_map
+        (fun line ->
+          (* generated __RF labels prefixing instruction lines; pure label
+             lines were already collected above *)
+          if Hbc_core.Pseudo_asm.is_label_def line then None
+          else
+            match String.index_opt line ':' with
+            | Some i when String.length line > 5 && String.sub line 0 5 = "__RF_" ->
+                Some (String.sub line 0 i)
+            | _ -> None)
+        (rf.Hbc_core.Rollforward.source @ rf.Hbc_core.Rollforward.destination)
+  in
+  let sorted = List.sort_uniq String.compare labels in
+  check_int "no duplicates" (List.length sorted) (List.length labels)
+
+let rfc_dst_branch_targets_renamed () =
+  let listing = Hbc_core.Pseudo_asm.generate (compiled ()) in
+  let rf = Hbc_core.Rollforward.compile listing in
+  (* every jump in the destination twin must target a __rf_dst label *)
+  List.iter
+    (fun line ->
+      let t = String.trim line in
+      let after_label =
+        match String.index_opt t ':' with
+        | Some i when String.length t > 5 && String.sub t 0 5 = "__RF_" ->
+            String.sub t (i + 1) (String.length t - i - 1)
+        | _ -> t
+      in
+      let tt = String.trim after_label in
+      if String.length tt > 3 && (String.sub tt 0 3 = "jmp" || String.sub tt 0 3 = "jnz" || String.sub tt 0 3 = "jge")
+      then
+        check_bool (Printf.sprintf "renamed target in %s" tt) true
+          (let has_suffix s suf =
+             String.length s >= String.length suf
+             && String.sub s (String.length s - String.length suf) (String.length suf) = suf
+           in
+           has_suffix tt "__rf_dst"))
+    rf.Hbc_core.Rollforward.destination
+
+let rfc_addresses_resolved () =
+  let listing = Hbc_core.Pseudo_asm.generate (compiled ()) in
+  let rf = Hbc_core.Rollforward.compile listing in
+  List.iter
+    (fun (src, dst) ->
+      match (Hbc_core.Rollforward.lookup_address rf src, Hbc_core.Rollforward.lookup_address rf dst) with
+      | Some a, Some b -> check_bool "dst after src image" true (b > a)
+      | _ -> Alcotest.fail "unresolved label")
+    rf.Hbc_core.Rollforward.table
+
+let linker_modes () =
+  let nest = compiled () in
+  let polling = Hbc_core.Linker.link Hbc_core.Linker.Software_polling nest in
+  check_int "polls kept" 2 polling.Hbc_core.Linker.polling_sites;
+  check_bool "no rollforward" true (polling.Hbc_core.Linker.rollforward = None);
+  let interrupts = Hbc_core.Linker.link Hbc_core.Linker.Interrupts nest in
+  check_int "polls stripped" 0 interrupts.Hbc_core.Linker.polling_sites;
+  check_bool "tables present" true (interrupts.Hbc_core.Linker.rollforward <> None)
+
+let rfc_roundtrip_random =
+  (* The RFC must preserve non-poll instructions verbatim (modulo the label
+     prefix) for arbitrary synthetic listings. *)
+  QCheck.Test.make ~name:"rollforward preserves instruction text" ~count:100
+    QCheck.(small_list (int_range 0 3))
+    (fun shape ->
+      let listing =
+        List.concat_map
+          (fun k ->
+            match k with
+            | 0 -> [ "\tmov rax, rbx" ]
+            | 1 -> [ "\tpoll" ]
+            | 2 -> [ ".L_x:" ]
+            | _ -> [ "\tadd rax, 1" ])
+          shape
+      in
+      let rf = Hbc_core.Rollforward.compile listing in
+      Hbc_core.Pseudo_asm.poll_sites rf.Hbc_core.Rollforward.source = 0
+      && Hbc_core.Pseudo_asm.poll_sites rf.Hbc_core.Rollforward.destination
+         = Hbc_core.Pseudo_asm.poll_sites listing)
+
+let asm_to_string_roundtrip () =
+  let listing = [ "\t.text"; "f:"; "\tmov rax, 1"; "\tpoll" ] in
+  let s = Hbc_core.Pseudo_asm.to_string listing in
+  Alcotest.(check (list string)) "join/split" listing
+    (String.split_on_char '\n' s |> List.filter (fun l -> l <> ""));
+  Alcotest.(check string) "generated labels" "__RF_SRC_7" (Hbc_core.Rollforward.src_label 7);
+  Alcotest.(check string) "generated labels" "__RF_DST_7" (Hbc_core.Rollforward.dst_label 7)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    Alcotest.test_case "asm: structure" `Quick asm_structure;
+    Alcotest.test_case "asm: line classifiers" `Quick asm_line_classifiers;
+    Alcotest.test_case "rfc: poll elision" `Quick rfc_poll_elision;
+    Alcotest.test_case "rfc: table bijective" `Quick rfc_table_bijective;
+    Alcotest.test_case "rfc: unique labels across twins" `Quick rfc_no_duplicate_labels;
+    Alcotest.test_case "rfc: dst branch targets renamed" `Quick rfc_dst_branch_targets_renamed;
+    Alcotest.test_case "rfc: addresses resolved" `Quick rfc_addresses_resolved;
+    Alcotest.test_case "linker: both modes" `Quick linker_modes;
+    qt rfc_roundtrip_random;
+    Alcotest.test_case "asm: to_string + label mints" `Quick asm_to_string_roundtrip;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "hbc"
+    [
+      ("sim", Test_sim.suite);
+      ("ir", Test_ir.suite);
+      ("compiler", Test_compiler.suite);
+      ("linker", Test_linker.suite);
+      ("heartbeat", Test_heartbeat.suite);
+      ("runtime", Test_runtime.suite);
+      ("baselines", Test_baselines.suite);
+      ("workloads", Test_workloads.suite);
+      ("semantics", Test_semantics.suite);
+      ("io", Test_io.suite);
+      ("fork_join", Test_fork_join.suite);
+      ("parallel", Test_parallel.suite);
+      ("report", Test_report.suite);
+      ("experiments", Test_experiments.suite);
+    ]

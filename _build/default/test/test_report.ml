@@ -1,0 +1,66 @@
+(* Tests for tables, charts, stats, and the experiment harness plumbing. *)
+
+let check_bool = Alcotest.(check bool)
+
+let geomean_known () =
+  Alcotest.(check (float 1e-9)) "geomean" 4.0 (Report.Stats.geomean [ 2.0; 8.0 ]);
+  Alcotest.(check (float 1e-9)) "singleton" 5.0 (Report.Stats.geomean [ 5.0 ]);
+  Alcotest.(check (float 1e-9)) "ignores nonpositive" 4.0 (Report.Stats.geomean [ 2.0; 8.0; 0.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Report.Stats.geomean [])
+
+let median_known () =
+  Alcotest.(check (float 1e-9)) "odd" 3.0 (Report.Stats.median [ 5.0; 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Report.Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let table_render () =
+  let t = Report.Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Report.Table.add_row t [ "x"; "1" ];
+  Report.Table.add_separator t;
+  Report.Table.add_row t [ "yy" ];
+  let s = Report.Table.render t in
+  check_bool "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  check_bool "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "| x  | 1  |"));
+  Alcotest.(check int) "rows accessor" 2 (List.length (Report.Table.rows t))
+
+let chart_render () =
+  let s = Report.Ascii_chart.bars ~title:"C" [ ("a", 2.0); ("b", 4.0) ] in
+  check_bool "bars scale" true
+    (let lines = String.split_on_char '\n' s in
+     let count_hashes l = String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 l in
+     match lines with
+     | _ :: la :: lb :: _ -> count_hashes lb = 2 * count_hashes la
+     | _ -> false)
+
+let cells () =
+  Alcotest.(check string) "float" "3.1" (Report.Table.cell_f 3.14);
+  Alcotest.(check string) "pct" "12.50%" (Report.Table.cell_pct 12.5);
+  Alcotest.(check string) "int" "7" (Report.Table.cell_i 7)
+
+let run_result_helpers () =
+  let mk work makespan =
+    {
+      Sim.Run_result.makespan;
+      work_cycles = work;
+      fingerprint = 1.0;
+      dnf = false;
+      metrics = Sim.Metrics.create ();
+    }
+  in
+  let base = mk 1000 1000 in
+  Alcotest.(check (float 1e-9)) "speedup" 4.0 (Sim.Run_result.speedup ~baseline:base (mk 1000 250));
+  Alcotest.(check (float 1e-9)) "dnf = 0" 0.0
+    (Sim.Run_result.speedup ~baseline:base { (mk 1000 250) with Sim.Run_result.dnf = true });
+  Alcotest.(check (float 1e-9)) "overhead pct" 25.0 (Sim.Run_result.overhead_pct (mk 1000 1250));
+  check_bool "fingerprints close" true
+    (Sim.Run_result.fingerprints_close (mk 1 1) { (mk 1 1) with Sim.Run_result.fingerprint = 1.0000000001 })
+
+let suite =
+  [
+    Alcotest.test_case "stats: geomean" `Quick geomean_known;
+    Alcotest.test_case "stats: median" `Quick median_known;
+    Alcotest.test_case "table: render" `Quick table_render;
+    Alcotest.test_case "chart: render" `Quick chart_render;
+    Alcotest.test_case "table: cells" `Quick cells;
+    Alcotest.test_case "run result helpers" `Quick run_result_helpers;
+  ]
