@@ -62,8 +62,49 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+let fault_plan_term =
+  let drop =
+    let doc = "Fault injection: probability (0-1) that a heartbeat delivery is dropped." in
+    Arg.(value & opt float 0.0 & info [ "fault-drop" ] ~docv:"P" ~doc)
+  in
+  let jitter =
+    let doc = "Fault injection: maximum extra heartbeat delivery delay in cycles." in
+    Arg.(value & opt int 0 & info [ "fault-jitter" ] ~docv:"CYCLES" ~doc)
+  in
+  let steal =
+    let doc = "Fault injection: probability (0-1) that a steal attempt starts a failure burst." in
+    Arg.(value & opt float 0.0 & info [ "fault-steal" ] ~docv:"P" ~doc)
+  in
+  let stall =
+    let doc = "Fault injection: per-task probability (0-1) of an OS-preemption stall." in
+    Arg.(value & opt float 0.0 & info [ "fault-stall" ] ~docv:"P" ~doc)
+  in
+  let fseed =
+    let doc = "Fault injection: seed of the fault schedule (defaults to the run seed)." in
+    Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  in
+  let make drop jitter steal stall fseed seed =
+    let plan =
+      {
+        Sim.Fault_plan.seed = Option.value fseed ~default:seed;
+        beat_drop_prob = drop;
+        beat_jitter = jitter;
+        steal_fail_prob = steal;
+        steal_fail_burst = (if steal > 0.0 then 3 else 0);
+        stall_prob = stall;
+        stall_cycles = (if stall > 0.0 then 5_000 else 0);
+      }
+    in
+    if Sim.Fault_plan.is_zero plan then None else Some plan
+  in
+  Term.(const make $ drop $ jitter $ steal $ stall $ fseed $ seed_arg)
+
 let run_cmd =
-  let doc = "Run one benchmark under one executor and print its statistics." in
+  let doc =
+    "Run one benchmark under one executor and print its statistics. The $(b,--fault-*) options \
+     inject a deterministic fault plan into the hbc executors (seed-reproducible; outputs still \
+     match the sequential reference)."
+  in
   let bench_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
   in
@@ -71,7 +112,7 @@ let run_cmd =
     let doc = "Executor: seq, hbc, hbc-km, hbc-ping, tpal, omp-static, or omp-dynamic." in
     Arg.(value & opt string "hbc" & info [ "executor"; "e" ] ~docv:"EXEC" ~doc)
   in
-  let run config bench executor =
+  let run config bench executor fault_plan =
     let entry =
       try Workloads.Registry.find bench
       with Not_found ->
@@ -79,27 +120,32 @@ let run_cmd =
         exit 1
     in
     let base = Experiments.Harness.baseline config entry in
+    let faulted cfg c = { (cfg c) with Hbc_core.Rt_config.fault_plan } in
+    let tag_of t = if fault_plan = None then t else t ^ "+faults" in
     let outcome =
       match executor with
       | "seq" -> { Experiments.Harness.result = base; speedup = 1.0; valid = true }
-      | "hbc" -> Experiments.Harness.run_hbc config entry
+      | "hbc" ->
+          Experiments.Harness.run_hbc config ~tag:(tag_of "hbc") ~cfg:(faulted (fun c -> c)) entry
       | "hbc-km" ->
-          Experiments.Harness.run_hbc config ~tag:"hbc-km"
-            ~cfg:(fun c ->
-              {
-                c with
-                Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_kernel_module;
-                chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
-              })
+          Experiments.Harness.run_hbc config ~tag:(tag_of "hbc-km")
+            ~cfg:
+              (faulted (fun c ->
+                   {
+                     c with
+                     Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_kernel_module;
+                     chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
+                   }))
             entry
       | "hbc-ping" ->
-          Experiments.Harness.run_hbc config ~tag:"hbc-ping"
-            ~cfg:(fun c ->
-              {
-                c with
-                Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_ping_thread;
-                chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
-              })
+          Experiments.Harness.run_hbc config ~tag:(tag_of "hbc-ping")
+            ~cfg:
+              (faulted (fun c ->
+                   {
+                     c with
+                     Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_ping_thread;
+                     chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
+                   }))
             entry
       | "tpal" -> Experiments.Harness.run_tpal config entry
       | "omp-static" ->
@@ -137,11 +183,26 @@ let run_cmd =
     Hashtbl.iter
       (fun k v -> Printf.printf "  %-16s %d\n" k v)
       m.Sim.Metrics.overhead_by_kind;
+    (match fault_plan with
+    | None -> ()
+    | Some plan ->
+        Printf.printf "fault plan       : %s\n" (Sim.Fault_plan.to_string plan);
+        Printf.printf
+          "faults injected  : %d (beats dropped %d, delayed %d; steals failed %d; stalls %d for \
+           %d cycles)\n"
+          (Sim.Metrics.faults_injected m) m.Sim.Metrics.faults_beats_dropped
+          m.Sim.Metrics.faults_beats_delayed m.Sim.Metrics.faults_steals_failed
+          m.Sim.Metrics.faults_stalls m.Sim.Metrics.faults_stall_cycles;
+        Printf.printf "downgrades       : %d" (Sim.Metrics.downgrade_count m);
+        List.iter
+          (fun (w, t) -> Printf.printf " [worker %d at %d]" w t)
+          (List.rev m.Sim.Metrics.mechanism_downgrades);
+        print_newline ());
     if r.Sim.Run_result.dnf then print_endline "run DID NOT FINISH (virtual-time cap)"
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ config_term $ bench_arg $ exec_arg)
+    Term.(const run $ config_term $ bench_arg $ exec_arg $ fault_plan_term)
 
 let asm_cmd =
   let doc =

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Repo health check: build, full test suite, and a tiny-scale smoke run of
+# the fault-injection sweep (exits non-zero on any output-validation
+# failure).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+dune build
+dune runtest
+dune exec bin/hbc_repro.exe -- fault-sweep --scale 0.04 --workers 8

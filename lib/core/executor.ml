@@ -21,11 +21,13 @@ type run_state = {
   eng : Sim.Engine.t;
   hb : Heartbeat.t;
   metrics : Sim.Metrics.t;
+  inj : Sim.Fault_injector.t;
   deques : task Sim.Deque.t array;
   ac : (int * int * int, Adaptive_chunking.t) Hashtbl.t;
   bus : Sim.Membus.t;
   mutable last_pusher : int;  (* steal-affinity hint: deque that grew last *)
   depth : int array;  (* task-nesting depth per worker, drives the busy flag *)
+  steal_fails : int array;  (* consecutive dry steal rounds, drives backoff *)
   mutable finished : bool;
 }
 
@@ -108,8 +110,19 @@ let push_task (st : run_state) task =
   overhead st "promotion" (cm st).Sim.Cost_model.deque_push_cost;
   wake_one st
 
+(* Injected OS-preemption stall at a scheduling point (no-op without an
+   active fault plan). *)
+let maybe_stall (st : run_state) =
+  let c = Sim.Fault_injector.stall_cycles st.inj ~worker:(wid st) in
+  if c > 0 then begin
+    Sim.Engine.advance st.eng c;
+    Sim.Metrics.add_overhead st.metrics "fault-stall" c
+  end
+
 let run_task (st : run_state) task =
   let w = wid st in
+  st.steal_fails.(w) <- 0;
+  maybe_stall st;
   st.depth.(w) <- st.depth.(w) + 1;
   if st.depth.(w) = 1 then Heartbeat.set_busy st.hb ~worker:w true;
   let t0 = Sim.Engine.now st.eng in
@@ -125,12 +138,16 @@ let try_steal (st : run_state) =
   let probe v =
     st.metrics.Sim.Metrics.steal_attempts <- st.metrics.Sim.Metrics.steal_attempts + 1;
     overhead st "steal" (cm st).Sim.Cost_model.steal_attempt_cost;
-    match Sim.Deque.steal st.deques.(v) with
-    | Some t ->
-        st.metrics.Sim.Metrics.steals <- st.metrics.Sim.Metrics.steals + 1;
-        overhead st "steal" (cm st).Sim.Cost_model.steal_success_cost;
-        Some t
-    | None -> None
+    (* An injected contention burst: the attempt's CAS loses even against a
+       non-empty victim; the attempt cost is still paid. *)
+    if Sim.Fault_injector.steal_fails st.inj ~worker:w then None
+    else
+      match Sim.Deque.steal st.deques.(v) with
+      | Some t ->
+          st.metrics.Sim.Metrics.steals <- st.metrics.Sim.Metrics.steals + 1;
+          overhead st "steal" (cm st).Sim.Cost_model.steal_success_cost;
+          Some t
+      | None -> None
   in
   let rec attempt k =
     if k = 0 || n = 1 then None
@@ -144,6 +161,31 @@ let try_steal (st : run_state) =
   if n > 1 && st.last_pusher <> w && not (Sim.Deque.is_empty st.deques.(st.last_pusher)) then
     match probe st.last_pusher with Some t -> Some t | None -> attempt 8
   else attempt 8
+
+(* A dry steal round under fault injection backs off exponentially (base
+   [idle_backoff], jittered, bounded) before parking: parking instantly
+   makes a worker blind to the end of an injected contention burst, while
+   unbounded spinning burns the makespan. Returns true when the worker
+   should park. Zero-fault runs park immediately, exactly as before. *)
+let backoff_rounds = 6
+
+let should_park (st : run_state) =
+  if not (Sim.Fault_injector.active st.inj) then true
+  else begin
+    let w = wid st in
+    let f = st.steal_fails.(w) in
+    if f >= backoff_rounds then begin
+      st.steal_fails.(w) <- 0;
+      true
+    end
+    else begin
+      st.steal_fails.(w) <- f + 1;
+      let d = (cm st).Sim.Cost_model.idle_backoff lsl f in
+      let d = d + Sim.Fault_injector.backoff_jitter st.inj ~worker:w ~limit:(1 + (d / 2)) in
+      overhead st "idle-backoff" d;
+      false
+    end
+  end
 
 let finish_join (st : run_state) join =
   join.pending <- join.pending - 1;
@@ -162,7 +204,7 @@ let join_wait (st : run_state) join =
     | None -> (
         match try_steal st with
         | Some t -> run_task st t
-        | None -> if join.pending > 0 then Sim.Engine.park st.eng)
+        | None -> if join.pending > 0 && should_park st then Sim.Engine.park st.eng)
   done
 
 let scavenge (st : run_state) w =
@@ -172,7 +214,7 @@ let scavenge (st : run_state) w =
     | None -> (
         match try_steal st with
         | Some t -> run_task st t
-        | None -> if not st.finished then Sim.Engine.park st.eng)
+        | None -> if not st.finished && should_park st then Sim.Engine.park st.eng)
   done
 
 (* ------------------------------------------------------------------ *)
@@ -280,7 +322,7 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
         let acc = ref 0 in
         let acc_bytes = ref info.Compiled.loop.Ir.Nest.bytes_per_iter in
         exec_leaf_iteration c ctxs info ctx.Ir.Ctx.lo acc acc_bytes;
-        let poll = Heartbeat.poll_cost st.hb in
+        let poll = Heartbeat.poll_cost st.hb ~worker:w in
         advance_mixed st ~work:!acc ~bytes:!acc_bytes
           [ ("poll", poll); ("promotion-branch", costs.Sim.Cost_model.promotion_branch_cost) ];
         (match ac with Some a -> Adaptive_chunking.on_poll a | None -> ());
@@ -316,7 +358,7 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
         ts.residual.(ord) <- ts.residual.(ord) - todo;
         let full_chunk = ts.residual.(ord) = 0 in
         if full_chunk then begin
-          let poll = Heartbeat.poll_cost st.hb in
+          let poll = Heartbeat.poll_cost st.hb ~worker:w in
           advance_mixed st ~work:!acc ~bytes:!acc_bytes
             [
               ("chunking", 2);
@@ -597,21 +639,31 @@ let run_program (cfg : Rt_config.t) (compiled : 'e Pipeline.program) : Sim.Run_r
   let env = program.Ir.Program.make_env () in
   let eng = Sim.Engine.create ~seed:cfg.Rt_config.seed ~num_workers:cfg.Rt_config.workers () in
   let metrics = Sim.Metrics.create () in
-  let hb = Heartbeat.create cfg eng metrics in
+  let inj =
+    Sim.Fault_injector.create
+      (Option.value cfg.Rt_config.fault_plan ~default:Sim.Fault_plan.none)
+      ~num_workers:cfg.Rt_config.workers metrics
+  in
+  let hb = Heartbeat.create ~injector:inj cfg eng metrics in
   let st =
     {
       cfg;
       eng;
       hb;
       metrics;
+      inj;
       deques = Array.init cfg.Rt_config.workers (fun _ -> Sim.Deque.create ());
       ac = Hashtbl.create 64;
       bus = Sim.Membus.create ~bytes_per_cycle:cfg.Rt_config.cost.Sim.Cost_model.dram_bytes_per_cycle;
       last_pusher = 0;
       depth = Array.make cfg.Rt_config.workers 0;
+      steal_fails = Array.make cfg.Rt_config.workers 0;
       finished = false;
     }
   in
+  Sim.Engine.set_diagnostics eng (fun w ->
+      Printf.sprintf " deque=%d depth=%d%s" (Sim.Deque.length st.deques.(w)) st.depth.(w)
+        (if Heartbeat.is_downgraded hb ~worker:w then " downgraded" else ""));
   Heartbeat.start hb;
   (match cfg.Rt_config.max_cycles with
   | Some cap -> Sim.Engine.schedule_at eng ~time:cap (fun () -> raise Did_not_finish)

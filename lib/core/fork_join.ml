@@ -143,7 +143,7 @@ let fork2 : 'a 'b. ctx -> (ctx -> 'a) -> (ctx -> 'b) -> 'a * 'b =
   st.fork_countdown.(w) <- st.fork_countdown.(w) - 1;
   if st.fork_countdown.(w) <= 0 then begin
     st.fork_countdown.(w) <- forks_per_poll;
-    let poll = Heartbeat.poll_cost st.hb in
+    let poll = Heartbeat.poll_cost st.hb ~worker:w in
     if poll > 0 then overhead st "poll" poll;
     st.metrics.Sim.Metrics.polls <- st.metrics.Sim.Metrics.polls + 1;
     if Heartbeat.consume st.hb ~worker:w ~count_poll:false && st.cfg.Rt_config.promotion then

@@ -2,25 +2,38 @@ type t = {
   config : Rt_config.t;
   eng : Sim.Engine.t;
   metrics : Sim.Metrics.t;
+  inj : Sim.Fault_injector.t;
   busy : bool array;
   (* software polling: index of the last heartbeat interval seen per worker *)
   last_interval : int array;
   (* interrupt mechanisms: pending-delivery flags *)
   pending : bool array;
+  (* starvation watchdog: consecutive missed/undelivered beats per busy
+     worker; at [watchdog_k] the worker falls back to software polling *)
+  missed_streak : int array;
+  downgraded : bool array;
   mutable cancel : (unit -> unit) option;
   mutable stopped : bool;
   mutable stretch_debt : int;  (* ping thread: accumulated period overrun *)
 }
 
-let create config eng metrics =
+let create ?injector config eng metrics =
   let n = Sim.Engine.num_workers eng in
+  let inj =
+    match injector with
+    | Some i -> i
+    | None -> Sim.Fault_injector.inactive ~num_workers:n metrics
+  in
   {
     config;
     eng;
     metrics;
+    inj;
     busy = Array.make n false;
     last_interval = Array.make n 0;
     pending = Array.make n false;
+    missed_streak = Array.make n 0;
+    downgraded = Array.make n false;
     cancel = None;
     stopped = false;
     stretch_debt = 0;
@@ -28,14 +41,56 @@ let create config eng metrics =
 
 let interval t = t.config.Rt_config.cost.Sim.Cost_model.heartbeat_interval
 
+(* A downgraded worker has left the interrupt pool: it neither receives
+   broadcast/signal beats nor pays delivery costs — it polls. *)
+let effective t worker =
+  if t.downgraded.(worker) then Rt_config.Software_polling else t.config.Rt_config.mechanism
+
+let is_downgraded t ~worker = t.downgraded.(worker)
+
+(* Watchdog accounting. Only armed while fault injection is active, so the
+   graceful-degradation path cannot perturb a fault-free run. *)
+let note_missed t w =
+  if
+    Sim.Fault_injector.active t.inj
+    && t.config.Rt_config.mechanism <> Rt_config.Software_polling
+    && not t.downgraded.(w)
+  then begin
+    t.missed_streak.(w) <- t.missed_streak.(w) + 1;
+    if t.missed_streak.(w) >= t.config.Rt_config.watchdog_k then begin
+      t.downgraded.(w) <- true;
+      Sim.Metrics.record_downgrade t.metrics ~worker:w ~time:(Sim.Engine.now t.eng);
+      (* The polling baseline starts at the downgrade instant so the idle
+         backlog does not surface as a burst of beats. *)
+      t.last_interval.(w) <- Sim.Engine.now t.eng / interval t
+    end
+  end
+
+(* A beat reaching worker [w]'s pending flag; an unconsumed previous beat is
+   overwritten and counts missed (and feeds the watchdog). *)
+let deliver t w =
+  if t.pending.(w) then begin
+    t.metrics.Sim.Metrics.heartbeats_missed <- t.metrics.Sim.Metrics.heartbeats_missed + 1;
+    note_missed t w
+  end
+  else t.pending.(w) <- true
+
 let kernel_module_beat t () =
   for w = 0 to Array.length t.busy - 1 do
-    if t.busy.(w) then begin
+    if t.busy.(w) && not t.downgraded.(w) then begin
       t.metrics.Sim.Metrics.heartbeats_generated <-
         t.metrics.Sim.Metrics.heartbeats_generated + 1;
-      if t.pending.(w) then
-        t.metrics.Sim.Metrics.heartbeats_missed <- t.metrics.Sim.Metrics.heartbeats_missed + 1
-      else t.pending.(w) <- true
+      if Sim.Fault_injector.drop_beat t.inj ~worker:w then begin
+        t.metrics.Sim.Metrics.heartbeats_missed <- t.metrics.Sim.Metrics.heartbeats_missed + 1;
+        note_missed t w
+      end
+      else begin
+        let j = Sim.Fault_injector.delivery_jitter t.inj ~worker:w in
+        if j = 0 then deliver t w
+        else
+          Sim.Engine.schedule_at t.eng ~time:(Sim.Engine.now t.eng + j) (fun () ->
+              if not t.downgraded.(w) then deliver t w)
+      end
     end
   done
 
@@ -50,20 +105,27 @@ let rec ping_thread_beat t scheduled_time () =
     let send = t.config.Rt_config.cost.Sim.Cost_model.signal_send_cost in
     let busy_workers = ref [] in
     for w = Array.length t.busy - 1 downto 0 do
-      if t.busy.(w) then busy_workers := w :: !busy_workers
+      if t.busy.(w) && not t.downgraded.(w) then busy_workers := w :: !busy_workers
     done;
     let finish = ref beat_time in
     List.iteri
       (fun i w ->
+        (* the sender spends the send slot whether or not the signal is
+           lost or delayed in delivery *)
         let delivery = beat_time + ((i + 1) * send) in
         finish := delivery;
         t.metrics.Sim.Metrics.heartbeats_generated <-
           t.metrics.Sim.Metrics.heartbeats_generated + 1;
-        Sim.Engine.schedule_at t.eng ~time:delivery (fun () ->
-            if t.pending.(w) then
-              t.metrics.Sim.Metrics.heartbeats_missed <-
-                t.metrics.Sim.Metrics.heartbeats_missed + 1
-            else t.pending.(w) <- true))
+        if Sim.Fault_injector.drop_beat t.inj ~worker:w then begin
+          t.metrics.Sim.Metrics.heartbeats_missed <-
+            t.metrics.Sim.Metrics.heartbeats_missed + 1;
+          note_missed t w
+        end
+        else begin
+          let j = Sim.Fault_injector.delivery_jitter t.inj ~worker:w in
+          Sim.Engine.schedule_at t.eng ~time:(delivery + j) (fun () ->
+              if not t.downgraded.(w) then deliver t w)
+        end)
       !busy_workers;
     (* Next beat: on schedule if the team was signaled in time, otherwise as
        soon as the sender is free; skipped periods are lost heartbeats. *)
@@ -103,17 +165,17 @@ let stop t =
 
 let set_busy t ~worker v =
   t.busy.(worker) <- v;
-  if v && t.config.Rt_config.mechanism = Rt_config.Software_polling then
+  if v && effective t worker = Rt_config.Software_polling then
     t.last_interval.(worker) <- Sim.Engine.now t.eng / interval t
 
-let poll_cost t =
-  match t.config.Rt_config.mechanism with
+let poll_cost t ~worker =
+  match effective t worker with
   | Rt_config.Software_polling -> t.config.Rt_config.cost.Sim.Cost_model.poll_cost
   | Rt_config.Interrupt_kernel_module | Rt_config.Interrupt_ping_thread -> 0
 
 let consume t ~worker ~count_poll =
   let cm = t.config.Rt_config.cost in
-  match t.config.Rt_config.mechanism with
+  match effective t worker with
   | Rt_config.Software_polling ->
       if count_poll then t.metrics.Sim.Metrics.polls <- t.metrics.Sim.Metrics.polls + 1;
       let cur = Sim.Engine.now t.eng / interval t in
@@ -130,11 +192,12 @@ let consume t ~worker ~count_poll =
         true
       end
       else false
-  | Rt_config.Interrupt_kernel_module | Rt_config.Interrupt_ping_thread ->
+  | (Rt_config.Interrupt_kernel_module | Rt_config.Interrupt_ping_thread) as mech ->
       if t.pending.(worker) then begin
         t.pending.(worker) <- false;
+        t.missed_streak.(worker) <- 0;
         let c =
-          (match t.config.Rt_config.mechanism with
+          (match mech with
           | Rt_config.Interrupt_kernel_module -> cm.Sim.Cost_model.interrupt_delivery_cost
           | Rt_config.Interrupt_ping_thread -> cm.Sim.Cost_model.signal_delivery_cost
           | Rt_config.Software_polling -> 0)

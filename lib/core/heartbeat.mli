@@ -15,12 +15,22 @@
       before the next beat are dropped — the source of the up-to-45%%-missed
       heartbeats the paper reports.
 
+    Under an active {!Sim.Fault_injector}, interrupt deliveries can
+    additionally be lost or jittered, and a {e starvation watchdog} is
+    armed: a busy worker that misses [watchdog_k] consecutive beats (lost,
+    jittered into each other, or overwritten unconsumed) is downgraded to
+    software polling for the rest of the run — it leaves the interrupt pool,
+    pays poll costs at its PRPPTs, and the downgrade is recorded in
+    {!Sim.Metrics.t}. Without fault injection the watchdog is disarmed, so
+    fault-free runs are bit-identical to the pre-fault-layer runtime.
+
     Generated/detected/missed counts land in the run's {!Sim.Metrics.t}
     (Fig. 13). *)
 
 type t
 
-val create : Rt_config.t -> Sim.Engine.t -> Sim.Metrics.t -> t
+val create : ?injector:Sim.Fault_injector.t -> Rt_config.t -> Sim.Engine.t -> Sim.Metrics.t -> t
+(** Without [?injector], an inert one is used (no faults, no watchdog). *)
 
 val start : t -> unit
 (** Arm the timer callbacks (no-op for software polling). *)
@@ -30,8 +40,12 @@ val stop : t -> unit
 val set_busy : t -> worker:int -> bool -> unit
 (** Only busy workers receive or account for heartbeats. *)
 
-val poll_cost : t -> int
-(** Cycles a PRPPT poll costs under this mechanism (0 for interrupts). *)
+val is_downgraded : t -> worker:int -> bool
+(** Has the watchdog moved this worker to software polling? *)
+
+val poll_cost : t -> worker:int -> int
+(** Cycles a PRPPT poll costs for this worker (0 under interrupts, the
+    polling cost once the watchdog has downgraded it). *)
 
 val consume : t -> worker:int -> count_poll:bool -> bool
 (** Check (and consume) a heartbeat at a PRPPT. [count_poll] marks the call

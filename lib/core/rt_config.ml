@@ -20,6 +20,8 @@ type t = {
   max_cycles : int option;
   chunk_trace : bool;
   timeline : bool;
+  fault_plan : Sim.Fault_plan.t option;
+  watchdog_k : int;
 }
 
 let default =
@@ -39,6 +41,8 @@ let default =
     max_cycles = None;
     chunk_trace = false;
     timeline = false;
+    fault_plan = None;
+    watchdog_k = 4;
   }
 
 let hbc = default

@@ -44,6 +44,13 @@ type t = {
   max_cycles : int option;  (** DNF cap on virtual time *)
   chunk_trace : bool;  (** record AC decisions for Fig. 12 *)
   timeline : bool;  (** record per-worker execution intervals (gantt) *)
+  fault_plan : Sim.Fault_plan.t option;
+      (** opt-in deterministic fault injection; [None] (and any zero plan)
+          leaves every run bit-identical to the fault-free runtime *)
+  watchdog_k : int;
+      (** starvation watchdog: consecutive missed/undelivered beats on a
+          busy worker before its interrupt mechanism is downgraded to
+          software polling (only armed while fault injection is active) *)
 }
 
 val default : t

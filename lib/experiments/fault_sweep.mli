@@ -1,0 +1,13 @@
+(** Robustness experiment: sweep the injected heartbeat-delivery drop rate
+    from 0 to 50% across three workloads for each signaling mechanism.
+    Software polling is the flat control (no deliveries to drop); the
+    interrupt mechanisms degrade with the drop rate until the starvation
+    watchdog moves starved workers to software polling. Every cell is
+    validated against the sequential reference — fault plans change
+    performance, never results. *)
+
+val drop_rates : float list
+
+val render : Harness.config -> string
+
+val figure : Figure.t

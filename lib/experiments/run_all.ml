@@ -13,6 +13,7 @@ let figures =
     Fig14.figure;
     Fig15.figure;
     Fig16.figure;
+    Fault_sweep.figure;
   ]
 
 let find id =

@@ -72,6 +72,7 @@ type t = {
   mutable engine_time : int;
   mutable pending_resumes : int;
   rng : Sim_rng.t;
+  mutable diagnostics : (int -> string) option;
 }
 
 type _ Effect.t += Advance : int -> unit Effect.t
@@ -90,7 +91,27 @@ let create ?(seed = 42) ~num_workers () =
     engine_time = 0;
     pending_resumes = 0;
     rng = Sim_rng.create seed;
+    diagnostics = None;
   }
+
+let set_diagnostics t f = t.diagnostics <- Some f
+
+(* Deadlock reports carry a per-worker snapshot (clock, park/finish state,
+   plus whatever the runtime's diagnostics hook adds — deque depth, task
+   nesting) so a hung run is diagnosable from the exception alone. *)
+let deadlock t reason =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "%s (engine time %d)" reason t.engine_time;
+  for w = 0 to t.nworkers - 1 do
+    let state =
+      if t.finished.(w) then "finished"
+      else if Option.is_some t.parked.(w) then "parked"
+      else "runnable"
+    in
+    let extra = match t.diagnostics with Some f -> f w | None -> "" in
+    Printf.bprintf buf "\n  worker %d: clock=%d %s%s" w t.clocks.(w) state extra
+  done;
+  raise (Deadlock (Buffer.contents buf))
 
 let num_workers t = t.nworkers
 let rng t = t.rng
@@ -180,9 +201,9 @@ let run t main =
            run callbacks until one does or the heap drains. *)
         incr starved;
         if !starved > 100_000 then
-          raise (Deadlock "workers parked; callbacks firing without waking anyone");
+          deadlock t "workers parked; callbacks firing without waking anyone";
         match Heap.pop t.heap with
-        | None -> raise (Deadlock "live workers parked and event queue empty")
+        | None -> deadlock t "live workers parked and event queue empty"
         | Some { time; ev = Callback f; _ } ->
             t.current <- -1;
             t.engine_time <- time;
@@ -193,7 +214,7 @@ let run t main =
       else begin
         starved := 0;
         match Heap.pop t.heap with
-        | None -> raise (Deadlock "pending resumes not in heap")
+        | None -> deadlock t "pending resumes not in heap"
         | Some { time; ev; _ } ->
             (match ev with
             | Resume (k, w) ->

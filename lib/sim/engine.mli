@@ -11,7 +11,9 @@
 type t
 
 exception Deadlock of string
-(** Raised when live workers are all parked and no event can wake them. *)
+(** Raised when live workers are all parked and no event can wake them. The
+    message carries a per-worker state snapshot (clock, parked/runnable/
+    finished, plus the {!set_diagnostics} hook's output) for diagnosis. *)
 
 val create : ?seed:int -> num_workers:int -> unit -> t
 
@@ -19,6 +21,10 @@ val num_workers : t -> int
 
 val rng : t -> Sim_rng.t
 (** Engine-level RNG (steal victim selection); deterministic per seed. *)
+
+val set_diagnostics : t -> (int -> string) -> unit
+(** Install a per-worker annotation hook (e.g. deque depth) appended to
+    each worker's line in {!Deadlock} snapshots. *)
 
 val worker_id : t -> int
 (** Id of the currently running worker; [-1] inside a timed callback. *)

@@ -1,0 +1,77 @@
+type t = {
+  plan : Fault_plan.t;
+  active : bool;
+  rngs : Sim_rng.t array;  (* one decision stream per worker *)
+  burst_left : int array;  (* remaining forced steal failures per worker *)
+  metrics : Metrics.t;
+}
+
+let create plan ~num_workers metrics =
+  let parent = Sim_rng.create plan.Fault_plan.seed in
+  {
+    plan;
+    active = not (Fault_plan.is_zero plan);
+    rngs = Array.init num_workers (fun _ -> Sim_rng.split parent);
+    burst_left = Array.make num_workers 0;
+    metrics;
+  }
+
+let inactive ~num_workers metrics = create Fault_plan.none ~num_workers metrics
+
+let active t = t.active
+
+let plan t = t.plan
+
+(* Each feature draws only when its own plan knob is non-zero, so e.g. a
+   beat-drop-only sweep consumes the same stream positions whether or not
+   the other knobs exist; and an inert injector never draws at all. *)
+
+let drop_beat t ~worker =
+  if
+    t.active
+    && t.plan.Fault_plan.beat_drop_prob > 0.0
+    && Sim_rng.float t.rngs.(worker) 1.0 < t.plan.Fault_plan.beat_drop_prob
+  then begin
+    t.metrics.Metrics.faults_beats_dropped <- t.metrics.Metrics.faults_beats_dropped + 1;
+    true
+  end
+  else false
+
+let delivery_jitter t ~worker =
+  if t.active && t.plan.Fault_plan.beat_jitter > 0 then begin
+    let j = Sim_rng.int t.rngs.(worker) (t.plan.Fault_plan.beat_jitter + 1) in
+    if j > 0 then
+      t.metrics.Metrics.faults_beats_delayed <- t.metrics.Metrics.faults_beats_delayed + 1;
+    j
+  end
+  else 0
+
+let steal_fails t ~worker =
+  if not (t.active && t.plan.Fault_plan.steal_fail_prob > 0.0) then false
+  else if t.burst_left.(worker) > 0 then begin
+    t.burst_left.(worker) <- t.burst_left.(worker) - 1;
+    t.metrics.Metrics.faults_steals_failed <- t.metrics.Metrics.faults_steals_failed + 1;
+    true
+  end
+  else if Sim_rng.float t.rngs.(worker) 1.0 < t.plan.Fault_plan.steal_fail_prob then begin
+    t.burst_left.(worker) <- Stdlib.max 0 (t.plan.Fault_plan.steal_fail_burst - 1);
+    t.metrics.Metrics.faults_steals_failed <- t.metrics.Metrics.faults_steals_failed + 1;
+    true
+  end
+  else false
+
+let stall_cycles t ~worker =
+  if
+    t.active
+    && t.plan.Fault_plan.stall_prob > 0.0
+    && Sim_rng.float t.rngs.(worker) 1.0 < t.plan.Fault_plan.stall_prob
+  then begin
+    let c = 1 + Sim_rng.int t.rngs.(worker) (Stdlib.max 1 t.plan.Fault_plan.stall_cycles) in
+    t.metrics.Metrics.faults_stalls <- t.metrics.Metrics.faults_stalls + 1;
+    t.metrics.Metrics.faults_stall_cycles <- t.metrics.Metrics.faults_stall_cycles + c;
+    c
+  end
+  else 0
+
+let backoff_jitter t ~worker ~limit =
+  if t.active && limit > 0 then Sim_rng.int t.rngs.(worker) limit else 0

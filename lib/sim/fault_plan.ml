@@ -1,0 +1,47 @@
+type t = {
+  seed : int;
+  beat_drop_prob : float;
+  beat_jitter : int;
+  steal_fail_prob : float;
+  steal_fail_burst : int;
+  stall_prob : float;
+  stall_cycles : int;
+}
+
+let none =
+  {
+    seed = 0;
+    beat_drop_prob = 0.0;
+    beat_jitter = 0;
+    steal_fail_prob = 0.0;
+    steal_fail_burst = 0;
+    stall_prob = 0.0;
+    stall_cycles = 0;
+  }
+
+let is_zero t =
+  t.beat_drop_prob = 0.0 && t.beat_jitter = 0 && t.steal_fail_prob = 0.0 && t.stall_prob = 0.0
+
+let with_seed t seed = { t with seed }
+
+let random rng =
+  {
+    seed = Sim_rng.int rng 1_000_000;
+    beat_drop_prob = Sim_rng.float rng 0.5;
+    beat_jitter = Sim_rng.int rng 5_000;
+    steal_fail_prob = Sim_rng.float rng 0.4;
+    steal_fail_burst = 1 + Sim_rng.int rng 4;
+    stall_prob = Sim_rng.float rng 0.02;
+    stall_cycles = 1 + Sim_rng.int rng 10_000;
+  }
+
+let to_string t =
+  if is_zero t then "no faults"
+  else
+    Printf.sprintf
+      "seed=%d drop=%.0f%% jitter<=%dcy steal-fail=%.0f%%x%d stall=%.1f%%<=%dcy" t.seed
+      (100.0 *. t.beat_drop_prob) t.beat_jitter
+      (100.0 *. t.steal_fail_prob)
+      t.steal_fail_burst
+      (100.0 *. t.stall_prob)
+      t.stall_cycles

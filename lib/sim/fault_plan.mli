@@ -1,0 +1,49 @@
+(** Declarative, seed-deterministic fault plans.
+
+    A plan describes {e what can go wrong} during a simulated run: heartbeat
+    deliveries dropped or jittered (modelling the ping thread's up-to-45%%
+    signal loss and kernel-module interrupt latency under OS noise), steal
+    attempts that fail in bursts (CAS contention on a crowded deque), and
+    per-worker stall windows (OS preemption of a simulated core).
+
+    Plans are pure data; {!Fault_injector} turns one into a stream of
+    per-worker decisions driven off {!Sim_rng}, so identical plans produce
+    identical fault schedules. The cross-cutting contract of the whole layer
+    is: a fault plan may change {e performance}, never {e results} — every
+    executor output under any plan must equal the sequential reference. *)
+
+type t = {
+  seed : int;  (** root of the per-worker decision streams *)
+  beat_drop_prob : float;
+      (** probability in [\[0, 1\]] that an interrupt/signal heartbeat
+          delivery is lost before reaching its worker *)
+  beat_jitter : int;
+      (** maximum extra delivery delay in cycles for a non-dropped beat
+          (uniform in [\[0, beat_jitter\]]) *)
+  steal_fail_prob : float;
+      (** probability that a steal attempt starts a forced-failure burst *)
+  steal_fail_burst : int;
+      (** consecutive forced steal failures per triggered burst (contended
+          CAS retries); 0 or 1 means single failures *)
+  stall_prob : float;
+      (** per-scheduling-point probability that a worker is preempted *)
+  stall_cycles : int;
+      (** maximum stall window in cycles (uniform in [\[1, stall_cycles\]]) *)
+}
+
+val none : t
+(** The zero plan: every probability 0, every window 0. Running under
+    [none] is bit-identical to running with no fault layer at all. *)
+
+val is_zero : t -> bool
+(** True when the plan can never inject anything (the seed is ignored). *)
+
+val with_seed : t -> int -> t
+
+val random : Sim_rng.t -> t
+(** Draw a bounded random plan (drop up to 50%, jitter up to 5k cycles,
+    steal-failure bursts up to 4, stalls up to 10k cycles) for
+    property-style differential testing. *)
+
+val to_string : t -> string
+(** One-line human-readable summary, e.g. for experiment captions. *)

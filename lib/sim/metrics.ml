@@ -16,6 +16,12 @@ type t = {
   overhead_by_kind : (string, int) Hashtbl.t;
   mutable chunk_trace : (int * int * int) list;
   mutable timeline : (int * int * int * string) list;
+  mutable faults_beats_dropped : int;
+  mutable faults_beats_delayed : int;
+  mutable faults_steals_failed : int;
+  mutable faults_stalls : int;
+  mutable faults_stall_cycles : int;
+  mutable mechanism_downgrades : (int * int) list;
 }
 
 let create () =
@@ -37,6 +43,12 @@ let create () =
     overhead_by_kind = Hashtbl.create 16;
     chunk_trace = [];
     timeline = [];
+    faults_beats_dropped = 0;
+    faults_beats_delayed = 0;
+    faults_steals_failed = 0;
+    faults_stalls = 0;
+    faults_stall_cycles = 0;
+    mechanism_downgrades = [];
   }
 
 let add_overhead t kind c =
@@ -73,3 +85,11 @@ let busy_cycles_of t worker =
 let record_chunk_update t ~time ~key ~chunk =
   t.chunk_updates <- t.chunk_updates + 1;
   t.chunk_trace <- (time, key, chunk) :: t.chunk_trace
+
+let record_downgrade t ~worker ~time =
+  t.mechanism_downgrades <- (worker, time) :: t.mechanism_downgrades
+
+let downgrade_count t = List.length t.mechanism_downgrades
+
+let faults_injected t =
+  t.faults_beats_dropped + t.faults_beats_delayed + t.faults_steals_failed + t.faults_stalls

@@ -28,6 +28,15 @@ type t = {
   mutable timeline : (int * int * int * string) list;
       (** execution intervals (worker, start, end, kind), newest first;
           recorded only when the run asks for a timeline *)
+  mutable faults_beats_dropped : int;
+      (** injected heartbeat-delivery losses ({!Fault_injector}) *)
+  mutable faults_beats_delayed : int;  (** injected delivery-jitter events *)
+  mutable faults_steals_failed : int;  (** injected steal-attempt failures *)
+  mutable faults_stalls : int;  (** injected per-worker stall windows *)
+  mutable faults_stall_cycles : int;  (** total cycles lost to stalls *)
+  mutable mechanism_downgrades : (int * int) list;
+      (** watchdog fallbacks to software polling, (worker, virtual time),
+          newest first *)
 }
 
 val create : unit -> t
@@ -47,6 +56,14 @@ val detection_rate : t -> float
     were generated). *)
 
 val record_chunk_update : t -> time:int -> key:int -> chunk:int -> unit
+
+val record_downgrade : t -> worker:int -> time:int -> unit
+(** Log a watchdog downgrade of one worker's heartbeat mechanism. *)
+
+val downgrade_count : t -> int
+
+val faults_injected : t -> int
+(** Total injected fault events (drops + delays + steal failures + stalls). *)
 
 val record_interval : t -> worker:int -> t0:int -> t1:int -> kind:string -> unit
 

@@ -14,6 +14,12 @@ let overhead_pct r =
   if r.work_cycles = 0 then 0.0
   else 100.0 *. Float.of_int (r.makespan - r.work_cycles) /. Float.of_int r.work_cycles
 
+let faults_injected r = Metrics.faults_injected r.metrics
+
+let downgrades r = Metrics.downgrade_count r.metrics
+
+let degraded r = r.metrics.Metrics.mechanism_downgrades <> []
+
 let fingerprints_close ?(tol = 1e-6) a b =
   let scale = Float.max (Float.abs a.fingerprint) (Float.abs b.fingerprint) in
   if scale = 0.0 then true else Float.abs (a.fingerprint -. b.fingerprint) /. scale <= tol

@@ -17,6 +17,16 @@ val overhead_pct : t -> float
 (** Overhead of a sequential-with-overheads run against its own pure work,
     in percent. *)
 
+val faults_injected : t -> int
+(** Total fault events the run's {!Fault_injector} injected (0 without a
+    fault plan). *)
+
+val downgrades : t -> int
+(** Watchdog fallbacks from an interrupt mechanism to software polling. *)
+
+val degraded : t -> bool
+(** True when at least one worker was downgraded during the run. *)
+
 val fingerprints_close : ?tol:float -> t -> t -> bool
 (** Relative comparison (default tolerance 1e-6) — parallel reductions
     reassociate floating-point sums. *)

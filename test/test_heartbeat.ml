@@ -23,7 +23,7 @@ let with_worker cfg f =
 let polling_detects_interval_boundary () =
   let m =
     with_worker Hbc_core.Rt_config.default (fun eng hb _ ->
-        check_int "poll costs 50" 50 (Hbc_core.Heartbeat.poll_cost hb);
+        check_int "poll costs 50" 50 (Hbc_core.Heartbeat.poll_cost hb ~worker:0);
         (* before the boundary: nothing *)
         Sim.Engine.advance eng (interval / 2);
         check_bool "no beat yet" false (Hbc_core.Heartbeat.consume hb ~worker:0 ~count_poll:true);
@@ -65,7 +65,7 @@ let set_busy_resets_polling_baseline () =
 let kernel_module_pending_and_missed () =
   let m =
     with_worker Hbc_core.Rt_config.hbc_kernel_module (fun eng hb _ ->
-        check_int "no poll cost under interrupts" 0 (Hbc_core.Heartbeat.poll_cost hb);
+        check_int "no poll cost under interrupts" 0 (Hbc_core.Heartbeat.poll_cost hb ~worker:0);
         (* the broadcast fires while we compute; the flag is consumed at the
            next check and charges the delivery cost *)
         Sim.Engine.advance eng (interval + 10);

@@ -7,6 +7,7 @@ let () =
       ("linker", Test_linker.suite);
       ("heartbeat", Test_heartbeat.suite);
       ("runtime", Test_runtime.suite);
+      ("faults", Test_faults.suite);
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
       ("semantics", Test_semantics.suite);

@@ -151,11 +151,28 @@ let engine_park_unpark () =
       end);
   check_int "woken at waker's time" 500 !woke_at
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let engine_deadlock_detected () =
+  (* The message now carries a per-worker snapshot (clock, park state, plus
+     any diagnostics the executor registers); pin its pieces rather than the
+     exact string. *)
   let e = Sim.Engine.create ~num_workers:1 () in
-  Alcotest.check_raises "deadlock"
-    (Sim.Engine.Deadlock "live workers parked and event queue empty")
-    (fun () -> Sim.Engine.run e (fun _ -> Sim.Engine.park e))
+  Sim.Engine.set_diagnostics e (fun w -> Printf.sprintf " extra=%d" w);
+  let msg =
+    try
+      Sim.Engine.run e (fun _ -> Sim.Engine.park e);
+      Alcotest.fail "expected Deadlock"
+    with Sim.Engine.Deadlock m -> m
+  in
+  let has sub = Alcotest.(check bool) (Printf.sprintf "mentions %S" sub) true (contains ~sub msg) in
+  has "live workers parked and event queue empty";
+  has "worker 0: clock=0";
+  has "parked";
+  has "extra=0"
 
 let engine_callbacks_and_cancel () =
   let e = Sim.Engine.create ~num_workers:1 () in
