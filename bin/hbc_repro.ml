@@ -20,25 +20,97 @@ let verbose_arg =
   let doc = "Log each simulation run to stderr as it starts." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let trial_budget_arg =
+  let doc =
+    "Per-trial virtual-cycle watchdog budget: a trial whose simulation exceeds it aborts with a \
+     structured timeout instead of livelocking the campaign."
+  in
+  Arg.(value & opt (some int) None & info [ "trial-budget" ] ~docv:"CYCLES" ~doc)
+
+let wall_budget_arg =
+  let doc = "Per-trial wall-clock guard in seconds, polled from inside the simulator." in
+  Arg.(value & opt (some float) None & info [ "wall-budget" ] ~docv:"SECONDS" ~doc)
+
+let max_retries_arg =
+  let doc = "Bounded retries (with exponential backoff) for transient trial failures." in
+  Arg.(value & opt int 1 & info [ "max-retries" ] ~docv:"N" ~doc)
+
 let config_term =
-  let make scale workers seed verbose = { Experiments.Harness.scale; workers; seed; verbose } in
-  Term.(const make $ scale_arg $ workers_arg $ seed_arg $ verbose_arg)
+  let make scale workers seed verbose trial_budget wall_budget max_retries =
+    {
+      Experiments.Harness.scale;
+      workers;
+      seed;
+      verbose;
+      trial_budget;
+      wall_budget;
+      max_retries;
+      retry_backoff = Experiments.Harness.default_config.Experiments.Harness.retry_backoff;
+    }
+  in
+  Term.(
+    const make $ scale_arg $ workers_arg $ seed_arg $ verbose_arg $ trial_budget_arg
+    $ wall_budget_arg $ max_retries_arg)
+
+let default_journal = "hbc-journal.jsonl"
+
+let journal_term =
+  let path =
+    let doc =
+      Printf.sprintf
+        "Journal completed trials to $(docv) (one JSON line per trial, flushed). Without \
+         $(b,--resume) the file is truncated first. Implied (as %s) by $(b,--resume)."
+        default_journal
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH" ~doc)
+  in
+  let resume =
+    let doc =
+      "Resume from the journal: trials already recorded are replayed from disk instead of \
+       re-run; corrupt (torn) trailing lines from a killed run are dropped."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let make path resume =
+    match (path, resume) with
+    | None, false -> None
+    | path, resume -> Some (Option.value path ~default:default_journal, resume)
+  in
+  Term.(const make $ path $ resume)
+
+(* Install the campaign journal around a command, closing it even when the
+   command exits through an exception. *)
+let with_journal spec f =
+  match spec with
+  | None -> f ()
+  | Some (path, resume) ->
+      let j = Experiments.Checkpoint.create ~path ~resume in
+      Experiments.Harness.set_journal (Some j);
+      Fun.protect
+        ~finally:(fun () ->
+          Experiments.Harness.set_journal None;
+          Experiments.Checkpoint.close j)
+        f
 
 let fig_cmd (f : Experiments.Figure.t) =
   let doc = f.Experiments.Figure.caption in
-  let run config =
-    print_string (Experiments.Run_all.render_one config f);
+  let run config journal =
+    with_journal journal (fun () ->
+        print_string (Experiments.Run_all.render_one config f);
+        print_string (Experiments.Run_all.campaign_summary ()));
     (match Experiments.Harness.validation_failures () with
     | [] -> ()
     | _ -> exit 2);
     ()
   in
-  Cmd.v (Cmd.info f.Experiments.Figure.id ~doc) Term.(const run $ config_term)
+  Cmd.v (Cmd.info f.Experiments.Figure.id ~doc) Term.(const run $ config_term $ journal_term)
 
 let all_cmd =
   let doc = "Reproduce every figure (4-16)." in
-  let run config = print_string (Experiments.Run_all.render_all config) in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ config_term)
+  let run config journal =
+    with_journal journal (fun () -> print_string (Experiments.Run_all.render_all config))
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ config_term $ journal_term)
 
 let list_cmd =
   let doc = "List the benchmarks (Table 1) with their metadata." in
@@ -112,7 +184,8 @@ let run_cmd =
     let doc = "Executor: seq, hbc, hbc-km, hbc-ping, tpal, omp-static, or omp-dynamic." in
     Arg.(value & opt string "hbc" & info [ "executor"; "e" ] ~docv:"EXEC" ~doc)
   in
-  let run config bench executor fault_plan =
+  let run config bench executor fault_plan journal =
+    with_journal journal @@ fun () ->
     let entry =
       try Workloads.Registry.find bench
       with Not_found ->
@@ -124,7 +197,7 @@ let run_cmd =
     let tag_of t = if fault_plan = None then t else t ^ "+faults" in
     let outcome =
       match executor with
-      | "seq" -> { Experiments.Harness.result = base; speedup = 1.0; valid = true }
+      | "seq" -> { Experiments.Harness.result = base; speedup = 1.0; valid = true; error = None }
       | "hbc" ->
           Experiments.Harness.run_hbc config ~tag:(tag_of "hbc") ~cfg:(faulted (fun c -> c)) entry
       | "hbc-km" ->
@@ -198,11 +271,15 @@ let run_cmd =
           (fun (w, t) -> Printf.printf " [worker %d at %d]" w t)
           (List.rev m.Sim.Metrics.mechanism_downgrades);
         print_newline ());
+    (match outcome.Experiments.Harness.error with
+    | Some e ->
+        Printf.printf "trial error      : %s\n" (Experiments.Trial_error.to_string e)
+    | None -> ());
     if r.Sim.Run_result.dnf then print_endline "run DID NOT FINISH (virtual-time cap)"
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ config_term $ bench_arg $ exec_arg $ fault_plan_term)
+    Term.(const run $ config_term $ bench_arg $ exec_arg $ fault_plan_term $ journal_term)
 
 let asm_cmd =
   let doc =
@@ -280,7 +357,8 @@ let ablation_cmd =
   let which_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"STUDY" ~doc:"Study name or `all`.")
   in
-  let run config which =
+  let run config journal which =
+    with_journal journal @@ fun () ->
     let studies =
       if which = "all" then Experiments.Ablations.all
       else
@@ -302,7 +380,7 @@ let ablation_cmd =
           (String.concat ", " (List.map (fun (b, t) -> b ^ "/" ^ t) fails));
         exit 2
   in
-  Cmd.v (Cmd.info "ablations" ~doc) Term.(const run $ config_term $ which_arg)
+  Cmd.v (Cmd.info "ablations" ~doc) Term.(const run $ config_term $ journal_term $ which_arg)
 
 let timeline_cmd =
   let doc = "Render a per-worker execution timeline (ASCII gantt) for one benchmark under HBC." in

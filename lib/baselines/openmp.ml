@@ -11,6 +11,8 @@ type config = {
   nested : nested_mode;
   seed : int;
   max_cycles : int option;
+  cycle_budget : int option;
+  guard : (unit -> string option) option;
 }
 
 let dynamic ?(chunk = 1) ?(workers = 64) () =
@@ -21,7 +23,16 @@ let dynamic ?(chunk = 1) ?(workers = 64) () =
     nested = Outermost_only;
     seed = 1;
     max_cycles = None;
+    cycle_budget = None;
+    guard = None;
   }
+
+(* Content hash of the result-affecting fields, mirroring
+   [Rt_config.signature]; watchdog fields are excluded. *)
+let signature t =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string (t.cost, t.workers, t.schedule, t.nested, t.seed, t.max_cycles) []))
 
 let static ?(workers = 64) () = { (dynamic ~workers ()) with schedule = Static }
 
@@ -276,7 +287,9 @@ let run_program cfg (prog : _ Ir.Program.t) =
   (match cfg.max_cycles with
   | Some cap -> Sim.Engine.schedule_at eng ~time:cap (fun () -> raise Did_not_finish)
   | None -> ());
-  let dnf = ref false in
+  (match cfg.cycle_budget with Some b -> Sim.Engine.set_budget eng b | None -> ());
+  (match cfg.guard with Some g -> Sim.Engine.set_guard eng g | None -> ());
+  let termination = ref Sim.Run_result.Finished in
   (try
      Sim.Engine.run eng (fun w ->
          if w = 0 then begin
@@ -291,11 +304,16 @@ let run_program cfg (prog : _ Ir.Program.t) =
            Sim.Engine.unpark_all eng
          end
          else omp_worker st w)
-   with Did_not_finish -> dnf := true);
+   with
+  | Did_not_finish -> termination := Sim.Run_result.Dnf
+  | Sim.Engine.Budget_exceeded { budget; time } ->
+      termination := Sim.Run_result.Budget_exceeded { budget; at = time }
+  | Sim.Engine.Guard_stop reason -> termination := Sim.Run_result.Guard_aborted reason);
   {
     Sim.Run_result.makespan = Sim.Engine.max_time eng;
     work_cycles = metrics.Sim.Metrics.work_cycles;
     fingerprint = prog.Ir.Program.fingerprint env;
-    dnf = !dnf;
+    dnf = (!termination = Sim.Run_result.Dnf);
+    termination = !termination;
     metrics;
   }

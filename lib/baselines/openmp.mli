@@ -32,6 +32,12 @@ type config = {
   nested : nested_mode;
   seed : int;
   max_cycles : int option;
+  cycle_budget : int option;
+      (** per-trial virtual-cycle watchdog; exceeding it is a
+          [Budget_exceeded] termination (a trial error), unlike [max_cycles]
+          which models the paper's DNF outcome *)
+  guard : (unit -> string option) option;
+      (** external abort hook (wall-clock deadline) *)
 }
 
 val dynamic : ?chunk:int -> ?workers:int -> unit -> config
@@ -43,3 +49,7 @@ val static : ?workers:int -> unit -> config
 val guided : ?min_chunk:int -> ?workers:int -> unit -> config
 
 val run_program : config -> 'e Ir.Program.t -> Sim.Run_result.t
+
+val signature : config -> string
+(** Hex content hash of the result-affecting fields (seed included), used by
+    the experiment journal as part of the trial cache key. *)

@@ -38,5 +38,6 @@ let run_program (p : _ Ir.Program.t) =
     work_cycles = !work;
     fingerprint = p.Ir.Program.fingerprint env;
     dnf = false;
+    termination = Sim.Run_result.Finished;
     metrics = Sim.Metrics.create ();
   }

@@ -668,7 +668,13 @@ let run_program (cfg : Rt_config.t) (compiled : 'e Pipeline.program) : Sim.Run_r
   (match cfg.Rt_config.max_cycles with
   | Some cap -> Sim.Engine.schedule_at eng ~time:cap (fun () -> raise Did_not_finish)
   | None -> ());
-  let dnf = ref false in
+  (match cfg.Rt_config.cycle_budget with
+  | Some budget -> Sim.Engine.set_budget eng budget
+  | None -> ());
+  (match cfg.Rt_config.guard with
+  | Some guard -> Sim.Engine.set_guard eng guard
+  | None -> ());
+  let termination = ref Sim.Run_result.Finished in
   (try
      Sim.Engine.run eng (fun w ->
          if w = 0 then begin
@@ -694,13 +700,18 @@ let run_program (cfg : Rt_config.t) (compiled : 'e Pipeline.program) : Sim.Run_r
            Sim.Engine.unpark_all eng
          end
          else scavenge st w)
-   with Did_not_finish -> dnf := true);
+   with
+  | Did_not_finish -> termination := Sim.Run_result.Dnf
+  | Sim.Engine.Budget_exceeded { budget; time } ->
+      termination := Sim.Run_result.Budget_exceeded { budget; at = time }
+  | Sim.Engine.Guard_stop reason -> termination := Sim.Run_result.Guard_aborted reason);
   {
     Sim.Run_result.makespan = Sim.Engine.max_time eng;
     metrics;
     fingerprint = program.Ir.Program.fingerprint env;
     work_cycles = metrics.Sim.Metrics.work_cycles;
-    dnf = !dnf;
+    dnf = (!termination = Sim.Run_result.Dnf);
+    termination = !termination;
   }
 
 let run cfg program =

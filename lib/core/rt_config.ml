@@ -22,6 +22,8 @@ type t = {
   timeline : bool;
   fault_plan : Sim.Fault_plan.t option;
   watchdog_k : int;
+  cycle_budget : int option;
+  guard : (unit -> string option) option;
 }
 
 let default =
@@ -43,7 +45,35 @@ let default =
     timeline = false;
     fault_plan = None;
     watchdog_k = 4;
+    cycle_budget = None;
+    guard = None;
   }
+
+(* Content hash over every field that can change a run's *results* — the
+   experiment journal's cache key. Watchdog/observability fields
+   (cycle_budget, guard, chunk_trace, timeline) are deliberately excluded:
+   they never alter a completed run's outcome, only whether and how it is
+   observed. Closures are excluded by construction, so Marshal is safe. *)
+let signature t =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( t.cost,
+            t.workers,
+            t.mechanism,
+            t.chunk,
+            t.ac_target_polls,
+            t.ac_window,
+            t.promotion,
+            t.force_promotion,
+            t.leftover,
+            t.policy,
+            t.chunk_transferring,
+            t.seed,
+            t.max_cycles,
+            t.fault_plan,
+            t.watchdog_k )
+          []))
 
 let hbc = default
 

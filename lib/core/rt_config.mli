@@ -51,6 +51,14 @@ type t = {
       (** starvation watchdog: consecutive missed/undelivered beats on a
           busy worker before its interrupt mechanism is downgraded to
           software polling (only armed while fault injection is active) *)
+  cycle_budget : int option;
+      (** per-trial virtual-cycle watchdog: aborts the run with a
+          {!Sim.Run_result.Budget_exceeded} termination instead of letting a
+          fault-induced livelock spin forever. Unlike [max_cycles] (the
+          paper's DNF semantics), hitting the budget is a trial error. *)
+  guard : (unit -> string option) option;
+      (** external abort hook polled during the run (wall-clock deadlines);
+          [Some reason] yields a [Guard_aborted] termination *)
 }
 
 val default : t
@@ -67,3 +75,9 @@ val hbc_ping_thread : t
 val tpal : chunk:int -> t
 (** TPAL's manual runtime: ping-thread interrupts, static per-benchmark
     chunk size, inline leftover. *)
+
+val signature : t -> string
+(** Hex content hash of every result-affecting field (including the seed and
+    fault plan); the experiment journal keys cached trials on it, so any
+    configuration change invalidates stale entries. Watchdog and trace
+    fields are excluded — they do not alter completed results. *)

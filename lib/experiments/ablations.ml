@@ -1,4 +1,4 @@
-let speedup_cell o = Report.Table.cell_f o.Harness.speedup
+let speedup_cell o = Harness.speedup_cell ~decimals:1 o
 
 (* ----------------- leftover task: spawned vs inline ---------------- *)
 
@@ -107,26 +107,29 @@ let leftover_pairs config =
   List.iter
     (fun (entry : Workloads.Registry.entry) ->
       let all_pairs = Harness.run_hbc config entry in
-      let leaves_only =
-        let (Ir.Program.Any p) = entry.Workloads.Registry.make config.Harness.scale in
-        let compiled = Hbc_core.Pipeline.compile_program ~all_leftover_pairs:false p in
-        let rt =
-          {
-            Hbc_core.Rt_config.default with
-            workers = config.Harness.workers;
-            seed = config.Harness.seed;
-          }
-        in
-        let r = Hbc_core.Executor.run_program rt compiled in
-        let base = Harness.baseline config entry in
-        Sim.Run_result.speedup ~baseline:base r
+      let rt =
+        {
+          Hbc_core.Rt_config.default with
+          workers = config.Harness.workers;
+          seed = config.Harness.seed;
+        }
+      in
+      let leaves_cell =
+        match
+          Harness.trial config ~bench:entry.Workloads.Registry.name ~tag:"abl-leaves-only"
+            ~signature:(Hbc_core.Rt_config.signature rt ^ "+leaves-only")
+            (fun () ->
+              let (Ir.Program.Any p) = entry.Workloads.Registry.make config.Harness.scale in
+              let compiled = Hbc_core.Pipeline.compile_program ~all_leftover_pairs:false p in
+              Hbc_core.Executor.run_program (Harness.guarded config rt) compiled)
+        with
+        | Ok r ->
+            let base = Harness.baseline config entry in
+            Report.Table.cell_f (Sim.Run_result.speedup ~baseline:base r)
+        | Error e -> Trial_error.cell e
       in
       Report.Table.add_row table
-        [
-          entry.Workloads.Registry.name;
-          speedup_cell all_pairs;
-          Report.Table.cell_f leaves_only;
-        ])
+        [ entry.Workloads.Registry.name; speedup_cell all_pairs; leaves_cell ])
     entries;
   Report.Table.render table
 
@@ -230,9 +233,9 @@ let hybrid config =
       in
       let hbc = Harness.run_hbc config entry in
       let hybrid = if entry.Workloads.Registry.regular then static else hbc in
-      statics := static.Harness.speedup :: !statics;
-      hbcs := hbc.Harness.speedup :: !hbcs;
-      hybrids := hybrid.Harness.speedup :: !hybrids;
+      statics := static :: !statics;
+      hbcs := hbc :: !hbcs;
+      hybrids := hybrid :: !hybrids;
       Report.Table.add_row table
         [
           entry.Workloads.Registry.name;
@@ -247,7 +250,12 @@ let hybrid config =
   Report.Table.add_row table
     ("geomean" :: ""
     :: List.map
-         (fun l -> Report.Table.cell_f (Report.Stats.geomean l))
+         (fun col ->
+           let g, excluded =
+             Report.Stats.geomean_excluding (List.map Harness.speedup_opt col)
+           in
+           if excluded = 0 then Report.Table.cell_f g
+           else Printf.sprintf "%s (%d excl.)" (Report.Table.cell_f g) excluded)
          [ !statics; !hbcs; !hybrids ]);
   Report.Table.render table
 

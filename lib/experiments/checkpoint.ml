@@ -1,0 +1,472 @@
+(* Crash-safe trial journal: one JSON object per line, append-only, flushed
+   after every record so a killed campaign loses at most the trial in
+   flight. Lines that fail to parse (a torn write from a kill -9) are
+   skipped on resume and the trial simply re-runs. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON (no external dependency): only what the journal emits.  *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let buf_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      buf_escape buf s;
+      Buffer.add_char buf '"'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf (Str k);
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 512 in
+  write buf j;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then s.[!pos] else '\255' in
+  let next () =
+    if !pos >= len then fail "unexpected end";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let rec skip_ws () =
+    if !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) then begin
+      incr pos;
+      skip_ws ()
+    end
+  in
+  let expect c = if next () <> c then fail (Printf.sprintf "expected '%c'" c) in
+  let literal word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              let hex = String.init 4 (fun _ -> next ()) in
+              let code = int_of_string ("0x" ^ hex) in
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
+          | _ -> fail "bad escape");
+          go ())
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < len && numchar s.[!pos] do incr pos done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt text with Some f -> Float f | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | 'n' -> literal "null" Null
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | '"' -> Str (parse_string ())
+    | '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = ']' then begin expect ']'; Arr [] end
+        else begin
+          let items = ref [] in
+          let rec go () =
+            items := parse_value () :: !items;
+            skip_ws ();
+            match next () with
+            | ',' -> go ()
+            | ']' -> ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          go ();
+          Arr (List.rev !items)
+        end
+    | '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = '}' then begin expect '}'; Obj [] end
+        else begin
+          let fields = ref [] in
+          let rec go () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match next () with
+            | ',' -> go ()
+            | '}' -> ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          go ();
+          Obj (List.rev !fields)
+        end
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Journal entries.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type status = Completed of Sim.Run_result.t | Failed of Trial_error.t
+
+type entry = {
+  key : string;
+  bench : string;
+  tag : string;
+  scale : float;
+  workers : int;
+  seed : int;
+  status : status;
+}
+
+let version = 1
+
+let mem k fields = List.assoc_opt k fields
+
+let get_str k fields = match mem k fields with Some (Str s) -> Some s | _ -> None
+
+let get_int k fields = match mem k fields with Some (Int i) -> Some i | _ -> None
+
+let get_float k fields =
+  match mem k fields with Some (Float f) -> Some f | Some (Int i) -> Some (float_of_int i) | _ -> None
+
+let get_bool k fields = match mem k fields with Some (Bool b) -> Some b | _ -> None
+
+let termination_to_json (t : Sim.Run_result.termination) =
+  match t with
+  | Sim.Run_result.Finished -> Obj [ ("state", Str "finished") ]
+  | Sim.Run_result.Dnf -> Obj [ ("state", Str "dnf") ]
+  | Sim.Run_result.Budget_exceeded { budget; at } ->
+      Obj [ ("state", Str "budget"); ("budget", Int budget); ("at", Int at) ]
+  | Sim.Run_result.Guard_aborted reason ->
+      Obj [ ("state", Str "guard"); ("reason", Str reason) ]
+
+let termination_of_json = function
+  | Obj fields -> (
+      match get_str "state" fields with
+      | Some "finished" -> Sim.Run_result.Finished
+      | Some "dnf" -> Sim.Run_result.Dnf
+      | Some "budget" ->
+          Sim.Run_result.Budget_exceeded
+            {
+              budget = Option.value ~default:0 (get_int "budget" fields);
+              at = Option.value ~default:0 (get_int "at" fields);
+            }
+      | Some "guard" ->
+          Sim.Run_result.Guard_aborted (Option.value ~default:"" (get_str "reason" fields))
+      | _ -> Sim.Run_result.Finished)
+  | _ -> Sim.Run_result.Finished
+
+let metrics_to_json (m : Sim.Metrics.t) =
+  Obj
+    [
+      ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) (Sim.Metrics.counters m)));
+      ( "promotions_by_level",
+        Arr (Array.to_list (Array.map (fun n -> Int n) m.Sim.Metrics.promotions_by_level)) );
+      ( "overhead",
+        Obj
+          (Hashtbl.fold (fun k v acc -> (k, Int v) :: acc) m.Sim.Metrics.overhead_by_kind []
+          |> List.sort compare) );
+      ( "downgrades",
+        Arr
+          (List.rev_map (fun (w, t) -> Arr [ Int w; Int t ]) m.Sim.Metrics.mechanism_downgrades)
+      );
+      ( "chunk_trace",
+        Arr
+          (List.rev_map
+             (fun (t, k, c) -> Arr [ Int t; Int k; Int c ])
+             m.Sim.Metrics.chunk_trace) );
+    ]
+
+let metrics_of_json j =
+  let m = Sim.Metrics.create () in
+  (match j with
+  | Obj fields ->
+      (match mem "counters" fields with
+      | Some (Obj counters) ->
+          List.iter
+            (fun (k, v) -> match v with Int i -> Sim.Metrics.restore_counter m k i | _ -> ())
+            counters
+      | _ -> ());
+      (match mem "promotions_by_level" fields with
+      | Some (Arr levels) ->
+          List.iteri
+            (fun i v ->
+              match v with
+              | Int n when i < Array.length m.Sim.Metrics.promotions_by_level ->
+                  m.Sim.Metrics.promotions_by_level.(i) <- n
+              | _ -> ())
+            levels
+      | _ -> ());
+      (match mem "overhead" fields with
+      | Some (Obj kinds) ->
+          List.iter
+            (fun (k, v) ->
+              match v with Int i -> Hashtbl.replace m.Sim.Metrics.overhead_by_kind k i | _ -> ())
+            kinds
+      | _ -> ());
+      (match mem "downgrades" fields with
+      | Some (Arr items) ->
+          m.Sim.Metrics.mechanism_downgrades <-
+            List.rev
+              (List.filter_map
+                 (function Arr [ Int w; Int t ] -> Some (w, t) | _ -> None)
+                 items)
+      | _ -> ());
+      (match mem "chunk_trace" fields with
+      | Some (Arr items) ->
+          m.Sim.Metrics.chunk_trace <-
+            List.rev
+              (List.filter_map
+                 (function Arr [ Int t; Int k; Int c ] -> Some (t, k, c) | _ -> None)
+                 items)
+      | _ -> ())
+  | _ -> ());
+  m
+
+let result_to_json (r : Sim.Run_result.t) =
+  Obj
+    [
+      ("makespan", Int r.Sim.Run_result.makespan);
+      ("work_cycles", Int r.Sim.Run_result.work_cycles);
+      (* hex float: lossless round-trip for the output checksum *)
+      ("fingerprint", Str (Printf.sprintf "%h" r.Sim.Run_result.fingerprint));
+      ("dnf", Bool r.Sim.Run_result.dnf);
+      ("termination", termination_to_json r.Sim.Run_result.termination);
+      ("metrics", metrics_to_json r.Sim.Run_result.metrics);
+    ]
+
+let result_of_json j =
+  match j with
+  | Obj fields ->
+      let fingerprint =
+        match get_str "fingerprint" fields with
+        | Some s -> ( match float_of_string_opt s with Some f -> f | None -> Float.nan)
+        | None -> Float.nan
+      in
+      Some
+        {
+          Sim.Run_result.makespan = Option.value ~default:0 (get_int "makespan" fields);
+          work_cycles = Option.value ~default:0 (get_int "work_cycles" fields);
+          fingerprint;
+          dnf = Option.value ~default:false (get_bool "dnf" fields);
+          termination =
+            (match mem "termination" fields with
+            | Some t -> termination_of_json t
+            | None -> Sim.Run_result.Finished);
+          metrics =
+            (match mem "metrics" fields with
+            | Some m -> metrics_of_json m
+            | None -> Sim.Metrics.create ());
+        }
+  | _ -> None
+
+let entry_to_json e =
+  let status_fields =
+    match e.status with
+    | Completed r -> [ ("status", Str "ok"); ("result", result_to_json r) ]
+    | Failed err ->
+        [
+          ("status", Str "failed");
+          ("error_kind", Str (Trial_error.kind err));
+          ("error", Str (Trial_error.detail err));
+        ]
+  in
+  to_string
+    (Obj
+       ([
+          ("v", Int version);
+          ("key", Str e.key);
+          ("bench", Str e.bench);
+          ("tag", Str e.tag);
+          ("scale", Float e.scale);
+          ("workers", Int e.workers);
+          ("seed", Int e.seed);
+        ]
+       @ status_fields))
+
+let entry_of_json line =
+  match parse line with
+  | exception Parse_error msg -> Error msg
+  | Obj fields -> (
+      let str k = get_str k fields in
+      match (str "key", str "bench", str "tag", str "status") with
+      | Some key, Some bench, Some tag, Some status_str -> (
+          let base status =
+            Ok
+              {
+                key;
+                bench;
+                tag;
+                scale = Option.value ~default:1.0 (get_float "scale" fields);
+                workers = Option.value ~default:0 (get_int "workers" fields);
+                seed = Option.value ~default:0 (get_int "seed" fields);
+                status;
+              }
+          in
+          match status_str with
+          | "ok" -> (
+              match mem "result" fields with
+              | Some rj -> (
+                  match result_of_json rj with
+                  | Some r -> base (Completed r)
+                  | None -> Error "bad result payload")
+              | None -> Error "missing result")
+          | "failed" ->
+              let kind = Option.value ~default:"crash" (str "error_kind") in
+              let detail = Option.value ~default:"" (str "error") in
+              base (Failed (Trial_error.make ~kind detail))
+          | other -> Error (Printf.sprintf "unknown status %s" other))
+      | _ -> Error "missing required fields")
+  | _ -> Error "top level is not an object"
+  | exception e -> Error (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* The journal itself.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  path : string;
+  table : (string, entry) Hashtbl.t;
+  out : out_channel;
+  mutable loaded : int;
+  mutable hits : int;
+  mutable appended : int;
+  mutable skipped_lines : int;
+}
+
+let load_existing table path =
+  let loaded = ref 0 and skipped = ref 0 in
+  (if Sys.file_exists path then
+     let ic = open_in path in
+     Fun.protect
+       ~finally:(fun () -> close_in_noerr ic)
+       (fun () ->
+         try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match entry_of_json line with
+               | Ok e ->
+                   Hashtbl.replace table e.key e;
+                   incr loaded
+               | Error _ -> incr skipped
+           done
+         with End_of_file -> ()));
+  (!loaded, !skipped)
+
+let create ~path ~resume =
+  let table = Hashtbl.create 256 in
+  let loaded, skipped_lines = if resume then load_existing table path else (0, 0) in
+  (* On resume we rewrite the journal from the parsed entries: torn lines
+     from a previous kill are dropped and the file stays one-valid-JSON-
+     object-per-line. Without resume the journal starts fresh. *)
+  let out = open_out path in
+  Hashtbl.iter (fun _ e -> output_string out (entry_to_json e ^ "\n")) table;
+  flush out;
+  { path; table; out; loaded; hits = 0; appended = 0; skipped_lines }
+
+let path t = t.path
+
+let loaded t = t.loaded
+
+let hits t = t.hits
+
+let appended t = t.appended
+
+let skipped_lines t = t.skipped_lines
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e
+  | None -> None
+
+let record t e =
+  Hashtbl.replace t.table e.key e;
+  output_string t.out (entry_to_json e ^ "\n");
+  flush t.out;
+  t.appended <- t.appended + 1
+
+let close t = close_out_noerr t.out

@@ -1,0 +1,60 @@
+(** Crash-safe campaign journal: every completed (or definitively failed)
+    trial is appended as one JSON line and flushed, keyed by a content hash
+    of the trial's full configuration — benchmark, tag, scale, workers,
+    seed, and the runtime-config signature. A [run-all] restarted with
+    [--resume] replays the journal instead of re-running trials; entries
+    whose configuration hash no longer matches are simply never looked up
+    again (hash-keyed invalidation). Torn trailing lines from a [kill -9]
+    are skipped on load and rewritten away. *)
+
+type status =
+  | Completed of Sim.Run_result.t
+      (** the trial produced a result (including paper-semantics DNF runs) *)
+  | Failed of Trial_error.t
+      (** the trial failed after exhausting retries; resuming quarantines it
+          instead of re-running *)
+
+type entry = {
+  key : string;  (** hex content hash — the lookup key *)
+  bench : string;
+  tag : string;
+  scale : float;
+  workers : int;
+  seed : int;  (** human-readable provenance; not part of the lookup *)
+  status : status;
+}
+
+type t
+
+val create : path:string -> resume:bool -> t
+(** Open a journal. [resume = true] loads the existing file (skipping
+    corrupt lines) and rewrites it compacted; [resume = false] truncates. *)
+
+val path : t -> string
+
+val find : t -> string -> entry option
+(** Lookup by content-hash key; counts toward {!hits}. *)
+
+val record : t -> entry -> unit
+(** Append one entry and flush, so a crash loses at most the in-flight
+    trial. *)
+
+val loaded : t -> int
+(** Entries recovered from disk at open time. *)
+
+val hits : t -> int
+(** Lookups served from the journal (trials skipped on resume). *)
+
+val appended : t -> int
+(** Entries recorded by this process. *)
+
+val skipped_lines : t -> int
+(** Corrupt (torn) lines dropped during load. *)
+
+val close : t -> unit
+
+(** {2 Codec (exposed for tests)} *)
+
+val entry_to_json : entry -> string
+
+val entry_of_json : string -> (entry, string) result

@@ -58,18 +58,18 @@ let render config =
           (fun name ->
             let entry = Workloads.Registry.find name in
             let outcomes = List.map (run config entry short cfg) drop_rates in
-            let speedups =
-              List.map (fun o -> o.Harness.speedup) outcomes
-            in
-            let downgrades_at_max =
-              Sim.Run_result.downgrades (List.nth outcomes (List.length outcomes - 1)).Harness.result
+            let speedups = List.map (fun o -> o.Harness.speedup) outcomes in
+            let last = List.nth outcomes (List.length outcomes - 1) in
+            let downgrades_cell =
+              Harness.metric_cell last (fun r ->
+                  Report.Table.cell_i (Sim.Run_result.downgrades r))
             in
             let s0 = List.nth speedups 0 in
             let smax = List.nth speedups (List.length speedups - 1) in
             let slowdown = if smax > 0. then s0 /. smax else infinity in
             Report.Table.add_row table
-              ((name :: List.map (Report.Table.cell_f ~decimals:2) speedups)
-              @ [ Report.Table.cell_i downgrades_at_max; Report.Table.cell_f ~decimals:2 slowdown ]))
+              ((name :: List.map (Harness.speedup_cell ~decimals:2) outcomes)
+              @ [ downgrades_cell; Report.Table.cell_f ~decimals:2 slowdown ]))
           benchmarks;
         Report.Table.render table)
       mechanisms

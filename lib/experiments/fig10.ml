@@ -6,8 +6,9 @@ let chunks = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
 
 let render config =
   let scale = config.Harness.scale in
+  (* A custom (non-registry) executor sweep, still journaled and watchdogged
+     like any other trial via Harness.trial. *)
   let run_view view tag chunk =
-    let program = Workloads.Mandelbrot.program_of_view ~name:tag view in
     let rt =
       {
         Hbc_core.Rt_config.default with
@@ -16,8 +17,20 @@ let render config =
         chunk = Hbc_core.Compiled.Static chunk;
       }
     in
-    let r = Hbc_core.Executor.run rt program in
-    1000.0 *. Sim.Cost_model.seconds_of_cycles rt.Hbc_core.Rt_config.cost r.Sim.Run_result.makespan
+    match
+      Harness.trial config ~bench:tag
+        ~tag:(Printf.sprintf "chunk-%d" chunk)
+        ~signature:(Hbc_core.Rt_config.signature rt)
+        (fun () ->
+          let program = Workloads.Mandelbrot.program_of_view ~name:tag view in
+          Hbc_core.Executor.run (Harness.guarded config rt) program)
+    with
+    | Ok r ->
+        Report.Table.cell_f ~decimals:3
+          (1000.0
+          *. Sim.Cost_model.seconds_of_cycles rt.Hbc_core.Rt_config.cost
+               r.Sim.Run_result.makespan)
+    | Error e -> Trial_error.cell e
   in
   let table =
     Report.Table.create
@@ -30,8 +43,8 @@ let render config =
       Report.Table.add_row table
         [
           Report.Table.cell_i chunk;
-          Report.Table.cell_f ~decimals:3 (run_view v1 "mandelbrot-in1" chunk);
-          Report.Table.cell_f ~decimals:3 (run_view v2 "mandelbrot-in2" chunk);
+          run_view v1 "mandelbrot-in1" chunk;
+          run_view v2 "mandelbrot-in2" chunk;
         ])
     chunks;
   Report.Table.render table

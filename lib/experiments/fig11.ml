@@ -16,18 +16,32 @@ let render config =
      invocations are the common repeated-kernel scenario its text motivates) *)
   let views = [ v1; v1; v1; v1; v1; v2; v2; v2; v2; v2 ] in
   let program = Workloads.Mandelbrot.repeated ~scale ~views in
-  let compiled_baseline = Baselines.Serial_exec.run_program program in
-  let run chunk =
-    let rt =
-      {
-        Hbc_core.Rt_config.default with
-        workers = config.Harness.workers;
-        seed = config.Harness.seed;
-        chunk;
-      }
-    in
-    let r = Hbc_core.Executor.run rt program in
-    Sim.Run_result.speedup ~baseline:compiled_baseline r
+  (* Both the custom sequential reference and the chunk sweep run as
+     journaled trials; if the reference itself fails, every cell degrades to
+     its error instead of dividing by garbage. *)
+  let compiled_baseline =
+    Harness.trial config ~bench:"mandelbrot-mixed" ~tag:"seq" ~signature:"serial-exec" (fun () ->
+        Baselines.Serial_exec.run_program program)
+  in
+  let run tag chunk =
+    match compiled_baseline with
+    | Error e -> Trial_error.cell e
+    | Ok baseline -> (
+        let rt =
+          {
+            Hbc_core.Rt_config.default with
+            workers = config.Harness.workers;
+            seed = config.Harness.seed;
+            chunk;
+          }
+        in
+        match
+          Harness.trial config ~bench:"mandelbrot-mixed" ~tag
+            ~signature:(Hbc_core.Rt_config.signature rt)
+            (fun () -> Hbc_core.Executor.run (Harness.guarded config rt) program)
+        with
+        | Ok r -> Report.Table.cell_f (Sim.Run_result.speedup ~baseline r)
+        | Error e -> Trial_error.cell e)
   in
   let table =
     Report.Table.create
@@ -37,11 +51,13 @@ let render config =
   List.iter
     (fun c ->
       Report.Table.add_row table
-        [ Printf.sprintf "static %d" c; Report.Table.cell_f (run (Hbc_core.Compiled.Static c)) ])
+        [
+          Printf.sprintf "static %d" c;
+          run (Printf.sprintf "static-%d" c) (Hbc_core.Compiled.Static c);
+        ])
     static_chunks;
   Report.Table.add_separator table;
-  Report.Table.add_row table
-    [ "adaptive (AC)"; Report.Table.cell_f (run Hbc_core.Compiled.Adaptive) ];
+  Report.Table.add_row table [ "adaptive (AC)"; run "ac" Hbc_core.Compiled.Adaptive ];
   Report.Table.render table
 
 let figure =

@@ -25,7 +25,15 @@ let render config =
           chunk_trace = true;
         }
       in
-      let r = Hbc_core.Executor.run rt program in
+      match
+        Harness.trial config ~bench:("spmv-" ^ name) ~tag:"fig12-trace"
+          ~signature:(Hbc_core.Rt_config.signature rt ^ "+trace")
+          (fun () -> Hbc_core.Executor.run (Harness.guarded config rt) program)
+      with
+      | Error e ->
+          Buffer.add_string buf
+            (Printf.sprintf "Figure 12 (%s): unavailable — %s\n\n" name (Trial_error.to_string e))
+      | Ok r ->
       let env = program.Ir.Program.make_env () in
       let matrix = env.Workloads.Spmv.matrix in
       let n = matrix.Workloads.Matrix_gen.n in

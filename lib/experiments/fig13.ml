@@ -23,8 +23,9 @@ let render config =
                 ~tag:(Printf.sprintf "ac-target-%d" target)
                 entry
             in
-            Report.Table.cell_f ~decimals:2
-              (Sim.Metrics.detection_rate o.Harness.result.Sim.Run_result.metrics))
+            Harness.metric_cell o (fun r ->
+                Report.Table.cell_f ~decimals:2
+                  (Sim.Metrics.detection_rate r.Sim.Run_result.metrics)))
           targets
       in
       Report.Table.add_row table (entry.Workloads.Registry.name :: cells))

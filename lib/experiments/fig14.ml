@@ -23,7 +23,7 @@ let render config =
                 ~tag:(Printf.sprintf "omp-dyn%d" chunk)
                 entry
             in
-            Report.Table.cell_f o.Harness.speedup)
+            Harness.speedup_cell o)
           chunks
       in
       Report.Table.add_row table (entry.Workloads.Registry.name :: cells))

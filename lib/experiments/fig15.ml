@@ -25,12 +25,12 @@ let render config =
             })
           ~tag:"omp-nested" entry
       in
-      let nested_cell =
-        if nested.Harness.result.Sim.Run_result.dnf then "DNF"
-        else Report.Table.cell_f nested.Harness.speedup
-      in
       Report.Table.add_row table
-        [ entry.Workloads.Registry.name; Report.Table.cell_f outer.Harness.speedup; nested_cell ])
+        [
+          entry.Workloads.Registry.name;
+          Harness.speedup_cell outer;
+          Harness.speedup_cell nested;
+        ])
     entries;
   Report.Table.render table
 

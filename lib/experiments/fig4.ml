@@ -14,23 +14,25 @@ let render config =
     (fun entry ->
       let omp = Harness.run_omp ~tag:"omp-dyn1" config entry in
       let hbc = Harness.run_hbc config entry in
-      omps := omp.Harness.speedup :: !omps;
-      hbcs := hbc.Harness.speedup :: !hbcs;
+      omps := omp :: !omps;
+      hbcs := hbc :: !hbcs;
       Report.Table.add_row table
         [
           entry.Workloads.Registry.name;
-          Report.Table.cell_f omp.Harness.speedup;
-          Report.Table.cell_f hbc.Harness.speedup;
+          Harness.speedup_cell omp;
+          Harness.speedup_cell hbc;
           Report.Table.cell_f ~decimals:2 (hbc.Harness.speedup /. Float.max 0.01 omp.Harness.speedup);
         ])
     entries;
   Report.Table.add_separator table;
   Report.Table.add_row table (Harness.geomean_row ~label:"geomean" [ !omps; !hbcs ]);
+  (* Failed/DNF cells are non-numeric; chart them as 0 bars. *)
+  let bar s = Option.value ~default:0.0 (float_of_string_opt s) in
   let chart =
     Report.Ascii_chart.grouped ~title:"speedup (x)" ~series:[ "OpenMP (dynamic)"; "HBC" ]
       (List.map
          (fun row -> match row with
-           | name :: a :: b :: _ -> (name, [ float_of_string a; float_of_string b ])
+           | name :: a :: b :: _ -> (name, [ bar a; bar b ])
            | _ -> ("", []))
          (Report.Table.rows table))
   in

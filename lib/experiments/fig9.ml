@@ -36,22 +36,24 @@ let render config =
           ~tag:"hbc-km" entry
       in
       let poll = Harness.run_hbc config entry in
-      pings := ping.Harness.speedup :: !pings;
-      kms := km.Harness.speedup :: !kms;
-      polls := poll.Harness.speedup :: !polls;
-      let m = ping.Harness.result.Sim.Run_result.metrics in
-      let missed =
-        100.0
-        *. Float.of_int m.Sim.Metrics.heartbeats_missed
-        /. Float.of_int (Stdlib.max 1 m.Sim.Metrics.heartbeats_generated)
+      pings := ping :: !pings;
+      kms := km :: !kms;
+      polls := poll :: !polls;
+      let missed_cell =
+        Harness.metric_cell ping (fun r ->
+            let m = r.Sim.Run_result.metrics in
+            Report.Table.cell_f
+              (100.0
+              *. Float.of_int m.Sim.Metrics.heartbeats_missed
+              /. Float.of_int (Stdlib.max 1 m.Sim.Metrics.heartbeats_generated)))
       in
       Report.Table.add_row table
         [
           entry.Workloads.Registry.name;
-          Report.Table.cell_f ping.Harness.speedup;
-          Report.Table.cell_f km.Harness.speedup;
-          Report.Table.cell_f poll.Harness.speedup;
-          Report.Table.cell_f missed;
+          Harness.speedup_cell ping;
+          Harness.speedup_cell km;
+          Harness.speedup_cell poll;
+          missed_cell;
         ])
     entries;
   Report.Table.add_separator table;

@@ -1,3 +1,13 @@
 type t = { id : string; caption : string; render : Harness.config -> string }
 
 let make ~id ~caption render = { id; caption; render }
+
+(* Graceful degradation at figure granularity: individual trials already
+   catch their own failures, but a bug in a figure's own rendering code (or
+   a trial error escaping a non-harness path) must not unwind the whole
+   campaign either — it becomes an explicit aborted-figure body. *)
+let render_guarded t config =
+  match t.render config with
+  | body -> body
+  | exception e ->
+      Printf.sprintf "!! figure %s aborted: %s\n" t.id (Trial_error.to_string (Trial_error.of_exn e))

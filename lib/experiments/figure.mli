@@ -8,3 +8,7 @@ type t = {
 }
 
 val make : id:string -> caption:string -> (Harness.config -> string) -> t
+
+val render_guarded : t -> Harness.config -> string
+(** Render, converting any escaping exception into an explicit
+    "figure aborted" body so one broken figure cannot sink a campaign. *)

@@ -1,85 +1,318 @@
-type config = { scale : float; workers : int; seed : int; verbose : bool }
+type config = {
+  scale : float;
+  workers : int;
+  seed : int;
+  verbose : bool;
+  trial_budget : int option;
+  wall_budget : float option;
+  max_retries : int;
+  retry_backoff : float;
+}
 
-let default_config = { scale = 1.0; workers = 64; seed = 1; verbose = false }
+let default_config =
+  {
+    scale = 1.0;
+    workers = 64;
+    seed = 1;
+    verbose = false;
+    trial_budget = None;
+    wall_budget = None;
+    max_retries = 1;
+    retry_backoff = 0.05;
+  }
 
-type outcome = { result : Sim.Run_result.t; speedup : float; valid : bool }
+type outcome = {
+  result : Sim.Run_result.t;
+  speedup : float;
+  valid : bool;
+  error : Trial_error.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Campaign state: in-memory cache, journal, quarantine.               *)
+(* ------------------------------------------------------------------ *)
 
 let cache : (string, Sim.Run_result.t) Hashtbl.t = Hashtbl.create 64
 
 let failures : (string * string) list ref = ref []
 
+(* key -> (human label, error): trials that exhausted their retries (or were
+   journaled as failed) are skipped and reported, never re-run. *)
+let quarantine : (string, string * Trial_error.t) Hashtbl.t = Hashtbl.create 16
+
+let journal_ref : Checkpoint.t option ref = ref None
+
+let set_journal j = journal_ref := j
+
+let journal () = !journal_ref
+
 let clear_cache () =
   Hashtbl.reset cache;
+  Hashtbl.reset quarantine;
   failures := []
 
 let validation_failures () = List.rev !failures
 
-let key config entry tag = Printf.sprintf "%s/%s/%.3f/%d" entry.Workloads.Registry.name tag config.scale config.workers
+let quarantined () =
+  Hashtbl.fold (fun _ (label, e) acc -> (label, e) :: acc) quarantine []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let cached config entry tag compute =
-  let k = key config entry tag in
-  match Hashtbl.find_opt cache k with
-  | Some r -> r
-  | None ->
-      if config.verbose then Printf.eprintf "[run] %s\n%!" k;
-      let r = compute () in
-      Hashtbl.add cache k r;
-      r
+(* The trial key is a content hash of everything that determines the
+   result: benchmark, tag, scale, workers, seed, and the executor-config
+   signature (which itself covers seed, fault plan, cost model, ...).
+   Changing any of them — including just the seed — yields a fresh key, so
+   stale journal or cache entries can never be reused. *)
+let trial_key config ~bench ~tag ~signature =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            bench;
+            tag;
+            Printf.sprintf "%.9g" config.scale;
+            string_of_int config.workers;
+            string_of_int config.seed;
+            signature;
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog arming.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock guard armed lazily on its first poll, so the deadline starts
+   when the run starts (the closure is created fresh per attempt). *)
+let wall_guard secs =
+  let deadline = ref None in
+  fun () ->
+    let now = Unix.gettimeofday () in
+    match !deadline with
+    | None ->
+        deadline := Some (now +. secs);
+        None
+    | Some d ->
+        if now > d then Some (Printf.sprintf "wall-clock budget %.1fs exceeded" secs) else None
+
+let guarded config rt =
+  {
+    rt with
+    Hbc_core.Rt_config.cycle_budget =
+      (match rt.Hbc_core.Rt_config.cycle_budget with
+      | Some _ as b -> b
+      | None -> config.trial_budget);
+    guard =
+      (match config.wall_budget with
+      | Some secs -> Some (wall_guard secs)
+      | None -> rt.Hbc_core.Rt_config.guard);
+  }
+
+let guarded_omp config oc =
+  {
+    oc with
+    Baselines.Openmp.cycle_budget =
+      (match oc.Baselines.Openmp.cycle_budget with
+      | Some _ as b -> b
+      | None -> config.trial_budget);
+    guard =
+      (match config.wall_budget with
+      | Some secs -> Some (wall_guard secs)
+      | None -> oc.Baselines.Openmp.guard);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The resilient trial runner.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let classify_run (r : Sim.Run_result.t) =
+  match Trial_error.of_termination r.Sim.Run_result.termination with
+  | Some e -> Error e
+  | None -> Ok r
+
+let attempt_once compute =
+  match compute () with r -> classify_run r | exception e -> Error (Trial_error.of_exn e)
+
+let trial config ~bench ~tag ~signature compute =
+  let key = trial_key config ~bench ~tag ~signature in
+  let label = bench ^ "/" ^ tag in
+  match Hashtbl.find_opt cache key with
+  | Some r -> Ok r
+  | None -> (
+      match Hashtbl.find_opt quarantine key with
+      | Some (_, e) -> Error e
+      | None -> (
+          let record status =
+            match !journal_ref with
+            | None -> ()
+            | Some j ->
+                Checkpoint.record j
+                  {
+                    Checkpoint.key;
+                    bench;
+                    tag;
+                    scale = config.scale;
+                    workers = config.workers;
+                    seed = config.seed;
+                    status;
+                  }
+          in
+          let from_journal =
+            match !journal_ref with None -> None | Some j -> Checkpoint.find j key
+          in
+          match from_journal with
+          | Some { Checkpoint.status = Checkpoint.Completed r; _ } ->
+              if config.verbose then Printf.eprintf "[journal] %s\n%!" label;
+              Hashtbl.replace cache key r;
+              Ok r
+          | Some { Checkpoint.status = Checkpoint.Failed e; _ } ->
+              if config.verbose then Printf.eprintf "[quarantined] %s: %s\n%!" label (Trial_error.to_string e);
+              Hashtbl.replace quarantine key (label, e);
+              Error e
+          | None -> (
+              if config.verbose then Printf.eprintf "[run] %s\n%!" label;
+              (* Bounded retry with exponential backoff for transient
+                 failures; deterministic failures (timeout, deadlock,
+                 invariant, mismatch) fail fast. *)
+              let rec attempt n =
+                match attempt_once compute with
+                | Ok r -> Ok r
+                | Error e when Trial_error.transient e && n < config.max_retries ->
+                    if config.retry_backoff > 0.0 then
+                      Unix.sleepf (config.retry_backoff *. Float.of_int (1 lsl n));
+                    if config.verbose then
+                      Printf.eprintf "[retry %d/%d] %s: %s\n%!" (n + 1) config.max_retries label
+                        (Trial_error.to_string e);
+                    attempt (n + 1)
+                | Error e -> Error e
+              in
+              match attempt 0 with
+              | Ok r ->
+                  Hashtbl.replace cache key r;
+                  record (Checkpoint.Completed r);
+                  Ok r
+              | Error e ->
+                  Hashtbl.replace quarantine key (label, e);
+                  record (Checkpoint.Failed e);
+                  if config.verbose then
+                    Printf.eprintf "[failed] %s: %s\n%!" label (Trial_error.to_string e);
+                  Error e)))
+
+(* Placeholder for a trial that produced no result: zero work, so any
+   speedup computed against or from it is 0 rather than garbage. *)
+let errored_result () =
+  {
+    Sim.Run_result.makespan = 0;
+    work_cycles = 0;
+    fingerprint = Float.nan;
+    dnf = false;
+    termination = Sim.Run_result.Finished;
+    metrics = Sim.Metrics.create ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Executor frontends.                                                 *)
+(* ------------------------------------------------------------------ *)
 
 let baseline config entry =
-  cached config entry "seq" (fun () ->
-      let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
-      Baselines.Serial_exec.run_program p)
+  let result =
+    trial config ~bench:entry.Workloads.Registry.name ~tag:"seq" ~signature:"serial-exec"
+      (fun () ->
+        let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
+        Baselines.Serial_exec.run_program p)
+  in
+  match result with Ok r -> r | Error _ -> errored_result ()
 
 let outcome_of config entry tag result =
-  let base = baseline config entry in
-  let valid = result.Sim.Run_result.dnf || Sim.Run_result.fingerprints_close base result in
-  if not valid then failures := (entry.Workloads.Registry.name, tag) :: !failures;
-  { result; speedup = Sim.Run_result.speedup ~baseline:base result; valid }
+  match result with
+  | Error e -> { result = errored_result (); speedup = 0.0; valid = false; error = Some e }
+  | Ok result ->
+      let base = baseline config entry in
+      let valid =
+        result.Sim.Run_result.dnf
+        || (not (Sim.Run_result.completed result))
+        || Sim.Run_result.fingerprints_close base result
+      in
+      if not valid then failures := (entry.Workloads.Registry.name, tag) :: !failures;
+      let error =
+        if valid then None
+        else
+          Some
+            (Trial_error.Result_mismatch
+               (Printf.sprintf "fingerprint %h diverged from sequential reference %h"
+                  result.Sim.Run_result.fingerprint base.Sim.Run_result.fingerprint))
+      in
+      { result; speedup = Sim.Run_result.speedup ~baseline:base result; valid; error }
 
 let run_hbc ?(cfg = fun c -> c) ?(tag = "hbc") config entry =
+  let rt =
+    { (cfg Hbc_core.Rt_config.default) with
+      Hbc_core.Rt_config.workers = config.workers;
+      seed = config.seed;
+    }
+  in
   let result =
-    cached config entry tag (fun () ->
+    trial config ~bench:entry.Workloads.Registry.name ~tag
+      ~signature:(Hbc_core.Rt_config.signature rt)
+      (fun () ->
         let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
-        let rt =
-          { (cfg Hbc_core.Rt_config.default) with
-            Hbc_core.Rt_config.workers = config.workers;
-            seed = config.seed;
-          }
-        in
-        Hbc_core.Executor.run rt p)
+        Hbc_core.Executor.run (guarded config rt) p)
   in
   outcome_of config entry tag result
 
 let run_tpal ?(tag = "tpal") config entry =
+  let rt =
+    { (Hbc_core.Rt_config.tpal ~chunk:entry.Workloads.Registry.tpal_chunk) with
+      Hbc_core.Rt_config.workers = config.workers;
+      seed = config.seed;
+    }
+  in
   let result =
-    cached config entry tag (fun () ->
+    trial config ~bench:entry.Workloads.Registry.name ~tag
+      ~signature:(Hbc_core.Rt_config.signature rt)
+      (fun () ->
         let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
-        let rt =
-          { (Hbc_core.Rt_config.tpal ~chunk:entry.Workloads.Registry.tpal_chunk) with
-            Hbc_core.Rt_config.workers = config.workers;
-            seed = config.seed;
-          }
-        in
-        Hbc_core.Executor.run rt p)
+        Hbc_core.Executor.run (guarded config rt) p)
   in
   outcome_of config entry tag result
 
 let run_omp ?(cfg = fun c -> c) ?(tag = "omp") config entry =
+  let oc =
+    { (cfg (Baselines.Openmp.dynamic ())) with
+      Baselines.Openmp.workers = config.workers;
+      seed = config.seed;
+    }
+  in
   let result =
-    cached config entry tag (fun () ->
+    trial config ~bench:entry.Workloads.Registry.name ~tag
+      ~signature:(Baselines.Openmp.signature oc)
+      (fun () ->
         let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
-        let oc =
-          { (cfg (Baselines.Openmp.dynamic ())) with
-            Baselines.Openmp.workers = config.workers;
-            seed = config.seed;
-          }
-        in
-        Baselines.Openmp.run_program oc p)
+        Baselines.Openmp.run_program (guarded_omp config oc) p)
   in
   outcome_of config entry tag result
 
 let dnf_cap base = 2 * base.Sim.Run_result.work_cycles
 
+(* ------------------------------------------------------------------ *)
+(* Error-aware rendering helpers.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let speedup_cell ?(decimals = 1) o =
+  match o.error with
+  | Some e -> Trial_error.cell e
+  | None ->
+      if o.result.Sim.Run_result.dnf then "DNF" else Report.Table.cell_f ~decimals o.speedup
+
+let metric_cell o f =
+  match o.error with Some e -> Trial_error.cell e | None -> f o.result
+
+let speedup_opt o =
+  if o.error <> None || o.result.Sim.Run_result.dnf || o.speedup <= 0.0 then None
+  else Some o.speedup
+
 let geomean_row ~label columns =
-  label :: List.map (fun col -> Report.Table.cell_f (Report.Stats.geomean col)) columns
+  label
+  :: List.map
+       (fun col ->
+         let g, excluded = Report.Stats.geomean_excluding (List.map speedup_opt col) in
+         if excluded = 0 then Report.Table.cell_f g
+         else Printf.sprintf "%s (%d excl.)" (Report.Table.cell_f g) excluded)
+       columns

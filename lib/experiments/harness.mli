@@ -1,20 +1,71 @@
 (** Shared machinery for the per-figure experiments: configuration, cached
-    runs, output validation against the sequential reference, and geomean
-    summaries. *)
+    and journaled runs, per-trial watchdogs, output validation against the
+    sequential reference, and geomean summaries.
+
+    Every run is a {e trial}: it is keyed by a content hash of its full
+    configuration (benchmark, tag, scale, workers, seed, executor-config
+    signature), consults the in-memory cache and the optional on-disk
+    {!Checkpoint} journal before computing, is wrapped in the
+    {!Trial_error} taxonomy instead of raising, retries transient failures
+    with exponential backoff, and quarantines trials that keep failing so
+    one bad run cannot sink a campaign. *)
 
 type config = {
   scale : float;  (** input-size multiplier (1.0 = the documented defaults) *)
   workers : int;  (** simulated cores (paper: 64) *)
   seed : int;
   verbose : bool;
+  trial_budget : int option;
+      (** per-trial virtual-cycle watchdog; a trial past the budget aborts
+          with {!Trial_error.Timeout} instead of livelocking the campaign *)
+  wall_budget : float option;
+      (** per-trial wall-clock guard in seconds, polled inside the engine *)
+  max_retries : int;  (** bounded retries for transient (crash) failures *)
+  retry_backoff : float;
+      (** base backoff sleep in seconds, doubled per retry (0 disables) *)
 }
 
 val default_config : config
 
-type outcome = { result : Sim.Run_result.t; speedup : float; valid : bool }
+type outcome = {
+  result : Sim.Run_result.t;
+  speedup : float;
+  valid : bool;
+  error : Trial_error.t option;
+      (** [Some _] when the trial failed (placeholder result) or its output
+          mismatched the reference *)
+}
+
+val set_journal : Checkpoint.t option -> unit
+(** Install (or remove) the campaign journal consulted and appended by every
+    trial. *)
+
+val journal : unit -> Checkpoint.t option
+
+val trial :
+  config ->
+  bench:string ->
+  tag:string ->
+  signature:string ->
+  (unit -> Sim.Run_result.t) ->
+  (Sim.Run_result.t, Trial_error.t) result
+(** Run one journaled, quarantine-aware, retried trial. [signature] must be
+    a content hash/string covering every result-affecting knob not already
+    in [config] (use {!Hbc_core.Rt_config.signature} /
+    {!Baselines.Openmp.signature}). Figures with custom executors call this
+    directly so they checkpoint and degrade like the standard runs. *)
+
+val guarded : config -> Hbc_core.Rt_config.t -> Hbc_core.Rt_config.t
+(** Arm the config's trial watchdogs (cycle budget, wall-clock guard) on a
+    runtime config. Call inside the trial's compute closure so each retry
+    gets a fresh wall deadline. Does not change the result signature. *)
+
+val guarded_omp : config -> Baselines.Openmp.config -> Baselines.Openmp.config
 
 val baseline : config -> Workloads.Registry.entry -> Sim.Run_result.t
-(** Sequential reference run (cached per benchmark and scale). *)
+(** Sequential reference run (cached per benchmark and scale). On trial
+    failure returns a zero-work placeholder, degrading dependent speedups
+    to 0 instead of aborting. *)
 
 val run_hbc :
   ?cfg:(Hbc_core.Rt_config.t -> Hbc_core.Rt_config.t) ->
@@ -24,7 +75,7 @@ val run_hbc :
   outcome
 (** Run under the heartbeat runtime; [cfg] tweaks the default HBC
     configuration (workers and seed are applied afterwards). Results are
-    cached under [tag] when given. *)
+    cached and journaled under [tag]. *)
 
 val run_tpal : ?tag:string -> config -> Workloads.Registry.entry -> outcome
 
@@ -43,7 +94,25 @@ val dnf_cap : Sim.Run_result.t -> int
 val validation_failures : unit -> (string * string) list
 (** (benchmark, tag) pairs whose fingerprint diverged from the reference. *)
 
-val geomean_row : label:string -> float list list -> string list
-(** Build a geomean summary row from the speedup columns. *)
+val quarantined : unit -> (string * Trial_error.t) list
+(** Trials that failed definitively this campaign (label, error), sorted;
+    rendered by the campaign summary instead of aborting [run-all]. *)
+
+val speedup_cell : ?decimals:int -> outcome -> string
+(** ["12.3"], ["DNF"], or ["—(timeout)"] — failed and did-not-finish trials
+    render explicitly instead of as a bogus number. *)
+
+val metric_cell : outcome -> (Sim.Run_result.t -> string) -> string
+(** Render a metric from a successful trial's result, or the error cell. *)
+
+val speedup_opt : outcome -> float option
+(** [None] for failed or DNF trials — the explicit exclusion used by
+    geomeans. *)
+
+val geomean_row : label:string -> outcome list list -> string list
+(** Build a geomean summary row from outcome columns; excluded (failed/DNF)
+    trials are counted in the cell rather than silently averaged. *)
 
 val clear_cache : unit -> unit
+(** Reset the in-memory cache, quarantine, and validation failures (the
+    journal, if any, is untouched). *)

@@ -23,7 +23,7 @@ let find id =
 
 let render_one config (f : Figure.t) =
   let before = List.length (Harness.validation_failures ()) in
-  let body = f.Figure.render config in
+  let body = Figure.render_guarded f config in
   let failures = Harness.validation_failures () in
   let fresh = List.filteri (fun i _ -> i >= before) failures in
   let warn =
@@ -35,5 +35,30 @@ let render_one config (f : Figure.t) =
   in
   Printf.sprintf "== %s: %s ==\n%s%s\n" f.Figure.id f.Figure.caption body warn
 
+(* End-of-campaign accounting: what the journal saved us, and which trials
+   were quarantined — failures are reported, never silently dropped. *)
+let campaign_summary () =
+  let buf = Buffer.create 256 in
+  (match Harness.journal () with
+  | None -> ()
+  | Some j ->
+      Buffer.add_string buf
+        (Printf.sprintf "journal: %d reused, %d recorded (%s)\n" (Checkpoint.hits j)
+           (Checkpoint.appended j) (Checkpoint.path j));
+      if Checkpoint.skipped_lines j > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "journal: dropped %d corrupt line(s) from an interrupted run\n"
+             (Checkpoint.skipped_lines j)));
+  (match Harness.quarantined () with
+  | [] -> ()
+  | qs ->
+      Buffer.add_string buf (Printf.sprintf "quarantined trials (%d):\n" (List.length qs));
+      List.iter
+        (fun (label, e) ->
+          Buffer.add_string buf (Printf.sprintf "  %s: %s\n" label (Trial_error.to_string e)))
+        qs);
+  Buffer.contents buf
+
 let render_all config =
-  String.concat "\n" (List.map (render_one config) figures)
+  let body = String.concat "\n" (List.map (render_one config) figures) in
+  match campaign_summary () with "" -> body | summary -> body ^ "\n" ^ summary

@@ -11,4 +11,10 @@ val render_one : Harness.config -> Figure.t -> string
 (** Render one figure, appending a validation warning when any run's output
     diverged from the sequential reference. *)
 
+val campaign_summary : unit -> string
+(** Journal reuse statistics and the quarantine list for the trials run so
+    far; empty when there is nothing to report. *)
+
 val render_all : Harness.config -> string
+(** Render every figure (each guarded against aborts) followed by the
+    campaign summary. *)

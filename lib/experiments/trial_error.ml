@@ -1,0 +1,55 @@
+type t =
+  | Timeout of string
+  | Deadlock of string
+  | Invariant_violation of string
+  | Result_mismatch of string
+  | Crash of string
+
+let kind = function
+  | Timeout _ -> "timeout"
+  | Deadlock _ -> "deadlock"
+  | Invariant_violation _ -> "invariant"
+  | Result_mismatch _ -> "mismatch"
+  | Crash _ -> "crash"
+
+let detail = function
+  | Timeout m | Deadlock m | Invariant_violation m | Result_mismatch m | Crash m -> m
+
+let make ~kind:k detail =
+  match k with
+  | "timeout" -> Timeout detail
+  | "deadlock" -> Deadlock detail
+  | "invariant" -> Invariant_violation detail
+  | "mismatch" -> Result_mismatch detail
+  | _ -> Crash detail
+
+let to_string e = Printf.sprintf "%s: %s" (kind e) (detail e)
+
+let cell e = Printf.sprintf "\xe2\x80\x94(%s)" (kind e)
+
+(* Only crashes are worth retrying: the simulator is deterministic, so a
+   timeout, deadlock, invariant violation, or output mismatch reproduces
+   identically, while a crash may be environmental (OOM, interrupted IO). *)
+let transient = function
+  | Crash _ -> true
+  | Timeout _ | Deadlock _ | Invariant_violation _ | Result_mismatch _ -> false
+
+let of_termination (t : Sim.Run_result.termination) =
+  match t with
+  | Sim.Run_result.Finished | Sim.Run_result.Dnf -> None
+  | Sim.Run_result.Budget_exceeded { budget; at } ->
+      Some (Timeout (Printf.sprintf "cycle budget %d exceeded at virtual time %d" budget at))
+  | Sim.Run_result.Guard_aborted reason -> Some (Timeout reason)
+
+let of_exn (e : exn) =
+  match e with
+  | Sim.Engine.Deadlock msg -> Deadlock msg
+  | Sim.Engine.Budget_exceeded { budget; time } ->
+      Timeout (Printf.sprintf "cycle budget %d exceeded at virtual time %d" budget time)
+  | Sim.Engine.Guard_stop reason -> Timeout reason
+  | Hbc_core.Executor.Internal_error msg -> Invariant_violation msg
+  | Assert_failure (file, line, _) ->
+      Invariant_violation (Printf.sprintf "assertion failed at %s:%d" file line)
+  | Stack_overflow -> Crash "stack overflow"
+  | Out_of_memory -> Crash "out of memory"
+  | e -> Crash (Printexc.to_string e)

@@ -1,0 +1,48 @@
+(** Structured taxonomy for everything that can go wrong with one figure
+    trial. Every trial the harness runs is wrapped in this type instead of
+    letting a bare exception unwind the whole campaign: a failing trial
+    becomes a rendered [—(kind)] cell and (after bounded retries) a
+    quarantine entry, never an aborted [run-all]. *)
+
+type t =
+  | Timeout of string
+      (** the per-trial watchdog fired: virtual-cycle budget exceeded
+          (fault-induced livelock) or wall-clock guard deadline passed *)
+  | Deadlock of string
+      (** the engine found live-but-parked workers with nothing scheduled to
+          wake them; carries the per-worker snapshot *)
+  | Invariant_violation of string
+      (** a runtime internal invariant broke (executor internal error,
+          assertion failure) *)
+  | Result_mismatch of string
+      (** the run finished but its output fingerprint diverged from the
+          sequential reference *)
+  | Crash of string  (** any other exception, by name *)
+
+val kind : t -> string
+(** Short stable label: "timeout", "deadlock", "invariant", "mismatch",
+    "crash" — used in journal lines and table cells. *)
+
+val detail : t -> string
+
+val make : kind:string -> string -> t
+(** Inverse of [kind]/[detail] (journal decoding); unknown kinds decode as
+    {!Crash}. *)
+
+val to_string : t -> string
+
+val cell : t -> string
+(** Table cell for a failed trial, e.g. ["—(timeout)"] — the campaign
+    renders failures explicitly instead of dropping or averaging them. *)
+
+val transient : t -> bool
+(** Whether a retry can plausibly change the outcome. Only {!Crash} is:
+    the simulator is deterministic, so the other kinds reproduce
+    identically and retrying them just burns wall-clock. *)
+
+val of_termination : Sim.Run_result.termination -> t option
+(** [None] for [Finished] and [Dnf] (DNF is a *result* the figures render,
+    not a trial error); the watchdog terminations map to {!Timeout}. *)
+
+val of_exn : exn -> t
+(** Classify an exception that escaped a trial. *)

@@ -6,6 +6,14 @@ let geomean xs =
       let n = Float.of_int (List.length xs) in
       Float.exp (List.fold_left (fun acc x -> acc +. Float.log x) 0.0 xs /. n)
 
+(* Explicit DNF/error handling: callers pass [None] for trials that must
+   not contribute (did-not-finish, quarantined), and get back how many were
+   excluded so tables can say so instead of silently averaging. *)
+let geomean_excluding xs =
+  let present = List.filter_map Fun.id xs in
+  let excluded = List.length xs - List.length present in
+  (geomean present, excluded)
+
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)

@@ -3,6 +3,11 @@
 val geomean : float list -> float
 (** Geometric mean of the positive entries; 0 if none. *)
 
+val geomean_excluding : float option list -> float * int
+(** Geometric mean of the [Some] entries plus the count of excluded [None]s
+    (DNF / failed trials), so callers render the exclusion explicitly
+    rather than averaging a bogus value. *)
+
 val mean : float list -> float
 
 val median : float list -> float

@@ -4,6 +4,10 @@ type event =
 
 exception Deadlock of string
 
+exception Budget_exceeded of { budget : int; time : int }
+
+exception Guard_stop of string
+
 (* Binary min-heap on (time, seq); seq breaks ties FIFO for determinism. *)
 module Heap = struct
   type entry = { time : int; seq : int; ev : event }
@@ -73,6 +77,10 @@ type t = {
   mutable pending_resumes : int;
   rng : Sim_rng.t;
   mutable diagnostics : (int -> string) option;
+  mutable budget : int option;  (* virtual-cycle watchdog: abort past this time *)
+  mutable guard : (unit -> string option) option;
+  mutable guard_every : int;
+  mutable guard_countdown : int;
 }
 
 type _ Effect.t += Advance : int -> unit Effect.t
@@ -92,9 +100,38 @@ let create ?(seed = 42) ~num_workers () =
     pending_resumes = 0;
     rng = Sim_rng.create seed;
     diagnostics = None;
+    budget = None;
+    guard = None;
+    guard_every = 4096;
+    guard_countdown = 4096;
   }
 
 let set_diagnostics t f = t.diagnostics <- Some f
+
+let set_budget t budget = t.budget <- Some budget
+
+let set_guard t ?(every = 4096) f =
+  t.guard <- Some f;
+  t.guard_every <- Stdlib.max 1 every;
+  t.guard_countdown <- t.guard_every
+
+(* Watchdog checks on every event dispatch. The budget check fires as soon as
+   virtual time passes the cap — even when the run is livelocked on events
+   that keep rescheduling themselves — and the guard hook lets a caller
+   abort on external conditions (wall-clock deadlines) without the engine
+   depending on the clock itself. *)
+let check_watchdogs t time =
+  (match t.budget with
+  | Some b when time > b -> raise (Budget_exceeded { budget = b; time })
+  | Some _ | None -> ());
+  match t.guard with
+  | None -> ()
+  | Some f ->
+      t.guard_countdown <- t.guard_countdown - 1;
+      if t.guard_countdown <= 0 then begin
+        t.guard_countdown <- t.guard_every;
+        match f () with Some reason -> raise (Guard_stop reason) | None -> ()
+      end
 
 (* Deadlock reports carry a per-worker snapshot (clock, park/finish state,
    plus whatever the runtime's diagnostics hook adds — deque depth, task
@@ -205,6 +242,7 @@ let run t main =
         match Heap.pop t.heap with
         | None -> deadlock t "live workers parked and event queue empty"
         | Some { time; ev = Callback f; _ } ->
+            check_watchdogs t time;
             t.current <- -1;
             t.engine_time <- time;
             f ();
@@ -216,6 +254,7 @@ let run t main =
         match Heap.pop t.heap with
         | None -> deadlock t "pending resumes not in heap"
         | Some { time; ev; _ } ->
+            check_watchdogs t time;
             (match ev with
             | Resume (k, w) ->
                 t.pending_resumes <- t.pending_resumes - 1;

@@ -15,7 +15,27 @@ exception Deadlock of string
     message carries a per-worker state snapshot (clock, parked/runnable/
     finished, plus the {!set_diagnostics} hook's output) for diagnosis. *)
 
+exception Budget_exceeded of { budget : int; time : int }
+(** Raised from {!run} when the next event's virtual time passes the
+    {!set_budget} cap: the structured abort for fault-induced livelocks that
+    keep generating events instead of finishing. *)
+
+exception Guard_stop of string
+(** Raised from {!run} when the {!set_guard} hook requests an abort (e.g. a
+    wall-clock deadline), carrying the hook's reason. *)
+
 val create : ?seed:int -> num_workers:int -> unit -> t
+
+val set_budget : t -> int -> unit
+(** Arm the virtual-cycle watchdog: any event dispatched past this virtual
+    time aborts the run with {!Budget_exceeded}. Unlike a scheduled
+    callback, the check also fires when the heap only contains
+    self-rescheduling callbacks. *)
+
+val set_guard : t -> ?every:int -> (unit -> string option) -> unit
+(** Install an external abort hook, polled every [every] (default 4096)
+    event dispatches; returning [Some reason] aborts the run with
+    {!Guard_stop}. Used for wall-clock trial deadlines. *)
 
 val num_workers : t -> int
 

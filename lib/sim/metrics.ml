@@ -93,3 +93,35 @@ let downgrade_count t = List.length t.mechanism_downgrades
 
 let faults_injected t =
   t.faults_beats_dropped + t.faults_beats_delayed + t.faults_steals_failed + t.faults_stalls
+
+(* Scalar-counter reflection for the experiment journal: one authoritative
+   list of (name, getter, setter) so the checkpoint codec cannot silently
+   drift from the record when counters are added. *)
+let counter_specs : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("heartbeats_generated", (fun t -> t.heartbeats_generated), fun t v -> t.heartbeats_generated <- v);
+    ("heartbeats_detected", (fun t -> t.heartbeats_detected), fun t v -> t.heartbeats_detected <- v);
+    ("heartbeats_missed", (fun t -> t.heartbeats_missed), fun t v -> t.heartbeats_missed <- v);
+    ("polls", (fun t -> t.polls), fun t v -> t.polls <- v);
+    ("promotions", (fun t -> t.promotions), fun t v -> t.promotions <- v);
+    ("tasks_spawned", (fun t -> t.tasks_spawned), fun t v -> t.tasks_spawned <- v);
+    ("leftover_tasks_run", (fun t -> t.leftover_tasks_run), fun t v -> t.leftover_tasks_run <- v);
+    ("steals", (fun t -> t.steals), fun t v -> t.steals <- v);
+    ("steal_attempts", (fun t -> t.steal_attempts), fun t v -> t.steal_attempts <- v);
+    ("join_slow_paths", (fun t -> t.join_slow_paths), fun t v -> t.join_slow_paths <- v);
+    ("chunk_updates", (fun t -> t.chunk_updates), fun t v -> t.chunk_updates <- v);
+    ("work_cycles", (fun t -> t.work_cycles), fun t v -> t.work_cycles <- v);
+    ("overhead_cycles", (fun t -> t.overhead_cycles), fun t v -> t.overhead_cycles <- v);
+    ("faults_beats_dropped", (fun t -> t.faults_beats_dropped), fun t v -> t.faults_beats_dropped <- v);
+    ("faults_beats_delayed", (fun t -> t.faults_beats_delayed), fun t v -> t.faults_beats_delayed <- v);
+    ("faults_steals_failed", (fun t -> t.faults_steals_failed), fun t v -> t.faults_steals_failed <- v);
+    ("faults_stalls", (fun t -> t.faults_stalls), fun t v -> t.faults_stalls <- v);
+    ("faults_stall_cycles", (fun t -> t.faults_stall_cycles), fun t v -> t.faults_stall_cycles <- v);
+  ]
+
+let counters t = List.map (fun (name, get, _) -> (name, get t)) counter_specs
+
+let restore_counter t name v =
+  match List.find_opt (fun (n, _, _) -> n = name) counter_specs with
+  | Some (_, _, set) -> set t v
+  | None -> ()

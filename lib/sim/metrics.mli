@@ -65,6 +65,15 @@ val downgrade_count : t -> int
 val faults_injected : t -> int
 (** Total injected fault events (drops + delays + steal failures + stalls). *)
 
+val counters : t -> (string * int) list
+(** Every scalar counter as (name, value), for the experiment journal. The
+    non-scalar state (per-level promotions, overhead attribution, downgrade
+    log, traces) is serialized separately by the checkpoint layer. *)
+
+val restore_counter : t -> string -> int -> unit
+(** Set one scalar counter by its {!counters} name; unknown names are
+    ignored (journal forward-compatibility). *)
+
 val record_interval : t -> worker:int -> t0:int -> t1:int -> kind:string -> unit
 
 val busy_cycles_of : t -> int -> int

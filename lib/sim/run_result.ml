@@ -1,13 +1,28 @@
+type termination =
+  | Finished
+  | Dnf
+  | Budget_exceeded of { budget : int; at : int }
+  | Guard_aborted of string
+
 type t = {
   makespan : int;
   work_cycles : int;
   fingerprint : float;
   dnf : bool;
+  termination : termination;
   metrics : Metrics.t;
 }
 
+let completed r = r.termination = Finished
+
+let termination_to_string = function
+  | Finished -> "finished"
+  | Dnf -> "dnf"
+  | Budget_exceeded { budget; at } -> Printf.sprintf "budget-exceeded(%d at %d)" budget at
+  | Guard_aborted reason -> Printf.sprintf "guard-aborted(%s)" reason
+
 let speedup ~baseline r =
-  if r.dnf || r.makespan = 0 then 0.0
+  if r.dnf || (not (completed r)) || r.makespan = 0 then 0.0
   else Float.of_int baseline.work_cycles /. Float.of_int r.makespan
 
 let overhead_pct r =

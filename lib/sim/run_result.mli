@@ -2,16 +2,35 @@
     HBC): the experiment harness computes speedups, overheads, and figure
     rows from these. *)
 
+type termination =
+  | Finished  (** the program ran to completion *)
+  | Dnf  (** exceeded the virtual-time DNF cap (the paper's did-not-finish) *)
+  | Budget_exceeded of { budget : int; at : int }
+      (** aborted by the per-trial virtual-cycle watchdog
+          ({!Engine.set_budget}): the run was livelocked or pathologically
+          slow; partial counters only *)
+  | Guard_aborted of string
+      (** aborted by an external guard (wall-clock deadline); partial
+          counters only *)
+
 type t = {
   makespan : int;  (** virtual cycles from program start to completion *)
   work_cycles : int;  (** pure body work (equals the sequential baseline) *)
   fingerprint : float;  (** output checksum, compared against sequential *)
   dnf : bool;  (** true when the run exceeded its virtual-time cap *)
+  termination : termination;  (** how the run ended (watchdog taxonomy) *)
   metrics : Metrics.t;
 }
 
+val completed : t -> bool
+(** True only for {!Finished} runs; budget/guard-aborted runs carry partial
+    state and must not contribute speedups. *)
+
+val termination_to_string : termination -> string
+
 val speedup : baseline:t -> t -> float
-(** [speedup ~baseline r] is baseline work over [r]'s makespan; 0 for DNF. *)
+(** [speedup ~baseline r] is baseline work over [r]'s makespan; 0 for DNF
+    and for budget/guard-aborted runs. *)
 
 val overhead_pct : t -> float
 (** Overhead of a sequential-with-overheads run against its own pure work,

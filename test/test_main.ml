@@ -16,4 +16,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("report", Test_report.suite);
       ("experiments", Test_experiments.suite);
+      ("resilience", Test_resilience.suite);
     ]

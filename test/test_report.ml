@@ -44,6 +44,7 @@ let run_result_helpers () =
       work_cycles = work;
       fingerprint = 1.0;
       dnf = false;
+      termination = Sim.Run_result.Finished;
       metrics = Sim.Metrics.create ();
     }
   in
