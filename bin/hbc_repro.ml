@@ -175,7 +175,8 @@ let run_cmd =
   let doc =
     "Run one benchmark under one executor and print its statistics. The $(b,--fault-*) options \
      inject a deterministic fault plan into the hbc executors (seed-reproducible; outputs still \
-     match the sequential reference)."
+     match the sequential reference). $(b,--trace) additionally captures every scheduler event \
+     and exports a Chrome trace_event / Perfetto JSON file."
   in
   let bench_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
@@ -184,7 +185,14 @@ let run_cmd =
     let doc = "Executor: seq, hbc, hbc-km, hbc-ping, tpal, omp-static, or omp-dynamic." in
     Arg.(value & opt string "hbc" & info [ "executor"; "e" ] ~docv:"EXEC" ~doc)
   in
-  let run config bench executor fault_plan journal =
+  let trace_arg =
+    let doc =
+      "Capture the full scheduler event trace and write it as Chrome trace_event JSON to \
+       $(docv) (load in ui.perfetto.dev or chrome://tracing)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+  in
+  let run config bench executor fault_plan trace_path journal =
     with_journal journal @@ fun () ->
     let entry =
       try Workloads.Registry.find bench
@@ -193,39 +201,44 @@ let run_cmd =
         exit 1
     in
     let base = Experiments.Harness.baseline config entry in
-    let faulted cfg c = { (cfg c) with Hbc_core.Rt_config.fault_plan } in
-    let tag_of t = if fault_plan = None then t else t ^ "+faults" in
+    let request =
+      Hbc_core.Run_request.make ?fault_plan
+        ?trace:(Option.map (fun _ -> Obs.Trace.Sink.stream ()) trace_path)
+        ()
+    in
+    let tag_of t =
+      let t = if fault_plan = None then t else t ^ "+faults" in
+      if trace_path = None then t else t ^ "+trace"
+    in
     let outcome =
       match executor with
       | "seq" -> { Experiments.Harness.result = base; speedup = 1.0; valid = true; error = None }
-      | "hbc" ->
-          Experiments.Harness.run_hbc config ~tag:(tag_of "hbc") ~cfg:(faulted (fun c -> c)) entry
+      | "hbc" -> Experiments.Harness.run_hbc config ~tag:(tag_of "hbc") ~request entry
       | "hbc-km" ->
-          Experiments.Harness.run_hbc config ~tag:(tag_of "hbc-km")
-            ~cfg:
-              (faulted (fun c ->
-                   {
-                     c with
-                     Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_kernel_module;
-                     chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
-                   }))
+          Experiments.Harness.run_hbc config ~tag:(tag_of "hbc-km") ~request
+            ~cfg:(fun c ->
+              {
+                c with
+                Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_kernel_module;
+                chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
+              })
             entry
       | "hbc-ping" ->
-          Experiments.Harness.run_hbc config ~tag:(tag_of "hbc-ping")
-            ~cfg:
-              (faulted (fun c ->
-                   {
-                     c with
-                     Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_ping_thread;
-                     chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
-                   }))
+          Experiments.Harness.run_hbc config ~tag:(tag_of "hbc-ping") ~request
+            ~cfg:(fun c ->
+              {
+                c with
+                Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_ping_thread;
+                chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
+              })
             entry
-      | "tpal" -> Experiments.Harness.run_tpal config entry
+      | "tpal" -> Experiments.Harness.run_tpal config ~tag:(tag_of "tpal") ~request entry
       | "omp-static" ->
-          Experiments.Harness.run_omp config ~tag:"omp-static"
+          Experiments.Harness.run_omp config ~tag:(tag_of "omp-static") ~request
             ~cfg:(fun c -> { c with Baselines.Openmp.schedule = Baselines.Openmp.Static })
             entry
-      | "omp-dynamic" -> Experiments.Harness.run_omp config entry
+      | "omp-dynamic" ->
+          Experiments.Harness.run_omp config ~tag:(tag_of "omp") ~request entry
       | other ->
           Printf.eprintf "unknown executor %s\n" other;
           exit 1
@@ -269,8 +282,21 @@ let run_cmd =
         Printf.printf "downgrades       : %d" (Sim.Metrics.downgrade_count m);
         List.iter
           (fun (w, t) -> Printf.printf " [worker %d at %d]" w t)
-          (List.rev m.Sim.Metrics.mechanism_downgrades);
+          (Obs.Trace_query.downgrades r.Sim.Run_result.trace);
         print_newline ());
+    (match trace_path with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc
+              (Obs.Perfetto.to_string
+                 ~process_name:(entry.Workloads.Registry.name ^ "/" ^ executor)
+                 r.Sim.Run_result.trace));
+        Printf.printf "trace            : %d events -> %s\n"
+          (List.length r.Sim.Run_result.trace) path);
     (match outcome.Experiments.Harness.error with
     | Some e ->
         Printf.printf "trial error      : %s\n" (Experiments.Trial_error.to_string e)
@@ -279,7 +305,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ config_term $ bench_arg $ exec_arg $ fault_plan_term $ journal_term)
+    Term.(
+      const run $ config_term $ bench_arg $ exec_arg $ fault_plan_term $ trace_arg
+      $ journal_term)
 
 let asm_cmd =
   let doc =
@@ -400,20 +428,86 @@ let timeline_cmd =
         Hbc_core.Rt_config.default with
         workers = config.Experiments.Harness.workers;
         seed = config.Experiments.Harness.seed;
-        timeline = true;
       }
     in
-    let r = Hbc_core.Executor.run rt p in
+    let request =
+      Hbc_core.Run_request.make
+        ~trace:
+          (Obs.Trace.Sink.stream
+             ~keep:(function Obs.Trace.Interval _ -> true | _ -> false)
+             ())
+        ()
+    in
+    let r = Hbc_core.Executor.run ~request rt p in
     print_string
       (Report.Gantt.render ~workers:config.Experiments.Harness.workers
-         ~makespan:r.Sim.Run_result.makespan r.Sim.Run_result.metrics.Sim.Metrics.timeline)
+         ~makespan:r.Sim.Run_result.makespan r.Sim.Run_result.trace)
   in
   Cmd.v (Cmd.info "timeline" ~doc) Term.(const run $ config_term $ bench_arg)
+
+let trace_lint_cmd =
+  let doc =
+    "Validate an exported trace file: well-formed Chrome trace_event JSON with at least one \
+     promotion and one steal event (used by check.sh as an end-to-end probe)."
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"Trace JSON file.")
+  in
+  let run path =
+    let contents =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "trace-lint: cannot read %s: %s\n" path msg;
+        exit 1
+    in
+    let j =
+      match Obs.Json.parse contents with
+      | j -> j
+      | exception Obs.Json.Parse_error msg ->
+          Printf.eprintf "trace-lint: %s is not valid JSON: %s\n" path msg;
+          exit 1
+    in
+    let events =
+      match j with
+      | Obs.Json.Obj fields -> (
+          match Obs.Json.mem "traceEvents" fields with
+          | Some (Obs.Json.Arr evs) -> evs
+          | _ ->
+              Printf.eprintf "trace-lint: %s has no traceEvents array\n" path;
+              exit 1)
+      | _ ->
+          Printf.eprintf "trace-lint: %s top level is not an object\n" path;
+          exit 1
+    in
+    let count pred =
+      List.length
+        (List.filter
+           (function
+             | Obs.Json.Obj fields -> (
+                 match Obs.Json.get_str "name" fields with Some n -> pred n | None -> false)
+             | _ -> false)
+           events)
+    in
+    let promotions = count (String.equal "promotion") in
+    let steals = count (fun n -> n = "steal-attempt" || n = "steal-success") in
+    Printf.printf "trace-lint: %s: %d events, %d promotions, %d steal events\n" path
+      (List.length events) promotions steals;
+    if promotions = 0 || steals = 0 then begin
+      Printf.eprintf "trace-lint: expected at least one promotion and one steal event\n";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "trace-lint" ~doc) Term.(const run $ path_arg)
 
 let () =
   let doc = "Reproduction harness for 'Compiling Loop-Based Nested Parallelism for Irregular Workloads' (ASPLOS'24)" in
   let info = Cmd.info "hbc_repro" ~doc in
   let cmds =
-    [ all_cmd; list_cmd; run_cmd; asm_cmd; ablation_cmd; timeline_cmd ] @ List.map fig_cmd Experiments.Run_all.figures
+    [ all_cmd; list_cmd; run_cmd; asm_cmd; ablation_cmd; timeline_cmd; trace_lint_cmd ]
+    @ List.map fig_cmd Experiments.Run_all.figures
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -9,8 +9,15 @@ dune build
 dune runtest
 dune exec bin/hbc_repro.exe -- fault-sweep --scale 0.04 --workers 8
 
-# --- checkpoint/resume smoke test: seed a journal, kill a campaign, resume ---
+# --- trace export smoke test: run one benchmark with --trace, then lint the
+# exported Chrome trace JSON (parses, >=1 promotion, >=1 steal event) ---
 REPRO=_build/default/bin/hbc_repro.exe
+T=$(mktemp /tmp/hbc-trace.XXXXXX.json)
+"$REPRO" run spmv-powerlaw --scale 0.05 --workers 8 --trace "$T" > /dev/null
+"$REPRO" trace-lint "$T"
+rm -f "$T"
+
+# --- checkpoint/resume smoke test: seed a journal, kill a campaign, resume ---
 J=$(mktemp /tmp/hbc-journal.XXXXXX.jsonl)
 trap 'rm -f "$J"' EXIT
 

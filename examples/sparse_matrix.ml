@@ -6,8 +6,15 @@
 
 let run_one name program =
   let seq = Baselines.Serial_exec.run_program program in
-  let cfg = { Hbc_core.Rt_config.default with chunk_trace = true } in
-  let hbc = Hbc_core.Executor.run cfg program in
+  let request =
+    Hbc_core.Run_request.make
+      ~trace:
+        (Obs.Trace.Sink.stream
+           ~keep:(function Obs.Trace.Chunk_update _ -> true | _ -> false)
+           ())
+      ()
+  in
+  let hbc = Hbc_core.Executor.run ~request Hbc_core.Rt_config.default program in
   let omp = Baselines.Openmp.run_program (Baselines.Openmp.dynamic ()) program in
   Printf.printf "%-22s seq %9d cy | OpenMP %5.1fx | HBC %5.1fx | promotions L0=%d L1=%d\n" name
     seq.Sim.Run_result.work_cycles
@@ -46,7 +53,7 @@ let () =
             sum.(b) <- sum.(b) +. Float.of_int chunk;
             cnt.(b) <- cnt.(b) + 1
           end)
-        hbc.Sim.Run_result.metrics.Sim.Metrics.chunk_trace;
+        (Obs.Trace_query.chunk_updates hbc.Sim.Run_result.trace);
       let rows =
         List.init buckets (fun b ->
             let lo = b * n / buckets and hi = ((b + 1) * n / buckets) - 1 in

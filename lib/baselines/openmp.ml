@@ -10,9 +10,6 @@ type config = {
   schedule : schedule;
   nested : nested_mode;
   seed : int;
-  max_cycles : int option;
-  cycle_budget : int option;
-  guard : (unit -> string option) option;
 }
 
 let dynamic ?(chunk = 1) ?(workers = 64) () =
@@ -22,17 +19,14 @@ let dynamic ?(chunk = 1) ?(workers = 64) () =
     schedule = Dynamic chunk;
     nested = Outermost_only;
     seed = 1;
-    max_cycles = None;
-    cycle_budget = None;
-    guard = None;
   }
 
 (* Content hash of the result-affecting fields, mirroring
-   [Rt_config.signature]; watchdog fields are excluded. *)
+   [Rt_config.signature]; per-run knobs live in the Run_request and are
+   hashed by its own signature. *)
 let signature t =
   Digest.to_hex
-    (Digest.string
-       (Marshal.to_string (t.cost, t.workers, t.schedule, t.nested, t.seed, t.max_cycles) []))
+    (Digest.string (Marshal.to_string (t.cost, t.workers, t.schedule, t.nested, t.seed) []))
 
 let static ?(workers = 64) () = { (dynamic ~workers ()) with schedule = Static }
 
@@ -49,6 +43,8 @@ type run_state = {
   cfg : config;
   eng : Sim.Engine.t;
   metrics : Sim.Metrics.t;
+  trace : Obs.Trace.Sink.t;
+  capture : bool;
   mutable current : region option;
   mutable next_rid : int;
   mutable finished : bool;
@@ -162,6 +158,7 @@ let exec_nest st (prog : _ Ir.Program.t) env (nest : _ Ir.Nest.loop) =
     let counter = ref lo in
     let per_worker_ctxs = Array.make st.cfg.workers None in
     let participate w =
+      let t0 = Sim.Engine.now st.eng in
       let ctxs = Array.init n (fun o -> Ir.Ctx.make ~ordinal:o ~spec:specs.(o)) in
       per_worker_ctxs.(w) <- Some ctxs;
       Ir.Ctx.set_slice ctxs.(nest.Ir.Nest.ordinal) ~lo ~hi;
@@ -169,7 +166,7 @@ let exec_nest st (prog : _ Ir.Program.t) env (nest : _ Ir.Nest.loop) =
       | Some f -> f env ctxs.(nest.Ir.Nest.ordinal).Ir.Ctx.locals
       | None -> ());
       overhead st "omp-setup" st.cfg.cost.Sim.Cost_model.omp_static_setup_cost;
-      match st.cfg.schedule with
+      (match st.cfg.schedule with
       | Static ->
           let len = hi - lo in
           let p = st.cfg.workers in
@@ -221,7 +218,10 @@ let exec_nest st (prog : _ Ir.Program.t) env (nest : _ Ir.Nest.loop) =
               done;
               add_work_bytes st !acc !acc_bytes
             end
-          done
+          done);
+      if st.capture && Sim.Engine.now st.eng > t0 then
+        Obs.Trace.Sink.emit st.trace ~time:(Sim.Engine.now st.eng) ~worker:w
+          (Obs.Trace.Interval { t0; kind = "omp-region" })
     in
     let region = { rid = st.next_rid; participate; arrived = 0 } in
     st.next_rid <- st.next_rid + 1;
@@ -266,7 +266,7 @@ let omp_worker st w =
     | Some _ | None -> if not st.finished then Sim.Engine.park st.eng
   done
 
-let run_program cfg (prog : _ Ir.Program.t) =
+let run_program ?(request = Hbc_core.Run_request.default) cfg (prog : _ Ir.Program.t) =
   let env = prog.Ir.Program.make_env () in
   let eng = Sim.Engine.create ~seed:cfg.seed ~num_workers:cfg.workers () in
   let metrics = Sim.Metrics.create () in
@@ -275,6 +275,8 @@ let run_program cfg (prog : _ Ir.Program.t) =
       cfg;
       eng;
       metrics;
+      trace = request.Hbc_core.Run_request.trace;
+      capture = Obs.Trace.Sink.enabled request.Hbc_core.Run_request.trace;
       current = None;
       next_rid = 1;
       finished = false;
@@ -284,11 +286,15 @@ let run_program cfg (prog : _ Ir.Program.t) =
       last_seen = Array.make cfg.workers 0;
     }
   in
-  (match cfg.max_cycles with
+  (match request.Hbc_core.Run_request.max_cycles with
   | Some cap -> Sim.Engine.schedule_at eng ~time:cap (fun () -> raise Did_not_finish)
   | None -> ());
-  (match cfg.cycle_budget with Some b -> Sim.Engine.set_budget eng b | None -> ());
-  (match cfg.guard with Some g -> Sim.Engine.set_guard eng g | None -> ());
+  (match request.Hbc_core.Run_request.cycle_budget with
+  | Some b -> Sim.Engine.set_budget eng b
+  | None -> ());
+  (match request.Hbc_core.Run_request.guard with
+  | Some g -> Sim.Engine.set_guard eng g
+  | None -> ());
   let termination = ref Sim.Run_result.Finished in
   (try
      Sim.Engine.run eng (fun w ->
@@ -316,4 +322,5 @@ let run_program cfg (prog : _ Ir.Program.t) =
     dnf = (!termination = Sim.Run_result.Dnf);
     termination = !termination;
     metrics;
+    trace = Obs.Trace.Sink.captured request.Hbc_core.Run_request.trace;
   }

@@ -31,14 +31,9 @@ type config = {
   schedule : schedule;
   nested : nested_mode;
   seed : int;
-  max_cycles : int option;
-  cycle_budget : int option;
-      (** per-trial virtual-cycle watchdog; exceeding it is a
-          [Budget_exceeded] termination (a trial error), unlike [max_cycles]
-          which models the paper's DNF outcome *)
-  guard : (unit -> string option) option;
-      (** external abort hook (wall-clock deadline) *)
 }
+(** Per-run knobs (DNF cap, trial watchdogs, trace sink) arrive through
+    the shared {!Hbc_core.Run_request.t} instead. *)
 
 val dynamic : ?chunk:int -> ?workers:int -> unit -> config
 (** The paper's default OpenMP configuration: [schedule(dynamic, 1)],
@@ -48,7 +43,12 @@ val static : ?workers:int -> unit -> config
 
 val guided : ?min_chunk:int -> ?workers:int -> unit -> config
 
-val run_program : config -> 'e Ir.Program.t -> Sim.Run_result.t
+val run_program :
+  ?request:Hbc_core.Run_request.t -> config -> 'e Ir.Program.t -> Sim.Run_result.t
+(** The request's fault plan is ignored — fault injection models heartbeat
+    machinery the OpenMP runtime does not have. Tracing records each
+    worker's parallel-region intervals ("omp-region"); the fine-grained
+    scheduler events have no OpenMP analogue. *)
 
 val signature : config -> string
 (** Hex content hash of the result-affecting fields (seed included), used by

@@ -25,7 +25,10 @@ let run_nest ~charge env (root : _ Ir.Nest.loop) =
   (match root.Ir.Nest.commit with Some f -> f env ctxs | None -> ());
   charge !acc
 
-let run_program (p : _ Ir.Program.t) =
+(* The request is accepted for interface uniformity with the parallel
+   executors but is inert here: the sequential reference has no virtual
+   clock, no scheduler, and by definition no events to trace. *)
+let run_program ?request:_ (p : _ Ir.Program.t) =
   let env = p.Ir.Program.make_env () in
   let work = ref 0 in
   let charge c = work := !work + c in
@@ -40,4 +43,5 @@ let run_program (p : _ Ir.Program.t) =
     dnf = false;
     termination = Sim.Run_result.Finished;
     metrics = Sim.Metrics.create ();
+    trace = [];
   }

@@ -10,5 +10,7 @@ val run_nest : charge:(int -> unit) -> 'e -> 'e Ir.Nest.loop -> unit
 (** Execute one nest in place with a caller-supplied cycle sink. The nest
     must have been indexed ({!Ir.Nest.index} or {!Ir.Program.v}). *)
 
-val run_program : 'e Ir.Program.t -> Sim.Run_result.t
-(** [makespan = work_cycles] by construction. *)
+val run_program : ?request:Hbc_core.Run_request.t -> 'e Ir.Program.t -> Sim.Run_result.t
+(** [makespan = work_cycles] by construction. The request is accepted for
+    interface uniformity and ignored: a sequential reference run has no
+    virtual time to cap, no scheduler to fault, and no events to trace. *)

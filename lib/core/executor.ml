@@ -21,6 +21,8 @@ type run_state = {
   eng : Sim.Engine.t;
   hb : Heartbeat.t;
   metrics : Sim.Metrics.t;
+  trace : Obs.Trace.Sink.t;  (* counting sink teed with the request's sink *)
+  capture : bool;  (* the request's sink wants payload events (intervals) *)
   inj : Sim.Fault_injector.t;
   deques : task Sim.Deque.t array;
   ac : (int * int * int, Adaptive_chunking.t) Hashtbl.t;
@@ -36,6 +38,12 @@ type 'e nest_handle = { st : run_state; nest : 'e Compiled.nest; nest_id : int; 
 let cm (st : run_state) = st.cfg.Rt_config.cost
 
 let wid (st : run_state) = Sim.Engine.worker_id st.eng
+
+(* Emit one trace event stamped with the current worker and virtual time.
+   Emission never advances the clock or consumes randomness, so a run's
+   results are identical whatever sink it carries. *)
+let emit (st : run_state) ev =
+  Obs.Trace.Sink.emit st.trace ~time:(Sim.Engine.now st.eng) ~worker:(wid st) ev
 
 (* Charge overhead cycles: one engine advance, per-kind attribution. *)
 let overhead (st : run_state) kind c =
@@ -106,7 +114,7 @@ let wake_one (st : run_state) =
 let push_task (st : run_state) task =
   Sim.Deque.push_bottom st.deques.(wid st) task;
   st.last_pusher <- wid st;
-  st.metrics.Sim.Metrics.tasks_spawned <- st.metrics.Sim.Metrics.tasks_spawned + 1;
+  emit st Obs.Trace.Task_spawned;
   overhead st "promotion" (cm st).Sim.Cost_model.deque_push_cost;
   wake_one st
 
@@ -127,8 +135,8 @@ let run_task (st : run_state) task =
   if st.depth.(w) = 1 then Heartbeat.set_busy st.hb ~worker:w true;
   let t0 = Sim.Engine.now st.eng in
   task.run ();
-  if st.cfg.Rt_config.timeline && st.depth.(w) = 1 then
-    Sim.Metrics.record_interval st.metrics ~worker:w ~t0 ~t1:(Sim.Engine.now st.eng) ~kind:"task";
+  if st.capture && st.depth.(w) = 1 && Sim.Engine.now st.eng > t0 then
+    emit st (Obs.Trace.Interval { t0; kind = "task" });
   st.depth.(w) <- st.depth.(w) - 1;
   if st.depth.(w) = 0 then Heartbeat.set_busy st.hb ~worker:w false
 
@@ -136,7 +144,7 @@ let try_steal (st : run_state) =
   let n = Array.length st.deques in
   let w = wid st in
   let probe v =
-    st.metrics.Sim.Metrics.steal_attempts <- st.metrics.Sim.Metrics.steal_attempts + 1;
+    emit st Obs.Trace.Steal_attempt;
     overhead st "steal" (cm st).Sim.Cost_model.steal_attempt_cost;
     (* An injected contention burst: the attempt's CAS loses even against a
        non-empty victim; the attempt cost is still paid. *)
@@ -144,7 +152,7 @@ let try_steal (st : run_state) =
     else
       match Sim.Deque.steal st.deques.(v) with
       | Some t ->
-          st.metrics.Sim.Metrics.steals <- st.metrics.Sim.Metrics.steals + 1;
+          emit st Obs.Trace.Steal_success;
           overhead st "steal" (cm st).Sim.Cost_model.steal_success_cost;
           Some t
       | None -> None
@@ -190,7 +198,7 @@ let should_park (st : run_state) =
 let finish_join (st : run_state) join =
   join.pending <- join.pending - 1;
   if wid st <> join.owner then begin
-    st.metrics.Sim.Metrics.join_slow_paths <- st.metrics.Sim.Metrics.join_slow_paths + 1;
+    emit st Obs.Trace.Task_joined_slow;
     overhead st "join" (cm st).Sim.Cost_model.join_slow_path_cost
   end;
   if join.pending = 0 then Sim.Engine.unpark st.eng join.owner
@@ -306,10 +314,8 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
     | Some a -> (
         match Adaptive_chunking.on_heartbeat a with
         | Some chunk ->
-            if st.cfg.Rt_config.chunk_trace then
-              Sim.Metrics.record_chunk_update st.metrics ~time:(Sim.Engine.now st.eng)
-                ~key:ctxs.(c.nest.Compiled.root).Ir.Ctx.lo ~chunk
-            else st.metrics.Sim.Metrics.chunk_updates <- st.metrics.Sim.Metrics.chunk_updates + 1
+            emit st
+              (Obs.Trace.Chunk_update { key = ctxs.(c.nest.Compiled.root).Ir.Ctx.lo; chunk })
         | None -> ())
     | None -> ());
     if st.cfg.Rt_config.promotion && not ts.no_promote then promote c ts ctxs info else None
@@ -497,7 +503,7 @@ and promote :
   | None -> None
   | Some tgt ->
       let tinfo = c.nest.Compiled.infos.(tgt) in
-      Sim.Metrics.promotion_at_level st.metrics tinfo.Compiled.depth;
+      emit st (Obs.Trace.Promotion { level = tinfo.Compiled.depth });
       overhead st "promotion" (cm st).Sim.Cost_model.promotion_handler_cost;
       let tctx = ctxs.(tgt) in
       let rem_lo = tctx.Ir.Ctx.lo + 1 and rem_hi = tctx.Ir.Ctx.hi in
@@ -568,7 +574,7 @@ and run_leftover : 'e. 'e nest_handle -> no_promote:bool -> Ir.Ctx.set -> Compil
     =
  fun c ~no_promote ctxs leftover ->
   let st = c.st in
-  st.metrics.Sim.Metrics.leftover_tasks_run <- st.metrics.Sim.Metrics.leftover_tasks_run + 1;
+  emit st Obs.Trace.Leftover_run;
   let ts = fresh_task_state c in
   ts.no_promote <- no_promote;
   ts.forbidden <- leftover.Compiled.lj;
@@ -634,23 +640,32 @@ let exec_nest st (compiled : 'e Pipeline.program) (env : 'e) nest =
   | Promoted _ -> raise (Internal_error "root slice reported an ancestor promotion"));
   match rinfo.Compiled.loop.Ir.Nest.commit with Some f -> f env ctxs | None -> ()
 
-let run_program (cfg : Rt_config.t) (compiled : 'e Pipeline.program) : Sim.Run_result.t =
+let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
+    (compiled : 'e Pipeline.program) : Sim.Run_result.t =
   let program = compiled.Pipeline.source in
   let env = program.Ir.Program.make_env () in
   let eng = Sim.Engine.create ~seed:cfg.Rt_config.seed ~num_workers:cfg.Rt_config.workers () in
   let metrics = Sim.Metrics.create () in
+  (* Every runtime event flows through one tee: the counting sink keeps
+     the scalar counters; the request's sink is whatever the caller wants
+     to observe (usually null). *)
+  let trace = Obs.Trace.Sink.tee (Sim.Metrics.counting_sink metrics) request.Run_request.trace in
   let inj =
     Sim.Fault_injector.create
-      (Option.value cfg.Rt_config.fault_plan ~default:Sim.Fault_plan.none)
-      ~num_workers:cfg.Rt_config.workers metrics
+      (Option.value request.Run_request.fault_plan ~default:Sim.Fault_plan.none)
+      ~num_workers:cfg.Rt_config.workers ~trace
+      ~now:(fun () -> Sim.Engine.now eng)
+      ()
   in
-  let hb = Heartbeat.create ~injector:inj cfg eng metrics in
+  let hb = Heartbeat.create ~injector:inj ~trace cfg eng metrics in
   let st =
     {
       cfg;
       eng;
       hb;
       metrics;
+      trace;
+      capture = Obs.Trace.Sink.enabled request.Run_request.trace;
       inj;
       deques = Array.init cfg.Rt_config.workers (fun _ -> Sim.Deque.create ());
       ac = Hashtbl.create 64;
@@ -665,13 +680,13 @@ let run_program (cfg : Rt_config.t) (compiled : 'e Pipeline.program) : Sim.Run_r
       Printf.sprintf " deque=%d depth=%d%s" (Sim.Deque.length st.deques.(w)) st.depth.(w)
         (if Heartbeat.is_downgraded hb ~worker:w then " downgraded" else ""));
   Heartbeat.start hb;
-  (match cfg.Rt_config.max_cycles with
+  (match request.Run_request.max_cycles with
   | Some cap -> Sim.Engine.schedule_at eng ~time:cap (fun () -> raise Did_not_finish)
   | None -> ());
-  (match cfg.Rt_config.cycle_budget with
+  (match request.Run_request.cycle_budget with
   | Some budget -> Sim.Engine.set_budget eng budget
   | None -> ());
-  (match cfg.Rt_config.guard with
+  (match request.Run_request.guard with
   | Some guard -> Sim.Engine.set_guard eng guard
   | None -> ());
   let termination = ref Sim.Run_result.Finished in
@@ -690,9 +705,8 @@ let run_program (cfg : Rt_config.t) (compiled : 'e Pipeline.program) : Sim.Run_r
            in
            let t0 = Sim.Engine.now eng in
            program.Ir.Program.driver env cpu;
-           if cfg.Rt_config.timeline then
-             Sim.Metrics.record_interval metrics ~worker:0 ~t0 ~t1:(Sim.Engine.now eng)
-               ~kind:"driver";
+           if st.capture && Sim.Engine.now eng > t0 then
+             emit st (Obs.Trace.Interval { t0; kind = "driver" });
            st.depth.(0) <- 0;
            Heartbeat.set_busy hb ~worker:0 false;
            st.finished <- true;
@@ -712,7 +726,8 @@ let run_program (cfg : Rt_config.t) (compiled : 'e Pipeline.program) : Sim.Run_r
     work_cycles = metrics.Sim.Metrics.work_cycles;
     dnf = (!termination = Sim.Run_result.Dnf);
     termination = !termination;
+    trace = Obs.Trace.Sink.captured request.Run_request.trace;
   }
 
-let run cfg program =
-  run_program cfg (Pipeline.compile_program ~chunk:cfg.Rt_config.chunk program)
+let run ?request cfg program =
+  run_program ?request cfg (Pipeline.compile_program ~chunk:cfg.Rt_config.chunk program)

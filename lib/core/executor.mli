@@ -22,7 +22,13 @@ exception Did_not_finish
 exception Internal_error of string
 (** A runtime invariant broke (a bug, not a user error). *)
 
-val run_program : Rt_config.t -> 'e Pipeline.program -> Sim.Run_result.t
+val run_program : ?request:Run_request.t -> Rt_config.t -> 'e Pipeline.program -> Sim.Run_result.t
+(** Run one compiled program. The optional {!Run_request.t} carries the
+    per-run knobs — DNF cap, trial watchdogs, fault plan, trace sink; the
+    default requests a plain, unobserved, uncapped run. Every scheduler
+    action is emitted exactly once as an {!Obs.Trace.event} into the
+    request's sink (teed with the metrics counting sink); emission never
+    perturbs virtual time, so results are independent of the sink. *)
 
-val run : Rt_config.t -> 'e Ir.Program.t -> Sim.Run_result.t
+val run : ?request:Run_request.t -> Rt_config.t -> 'e Ir.Program.t -> Sim.Run_result.t
 (** Compile (with the chunk mode from the config) and run. *)

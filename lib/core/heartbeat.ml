@@ -2,6 +2,7 @@ type t = {
   config : Rt_config.t;
   eng : Sim.Engine.t;
   metrics : Sim.Metrics.t;
+  trace : Obs.Trace.Sink.t;
   inj : Sim.Fault_injector.t;
   busy : bool array;
   (* software polling: index of the last heartbeat interval seen per worker *)
@@ -17,17 +18,21 @@ type t = {
   mutable stretch_debt : int;  (* ping thread: accumulated period overrun *)
 }
 
-let create ?injector config eng metrics =
+let create ?injector ?trace config eng metrics =
   let n = Sim.Engine.num_workers eng in
   let inj =
-    match injector with
-    | Some i -> i
-    | None -> Sim.Fault_injector.inactive ~num_workers:n metrics
+    match injector with Some i -> i | None -> Sim.Fault_injector.inactive ~num_workers:n
+  in
+  (* Standalone users get heartbeat counters for free; the executor passes
+     its full tee (counting sink + the run request's sink) instead. *)
+  let trace =
+    match trace with Some s -> s | None -> Sim.Metrics.counting_sink metrics
   in
   {
     config;
     eng;
     metrics;
+    trace;
     inj;
     busy = Array.make n false;
     last_interval = Array.make n 0;
@@ -40,6 +45,8 @@ let create ?injector config eng metrics =
   }
 
 let interval t = t.config.Rt_config.cost.Sim.Cost_model.heartbeat_interval
+
+let emit t w ev = Obs.Trace.Sink.emit t.trace ~time:(Sim.Engine.now t.eng) ~worker:w ev
 
 (* A downgraded worker has left the interrupt pool: it neither receives
    broadcast/signal beats nor pays delivery costs — it polls. *)
@@ -59,7 +66,7 @@ let note_missed t w =
     t.missed_streak.(w) <- t.missed_streak.(w) + 1;
     if t.missed_streak.(w) >= t.config.Rt_config.watchdog_k then begin
       t.downgraded.(w) <- true;
-      Sim.Metrics.record_downgrade t.metrics ~worker:w ~time:(Sim.Engine.now t.eng);
+      emit t w Obs.Trace.Mechanism_downgrade;
       (* The polling baseline starts at the downgrade instant so the idle
          backlog does not surface as a burst of beats. *)
       t.last_interval.(w) <- Sim.Engine.now t.eng / interval t
@@ -70,7 +77,7 @@ let note_missed t w =
    overwritten and counts missed (and feeds the watchdog). *)
 let deliver t w =
   if t.pending.(w) then begin
-    t.metrics.Sim.Metrics.heartbeats_missed <- t.metrics.Sim.Metrics.heartbeats_missed + 1;
+    emit t w Obs.Trace.Heartbeat_missed;
     note_missed t w
   end
   else t.pending.(w) <- true
@@ -78,10 +85,9 @@ let deliver t w =
 let kernel_module_beat t () =
   for w = 0 to Array.length t.busy - 1 do
     if t.busy.(w) && not t.downgraded.(w) then begin
-      t.metrics.Sim.Metrics.heartbeats_generated <-
-        t.metrics.Sim.Metrics.heartbeats_generated + 1;
+      emit t w Obs.Trace.Heartbeat_generated;
       if Sim.Fault_injector.drop_beat t.inj ~worker:w then begin
-        t.metrics.Sim.Metrics.heartbeats_missed <- t.metrics.Sim.Metrics.heartbeats_missed + 1;
+        emit t w Obs.Trace.Heartbeat_missed;
         note_missed t w
       end
       else begin
@@ -114,11 +120,9 @@ let rec ping_thread_beat t scheduled_time () =
            lost or delayed in delivery *)
         let delivery = beat_time + ((i + 1) * send) in
         finish := delivery;
-        t.metrics.Sim.Metrics.heartbeats_generated <-
-          t.metrics.Sim.Metrics.heartbeats_generated + 1;
+        emit t w Obs.Trace.Heartbeat_generated;
         if Sim.Fault_injector.drop_beat t.inj ~worker:w then begin
-          t.metrics.Sim.Metrics.heartbeats_missed <-
-            t.metrics.Sim.Metrics.heartbeats_missed + 1;
+          emit t w Obs.Trace.Heartbeat_missed;
           note_missed t w
         end
         else begin
@@ -132,15 +136,16 @@ let rec ping_thread_beat t scheduled_time () =
     let next_nominal = scheduled_time + interval t in
     let next = Stdlib.max next_nominal !finish in
     (* Period overrun accumulates; every full interval of accumulated debt
-       is one heartbeat the machine never received. *)
+       is one heartbeat the machine never received — generated and missed,
+       one pair of events per busy worker. *)
     t.stretch_debt <- t.stretch_debt + (next - next_nominal);
-    let nbusy = List.length !busy_workers in
     while t.stretch_debt >= interval t do
       t.stretch_debt <- t.stretch_debt - interval t;
-      t.metrics.Sim.Metrics.heartbeats_generated <-
-        t.metrics.Sim.Metrics.heartbeats_generated + nbusy;
-      t.metrics.Sim.Metrics.heartbeats_missed <-
-        t.metrics.Sim.Metrics.heartbeats_missed + nbusy
+      List.iter
+        (fun w ->
+          emit t w Obs.Trace.Heartbeat_generated;
+          emit t w Obs.Trace.Heartbeat_missed)
+        !busy_workers
     done;
     Sim.Engine.schedule_at t.eng ~time:next (ping_thread_beat t next)
   end
@@ -177,18 +182,21 @@ let consume t ~worker ~count_poll =
   let cm = t.config.Rt_config.cost in
   match effective t worker with
   | Rt_config.Software_polling ->
-      if count_poll then t.metrics.Sim.Metrics.polls <- t.metrics.Sim.Metrics.polls + 1;
+      if count_poll then emit t worker Obs.Trace.Poll;
       let cur = Sim.Engine.now t.eng / interval t in
       let last = t.last_interval.(worker) in
       if cur > last then begin
         t.last_interval.(worker) <- cur;
+        (* One event per beat in the gap: the one this poll detects plus
+           [gap - 1] the worker slept through. *)
         let gap = cur - last in
-        t.metrics.Sim.Metrics.heartbeats_generated <-
-          t.metrics.Sim.Metrics.heartbeats_generated + gap;
-        t.metrics.Sim.Metrics.heartbeats_detected <-
-          t.metrics.Sim.Metrics.heartbeats_detected + 1;
-        t.metrics.Sim.Metrics.heartbeats_missed <-
-          t.metrics.Sim.Metrics.heartbeats_missed + (gap - 1);
+        for _ = 1 to gap do
+          emit t worker Obs.Trace.Heartbeat_generated
+        done;
+        emit t worker Obs.Trace.Heartbeat_detected;
+        for _ = 1 to gap - 1 do
+          emit t worker Obs.Trace.Heartbeat_missed
+        done;
         true
       end
       else false
@@ -205,8 +213,7 @@ let consume t ~worker ~count_poll =
         in
         Sim.Engine.advance t.eng c;
         Sim.Metrics.add_overhead t.metrics "interrupt" c;
-        t.metrics.Sim.Metrics.heartbeats_detected <-
-          t.metrics.Sim.Metrics.heartbeats_detected + 1;
+        emit t worker Obs.Trace.Heartbeat_detected;
         true
       end
       else false

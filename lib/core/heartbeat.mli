@@ -20,17 +20,27 @@
     armed: a busy worker that misses [watchdog_k] consecutive beats (lost,
     jittered into each other, or overwritten unconsumed) is downgraded to
     software polling for the rest of the run — it leaves the interrupt pool,
-    pays poll costs at its PRPPTs, and the downgrade is recorded in
-    {!Sim.Metrics.t}. Without fault injection the watchdog is disarmed, so
-    fault-free runs are bit-identical to the pre-fault-layer runtime.
+    pays poll costs at its PRPPTs, and the downgrade is emitted as an
+    {!Obs.Trace.Mechanism_downgrade} event. Without fault injection the
+    watchdog is disarmed, so fault-free runs are bit-identical to the
+    pre-fault-layer runtime.
 
-    Generated/detected/missed counts land in the run's {!Sim.Metrics.t}
-    (Fig. 13). *)
+    Every generated/detected/missed beat, poll, and downgrade is emitted
+    as one {!Obs.Trace.event} into the run's sink; the counting sink
+    derives the Fig. 13 counters from them. *)
 
 type t
 
-val create : ?injector:Sim.Fault_injector.t -> Rt_config.t -> Sim.Engine.t -> Sim.Metrics.t -> t
-(** Without [?injector], an inert one is used (no faults, no watchdog). *)
+val create :
+  ?injector:Sim.Fault_injector.t ->
+  ?trace:Obs.Trace.Sink.t ->
+  Rt_config.t ->
+  Sim.Engine.t ->
+  Sim.Metrics.t ->
+  t
+(** Without [?injector], an inert one is used (no faults, no watchdog).
+    Without [?trace], events go straight to [metrics]'s counting sink —
+    the executor passes its full tee instead. *)
 
 val start : t -> unit
 (** Arm the timer callbacks (no-op for software polling). *)

@@ -17,13 +17,7 @@ type t = {
   policy : promotion_policy;
   chunk_transferring : bool;
   seed : int;
-  max_cycles : int option;
-  chunk_trace : bool;
-  timeline : bool;
-  fault_plan : Sim.Fault_plan.t option;
   watchdog_k : int;
-  cycle_budget : int option;
-  guard : (unit -> string option) option;
 }
 
 let default =
@@ -40,20 +34,13 @@ let default =
     policy = Outer_loop_first;
     chunk_transferring = true;
     seed = 1;
-    max_cycles = None;
-    chunk_trace = false;
-    timeline = false;
-    fault_plan = None;
     watchdog_k = 4;
-    cycle_budget = None;
-    guard = None;
   }
 
-(* Content hash over every field that can change a run's *results* — the
-   experiment journal's cache key. Watchdog/observability fields
-   (cycle_budget, guard, chunk_trace, timeline) are deliberately excluded:
-   they never alter a completed run's outcome, only whether and how it is
-   observed. Closures are excluded by construction, so Marshal is safe. *)
+(* Content hash over every field that can change a run's *results* — half
+   of the experiment journal's cache key (the other half is the
+   Run_request signature, which covers the per-run fault plan and DNF
+   cap). The record holds no closures, so Marshal is safe. *)
 let signature t =
   Digest.to_hex
     (Digest.string
@@ -70,8 +57,6 @@ let signature t =
             t.policy,
             t.chunk_transferring,
             t.seed,
-            t.max_cycles,
-            t.fault_plan,
             t.watchdog_k )
           []))
 

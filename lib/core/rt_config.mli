@@ -41,25 +41,14 @@ type t = {
           trading heartbeat responsiveness inside short loops for zero
           bookkeeping on the critical path (the Sec. 6.3 spmv gap). *)
   seed : int;
-  max_cycles : int option;  (** DNF cap on virtual time *)
-  chunk_trace : bool;  (** record AC decisions for Fig. 12 *)
-  timeline : bool;  (** record per-worker execution intervals (gantt) *)
-  fault_plan : Sim.Fault_plan.t option;
-      (** opt-in deterministic fault injection; [None] (and any zero plan)
-          leaves every run bit-identical to the fault-free runtime *)
   watchdog_k : int;
       (** starvation watchdog: consecutive missed/undelivered beats on a
           busy worker before its interrupt mechanism is downgraded to
           software polling (only armed while fault injection is active) *)
-  cycle_budget : int option;
-      (** per-trial virtual-cycle watchdog: aborts the run with a
-          {!Sim.Run_result.Budget_exceeded} termination instead of letting a
-          fault-induced livelock spin forever. Unlike [max_cycles] (the
-          paper's DNF semantics), hitting the budget is a trial error. *)
-  guard : (unit -> string option) option;
-      (** external abort hook polled during the run (wall-clock deadlines);
-          [Some reason] yields a [Guard_aborted] termination *)
 }
+(** Per-run concerns — DNF cap, trial watchdogs, fault plan, trace sink —
+    live in {!Run_request.t}, not here: this record describes the runtime
+    being measured, a request describes one observed run of it. *)
 
 val default : t
 (** 64 workers, software polling, adaptive chunking, target polls and window
@@ -77,7 +66,7 @@ val tpal : chunk:int -> t
     chunk size, inline leftover. *)
 
 val signature : t -> string
-(** Hex content hash of every result-affecting field (including the seed and
-    fault plan); the experiment journal keys cached trials on it, so any
-    configuration change invalidates stale entries. Watchdog and trace
-    fields are excluded — they do not alter completed results. *)
+(** Hex content hash of every result-affecting field (including the seed);
+    the experiment journal keys cached trials on it combined with
+    {!Run_request.signature}, so any configuration change invalidates
+    stale entries. *)

@@ -1,0 +1,26 @@
+type t = {
+  max_cycles : int option;
+  cycle_budget : int option;
+  guard : (unit -> string option) option;
+  fault_plan : Sim.Fault_plan.t option;
+  trace : Obs.Trace.Sink.t;
+}
+
+let default =
+  {
+    max_cycles = None;
+    cycle_budget = None;
+    guard = None;
+    fault_plan = None;
+    trace = Obs.Trace.Sink.null;
+  }
+
+let make ?max_cycles ?cycle_budget ?guard ?fault_plan ?(trace = Obs.Trace.Sink.null) () =
+  { max_cycles; cycle_budget; guard; fault_plan; trace }
+
+let signature t =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (t.max_cycles, t.fault_plan, Obs.Trace.Sink.captures t.trace)
+          []))

@@ -1,0 +1,47 @@
+(** Per-run knobs, separated from the runtime configuration.
+
+    {!Rt_config.t} describes the {e runtime being measured} — mechanism,
+    chunking, costs, seed. A [Run_request.t] describes how {e one run} of
+    it is driven and observed: DNF cap, trial watchdogs, fault plan, and
+    the trace sink events are recorded into. Every executor front end
+    ({!Executor}, [Baselines.Openmp], [Baselines.Serial_exec]) takes the
+    same record through one labelled constructor, so the harness and tests
+    no longer thread parallel optional arguments. *)
+
+type t = {
+  max_cycles : int option;
+      (** DNF cap on virtual time (the paper's did-not-finish semantics) *)
+  cycle_budget : int option;
+      (** per-trial virtual-cycle watchdog: aborts with
+          [Run_result.Budget_exceeded] instead of letting a livelock spin
+          forever. Unlike [max_cycles], hitting it is a trial error. *)
+  guard : (unit -> string option) option;
+      (** external abort hook polled during the run (wall-clock deadlines);
+          [Some reason] yields a [Guard_aborted] termination *)
+  fault_plan : Sim.Fault_plan.t option;
+      (** opt-in deterministic fault injection; [None] (and any zero plan)
+          leaves the run bit-identical to the fault-free runtime *)
+  trace : Obs.Trace.Sink.t;
+      (** where the run emits its trace events; {!Obs.Trace.Sink.null}
+          (the default) records nothing and costs nothing *)
+}
+
+val default : t
+(** No caps, no watchdogs, no faults, null sink. *)
+
+val make :
+  ?max_cycles:int ->
+  ?cycle_budget:int ->
+  ?guard:(unit -> string option) ->
+  ?fault_plan:Sim.Fault_plan.t ->
+  ?trace:Obs.Trace.Sink.t ->
+  unit ->
+  t
+
+val signature : t -> string
+(** Hex content hash of the request's result-affecting fields — the fault
+    plan, the DNF cap, and whether the sink captures records (a traced
+    trial carries a trace in the journal; an untraced one must not alias
+    it). Budgets, guards, and the sink closure itself are excluded: they
+    never change a completed run's outcome. Combined with
+    {!Rt_config.signature} to key journal entries. *)

@@ -121,7 +121,9 @@ let leftover_pairs config =
             (fun () ->
               let (Ir.Program.Any p) = entry.Workloads.Registry.make config.Harness.scale in
               let compiled = Hbc_core.Pipeline.compile_program ~all_leftover_pairs:false p in
-              Hbc_core.Executor.run_program (Harness.guarded config rt) compiled)
+              Hbc_core.Executor.run_program
+                ~request:(Harness.guarded config Hbc_core.Run_request.default)
+                rt compiled)
         with
         | Ok r ->
             let base = Harness.baseline config entry in

@@ -1,187 +1,12 @@
 (* Crash-safe trial journal: one JSON object per line, append-only, flushed
    after every record so a killed campaign loses at most the trial in
    flight. Lines that fail to parse (a torn write from a kill -9) are
-   skipped on resume and the trial simply re-runs. *)
+   skipped on resume and the trial simply re-runs.
 
-(* ------------------------------------------------------------------ *)
-(* Minimal JSON (no external dependency): only what the journal emits.  *)
-(* ------------------------------------------------------------------ *)
+   JSON encoding/decoding lives in {!Obs.Json} (shared with the trace
+   exporter); this module only owns the journal schema. *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-let buf_escape buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
-let rec write buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
-      else Buffer.add_string buf "null"
-  | Str s ->
-      Buffer.add_char buf '"';
-      buf_escape buf s;
-      Buffer.add_char buf '"'
-  | Arr items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_char buf ',';
-          write buf item)
-        items;
-      Buffer.add_char buf ']'
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          write buf (Str k);
-          Buffer.add_char buf ':';
-          write buf v)
-        fields;
-      Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 512 in
-  write buf j;
-  Buffer.contents buf
-
-exception Parse_error of string
-
-let parse (s : string) : json =
-  let pos = ref 0 in
-  let len = String.length s in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < len then s.[!pos] else '\255' in
-  let next () =
-    if !pos >= len then fail "unexpected end";
-    let c = s.[!pos] in
-    incr pos;
-    c
-  in
-  let rec skip_ws () =
-    if !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) then begin
-      incr pos;
-      skip_ws ()
-    end
-  in
-  let expect c = if next () <> c then fail (Printf.sprintf "expected '%c'" c) in
-  let literal word v =
-    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else fail "bad literal"
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match next () with
-      | '"' -> Buffer.contents buf
-      | '\\' -> (
-          (match next () with
-          | '"' -> Buffer.add_char buf '"'
-          | '\\' -> Buffer.add_char buf '\\'
-          | '/' -> Buffer.add_char buf '/'
-          | 'n' -> Buffer.add_char buf '\n'
-          | 'r' -> Buffer.add_char buf '\r'
-          | 't' -> Buffer.add_char buf '\t'
-          | 'b' -> Buffer.add_char buf '\b'
-          | 'f' -> Buffer.add_char buf '\012'
-          | 'u' ->
-              let hex = String.init 4 (fun _ -> next ()) in
-              let code = int_of_string ("0x" ^ hex) in
-              if code < 0x80 then Buffer.add_char buf (Char.chr code)
-              else Buffer.add_string buf (Printf.sprintf "\\u%04x" code)
-          | _ -> fail "bad escape");
-          go ())
-      | c -> Buffer.add_char buf c; go ()
-    in
-    go ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let numchar c =
-      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
-    in
-    while !pos < len && numchar s.[!pos] do incr pos done;
-    let text = String.sub s start (!pos - start) in
-    match int_of_string_opt text with
-    | Some i -> Int i
-    | None -> (
-        match float_of_string_opt text with Some f -> Float f | None -> fail "bad number")
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | 'n' -> literal "null" Null
-    | 't' -> literal "true" (Bool true)
-    | 'f' -> literal "false" (Bool false)
-    | '"' -> Str (parse_string ())
-    | '[' ->
-        expect '[';
-        skip_ws ();
-        if peek () = ']' then begin expect ']'; Arr [] end
-        else begin
-          let items = ref [] in
-          let rec go () =
-            items := parse_value () :: !items;
-            skip_ws ();
-            match next () with
-            | ',' -> go ()
-            | ']' -> ()
-            | _ -> fail "expected ',' or ']'"
-          in
-          go ();
-          Arr (List.rev !items)
-        end
-    | '{' ->
-        expect '{';
-        skip_ws ();
-        if peek () = '}' then begin expect '}'; Obj [] end
-        else begin
-          let fields = ref [] in
-          let rec go () =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match next () with
-            | ',' -> go ()
-            | '}' -> ()
-            | _ -> fail "expected ',' or '}'"
-          in
-          go ();
-          Obj (List.rev !fields)
-        end
-    | _ -> parse_number ()
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing garbage";
-  v
+open Obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* Journal entries.                                                    *)
@@ -199,18 +24,10 @@ type entry = {
   status : status;
 }
 
-let version = 1
-
-let mem k fields = List.assoc_opt k fields
-
-let get_str k fields = match mem k fields with Some (Str s) -> Some s | _ -> None
-
-let get_int k fields = match mem k fields with Some (Int i) -> Some i | _ -> None
-
-let get_float k fields =
-  match mem k fields with Some (Float f) -> Some f | Some (Int i) -> Some (float_of_int i) | _ -> None
-
-let get_bool k fields = match mem k fields with Some (Bool b) -> Some b | _ -> None
+(* v2: metrics are pure counters (downgrade/chunk-trace lists became trace
+   events) and results carry an optional captured trace. v1 lines no longer
+   parse into current metrics and are dropped on resume, forcing a re-run. *)
+let version = 2
 
 let termination_to_json (t : Sim.Run_result.termination) =
   match t with
@@ -247,15 +64,6 @@ let metrics_to_json (m : Sim.Metrics.t) =
         Obj
           (Hashtbl.fold (fun k v acc -> (k, Int v) :: acc) m.Sim.Metrics.overhead_by_kind []
           |> List.sort compare) );
-      ( "downgrades",
-        Arr
-          (List.rev_map (fun (w, t) -> Arr [ Int w; Int t ]) m.Sim.Metrics.mechanism_downgrades)
-      );
-      ( "chunk_trace",
-        Arr
-          (List.rev_map
-             (fun (t, k, c) -> Arr [ Int t; Int k; Int c ])
-             m.Sim.Metrics.chunk_trace) );
     ]
 
 let metrics_of_json j =
@@ -284,28 +92,12 @@ let metrics_of_json j =
             (fun (k, v) ->
               match v with Int i -> Hashtbl.replace m.Sim.Metrics.overhead_by_kind k i | _ -> ())
             kinds
-      | _ -> ());
-      (match mem "downgrades" fields with
-      | Some (Arr items) ->
-          m.Sim.Metrics.mechanism_downgrades <-
-            List.rev
-              (List.filter_map
-                 (function Arr [ Int w; Int t ] -> Some (w, t) | _ -> None)
-                 items)
-      | _ -> ());
-      (match mem "chunk_trace" fields with
-      | Some (Arr items) ->
-          m.Sim.Metrics.chunk_trace <-
-            List.rev
-              (List.filter_map
-                 (function Arr [ Int t; Int k; Int c ] -> Some (t, k, c) | _ -> None)
-                 items)
       | _ -> ())
   | _ -> ());
   m
 
 let result_to_json (r : Sim.Run_result.t) =
-  Obj
+  let base =
     [
       ("makespan", Int r.Sim.Run_result.makespan);
       ("work_cycles", Int r.Sim.Run_result.work_cycles);
@@ -315,6 +107,12 @@ let result_to_json (r : Sim.Run_result.t) =
       ("termination", termination_to_json r.Sim.Run_result.termination);
       ("metrics", metrics_to_json r.Sim.Run_result.metrics);
     ]
+  in
+  (* Omit the trace field entirely for untraced runs: journal lines stay as
+     small as before unless the trial actually captured events. *)
+  match r.Sim.Run_result.trace with
+  | [] -> Obj base
+  | recs -> Obj (base @ [ ("trace", Obs.Trace.records_to_json recs) ])
 
 let result_of_json j =
   match j with
@@ -338,6 +136,10 @@ let result_of_json j =
             (match mem "metrics" fields with
             | Some m -> metrics_of_json m
             | None -> Sim.Metrics.create ());
+          trace =
+            (match mem "trace" fields with
+            | Some t -> Obs.Trace.records_of_json t
+            | None -> []);
         }
   | _ -> None
 
@@ -369,35 +171,37 @@ let entry_of_json line =
   match parse line with
   | exception Parse_error msg -> Error msg
   | Obj fields -> (
-      let str k = get_str k fields in
-      match (str "key", str "bench", str "tag", str "status") with
-      | Some key, Some bench, Some tag, Some status_str -> (
-          let base status =
-            Ok
-              {
-                key;
-                bench;
-                tag;
-                scale = Option.value ~default:1.0 (get_float "scale" fields);
-                workers = Option.value ~default:0 (get_int "workers" fields);
-                seed = Option.value ~default:0 (get_int "seed" fields);
-                status;
-              }
-          in
-          match status_str with
-          | "ok" -> (
-              match mem "result" fields with
-              | Some rj -> (
-                  match result_of_json rj with
-                  | Some r -> base (Completed r)
-                  | None -> Error "bad result payload")
-              | None -> Error "missing result")
-          | "failed" ->
-              let kind = Option.value ~default:"crash" (str "error_kind") in
-              let detail = Option.value ~default:"" (str "error") in
-              base (Failed (Trial_error.make ~kind detail))
-          | other -> Error (Printf.sprintf "unknown status %s" other))
-      | _ -> Error "missing required fields")
+      if get_int "v" fields <> Some version then Error "version mismatch"
+      else
+        let str k = get_str k fields in
+        match (str "key", str "bench", str "tag", str "status") with
+        | Some key, Some bench, Some tag, Some status_str -> (
+            let base status =
+              Ok
+                {
+                  key;
+                  bench;
+                  tag;
+                  scale = Option.value ~default:1.0 (get_float "scale" fields);
+                  workers = Option.value ~default:0 (get_int "workers" fields);
+                  seed = Option.value ~default:0 (get_int "seed" fields);
+                  status;
+                }
+            in
+            match status_str with
+            | "ok" -> (
+                match mem "result" fields with
+                | Some rj -> (
+                    match result_of_json rj with
+                    | Some r -> base (Completed r)
+                    | None -> Error "bad result payload")
+                | None -> Error "missing result")
+            | "failed" ->
+                let kind = Option.value ~default:"crash" (str "error_kind") in
+                let detail = Option.value ~default:"" (str "error") in
+                base (Failed (Trial_error.make ~kind detail))
+            | other -> Error (Printf.sprintf "unknown status %s" other))
+        | _ -> Error "missing required fields")
   | _ -> Error "top level is not an object"
   | exception e -> Error (Printexc.to_string e)
 

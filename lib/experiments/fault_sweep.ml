@@ -36,9 +36,8 @@ let plan config rate =
   else Some { Sim.Fault_plan.none with Sim.Fault_plan.beat_drop_prob = rate; seed = config.Harness.seed }
 
 let run config entry short cfg rate =
-  Harness.run_hbc config
-    ~cfg:(fun c ->
-      { (cfg entry c) with Hbc_core.Rt_config.fault_plan = plan config rate })
+  Harness.run_hbc config ~cfg:(cfg entry)
+    ~request:(Hbc_core.Run_request.make ?fault_plan:(plan config rate) ())
     ~tag:(Printf.sprintf "fault-%s-%.0f" short (rate *. 100.))
     entry
 

@@ -23,7 +23,9 @@ let render config =
         ~signature:(Hbc_core.Rt_config.signature rt)
         (fun () ->
           let program = Workloads.Mandelbrot.program_of_view ~name:tag view in
-          Hbc_core.Executor.run (Harness.guarded config rt) program)
+          Hbc_core.Executor.run
+            ~request:(Harness.guarded config Hbc_core.Run_request.default)
+            rt program)
     with
     | Ok r ->
         Report.Table.cell_f ~decimals:3

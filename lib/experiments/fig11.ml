@@ -38,7 +38,10 @@ let render config =
         match
           Harness.trial config ~bench:"mandelbrot-mixed" ~tag
             ~signature:(Hbc_core.Rt_config.signature rt)
-            (fun () -> Hbc_core.Executor.run (Harness.guarded config rt) program)
+            (fun () ->
+              Hbc_core.Executor.run
+                ~request:(Harness.guarded config Hbc_core.Run_request.default)
+                rt program)
         with
         | Ok r -> Report.Table.cell_f (Sim.Run_result.speedup ~baseline r)
         | Error e -> Trial_error.cell e)

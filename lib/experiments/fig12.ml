@@ -22,13 +22,24 @@ let render config =
           Hbc_core.Rt_config.default with
           workers = config.Harness.workers;
           seed = config.Harness.seed;
-          chunk_trace = true;
         }
+      in
+      (* Capture only the AC decisions: a keep-filtered stream sink keeps the
+         journaled trace proportional to the number of chunk updates, not to
+         the run's full event volume. *)
+      let request =
+        Hbc_core.Run_request.make
+          ~trace:
+            (Obs.Trace.Sink.stream
+               ~keep:(function Obs.Trace.Chunk_update _ -> true | _ -> false)
+               ())
+          ()
       in
       match
         Harness.trial config ~bench:("spmv-" ^ name) ~tag:"fig12-trace"
-          ~signature:(Hbc_core.Rt_config.signature rt ^ "+trace")
-          (fun () -> Hbc_core.Executor.run (Harness.guarded config rt) program)
+          ~signature:
+            (Hbc_core.Rt_config.signature rt ^ "+" ^ Hbc_core.Run_request.signature request)
+          (fun () -> Hbc_core.Executor.run ~request:(Harness.guarded config request) rt program)
       with
       | Error e ->
           Buffer.add_string buf
@@ -45,7 +56,7 @@ let render config =
             chunk_sum.(b) <- chunk_sum.(b) +. Float.of_int chunk;
             chunk_cnt.(b) <- chunk_cnt.(b) + 1
           end)
-        r.Sim.Run_result.metrics.Sim.Metrics.chunk_trace;
+        (Obs.Trace_query.chunk_updates r.Sim.Run_result.trace);
       let table =
         Report.Table.create
           ~title:(Printf.sprintf "Figure 12 (%s): per-row non-zeros vs AC chunk size" name)

@@ -5,6 +5,21 @@
 
 let targets = [ 1; 2; 3; 4; 6; 8; 12; 16; 20 ]
 
+(* The detection rate is computed from the captured heartbeat events rather
+   than the metrics counters; a keep filter drops everything else so the
+   journaled trace stays proportional to the beat count. *)
+let heartbeat_request () =
+  Hbc_core.Run_request.make
+    ~trace:
+      (Obs.Trace.Sink.stream
+         ~keep:(function
+           | Obs.Trace.Heartbeat_generated | Obs.Trace.Heartbeat_detected
+           | Obs.Trace.Heartbeat_missed ->
+               true
+           | _ -> false)
+         ())
+    ()
+
 let render config =
   let entries = Workloads.Registry.tpal_set () in
   let table =
@@ -20,12 +35,13 @@ let render config =
             let o =
               Harness.run_hbc config
                 ~cfg:(fun c -> { c with Hbc_core.Rt_config.ac_target_polls = target })
+                ~request:(heartbeat_request ())
                 ~tag:(Printf.sprintf "ac-target-%d" target)
                 entry
             in
             Harness.metric_cell o (fun r ->
                 Report.Table.cell_f ~decimals:2
-                  (Sim.Metrics.detection_rate r.Sim.Run_result.metrics)))
+                  (Obs.Trace_query.detection_rate r.Sim.Run_result.trace)))
           targets
       in
       Report.Table.add_row table (entry.Workloads.Registry.name :: cells))

@@ -17,12 +17,8 @@ let render config =
       let base = Harness.baseline config entry in
       let nested =
         Harness.run_omp config
-          ~cfg:(fun c ->
-            {
-              c with
-              Baselines.Openmp.nested = Baselines.Openmp.All_doall;
-              max_cycles = Some (Harness.dnf_cap base);
-            })
+          ~cfg:(fun c -> { c with Baselines.Openmp.nested = Baselines.Openmp.All_doall })
+          ~request:(Hbc_core.Run_request.make ~max_cycles:(Harness.dnf_cap base) ())
           ~tag:"omp-nested" entry
       in
       Report.Table.add_row table

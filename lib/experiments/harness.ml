@@ -92,30 +92,22 @@ let wall_guard secs =
     | Some d ->
         if now > d then Some (Printf.sprintf "wall-clock budget %.1fs exceeded" secs) else None
 
-let guarded config rt =
+(* Trial watchdogs arm on top of whatever the caller requested: an explicit
+   per-request budget or guard wins; otherwise the campaign-level
+   trial_budget / wall_budget apply. The guard closure is created fresh per
+   attempt (the request is rebuilt), so retries get a fresh deadline. *)
+let guarded config (req : Hbc_core.Run_request.t) =
   {
-    rt with
-    Hbc_core.Rt_config.cycle_budget =
-      (match rt.Hbc_core.Rt_config.cycle_budget with
+    req with
+    Hbc_core.Run_request.cycle_budget =
+      (match req.Hbc_core.Run_request.cycle_budget with
       | Some _ as b -> b
       | None -> config.trial_budget);
     guard =
-      (match config.wall_budget with
-      | Some secs -> Some (wall_guard secs)
-      | None -> rt.Hbc_core.Rt_config.guard);
-  }
-
-let guarded_omp config oc =
-  {
-    oc with
-    Baselines.Openmp.cycle_budget =
-      (match oc.Baselines.Openmp.cycle_budget with
-      | Some _ as b -> b
-      | None -> config.trial_budget);
-    guard =
-      (match config.wall_budget with
-      | Some secs -> Some (wall_guard secs)
-      | None -> oc.Baselines.Openmp.guard);
+      (match (req.Hbc_core.Run_request.guard, config.wall_budget) with
+      | (Some _ as g), _ -> g
+      | None, Some secs -> Some (wall_guard secs)
+      | None, None -> None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -205,6 +197,7 @@ let errored_result () =
     dnf = false;
     termination = Sim.Run_result.Finished;
     metrics = Sim.Metrics.create ();
+    trace = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -241,51 +234,64 @@ let outcome_of config entry tag result =
       in
       { result; speedup = Sim.Run_result.speedup ~baseline:base result; valid; error }
 
-let run_hbc ?(cfg = fun c -> c) ?(tag = "hbc") config entry =
+(* The trial key hashes the UNguarded request: budgets and wall guards are
+   excluded from Run_request.signature by design (they abort rather than
+   change results), while the fault plan, cycle cap, and whether a trace is
+   captured all land in the hash — a traced trial never aliases an untraced
+   one in the journal. *)
+let run_hbc ?(cfg = fun c -> c) ?(request = Hbc_core.Run_request.default) ?(tag = "hbc") config
+    entry =
   let rt =
     { (cfg Hbc_core.Rt_config.default) with
       Hbc_core.Rt_config.workers = config.workers;
       seed = config.seed;
     }
   in
+  let signature =
+    Hbc_core.Rt_config.signature rt ^ "+" ^ Hbc_core.Run_request.signature request
+  in
   let result =
-    trial config ~bench:entry.Workloads.Registry.name ~tag
-      ~signature:(Hbc_core.Rt_config.signature rt)
+    trial config ~bench:entry.Workloads.Registry.name ~tag ~signature
       (fun () ->
         let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
-        Hbc_core.Executor.run (guarded config rt) p)
+        Hbc_core.Executor.run ~request:(guarded config request) rt p)
   in
   outcome_of config entry tag result
 
-let run_tpal ?(tag = "tpal") config entry =
+let run_tpal ?(request = Hbc_core.Run_request.default) ?(tag = "tpal") config entry =
   let rt =
     { (Hbc_core.Rt_config.tpal ~chunk:entry.Workloads.Registry.tpal_chunk) with
       Hbc_core.Rt_config.workers = config.workers;
       seed = config.seed;
     }
   in
+  let signature =
+    Hbc_core.Rt_config.signature rt ^ "+" ^ Hbc_core.Run_request.signature request
+  in
   let result =
-    trial config ~bench:entry.Workloads.Registry.name ~tag
-      ~signature:(Hbc_core.Rt_config.signature rt)
+    trial config ~bench:entry.Workloads.Registry.name ~tag ~signature
       (fun () ->
         let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
-        Hbc_core.Executor.run (guarded config rt) p)
+        Hbc_core.Executor.run ~request:(guarded config request) rt p)
   in
   outcome_of config entry tag result
 
-let run_omp ?(cfg = fun c -> c) ?(tag = "omp") config entry =
+let run_omp ?(cfg = fun c -> c) ?(request = Hbc_core.Run_request.default) ?(tag = "omp") config
+    entry =
   let oc =
     { (cfg (Baselines.Openmp.dynamic ())) with
       Baselines.Openmp.workers = config.workers;
       seed = config.seed;
     }
   in
+  let signature =
+    Baselines.Openmp.signature oc ^ "+" ^ Hbc_core.Run_request.signature request
+  in
   let result =
-    trial config ~bench:entry.Workloads.Registry.name ~tag
-      ~signature:(Baselines.Openmp.signature oc)
+    trial config ~bench:entry.Workloads.Registry.name ~tag ~signature
       (fun () ->
         let (Ir.Program.Any p) = entry.Workloads.Registry.make config.scale in
-        Baselines.Openmp.run_program (guarded_omp config oc) p)
+        Baselines.Openmp.run_program ~request:(guarded config request) oc p)
   in
   outcome_of config entry tag result
 

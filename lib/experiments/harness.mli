@@ -55,12 +55,11 @@ val trial :
     {!Baselines.Openmp.signature}). Figures with custom executors call this
     directly so they checkpoint and degrade like the standard runs. *)
 
-val guarded : config -> Hbc_core.Rt_config.t -> Hbc_core.Rt_config.t
-(** Arm the config's trial watchdogs (cycle budget, wall-clock guard) on a
-    runtime config. Call inside the trial's compute closure so each retry
-    gets a fresh wall deadline. Does not change the result signature. *)
-
-val guarded_omp : config -> Baselines.Openmp.config -> Baselines.Openmp.config
+val guarded : config -> Hbc_core.Run_request.t -> Hbc_core.Run_request.t
+(** Arm the campaign's trial watchdogs (cycle budget, wall-clock guard) on a
+    run request; explicit per-request budgets and guards win. Call inside
+    the trial's compute closure so each retry gets a fresh wall deadline.
+    Does not change {!Hbc_core.Run_request.signature}. *)
 
 val baseline : config -> Workloads.Registry.entry -> Sim.Run_result.t
 (** Sequential reference run (cached per benchmark and scale). On trial
@@ -69,18 +68,28 @@ val baseline : config -> Workloads.Registry.entry -> Sim.Run_result.t
 
 val run_hbc :
   ?cfg:(Hbc_core.Rt_config.t -> Hbc_core.Rt_config.t) ->
+  ?request:Hbc_core.Run_request.t ->
   ?tag:string ->
   config ->
   Workloads.Registry.entry ->
   outcome
 (** Run under the heartbeat runtime; [cfg] tweaks the default HBC
-    configuration (workers and seed are applied afterwards). Results are
-    cached and journaled under [tag]. *)
+    configuration (workers and seed are applied afterwards), [request]
+    carries per-run knobs (fault plan, cycle cap, trace sink) and is armed
+    with the campaign watchdogs via {!guarded}. Results are cached and
+    journaled under [tag]; the trial key covers both the config and the
+    request signatures, so e.g. traced and untraced runs never alias. *)
 
-val run_tpal : ?tag:string -> config -> Workloads.Registry.entry -> outcome
+val run_tpal :
+  ?request:Hbc_core.Run_request.t ->
+  ?tag:string ->
+  config ->
+  Workloads.Registry.entry ->
+  outcome
 
 val run_omp :
   ?cfg:(Baselines.Openmp.config -> Baselines.Openmp.config) ->
+  ?request:Hbc_core.Run_request.t ->
   ?tag:string ->
   config ->
   Workloads.Registry.entry ->

@@ -1,0 +1,41 @@
+(** Minimal JSON — no external dependency. One value type, a compact
+    serializer, and a strict parser, shared by the experiment journal
+    ({!Checkpoint}), the trace codec ({!Trace}) and the Perfetto exporter
+    ({!Perfetto}). Serialization is deterministic: the same value always
+    yields the same bytes (floats print as ["%.17g"], object fields keep
+    their list order), which the byte-identical-trace tests rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val write : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+val parse : string -> t
+(** Strict parse of one JSON value; raises {!Parse_error} on malformed
+    input or trailing garbage. Numbers without a fractional part come back
+    as [Int]. *)
+
+(** {2 Field accessors over [Obj] field lists}
+
+    All are total: a missing key or a value of the wrong shape yields
+    [None]. [get_float] accepts an [Int] and widens it. *)
+
+val mem : string -> (string * t) list -> t option
+
+val get_str : string -> (string * t) list -> string option
+
+val get_int : string -> (string * t) list -> int option
+
+val get_float : string -> (string * t) list -> float option
+
+val get_bool : string -> (string * t) list -> bool option

@@ -1,0 +1,108 @@
+(** Typed runtime trace events and the sink API they are recorded through.
+
+    Every observable scheduler action — heartbeat lifecycle, promotions,
+    steals, task spawn/join, adaptive-chunking decisions, injected faults,
+    mechanism downgrades, worker execution intervals — is one {!event}
+    value, stamped at emission with the worker id and the simulator's
+    virtual time. The runtime never stores events itself; it emits them
+    into whatever {!Sink.t} the run was given:
+
+    - {!Sink.null} ignores everything and allocates nothing — a run traced
+      into it is byte-identical (fingerprint, makespan, counters) to one
+      without the trace layer, because emission never advances virtual
+      time, consumes randomness, or allocates on the hot path;
+    - {!Sink.ring} keeps a bounded per-worker ring buffer, overwriting the
+      oldest records at capacity and counting the drops;
+    - {!Sink.stream} keeps everything (optionally pre-filtered by [keep]);
+    - {!Sink.fn} invokes a closure per event — {!Sim.Metrics} derives its
+      scalar counters from exactly such a sink;
+    - {!Sink.tee} fans one emission out to two sinks.
+
+    Captured records carry a per-sink sequence number assigned at emission,
+    so exports and cross-worker merges are deterministic: the same seed and
+    configuration produce the same record list, byte for byte. *)
+
+type fault =
+  | Beat_dropped  (** an injected heartbeat-delivery loss *)
+  | Beat_delayed of int  (** injected delivery jitter, in cycles *)
+  | Steal_failed  (** an injected steal-CAS loss *)
+  | Stall of int  (** an injected OS-preemption stall, in cycles *)
+
+type event =
+  | Heartbeat_generated
+  | Heartbeat_detected
+  | Heartbeat_missed
+  | Poll
+  | Promotion of { level : int }  (** nesting level of the split loop *)
+  | Steal_attempt
+  | Steal_success
+  | Task_spawned
+  | Task_joined_slow  (** a join finished by a worker other than the owner *)
+  | Leftover_run
+  | Chunk_update of { key : int; chunk : int }
+      (** adaptive chunking committed a new chunk size; [key] is the outer
+          iteration driving Fig. 12 *)
+  | Fault_injected of fault
+  | Mechanism_downgrade  (** watchdog fallback to software polling *)
+  | Interval of { t0 : int; kind : string }
+      (** a worker execution interval [t0, time); emitted at its end *)
+
+type record = { seq : int; time : int; worker : int; event : event }
+
+val event_name : event -> string
+(** Stable short name ("promotion", "steal-success", ...), used by the
+    Perfetto exporter and the trace codec. *)
+
+val fault_tag : fault -> string
+
+module Sink : sig
+  type t
+
+  val null : t
+  (** Drops every event. [enabled null = false], so emit sites can skip
+      building payload events entirely. *)
+
+  val stream : ?keep:(event -> bool) -> unit -> t
+  (** Unbounded in-order capture of every event passing [keep] (default:
+      all). *)
+
+  val ring : ?keep:(event -> bool) -> workers:int -> capacity:int -> unit -> t
+  (** Bounded capture: at most [capacity] records per worker, oldest
+      overwritten first; {!dropped} counts the overwrites. Events from
+      outside any worker context land in worker 0's ring. *)
+
+  val fn : (time:int -> worker:int -> event -> unit) -> t
+  (** Invoke a closure per event; captures nothing. *)
+
+  val tee : t -> t -> t
+  (** Emit into both sinks. [tee null s] is [s]. *)
+
+  val enabled : t -> bool
+  (** False only for {!null}: emit sites use it to avoid constructing
+      payload-carrying events nobody will see. *)
+
+  val captures : t -> bool
+  (** True when the sink (or either side of a tee) stores records — i.e.
+      {!captured} can return anything. Run signatures include this bit so
+      journaled traced and untraced trials do not alias. *)
+
+  val emit : t -> time:int -> worker:int -> event -> unit
+
+  val captured : t -> record list
+  (** Every stored record in emission ([seq]) order. Ring sinks merge their
+      per-worker buffers by [seq]; [fn] and [null] sinks yield []. *)
+
+  val dropped : t -> int
+  (** Records overwritten by ring sinks (summed across a tee). *)
+end
+
+(** {2 Codec}
+
+    Compact JSON for the experiment journal: a captured trace survives a
+    [--resume] round trip, so figure queries run identically on replayed
+    trials. Unknown event tags are skipped on read (forward
+    compatibility); [seq] is reassigned from list order. *)
+
+val records_to_json : record list -> Json.t
+
+val records_of_json : Json.t -> record list

@@ -1,0 +1,66 @@
+open Trace
+
+let count pred records =
+  List.fold_left (fun acc r -> if pred r.event then acc + 1 else acc) 0 records
+
+let filter pred records =
+  List.filter (fun r -> pred r.event) records
+  |> List.stable_sort (fun a b -> compare a.seq b.seq)
+
+let intervals records =
+  List.filter_map
+    (fun r ->
+      match r.event with
+      | Interval { t0; kind } when r.time > t0 -> Some (r.seq, (r.worker, t0, r.time, kind))
+      | _ -> None)
+    records
+  |> List.stable_sort (fun (sa, (_, a0, _, _)) (sb, (_, b0, _, _)) ->
+         match compare a0 b0 with 0 -> compare sa sb | c -> c)
+  |> List.map snd
+
+let busy_cycles_of records worker =
+  List.fold_left
+    (fun acc (w, t0, t1, _) -> if w = worker then acc + (t1 - t0) else acc)
+    0 (intervals records)
+
+let chronological records = List.stable_sort (fun a b -> compare (a.time, a.seq) (b.time, b.seq)) records
+
+let chunk_updates records =
+  List.filter_map
+    (fun r ->
+      match r.event with Chunk_update { key; chunk } -> Some (r.time, key, chunk) | _ -> None)
+    (chronological records)
+
+let downgrades records =
+  List.filter_map
+    (fun r -> match r.event with Mechanism_downgrade -> Some (r.worker, r.time) | _ -> None)
+    (chronological records)
+
+let promotions_by_level ?(levels = 8) records =
+  let out = Array.make (Stdlib.max 1 levels) 0 in
+  List.iter
+    (fun r ->
+      match r.event with
+      | Promotion { level } ->
+          let l = Stdlib.min (Stdlib.max 0 level) (Array.length out - 1) in
+          out.(l) <- out.(l) + 1
+      | _ -> ())
+    records;
+  out
+
+let detection_rate records =
+  let generated = count (fun e -> e = Heartbeat_generated) records in
+  if generated = 0 then 100.0
+  else 100.0 *. float_of_int (count (fun e -> e = Heartbeat_detected) records) /. float_of_int generated
+
+let windowed ~width pred records =
+  let width = Stdlib.max 1 width in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      if pred r.event then begin
+        let w = r.time / width * width in
+        Hashtbl.replace tbl w (1 + Option.value ~default:0 (Hashtbl.find_opt tbl w))
+      end)
+    records;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare

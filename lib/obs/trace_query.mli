@@ -1,0 +1,36 @@
+(** Queries over captured trace records — the read-side API the figure
+    pipeline, Gantt renderer, and tests use instead of poking ad-hoc
+    [Metrics] list fields. All functions take records in any order and
+    return chronologically sorted results where order matters. *)
+
+val count : (Trace.event -> bool) -> Trace.record list -> int
+
+val filter : (Trace.event -> bool) -> Trace.record list -> Trace.record list
+(** Records whose event satisfies the predicate, in emission order. *)
+
+val intervals : Trace.record list -> (int * int * int * string) list
+(** Worker execution intervals as [(worker, t0, t1, kind)], chronological
+    by start time (ties broken by emission order). Only
+    {!Trace.Interval} events with [t1 > t0] contribute. *)
+
+val busy_cycles_of : Trace.record list -> int -> int
+(** Total interval cycles recorded for one worker. *)
+
+val chunk_updates : Trace.record list -> (int * int * int) list
+(** Adaptive-chunking decisions as [(time, key, chunk)], chronological. *)
+
+val downgrades : Trace.record list -> (int * int) list
+(** Watchdog downgrades as [(worker, time)], chronological. *)
+
+val promotions_by_level : ?levels:int -> Trace.record list -> int array
+(** Promotion counts bucketed by nesting level (default 8 buckets, deeper
+    levels clamped into the last one) — the Fig. 5 shape. *)
+
+val detection_rate : Trace.record list -> float
+(** Detected heartbeats as a percentage of generated ones; 100.0 when the
+    trace holds no generated beats (mirrors [Metrics.detection_rate]). *)
+
+val windowed : width:int -> (Trace.event -> bool) -> Trace.record list -> (int * int) list
+(** Aggregate matching events into fixed windows of [width] virtual
+    cycles: [(window_start_time, count)] for every non-empty window,
+    chronological. *)

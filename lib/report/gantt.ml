@@ -1,13 +1,22 @@
-let utilization ~workers ~makespan intervals =
+(* Execution intervals arrive as raw trace records in emission order
+   (interval events are stamped at their *end* time). Rendering first
+   extracts and chronologically sorts them via Trace_query.intervals, so the
+   chart is independent of sink internals — a ring sink's per-worker merge
+   and a stream sink's capture produce the same picture. *)
+
+let utilization ~workers ~makespan records =
   if makespan <= 0 || workers <= 0 then 0.0
   else begin
     let busy =
-      List.fold_left (fun acc (_, t0, t1, _) -> acc + (Stdlib.max 0 (t1 - t0))) 0 intervals
+      List.fold_left
+        (fun acc (_, t0, t1, _) -> acc + Stdlib.max 0 (t1 - t0))
+        0
+        (Obs.Trace_query.intervals records)
     in
     100.0 *. Float.of_int busy /. Float.of_int (workers * makespan)
   end
 
-let render ?(width = 80) ~workers ~makespan intervals =
+let render ?(width = 80) ~workers ~makespan records =
   let buf = Buffer.create 4096 in
   if makespan <= 0 then Buffer.add_string buf "(empty timeline)\n"
   else begin
@@ -24,7 +33,7 @@ let render ?(width = 80) ~workers ~makespan intervals =
             Bytes.set rows.(w) c '#'
           done
         end)
-      intervals;
+      (Obs.Trace_query.intervals records);
     Buffer.add_string buf
       (Printf.sprintf "timeline: %d workers, %d cycles, %.1f cycles/column\n" workers makespan
          cell_cycles);
@@ -35,6 +44,6 @@ let render ?(width = 80) ~workers ~makespan intervals =
              (100.0 *. Float.of_int busy.(w) /. Float.of_int makespan)))
       rows;
     Buffer.add_string buf
-      (Printf.sprintf "aggregate utilization: %.1f%%\n" (utilization ~workers ~makespan intervals))
+      (Printf.sprintf "aggregate utilization: %.1f%%\n" (utilization ~workers ~makespan records))
   end;
   Buffer.contents buf

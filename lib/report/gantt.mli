@@ -1,11 +1,12 @@
 (** ASCII gantt chart of per-worker execution timelines. *)
 
-val render :
-  ?width:int -> workers:int -> makespan:int -> (int * int * int * string) list -> string
-(** [render ~workers ~makespan intervals] draws one row per worker, one
-    column per [makespan/width] cycles: '#' = executing, '.' = idle, with a
-    per-worker utilization percentage and an aggregate summary. Intervals
-    are (worker, start, end, kind) as recorded by {!Sim.Metrics}. *)
+val render : ?width:int -> workers:int -> makespan:int -> Obs.Trace.record list -> string
+(** [render ~workers ~makespan records] draws one row per worker, one column
+    per [makespan/width] cycles: '#' = executing, '.' = idle, with a
+    per-worker utilization percentage and an aggregate summary. Only the
+    [Interval] events in [records] contribute; they are sorted
+    chronologically first ({!Obs.Trace_query.intervals}), so the rendering
+    does not depend on capture order. *)
 
-val utilization : workers:int -> makespan:int -> (int * int * int * string) list -> float
+val utilization : workers:int -> makespan:int -> Obs.Trace.record list -> float
 (** Aggregate busy fraction in percent. *)

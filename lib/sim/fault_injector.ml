@@ -3,24 +3,29 @@ type t = {
   active : bool;
   rngs : Sim_rng.t array;  (* one decision stream per worker *)
   burst_left : int array;  (* remaining forced steal failures per worker *)
-  metrics : Metrics.t;
+  trace : Obs.Trace.Sink.t;
+  now : unit -> int;
 }
 
-let create plan ~num_workers metrics =
+let create plan ~num_workers ?(trace = Obs.Trace.Sink.null) ?(now = fun () -> 0) () =
   let parent = Sim_rng.create plan.Fault_plan.seed in
   {
     plan;
     active = not (Fault_plan.is_zero plan);
     rngs = Array.init num_workers (fun _ -> Sim_rng.split parent);
     burst_left = Array.make num_workers 0;
-    metrics;
+    trace;
+    now;
   }
 
-let inactive ~num_workers metrics = create Fault_plan.none ~num_workers metrics
+let inactive ~num_workers = create Fault_plan.none ~num_workers ()
 
 let active t = t.active
 
 let plan t = t.plan
+
+let booked t ~worker fault =
+  Obs.Trace.Sink.emit t.trace ~time:(t.now ()) ~worker (Obs.Trace.Fault_injected fault)
 
 (* Each feature draws only when its own plan knob is non-zero, so e.g. a
    beat-drop-only sweep consumes the same stream positions whether or not
@@ -32,7 +37,7 @@ let drop_beat t ~worker =
     && t.plan.Fault_plan.beat_drop_prob > 0.0
     && Sim_rng.float t.rngs.(worker) 1.0 < t.plan.Fault_plan.beat_drop_prob
   then begin
-    t.metrics.Metrics.faults_beats_dropped <- t.metrics.Metrics.faults_beats_dropped + 1;
+    booked t ~worker Obs.Trace.Beat_dropped;
     true
   end
   else false
@@ -40,8 +45,7 @@ let drop_beat t ~worker =
 let delivery_jitter t ~worker =
   if t.active && t.plan.Fault_plan.beat_jitter > 0 then begin
     let j = Sim_rng.int t.rngs.(worker) (t.plan.Fault_plan.beat_jitter + 1) in
-    if j > 0 then
-      t.metrics.Metrics.faults_beats_delayed <- t.metrics.Metrics.faults_beats_delayed + 1;
+    if j > 0 then booked t ~worker (Obs.Trace.Beat_delayed j);
     j
   end
   else 0
@@ -50,12 +54,12 @@ let steal_fails t ~worker =
   if not (t.active && t.plan.Fault_plan.steal_fail_prob > 0.0) then false
   else if t.burst_left.(worker) > 0 then begin
     t.burst_left.(worker) <- t.burst_left.(worker) - 1;
-    t.metrics.Metrics.faults_steals_failed <- t.metrics.Metrics.faults_steals_failed + 1;
+    booked t ~worker Obs.Trace.Steal_failed;
     true
   end
   else if Sim_rng.float t.rngs.(worker) 1.0 < t.plan.Fault_plan.steal_fail_prob then begin
     t.burst_left.(worker) <- Stdlib.max 0 (t.plan.Fault_plan.steal_fail_burst - 1);
-    t.metrics.Metrics.faults_steals_failed <- t.metrics.Metrics.faults_steals_failed + 1;
+    booked t ~worker Obs.Trace.Steal_failed;
     true
   end
   else false
@@ -67,8 +71,7 @@ let stall_cycles t ~worker =
     && Sim_rng.float t.rngs.(worker) 1.0 < t.plan.Fault_plan.stall_prob
   then begin
     let c = 1 + Sim_rng.int t.rngs.(worker) (Stdlib.max 1 t.plan.Fault_plan.stall_cycles) in
-    t.metrics.Metrics.faults_stalls <- t.metrics.Metrics.faults_stalls + 1;
-    t.metrics.Metrics.faults_stall_cycles <- t.metrics.Metrics.faults_stall_cycles + c;
+    booked t ~worker (Obs.Trace.Stall c);
     c
   end
   else 0

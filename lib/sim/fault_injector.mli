@@ -4,20 +4,29 @@
     delivery, steal attempts, scheduling-loop iterations) and the injector
     answers from per-worker splitmix streams derived from the plan's seed:
     identical plans yield identical fault schedules, independent of wall
-    time. Injection decisions are booked into the run's {!Metrics.t}
-    ([faults_*] counters); the caller models their consequences (missed
-    beats, wasted cycles).
+    time. Injection decisions are emitted as {!Obs.Trace.Fault_injected}
+    events into the run's trace sink (stamped via [now]); the run's
+    counting sink derives the [faults_*] counters from them. The caller
+    models their consequences (missed beats, wasted cycles).
 
     An injector built from {!Fault_plan.none} (or any plan for which
     {!Fault_plan.is_zero} holds) is {e inert}: every query returns the
-    neutral answer without consuming randomness or touching metrics, so a
+    neutral answer without consuming randomness or emitting events, so a
     zero-fault run is bit-identical to one without the fault layer. *)
 
 type t
 
-val create : Fault_plan.t -> num_workers:int -> Metrics.t -> t
+val create :
+  Fault_plan.t ->
+  num_workers:int ->
+  ?trace:Obs.Trace.Sink.t ->
+  ?now:(unit -> int) ->
+  unit ->
+  t
+(** [now] supplies the virtual-time stamp for emitted fault events
+    (typically [Engine.now]); it is never called by an inert injector. *)
 
-val inactive : num_workers:int -> Metrics.t -> t
+val inactive : num_workers:int -> t
 (** [create Fault_plan.none]. *)
 
 val active : t -> bool

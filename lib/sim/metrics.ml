@@ -14,14 +14,12 @@ type t = {
   mutable work_cycles : int;
   mutable overhead_cycles : int;
   overhead_by_kind : (string, int) Hashtbl.t;
-  mutable chunk_trace : (int * int * int) list;
-  mutable timeline : (int * int * int * string) list;
   mutable faults_beats_dropped : int;
   mutable faults_beats_delayed : int;
   mutable faults_steals_failed : int;
   mutable faults_stalls : int;
   mutable faults_stall_cycles : int;
-  mutable mechanism_downgrades : (int * int) list;
+  mutable downgrades : int;
 }
 
 let create () =
@@ -41,14 +39,12 @@ let create () =
     work_cycles = 0;
     overhead_cycles = 0;
     overhead_by_kind = Hashtbl.create 16;
-    chunk_trace = [];
-    timeline = [];
     faults_beats_dropped = 0;
     faults_beats_delayed = 0;
     faults_steals_failed = 0;
     faults_stalls = 0;
     faults_stall_cycles = 0;
-    mechanism_downgrades = [];
+    downgrades = 0;
   }
 
 let add_overhead t kind c =
@@ -74,25 +70,41 @@ let detection_rate t =
   if t.heartbeats_generated = 0 then 100.0
   else 100.0 *. Float.of_int t.heartbeats_detected /. Float.of_int t.heartbeats_generated
 
-let record_interval t ~worker ~t0 ~t1 ~kind =
-  if t1 > t0 then t.timeline <- (worker, t0, t1, kind) :: t.timeline
-
-let busy_cycles_of t worker =
-  List.fold_left
-    (fun acc (w, t0, t1, _) -> if w = worker then acc + (t1 - t0) else acc)
-    0 t.timeline
-
-let record_chunk_update t ~time ~key ~chunk =
-  t.chunk_updates <- t.chunk_updates + 1;
-  t.chunk_trace <- (time, key, chunk) :: t.chunk_trace
-
-let record_downgrade t ~worker ~time =
-  t.mechanism_downgrades <- (worker, time) :: t.mechanism_downgrades
-
-let downgrade_count t = List.length t.mechanism_downgrades
+let downgrade_count t = t.downgrades
 
 let faults_injected t =
   t.faults_beats_dropped + t.faults_beats_delayed + t.faults_steals_failed + t.faults_stalls
+
+(* The always-on counting sink: every scalar counter that reflects a
+   discrete runtime occurrence is derived from the trace-event stream, so
+   the runtime has exactly one emission site per occurrence and the
+   counters cannot drift from what a capturing sink records. *)
+let count_event t (ev : Obs.Trace.event) =
+  match ev with
+  | Obs.Trace.Heartbeat_generated -> t.heartbeats_generated <- t.heartbeats_generated + 1
+  | Obs.Trace.Heartbeat_detected -> t.heartbeats_detected <- t.heartbeats_detected + 1
+  | Obs.Trace.Heartbeat_missed -> t.heartbeats_missed <- t.heartbeats_missed + 1
+  | Obs.Trace.Poll -> t.polls <- t.polls + 1
+  | Obs.Trace.Promotion { level } -> promotion_at_level t level
+  | Obs.Trace.Steal_attempt -> t.steal_attempts <- t.steal_attempts + 1
+  | Obs.Trace.Steal_success -> t.steals <- t.steals + 1
+  | Obs.Trace.Task_spawned -> t.tasks_spawned <- t.tasks_spawned + 1
+  | Obs.Trace.Task_joined_slow -> t.join_slow_paths <- t.join_slow_paths + 1
+  | Obs.Trace.Leftover_run -> t.leftover_tasks_run <- t.leftover_tasks_run + 1
+  | Obs.Trace.Chunk_update _ -> t.chunk_updates <- t.chunk_updates + 1
+  | Obs.Trace.Fault_injected Obs.Trace.Beat_dropped ->
+      t.faults_beats_dropped <- t.faults_beats_dropped + 1
+  | Obs.Trace.Fault_injected (Obs.Trace.Beat_delayed _) ->
+      t.faults_beats_delayed <- t.faults_beats_delayed + 1
+  | Obs.Trace.Fault_injected Obs.Trace.Steal_failed ->
+      t.faults_steals_failed <- t.faults_steals_failed + 1
+  | Obs.Trace.Fault_injected (Obs.Trace.Stall c) ->
+      t.faults_stalls <- t.faults_stalls + 1;
+      t.faults_stall_cycles <- t.faults_stall_cycles + c
+  | Obs.Trace.Mechanism_downgrade -> t.downgrades <- t.downgrades + 1
+  | Obs.Trace.Interval _ -> ()
+
+let counting_sink t = Obs.Trace.Sink.fn (fun ~time:_ ~worker:_ ev -> count_event t ev)
 
 (* Scalar-counter reflection for the experiment journal: one authoritative
    list of (name, getter, setter) so the checkpoint codec cannot silently
@@ -117,6 +129,7 @@ let counter_specs : (string * (t -> int) * (t -> int -> unit)) list =
     ("faults_steals_failed", (fun t -> t.faults_steals_failed), fun t v -> t.faults_steals_failed <- v);
     ("faults_stalls", (fun t -> t.faults_stalls), fun t v -> t.faults_stalls <- v);
     ("faults_stall_cycles", (fun t -> t.faults_stall_cycles), fun t v -> t.faults_stall_cycles <- v);
+    ("downgrades", (fun t -> t.downgrades), fun t v -> t.downgrades <- v);
   ]
 
 let counters t = List.map (fun (name, get, _) -> (name, get t)) counter_specs

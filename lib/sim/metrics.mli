@@ -1,9 +1,18 @@
-(** Counters collected during a simulated run.
+(** Scalar counters collected during a simulated run.
 
-    One [Metrics.t] is attached to each run; the experiment harness reads it
-    to build the paper's figures (promotion nesting levels for Fig. 5,
-    heartbeat detection rates for Fig. 13, chunk-size traces for Fig. 12,
-    overhead component attribution for Figs. 7 and 8). *)
+    One [Metrics.t] is attached to each run; the experiment harness reads
+    it to build the paper's figures (promotion nesting levels for Fig. 5,
+    heartbeat detection rates for Fig. 13, overhead component attribution
+    for Figs. 7 and 8).
+
+    Since the trace redesign, [Metrics] holds {e only} counters. Every
+    discrete runtime occurrence (a promotion, a steal, a detected
+    heartbeat, an injected fault, ...) is emitted exactly once as an
+    {!Obs.Trace.event}; the run wires an always-on {!counting_sink} that
+    derives these counters from that stream. Event {e logs} — chunk-size
+    evolution, execution timelines, downgrade schedules — live in the
+    captured trace ({!Run_result.t.trace}) and are queried through
+    [Obs.Trace_query]. *)
 
 type t = {
   mutable heartbeats_generated : int;
@@ -23,26 +32,22 @@ type t = {
   overhead_by_kind : (string, int) Hashtbl.t;
       (** attribution: "poll", "chunk-transfer", "closure", "outline-call",
           "promotion-branch", "interrupt", ... *)
-  mutable chunk_trace : (int * int * int) list;
-      (** (virtual time, outer iteration key, new chunk size), newest first *)
-  mutable timeline : (int * int * int * string) list;
-      (** execution intervals (worker, start, end, kind), newest first;
-          recorded only when the run asks for a timeline *)
   mutable faults_beats_dropped : int;
       (** injected heartbeat-delivery losses ({!Fault_injector}) *)
   mutable faults_beats_delayed : int;  (** injected delivery-jitter events *)
   mutable faults_steals_failed : int;  (** injected steal-attempt failures *)
   mutable faults_stalls : int;  (** injected per-worker stall windows *)
   mutable faults_stall_cycles : int;  (** total cycles lost to stalls *)
-  mutable mechanism_downgrades : (int * int) list;
-      (** watchdog fallbacks to software polling, (worker, virtual time),
-          newest first *)
+  mutable downgrades : int;
+      (** watchdog fallbacks from an interrupt mechanism to software
+          polling; the per-worker schedule is in the trace *)
 }
 
 val create : unit -> t
 
 val add_overhead : t -> string -> int -> unit
-(** Bump both the per-kind attribution and the overhead total. *)
+(** Bump both the per-kind attribution and the overhead total. Cycle
+    attribution is not a discrete event, so it stays a direct call. *)
 
 val promotion_at_level : t -> int -> unit
 
@@ -55,26 +60,23 @@ val detection_rate : t -> float
 (** Detected heartbeats as a percentage of generated ones (100.0 if none
     were generated). *)
 
-val record_chunk_update : t -> time:int -> key:int -> chunk:int -> unit
-
-val record_downgrade : t -> worker:int -> time:int -> unit
-(** Log a watchdog downgrade of one worker's heartbeat mechanism. *)
-
 val downgrade_count : t -> int
 
 val faults_injected : t -> int
 (** Total injected fault events (drops + delays + steal failures + stalls). *)
 
+val count_event : t -> Obs.Trace.event -> unit
+(** Apply one event to the counters; {!counting_sink} per event. *)
+
+val counting_sink : t -> Obs.Trace.Sink.t
+(** The always-on sink every run tees with the caller's: it folds the
+    event stream into these counters and stores nothing. *)
+
 val counters : t -> (string * int) list
 (** Every scalar counter as (name, value), for the experiment journal. The
-    non-scalar state (per-level promotions, overhead attribution, downgrade
-    log, traces) is serialized separately by the checkpoint layer. *)
+    non-scalar state (per-level promotions, overhead attribution) is
+    serialized separately by the checkpoint layer. *)
 
 val restore_counter : t -> string -> int -> unit
 (** Set one scalar counter by its {!counters} name; unknown names are
     ignored (journal forward-compatibility). *)
-
-val record_interval : t -> worker:int -> t0:int -> t1:int -> kind:string -> unit
-
-val busy_cycles_of : t -> int -> int
-(** Total recorded interval cycles for one worker. *)

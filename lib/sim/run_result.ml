@@ -11,6 +11,7 @@ type t = {
   dnf : bool;
   termination : termination;
   metrics : Metrics.t;
+  trace : Obs.Trace.record list;
 }
 
 let completed r = r.termination = Finished
@@ -33,7 +34,7 @@ let faults_injected r = Metrics.faults_injected r.metrics
 
 let downgrades r = Metrics.downgrade_count r.metrics
 
-let degraded r = r.metrics.Metrics.mechanism_downgrades <> []
+let degraded r = Metrics.downgrade_count r.metrics > 0
 
 let fingerprints_close ?(tol = 1e-6) a b =
   let scale = Float.max (Float.abs a.fingerprint) (Float.abs b.fingerprint) in

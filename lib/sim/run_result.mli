@@ -20,6 +20,10 @@ type t = {
   dnf : bool;  (** true when the run exceeded its virtual-time cap *)
   termination : termination;  (** how the run ended (watchdog taxonomy) *)
   metrics : Metrics.t;
+  trace : Obs.Trace.record list;
+      (** the records captured by the run's trace sink ([] when the run was
+          given a non-capturing sink); queried via [Obs.Trace_query] by the
+          figure pipeline, the Gantt renderer, and the Perfetto exporter *)
 }
 
 val completed : t -> bool

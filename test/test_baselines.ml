@@ -104,11 +104,8 @@ let omp_nested_dnf_cap () =
   let seq = Baselines.Serial_exec.run_program p in
   let nested =
     Baselines.Openmp.run_program
-      {
-        (Baselines.Openmp.dynamic ()) with
-        Baselines.Openmp.nested = Baselines.Openmp.All_doall;
-        max_cycles = Some (2 * seq.Sim.Run_result.work_cycles);
-      }
+      ~request:(Hbc_core.Run_request.make ~max_cycles:(2 * seq.Sim.Run_result.work_cycles) ())
+      { (Baselines.Openmp.dynamic ()) with Baselines.Openmp.nested = Baselines.Openmp.All_doall }
       p
   in
   check_bool "did not finish" true nested.Sim.Run_result.dnf

@@ -11,19 +11,25 @@ let check_int = Alcotest.(check int)
 
 let workers = 8
 
-let rt_with ?(mechanism = Hbc_core.Rt_config.Software_polling) ?chunk ?plan ?max_cycles () =
+let rt_with ?(mechanism = Hbc_core.Rt_config.Software_polling) ?chunk () =
   {
     Hbc_core.Rt_config.default with
     workers;
     mechanism;
     chunk = (match chunk with Some c -> Hbc_core.Compiled.Static c | None -> Hbc_core.Compiled.Adaptive);
-    fault_plan = plan;
-    max_cycles;
   }
 
-let run_entry entry ~scale rt =
+(* Per-run knobs (fault plan, DNF cap, trace sink) travel in the request. *)
+let run_entry ?plan ?max_cycles ?trace entry ~scale rt =
+  let request = Hbc_core.Run_request.make ?fault_plan:plan ?max_cycles ?trace () in
   let (Ir.Program.Any p) = entry.Workloads.Registry.make scale in
-  Hbc_core.Executor.run rt p
+  Hbc_core.Executor.run ~request rt p
+
+(* Capture only the watchdog's downgrade events. *)
+let downgrade_sink () =
+  Obs.Trace.Sink.stream
+    ~keep:(function Obs.Trace.Mechanism_downgrade -> true | _ -> false)
+    ()
 
 let baseline entry ~scale =
   let (Ir.Program.Any p) = entry.Workloads.Registry.make scale in
@@ -43,11 +49,8 @@ let random_plans_never_change_results () =
         (fun i plan ->
           List.iter
             (fun mechanism ->
-              let rt =
-                rt_with ~mechanism ~chunk:entry.Workloads.Registry.tpal_chunk ~plan
-                  ?max_cycles:cap ()
-              in
-              let r = run_entry entry ~scale rt in
+              let rt = rt_with ~mechanism ~chunk:entry.Workloads.Registry.tpal_chunk () in
+              let r = run_entry ~plan ?max_cycles:cap entry ~scale rt in
               let tag =
                 Printf.sprintf "%s/plan%d/%s" entry.Workloads.Registry.name i
                   (match mechanism with
@@ -70,9 +73,7 @@ let zero_plan_is_bit_identical () =
   List.iter
     (fun (label, mechanism, chunk) ->
       let bare = run_entry entry ~scale (rt_with ~mechanism ?chunk ()) in
-      let zero =
-        run_entry entry ~scale (rt_with ~mechanism ?chunk ~plan:Sim.Fault_plan.none ())
-      in
+      let zero = run_entry ~plan:Sim.Fault_plan.none entry ~scale (rt_with ~mechanism ?chunk ()) in
       let mb = bare.Sim.Run_result.metrics and mz = zero.Sim.Run_result.metrics in
       check_int (label ^ " makespan") bare.Sim.Run_result.makespan zero.Sim.Run_result.makespan;
       Alcotest.(check (float 0.0))
@@ -106,20 +107,24 @@ let watchdog_downgrades_starved_workers () =
   let seq = baseline entry ~scale in
   let plan = { Sim.Fault_plan.none with Sim.Fault_plan.seed = 7; beat_drop_prob = 0.9 } in
   let r =
-    run_entry entry ~scale
-      (rt_with ~mechanism:Hbc_core.Rt_config.Interrupt_kernel_module ~chunk:128 ~plan
-         ~max_cycles:(30 * seq.Sim.Run_result.work_cycles) ())
+    run_entry ~plan
+      ~max_cycles:(30 * seq.Sim.Run_result.work_cycles)
+      ~trace:(downgrade_sink ()) entry ~scale
+      (rt_with ~mechanism:Hbc_core.Rt_config.Interrupt_kernel_module ~chunk:128 ())
   in
   check_bool "finished" false r.Sim.Run_result.dnf;
   check_bool "output = sequential" true (Sim.Run_result.fingerprints_close seq r);
   check_bool "watchdog fired" true (Sim.Run_result.downgrades r > 0);
   check_bool "degraded flag" true (Sim.Run_result.degraded r);
-  (* downgrade records are (worker, time) with valid workers *)
+  (* downgrade events are (worker, time) with valid workers; the counter and
+     the trace must agree, both fed by the same emission *)
+  let downgrades = Obs.Trace_query.downgrades r.Sim.Run_result.trace in
+  check_int "counter = trace" (Sim.Run_result.downgrades r) (List.length downgrades);
   List.iter
     (fun (w, t) ->
       check_bool "worker in range" true (w >= 0 && w < workers);
       check_bool "time positive" true (t > 0))
-    r.Sim.Run_result.metrics.Sim.Metrics.mechanism_downgrades
+    downgrades
 
 (* Forced steal-failure bursts engage the bounded exponential backoff
    instead of the old immediate park: failures are counted and backoff
@@ -137,8 +142,7 @@ let steal_faults_engage_backoff () =
     }
   in
   let r =
-    run_entry entry ~scale
-      (rt_with ~plan ~max_cycles:(30 * seq.Sim.Run_result.work_cycles) ())
+    run_entry ~plan ~max_cycles:(30 * seq.Sim.Run_result.work_cycles) entry ~scale (rt_with ())
   in
   check_bool "finished" false r.Sim.Run_result.dnf;
   check_bool "output = sequential" true (Sim.Run_result.fingerprints_close seq r);
@@ -156,8 +160,7 @@ let stalls_are_attributed () =
     { Sim.Fault_plan.none with Sim.Fault_plan.seed = 3; stall_prob = 0.2; stall_cycles = 5_000 }
   in
   let r =
-    run_entry entry ~scale
-      (rt_with ~plan ~max_cycles:(30 * seq.Sim.Run_result.work_cycles) ())
+    run_entry ~plan ~max_cycles:(30 * seq.Sim.Run_result.work_cycles) entry ~scale (rt_with ())
   in
   check_bool "finished" false r.Sim.Run_result.dnf;
   check_bool "output = sequential" true (Sim.Run_result.fingerprints_close seq r);
@@ -184,8 +187,8 @@ let fault_schedules_are_deterministic () =
     }
   in
   let go () =
-    run_entry entry ~scale
-      (rt_with ~mechanism:Hbc_core.Rt_config.Interrupt_ping_thread ~chunk:128 ~plan ())
+    run_entry ~plan ~trace:(downgrade_sink ()) entry ~scale
+      (rt_with ~mechanism:Hbc_core.Rt_config.Interrupt_ping_thread ~chunk:128 ())
   in
   let a = go () and b = go () in
   check_int "same makespan" a.Sim.Run_result.makespan b.Sim.Run_result.makespan;
@@ -193,8 +196,9 @@ let fault_schedules_are_deterministic () =
     (Sim.Run_result.faults_injected a)
     (Sim.Run_result.faults_injected b);
   Alcotest.(check (list (pair int int)))
-    "same downgrade schedule" a.Sim.Run_result.metrics.Sim.Metrics.mechanism_downgrades
-    b.Sim.Run_result.metrics.Sim.Metrics.mechanism_downgrades
+    "same downgrade schedule"
+    (Obs.Trace_query.downgrades a.Sim.Run_result.trace)
+    (Obs.Trace_query.downgrades b.Sim.Run_result.trace)
 
 let suite =
   [

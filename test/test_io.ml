@@ -118,20 +118,33 @@ let edge_list_comments_and_weights () =
 
 (* ----------------------------- gantt ------------------------------ *)
 
+(* Interval events are stamped at their end time and carry their start. *)
+let interval_record seq worker t0 t1 kind =
+  { Obs.Trace.seq; time = t1; worker; event = Obs.Trace.Interval { t0; kind } }
+
+let interval_sink () =
+  Obs.Trace.Sink.stream ~keep:(function Obs.Trace.Interval _ -> true | _ -> false) ()
+
 let gantt_renders () =
-  let intervals = [ (0, 0, 100, "task"); (1, 50, 100, "task") ] in
-  let s = Report.Gantt.render ~width:10 ~workers:2 ~makespan:100 intervals in
+  let records = [ interval_record 0 0 0 100 "task"; interval_record 1 1 50 100 "task" ] in
+  let s = Report.Gantt.render ~width:10 ~workers:2 ~makespan:100 records in
   check_bool "worker rows present" true
     (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 3 && String.sub l 0 3 = "w00"));
   Alcotest.(check (float 0.01)) "utilization" 75.0
-    (Report.Gantt.utilization ~workers:2 ~makespan:100 intervals)
+    (Report.Gantt.utilization ~workers:2 ~makespan:100 records)
+
+let gantt_order_independent () =
+  (* The renderer sorts chronologically: feeding the intervals reversed (as
+     a newest-first capture would) must yield the identical chart. *)
+  let records = [ interval_record 0 0 0 100 "task"; interval_record 1 1 50 100 "task" ] in
+  let chart l = Report.Gantt.render ~width:10 ~workers:2 ~makespan:100 l in
+  Alcotest.(check string) "same chart" (chart records) (chart (List.rev records))
 
 let timeline_recorded () =
   let p = Workloads.Spmv.random ~scale:0.05 in
-  let r =
-    Hbc_core.Executor.run { Hbc_core.Rt_config.default with workers = 8; timeline = true } p
-  in
-  let tl = r.Sim.Run_result.metrics.Sim.Metrics.timeline in
+  let request = Hbc_core.Run_request.make ~trace:(interval_sink ()) () in
+  let r = Hbc_core.Executor.run ~request { Hbc_core.Rt_config.default with workers = 8 } p in
+  let tl = Obs.Trace_query.intervals r.Sim.Run_result.trace in
   check_bool "intervals recorded" true (List.length tl > 1);
   List.iter
     (fun (w, t0, t1, _) ->
@@ -145,7 +158,7 @@ let timeline_recorded () =
 let timeline_off_by_default () =
   let p = Workloads.Spmv.random ~scale:0.05 in
   let r = Hbc_core.Executor.run { Hbc_core.Rt_config.default with workers = 8 } p in
-  check_int "no intervals" 0 (List.length r.Sim.Run_result.metrics.Sim.Metrics.timeline)
+  check_int "no intervals" 0 (List.length r.Sim.Run_result.trace)
 
 (* --------------------------- ablations ---------------------------- *)
 
@@ -204,6 +217,7 @@ let suite =
     Alcotest.test_case "edges: round trip" `Quick edge_list_roundtrip;
     Alcotest.test_case "edges: comments and weights" `Quick edge_list_comments_and_weights;
     Alcotest.test_case "gantt: renders" `Quick gantt_renders;
+    Alcotest.test_case "gantt: order independent" `Quick gantt_order_independent;
     Alcotest.test_case "timeline: recorded when asked" `Quick timeline_recorded;
     Alcotest.test_case "timeline: off by default" `Quick timeline_off_by_default;
     Alcotest.test_case "ablations: registry" `Quick ablation_registry;

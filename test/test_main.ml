@@ -8,6 +8,7 @@ let () =
       ("heartbeat", Test_heartbeat.suite);
       ("runtime", Test_runtime.suite);
       ("faults", Test_faults.suite);
+      ("trace", Test_trace.suite);
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
       ("semantics", Test_semantics.suite);

@@ -46,6 +46,7 @@ let run_result_helpers () =
       dnf = false;
       termination = Sim.Run_result.Finished;
       metrics = Sim.Metrics.create ();
+      trace = [];
     }
   in
   let base = mk 1000 1000 in

@@ -28,6 +28,19 @@ let with_fresh_journal ~path ~resume f =
       Experiments.Checkpoint.close j)
     (fun () -> f j)
 
+(* A representative captured trace: every payload-carrying event shape the
+   journal codec must round-trip. *)
+let sample_trace =
+  [
+    { Obs.Trace.seq = 0; time = 400; worker = 1; event = Obs.Trace.Chunk_update { key = 1; chunk = 8 } };
+    { Obs.Trace.seq = 1; time = 800; worker = 2; event = Obs.Trace.Chunk_update { key = 2; chunk = 16 } };
+    { Obs.Trace.seq = 2; time = 4_500; worker = 1; event = Obs.Trace.Mechanism_downgrade };
+    { Obs.Trace.seq = 3; time = 9_000; worker = 3; event = Obs.Trace.Mechanism_downgrade };
+    { Obs.Trace.seq = 4; time = 10_000; worker = 0; event = Obs.Trace.Fault_injected (Obs.Trace.Beat_delayed 250) };
+    { Obs.Trace.seq = 5; time = 12_000; worker = 0; event = Obs.Trace.Promotion { level = 1 } };
+    { Obs.Trace.seq = 6; time = 13_000; worker = 0; event = Obs.Trace.Interval { t0 = 11_000; kind = "task" } };
+  ]
+
 let sample_result () =
   let metrics = Sim.Metrics.create () in
   metrics.Sim.Metrics.heartbeats_generated <- 41;
@@ -35,8 +48,7 @@ let sample_result () =
   metrics.Sim.Metrics.promotions <- 7;
   metrics.Sim.Metrics.promotions_by_level.(2) <- 5;
   Sim.Metrics.add_overhead metrics "poll" 123;
-  metrics.Sim.Metrics.mechanism_downgrades <- [ (3, 9_000); (1, 4_500) ];
-  metrics.Sim.Metrics.chunk_trace <- [ (800, 2, 16); (400, 1, 8) ];
+  metrics.Sim.Metrics.downgrades <- 2;
   {
     Sim.Run_result.makespan = 123_456;
     work_cycles = 1_000_000;
@@ -44,6 +56,7 @@ let sample_result () =
     dnf = false;
     termination = Sim.Run_result.Budget_exceeded { budget = 200_000; at = 123_456 };
     metrics;
+    trace = sample_trace;
   }
 
 (* ---------------- journal codec round-trips ---------------- *)
@@ -78,10 +91,13 @@ let roundtrip_completed () =
           check_int "counter" 41 m.Sim.Metrics.heartbeats_generated;
           check_int "per-level promotions" 5 m.Sim.Metrics.promotions_by_level.(2);
           check_int "overhead kind" 123 (Sim.Metrics.overhead_of m "poll");
-          check_bool "downgrade log" true
-            (m.Sim.Metrics.mechanism_downgrades = [ (3, 9_000); (1, 4_500) ]);
-          check_bool "chunk trace" true
-            (m.Sim.Metrics.chunk_trace = [ (800, 2, 16); (400, 1, 8) ]))
+          check_int "downgrade counter" 2 (Sim.Metrics.downgrade_count m);
+          check_bool "trace round-trips exactly" true (r.Sim.Run_result.trace = sample_trace);
+          check_bool "downgrade events queryable" true
+            (Obs.Trace_query.downgrades r.Sim.Run_result.trace = [ (1, 4_500); (3, 9_000) ]);
+          check_bool "chunk updates queryable" true
+            (Obs.Trace_query.chunk_updates r.Sim.Run_result.trace
+            = [ (400, 1, 8); (800, 2, 16) ]))
 
 let roundtrip_failed () =
   let entry =
@@ -147,6 +163,7 @@ let counting_trial config ~tag calls =
         dnf = false;
         termination = Sim.Run_result.Finished;
         metrics = Sim.Metrics.create ();
+        trace = [];
       })
 
 let resume_skips_completed () =
@@ -193,6 +210,7 @@ let config_change_invalidates () =
                dnf = false;
                termination = Sim.Run_result.Finished;
                metrics = Sim.Metrics.create ();
+               trace = [];
              }));
       check_int "recomputed under new signature" 3 !calls);
   Sys.remove path
@@ -217,14 +235,16 @@ let budget_watchdog_times_out () =
 
 let engine_budget_is_structured () =
   (* the engine raises a structured Budget_exceeded (not a livelock) *)
-  let rt =
+  let request =
     Experiments.Harness.guarded
       { tiny with trial_budget = Some 200 }
-      { Hbc_core.Rt_config.default with workers = 4; seed = 1 }
+      Hbc_core.Run_request.default
   in
   let entry = Workloads.Registry.find "spmv-random" in
   let (Ir.Program.Any p) = entry.Workloads.Registry.make 0.05 in
-  match Hbc_core.Executor.run rt p with
+  match
+    Hbc_core.Executor.run ~request { Hbc_core.Rt_config.default with workers = 4; seed = 1 } p
+  with
   | r ->
       check_bool "terminated by budget" true
         (match r.Sim.Run_result.termination with
@@ -271,6 +291,7 @@ let transient_crash_retries_then_succeeds () =
       dnf = false;
       termination = Sim.Run_result.Finished;
       metrics = Sim.Metrics.create ();
+      trace = [];
     }
   in
   (match
@@ -310,6 +331,7 @@ let geomean_exclusion () =
           dnf = false;
           termination = Sim.Run_result.Finished;
           metrics = Sim.Metrics.create ();
+          trace = [];
         };
       speedup;
       valid = true;
@@ -333,6 +355,7 @@ let error_cells_render () =
       dnf = true;
       termination = Sim.Run_result.Dnf;
       metrics = Sim.Metrics.create ();
+      trace = [];
     }
   in
   let dnf_outcome =

@@ -112,7 +112,8 @@ let make_irregular ~rows ~max_size ~seed =
 let fingerprints_match ?(tol = 1e-9) a b =
   Sim.Run_result.fingerprints_close ~tol a b
 
-let run_hbc ?(cfg = Hbc_core.Rt_config.default) p = Hbc_core.Executor.run cfg p
+let run_hbc ?(cfg = Hbc_core.Rt_config.default) ?request p =
+  Hbc_core.Executor.run ?request cfg p
 
 (* --------------------- executor vs sequential --------------------- *)
 
@@ -235,7 +236,7 @@ let inner_loop_promoted_when_outer_exhausted () =
 
 let dnf_cap_enforced () =
   let p = make_irregular ~rows:3_000 ~max_size:30 ~seed:8 in
-  let r = run_hbc ~cfg:{ Hbc_core.Rt_config.default with max_cycles = Some 1_000 } p in
+  let r = run_hbc ~request:(Hbc_core.Run_request.make ~max_cycles:1_000 ()) p in
   check_bool "flagged dnf" true r.Sim.Run_result.dnf
 
 let heartbeats_detected_polling () =
