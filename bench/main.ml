@@ -1,5 +1,12 @@
 (* Benchmark harness.
 
+   Report mode — `main.exe --report PATH [--label L]` runs the deterministic
+   perf-gate suite (Benchgate.Suite: micro probes over the runtime
+   primitives and hot paths, one tiny-scale macro probe per figure family)
+   and writes a machine-readable Benchgate.Report JSON; CI diffs it against
+   bench/baseline.json with `hbc_repro bench-diff`. Nothing else runs in
+   this mode.
+
    Part 1 — bechamel micro-benchmarks of the runtime primitives whose costs
    the simulator's cost model abstracts (deque operations, polls/AC, the
    perfect-hash leftover table, the rollforward compiler, the compilation
@@ -164,7 +171,43 @@ let run_bechamel tests =
         results)
     tests
 
+(* --report PATH [--label L] [--note K=V]...: emit the perf-gate report
+   and exit. *)
+let flag_value name =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let flag_values name =
+  let rec collect i acc =
+    if i + 1 >= Array.length Sys.argv then List.rev acc
+    else if Sys.argv.(i) = name then collect (i + 2) (Sys.argv.(i + 1) :: acc)
+    else collect (i + 1) acc
+  in
+  collect 1 []
+
+let report_mode path =
+  let label = Option.value (flag_value "--label") ~default:"dev" in
+  let notes =
+    List.map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | Some i -> (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+        | None -> (kv, ""))
+      (flag_values "--note")
+  in
+  let report = Benchgate.Suite.report ~notes ~label () in
+  Benchgate.Report.write_file path report;
+  Printf.printf "benchgate: wrote %d probes (label %s) to %s\n" (List.length report.Benchgate.Report.probes)
+    label path
+
 let () =
+  match flag_value "--report" with
+  | Some path -> report_mode path
+  | None ->
   let scale =
     match Sys.getenv_opt "HBC_BENCH_SCALE" with Some s -> float_of_string s | None -> 1.0
   in

@@ -503,11 +503,59 @@ let trace_lint_cmd =
   in
   Cmd.v (Cmd.info "trace-lint" ~doc) Term.(const run $ path_arg)
 
+let bench_diff_cmd =
+  let doc =
+    "Compare two perf-gate reports (written by $(b,bench/main.exe --report)). Deterministic \
+     metrics (virtual cycles, scheduler counters, allocation words) that regressed past the \
+     threshold hard-fail (exit 1); wall-time drift and metric-set skew (probes present on only \
+     one side) warn but exit 0. Prints a per-metric delta table."
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline report JSON (e.g. bench/baseline.json).")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc:"Candidate report JSON.")
+  in
+  let threshold_arg =
+    let doc = "Hard-fail threshold for deterministic metrics (relative; 0.02 = 2%)." in
+    Arg.(value & opt float 0.02 & info [ "threshold" ] ~docv:"T" ~doc)
+  in
+  let adv_threshold_arg =
+    let doc = "Warn threshold for advisory metrics such as wall time (relative)." in
+    Arg.(value & opt float 0.25 & info [ "adv-threshold" ] ~docv:"T" ~doc)
+  in
+  let read_report path =
+    match Benchgate.Report.read_file path with
+    | r -> r
+    | exception Sys_error msg ->
+        Printf.eprintf "bench-diff: cannot read %s: %s\n" path msg;
+        exit 2
+    | exception Obs.Json.Parse_error msg ->
+        Printf.eprintf "bench-diff: %s is not valid JSON: %s\n" path msg;
+        exit 2
+    | exception Benchgate.Report.Malformed msg ->
+        Printf.eprintf "bench-diff: %s is not a benchmark report: %s\n" path msg;
+        exit 2
+  in
+  let run old_path new_path threshold adv_threshold =
+    let old = read_report old_path in
+    let new_ = read_report new_path in
+    let lines, verdict = Benchgate.Diff.compare ~threshold ~adv_threshold ~old ~new_ () in
+    print_string (Benchgate.Diff.render ~threshold ~old ~new_ lines verdict);
+    exit (Benchgate.Diff.exit_code verdict)
+  in
+  Cmd.v
+    (Cmd.info "bench-diff" ~doc)
+    Term.(const run $ old_arg $ new_arg $ threshold_arg $ adv_threshold_arg)
+
 let () =
   let doc = "Reproduction harness for 'Compiling Loop-Based Nested Parallelism for Irregular Workloads' (ASPLOS'24)" in
   let info = Cmd.info "hbc_repro" ~doc in
   let cmds =
-    [ all_cmd; list_cmd; run_cmd; asm_cmd; ablation_cmd; timeline_cmd; trace_lint_cmd ]
+    [ all_cmd; list_cmd; run_cmd; asm_cmd; ablation_cmd; timeline_cmd; trace_lint_cmd; bench_diff_cmd ]
     @ List.map fig_cmd Experiments.Run_all.figures
   in
   exit (Cmd.eval (Cmd.group info cmds))

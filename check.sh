@@ -1,24 +1,46 @@
 #!/usr/bin/env bash
 # Repo health check: build, full test suite, a tiny-scale smoke run of the
 # fault-injection sweep (exits non-zero on any output-validation failure),
-# and a kill-and-resume exercise of the campaign journal.
+# a perf-gate report + bench-diff smoke, and (unless skipped) a
+# kill-and-resume exercise of the campaign journal.
+#
+# Environment knobs:
+#   TMPDIR                  scratch directory (default /tmp)
+#   HBC_CHECK_SKIP_RESUME=1 skip the kill -9 resume test (needs job control
+#                           and a POSIX kill; skip on minimal CI shells)
 set -euo pipefail
 cd "$(dirname "$0")"
 
+TMP="${TMPDIR:-/tmp}"
+
 dune build
 dune runtest
+
 dune exec bin/hbc_repro.exe -- fault-sweep --scale 0.04 --workers 8
 
 # --- trace export smoke test: run one benchmark with --trace, then lint the
 # exported Chrome trace JSON (parses, >=1 promotion, >=1 steal event) ---
 REPRO=_build/default/bin/hbc_repro.exe
-T=$(mktemp /tmp/hbc-trace.XXXXXX.json)
+T=$(mktemp "$TMP/hbc-trace.XXXXXX.json")
 "$REPRO" run spmv-powerlaw --scale 0.05 --workers 8 --trace "$T" > /dev/null
 "$REPRO" trace-lint "$T"
 rm -f "$T"
 
+# --- perf-gate smoke test: emit a fresh report and diff it against the
+# committed baseline; deterministic regressions exit non-zero here exactly
+# as they do in CI ---
+B=$(mktemp "$TMP/hbc-bench.XXXXXX.json")
+dune exec bench/main.exe -- --report "$B" --label check > /dev/null
+"$REPRO" bench-diff bench/baseline.json "$B"
+rm -f "$B"
+
 # --- checkpoint/resume smoke test: seed a journal, kill a campaign, resume ---
-J=$(mktemp /tmp/hbc-journal.XXXXXX.jsonl)
+if [ "${HBC_CHECK_SKIP_RESUME:-0}" = "1" ]; then
+    echo "check.sh: skipping kill-and-resume test (HBC_CHECK_SKIP_RESUME=1)"
+    exit 0
+fi
+
+J=$(mktemp "$TMP/hbc-journal.XXXXXX.jsonl")
 trap 'rm -f "$J"' EXIT
 
 # Seed the journal with one figure's trials.
@@ -30,11 +52,16 @@ if [ "$SEEDED" -eq 0 ]; then
 fi
 
 # Start a full campaign resuming from it, then kill it mid-flight (a crash,
-# not a clean shutdown: resume must cope with whatever is on disk).
+# not a clean shutdown: resume must cope with whatever is on disk). The kill
+# is guarded by a watchdog so a wedged campaign cannot hang the check.
 "$REPRO" all --resume --journal "$J" --scale 0.02 --workers 8 > /dev/null 2>&1 &
 PID=$!
 sleep 3
 kill -9 "$PID" 2>/dev/null || true
+for _ in $(seq 1 20); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.5
+done
 wait "$PID" 2>/dev/null || true
 KILLED=$(wc -l < "$J")
 

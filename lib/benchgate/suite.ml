@@ -1,0 +1,181 @@
+let tiny_scale = 0.03
+
+let tiny_workers = 8
+
+let seed = 1
+
+(* --------------------------- micro probes ------------------------- *)
+
+let micro_deque () =
+  Probe.run ~name:"micro/deque" (fun ctx ->
+      let d = Sim.Deque.create () in
+      let rounds = 4096 in
+      for _ = 1 to rounds do
+        for i = 0 to 7 do
+          Sim.Deque.push_bottom d i
+        done;
+        for _ = 1 to 4 do
+          ignore (Sim.Deque.pop_bottom d)
+        done;
+        for _ = 1 to 4 do
+          ignore (Sim.Deque.steal d)
+        done
+      done;
+      Probe.deti ctx "ops" (rounds * 16))
+
+let micro_rng () =
+  Probe.run ~name:"micro/rng-zipf" (fun ctx ->
+      let r = Sim.Sim_rng.create seed in
+      let draws = 16384 in
+      for _ = 1 to draws do
+        ignore (Sim.Sim_rng.zipf r ~alpha:1.4 ~n:1000)
+      done;
+      Probe.deti ctx "draws" draws)
+
+let micro_perfect_hash () =
+  Probe.run ~name:"micro/perfect-hash" (fun ctx ->
+      let keys = List.init 24 (fun i -> (i, i / 2)) in
+      let t = Hbc_core.Perfect_hash.build keys in
+      let lookups = 16384 in
+      for i = 1 to lookups do
+        ignore (Hbc_core.Perfect_hash.lookup t (i mod 24, i mod 12))
+      done;
+      Probe.deti ctx "lookups" lookups)
+
+let micro_adaptive_chunking () =
+  Probe.run ~name:"micro/adaptive-chunking" (fun ctx ->
+      let ac = Hbc_core.Adaptive_chunking.create ~target_polls:8 ~window:4 () in
+      let beats = 2048 in
+      for _ = 1 to beats do
+        for _ = 1 to 8 do
+          Hbc_core.Adaptive_chunking.on_poll ac
+        done;
+        ignore (Hbc_core.Adaptive_chunking.on_heartbeat ac)
+      done;
+      Probe.deti ctx "beats" beats)
+
+(* The executor's fast path: every runtime event goes through a tee of the
+   counting sink and the request's sink, which for an untraced run is
+   [null]. This probe emits the exact event mix of a promotion-heavy run
+   into that tee: its allocation words are the per-event cost of
+   observability when nobody is recording. *)
+let micro_trace_emission () =
+  Probe.run ~name:"micro/trace-null-emission" (fun ctx ->
+      let m = Sim.Metrics.create () in
+      let sink = Obs.Trace.Sink.tee (Sim.Metrics.counting_sink m) Obs.Trace.Sink.null in
+      let rounds = 4096 in
+      for i = 1 to rounds do
+        Obs.Trace.Sink.emit sink ~time:i ~worker:(i land 7) Obs.Trace.Poll;
+        Obs.Trace.Sink.emit sink ~time:i ~worker:(i land 7) Obs.Trace.Steal_attempt;
+        Obs.Trace.Sink.emit sink ~time:i ~worker:(i land 7) (Obs.Trace.promotion (i land 3));
+        Obs.Trace.Sink.emit sink ~time:i ~worker:(i land 7) Obs.Trace.Heartbeat_generated
+      done;
+      Probe.deti ctx "events" (rounds * 4);
+      Probe.deti ctx "counted_promotions" m.Sim.Metrics.promotions)
+
+(* The engine's dispatch loop: workers ticking their clocks plus one
+   recurring timer, i.e. the event pattern every simulated run is made of.
+   [events_processed] and the makespan pin the dispatch behavior; the
+   allocation words price one event. *)
+let micro_engine_dispatch () =
+  Probe.run ~name:"micro/engine-dispatch" (fun ctx ->
+      let eng = Sim.Engine.create ~seed ~num_workers:4 () in
+      let ticks = ref 0 in
+      let cancel = Sim.Engine.every eng ~start:16 ~interval:16 (fun () -> incr ticks) in
+      Sim.Engine.run eng (fun _w ->
+          for _ = 1 to 2048 do
+            Sim.Engine.advance eng 3
+          done);
+      cancel ();
+      Probe.deti ctx "events_processed" (Sim.Engine.events_processed eng);
+      Probe.deti ctx "makespan_cycles" (Sim.Engine.max_time eng);
+      Probe.deti ctx "timer_ticks" !ticks)
+
+let micro () =
+  [
+    micro_deque ();
+    micro_rng ();
+    micro_perfect_hash ();
+    micro_adaptive_chunking ();
+    micro_trace_emission ();
+    micro_engine_dispatch ();
+  ]
+
+(* --------------------------- macro probes ------------------------- *)
+
+let result_metrics ctx (r : Sim.Run_result.t) =
+  let m = r.Sim.Run_result.metrics in
+  Probe.deti ctx "makespan_cycles" r.Sim.Run_result.makespan;
+  Probe.deti ctx "work_cycles" r.Sim.Run_result.work_cycles;
+  Probe.deti ctx "overhead_cycles" m.Sim.Metrics.overhead_cycles;
+  Probe.deti ctx "promotions" m.Sim.Metrics.promotions;
+  Probe.deti ctx "tasks_spawned" m.Sim.Metrics.tasks_spawned;
+  Probe.deti ctx "steals" m.Sim.Metrics.steals;
+  Probe.deti ctx "steal_attempts" m.Sim.Metrics.steal_attempts;
+  Probe.deti ctx "polls" m.Sim.Metrics.polls;
+  Probe.deti ctx "heartbeats_detected" m.Sim.Metrics.heartbeats_detected
+
+(* Macro bodies run the effect-handler executor, whose fiber machinery
+   allocates nondeterministically (see Probe): alloc words advisory. *)
+let hbc_probe ~name ?(cfg = fun c -> c) bench =
+  Probe.run ~name ~det_alloc:false (fun ctx ->
+      let entry = Workloads.Registry.find bench in
+      let rt =
+        { (cfg Hbc_core.Rt_config.default) with Hbc_core.Rt_config.workers = tiny_workers; seed }
+      in
+      let (Ir.Program.Any p) = entry.Workloads.Registry.make tiny_scale in
+      result_metrics ctx (Hbc_core.Executor.run rt p))
+
+let omp_probe ~name ~schedule bench =
+  Probe.run ~name ~det_alloc:false (fun ctx ->
+      let entry = Workloads.Registry.find bench in
+      let oc =
+        { (Baselines.Openmp.dynamic ()) with Baselines.Openmp.workers = tiny_workers; seed; schedule }
+      in
+      let (Ir.Program.Any p) = entry.Workloads.Registry.make tiny_scale in
+      result_metrics ctx (Baselines.Openmp.run_program oc p))
+
+let macro () =
+  [
+    (* Figs. 4-5: nested parallelism on the irregular suite. *)
+    hbc_probe ~name:"macro/fig4-5/spmv-powerlaw-hbc" "spmv-powerlaw";
+    (* Figs. 6-7: the TPAL runtime (static chunks, ping thread, inline
+       leftover) on its own suite. *)
+    hbc_probe ~name:"macro/fig6-7/plus-reduce-array-tpal"
+      ~cfg:(fun _ ->
+        Hbc_core.Rt_config.tpal
+          ~chunk:(Workloads.Registry.find "plus-reduce-array").Workloads.Registry.tpal_chunk)
+      "plus-reduce-array";
+    (* Figs. 8, 10, 11: chunking mechanisms under software polling. *)
+    hbc_probe ~name:"macro/fig8-10-11/mandelbrot-static-chunk"
+      ~cfg:(fun c ->
+        {
+          c with
+          Hbc_core.Rt_config.chunk =
+            Hbc_core.Compiled.Static (Workloads.Registry.find "mandelbrot").Workloads.Registry.tpal_chunk;
+        })
+      "mandelbrot";
+    (* Fig. 9: interrupt-based signaling (kernel-module broadcast). *)
+    hbc_probe ~name:"macro/fig9/spmv-arrowhead-kernel-module"
+      ~cfg:(fun c ->
+        { c with Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_kernel_module })
+      "spmv-arrowhead";
+    (* Figs. 12-13: adaptive chunking (the default HBC configuration). *)
+    hbc_probe ~name:"macro/fig12-13/kmeans-adaptive" "kmeans";
+    (* Figs. 14-15: the hand-written irregular graph kernels. *)
+    hbc_probe ~name:"macro/fig14-15/bfs-hbc" "bfs";
+    (* Fig. 16: regular workloads against OpenMP static. *)
+    omp_probe ~name:"macro/fig16/srad-omp-static" ~schedule:Baselines.Openmp.Static "srad";
+  ]
+
+let all () = micro () @ macro ()
+
+let report ?(notes = []) ~label () =
+  let provenance =
+    [
+      ("suite_scale", Printf.sprintf "%.3f" tiny_scale);
+      ("suite_workers", string_of_int tiny_workers);
+      ("suite_seed", string_of_int seed);
+    ]
+  in
+  Report.make ~notes:(notes @ provenance) ~label (all ())

@@ -1,0 +1,26 @@
+(** The repo's standard perf-gate suite.
+
+    Micro probes cover the runtime primitives whose costs the cost model
+    abstracts (deque, rng, perfect-hash leftover table, adaptive chunking)
+    plus the two measured hot paths of the simulator itself (trace emission
+    into the null-sink fast path, the engine's event-dispatch loop). Macro
+    probes run one tiny-scale simulation per figure family of the paper's
+    evaluation and record its deterministic scheduler counters.
+
+    Probe names are stable identifiers: [bench/baseline.json] is keyed on
+    them, so renaming one shows up as metric-set skew (warn), not silently
+    as a pass. *)
+
+val tiny_scale : float
+
+val tiny_workers : int
+
+val micro : unit -> Report.probe list
+
+val macro : unit -> Report.probe list
+
+val all : unit -> Report.probe list
+(** [micro () @ macro ()]. *)
+
+val report : ?notes:(string * string) list -> label:string -> unit -> Report.t
+(** Run the full suite; scale/workers provenance is merged into [notes]. *)

@@ -503,7 +503,7 @@ and promote :
   | None -> None
   | Some tgt ->
       let tinfo = c.nest.Compiled.infos.(tgt) in
-      emit st (Obs.Trace.Promotion { level = tinfo.Compiled.depth });
+      emit st (Obs.Trace.promotion tinfo.Compiled.depth);
       overhead st "promotion" (cm st).Sim.Cost_model.promotion_handler_cost;
       let tctx = ctxs.(tgt) in
       let rem_lo = tctx.Ir.Ctx.lo + 1 and rem_hi = tctx.Ir.Ctx.hi in

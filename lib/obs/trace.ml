@@ -22,6 +22,14 @@ type event =
 
 type record = { seq : int; time : int; worker : int; event : event }
 
+(* Promotion levels are tiny (loop-nest depth) and events are immutable,
+   so every emission of a small level shares one preallocated value
+   instead of allocating a fresh [Promotion] block on the hot path. *)
+let promotion_cache = Array.init 8 (fun level -> Promotion { level })
+
+let promotion level =
+  if level >= 0 && level < 8 then promotion_cache.(level) else Promotion { level }
+
 let event_name = function
   | Heartbeat_generated -> "heartbeat-generated"
   | Heartbeat_detected -> "heartbeat-detected"

@@ -49,6 +49,11 @@ type event =
 
 type record = { seq : int; time : int; worker : int; event : event }
 
+val promotion : int -> event
+(** [promotion level = Promotion { level }], but sharing a preallocated
+    value for the small levels every real nest uses: emitting a promotion
+    into any sink is allocation-free on the hot path. *)
+
 val event_name : event -> string
 (** Stable short name ("promotion", "steal-success", ...), used by the
     Perfetto exporter and the trace codec. *)

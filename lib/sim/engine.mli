@@ -88,3 +88,7 @@ val run : t -> (int -> unit) -> unit
 val max_time : t -> int
 (** Largest virtual clock reached across workers (the makespan after
     {!run} returns). *)
+
+val events_processed : t -> int
+(** Total events (resumes and callbacks) dispatched so far: a deterministic
+    load figure for the perf-gate's engine probe. *)

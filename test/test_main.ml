@@ -18,4 +18,5 @@ let () =
       ("report", Test_report.suite);
       ("experiments", Test_experiments.suite);
       ("resilience", Test_resilience.suite);
+      ("benchgate", Test_benchgate.suite);
     ]
