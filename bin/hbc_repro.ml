@@ -192,7 +192,15 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
   in
-  let run config bench executor fault_plan trace_path journal =
+  let sanitize_arg =
+    let doc =
+      "Run under the online scheduler sanitizer: every trace event is checked against the work \
+       conservation, deque discipline, promotion policy, chunk-rule, and clock invariants; a \
+       one-line verdict is printed and a non-zero exit reports violations."
+    in
+    Arg.(value & flag & info [ "sanitize" ] ~doc)
+  in
+  let run config bench executor fault_plan trace_path sanitize journal =
     with_journal journal @@ fun () ->
     let entry =
       try Workloads.Registry.find bench
@@ -201,14 +209,24 @@ let run_cmd =
         exit 1
     in
     let base = Experiments.Harness.baseline config entry in
-    let request =
-      Hbc_core.Run_request.make ?fault_plan
-        ?trace:(Option.map (fun _ -> Obs.Trace.Sink.stream ()) trace_path)
-        ()
+    let san =
+      if sanitize then
+        Some (Sanitizer.Checker.create (Sanitizer.Checker.config_of_rt Hbc_core.Rt_config.default))
+      else None
     in
+    (* The sanitizer sink tees with a capture sink when --trace is also
+       given: checking costs no virtual time and drops no events. *)
+    let sink =
+      match (san, Option.map (fun _ -> Obs.Trace.Sink.stream ()) trace_path) with
+      | None, s -> s
+      | Some sa, None -> Some (Sanitizer.Checker.sink sa)
+      | Some sa, Some s -> Some (Obs.Trace.Sink.tee (Sanitizer.Checker.sink sa) s)
+    in
+    let request = Hbc_core.Run_request.make ?fault_plan ?trace:sink ~sanitize () in
     let tag_of t =
       let t = if fault_plan = None then t else t ^ "+faults" in
-      if trace_path = None then t else t ^ "+trace"
+      let t = if trace_path = None then t else t ^ "+trace" in
+      if sanitize then t ^ "+sanitize" else t
     in
     let outcome =
       match executor with
@@ -301,13 +319,29 @@ let run_cmd =
     | Some e ->
         Printf.printf "trial error      : %s\n" (Experiments.Trial_error.to_string e)
     | None -> ());
-    if r.Sim.Run_result.dnf then print_endline "run DID NOT FINISH (virtual-time cap)"
+    if r.Sim.Run_result.dnf then print_endline "run DID NOT FINISH (virtual-time cap)";
+    match san with
+    | None -> ()
+    | Some sa ->
+        Sanitizer.Checker.finish sa;
+        let verdict = Sanitizer.Checker.summary sa in
+        r.Sim.Run_result.sanitizer <- Some verdict;
+        Printf.printf "sanitizer        : %s\n" verdict;
+        if not (Sanitizer.Checker.ok sa) then begin
+          List.iter
+            (fun (v : Sanitizer.Checker.violation) ->
+              Printf.eprintf "  [%s] t=%d w=%d %s\n"
+                (Sanitizer.Checker.invariant_name v.Sanitizer.Checker.invariant)
+                v.Sanitizer.Checker.time v.Sanitizer.Checker.worker v.Sanitizer.Checker.message)
+            (Sanitizer.Checker.violations sa);
+          exit 3
+        end
   in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
       const run $ config_term $ bench_arg $ exec_arg $ fault_plan_term $ trace_arg
-      $ journal_term)
+      $ sanitize_arg $ journal_term)
 
 let asm_cmd =
   let doc =
@@ -551,11 +585,180 @@ let bench_diff_cmd =
     (Cmd.info "bench-diff" ~doc)
     Term.(const run $ old_arg $ new_arg $ threshold_arg $ adv_threshold_arg)
 
+let fuzz_cmd =
+  let doc =
+    "Adversarial schedule fuzzing: run seed-deterministic random cases (workload x runtime knobs \
+     x fault plan) under the scheduler sanitizer, differentially checked against the sequential \
+     reference. A failing case is shrunk to a minimal JSON repro (replay it with \
+     $(b,--replay)). $(b,--force-fail) seeds a known scheduler bug to exercise the whole \
+     catch/shrink/replay pipeline."
+  in
+  let smoke_arg =
+    let doc = "Fixed-seed quick sweep for CI: a small case count with a pinned seed." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let fseed_arg =
+    let doc = "Campaign seed: equal seeds generate equal case lists." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let cases_arg =
+    let doc = "Number of generated cases to run." in
+    Arg.(value & opt int 25 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-run the case in this repro file and check it reproduces the recorded failure class \
+       (exit 0 when it does, 1 when it does not)."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Where to write the shrunk repro case when a run fails." in
+    Arg.(value & opt string "fuzz-repro.json" & info [ "out" ] ~docv:"PATH" ~doc)
+  in
+  let force_arg =
+    let doc =
+      "Seed a known scheduler bug (duplicate-leftover, lose-stolen-task, or promote-innermost) \
+       into a fixed case; the fuzzer must catch, shrink, and write a repro for it (exit 1)."
+    in
+    Arg.(value & opt (some string) None & info [ "force-fail" ] ~docv:"BUG" ~doc)
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents)
+  in
+  let read_file path =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Printf.eprintf "fuzz: cannot read %s: %s\n" path msg;
+      exit 2
+  in
+  (* Deterministic forced-failure case: small nested workload, all knobs at
+     their defaults, so each seeded bug maps to one stable failure class. *)
+  let forced_case bug =
+    {
+      Sanitizer.Fuzz.seed = 99;
+      workload = "spmv-powerlaw";
+      scale = 0.03;
+      workers = 4;
+      mechanism = Hbc_core.Rt_config.Software_polling;
+      chunk = Hbc_core.Compiled.Adaptive;
+      policy = Hbc_core.Rt_config.Outer_loop_first;
+      leftover = Hbc_core.Rt_config.Spawn;
+      chunk_transferring = true;
+      ac_target_polls = 8;
+      ac_window = 8;
+      plan = Sim.Fault_plan.none;
+      bug = Some bug;
+    }
+  in
+  let fail_and_shrink out c f =
+    let kind = Sanitizer.Fuzz.failure_kind f in
+    Printf.printf "FAIL [%s] %s\n" kind (Sanitizer.Fuzz.failure_describe f);
+    let shrunk, spent = Sanitizer.Fuzz.shrink c ~kind in
+    write_file out
+      (Obs.Json.to_string
+         (Sanitizer.Fuzz.repro_to_json shrunk ~kind
+            ~summary:(Sanitizer.Fuzz.failure_describe f))
+      ^ "\n");
+    Printf.printf "minimized after %d shrink run(s): %s scale=%.4f P=%d faults=%s\n" spent
+      shrunk.Sanitizer.Fuzz.workload shrunk.Sanitizer.Fuzz.scale shrunk.Sanitizer.Fuzz.workers
+      (if Sim.Fault_plan.is_zero shrunk.Sanitizer.Fuzz.plan then "none" else "yes");
+    Printf.printf "repro written to %s (replay: hbc_repro fuzz --replay %s)\n" out out;
+    exit 1
+  in
+  let run smoke fseed cases replay out force =
+    match replay with
+    | Some path -> (
+        let j =
+          match Obs.Json.parse (read_file path) with
+          | j -> j
+          | exception Obs.Json.Parse_error msg ->
+              Printf.eprintf "fuzz: %s is not valid JSON: %s\n" path msg;
+              exit 2
+        in
+        match Sanitizer.Fuzz.repro_of_json j with
+        | Error e ->
+            Printf.eprintf "fuzz: %s is not a repro file: %s\n" path e;
+            exit 2
+        | Ok (case, expect) ->
+            let o = Sanitizer.Fuzz.run_case case in
+            let got =
+              match o.Sanitizer.Fuzz.failure with
+              | Some f -> Sanitizer.Fuzz.failure_kind f
+              | None -> "none"
+            in
+            Printf.printf "replay %s: expect=%s got=%s\n" path expect got;
+            (match o.Sanitizer.Fuzz.failure with
+            | Some f -> Printf.printf "  %s\n" (Sanitizer.Fuzz.failure_describe f)
+            | None -> Printf.printf "  %s\n" o.Sanitizer.Fuzz.sanitizer_summary);
+            if got = expect then begin
+              print_endline "failure class REPRODUCED";
+              exit 0
+            end
+            else begin
+              print_endline "failure class NOT reproduced";
+              exit 1
+            end)
+    | None -> (
+        match force with
+        | Some bugname -> (
+            match Sanitizer.Fuzz.bug_of_string bugname with
+            | Error e ->
+                Printf.eprintf "fuzz: %s\n" e;
+                exit 2
+            | Ok bug -> (
+                let c = forced_case bug in
+                let o = Sanitizer.Fuzz.run_case c in
+                match o.Sanitizer.Fuzz.failure with
+                | Some f -> fail_and_shrink out c f
+                | None ->
+                    Printf.eprintf
+                      "fuzz: forced bug %s was NOT caught — the sanitizer pipeline is broken\n"
+                      bugname;
+                    exit 2))
+        | None ->
+            let fseed = if smoke then 2026 else fseed in
+            let cases = if smoke then 8 else cases in
+            let rng = Sim.Sim_rng.create fseed in
+            for i = 1 to cases do
+              let c = Sanitizer.Fuzz.gen rng in
+              let o = Sanitizer.Fuzz.run_case c in
+              (match o.Sanitizer.Fuzz.failure with
+              | Some f -> fail_and_shrink out c f
+              | None -> ());
+              Printf.printf "case %2d/%d %-18s P=%-2d ok (%s)\n%!" i cases
+                c.Sanitizer.Fuzz.workload c.Sanitizer.Fuzz.workers
+                o.Sanitizer.Fuzz.sanitizer_summary
+            done;
+            Printf.printf "fuzz: %d case(s), 0 failures (seed %d)\n" cases fseed)
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ smoke_arg $ fseed_arg $ cases_arg $ replay_arg $ out_arg $ force_arg)
+
 let () =
   let doc = "Reproduction harness for 'Compiling Loop-Based Nested Parallelism for Irregular Workloads' (ASPLOS'24)" in
   let info = Cmd.info "hbc_repro" ~doc in
   let cmds =
-    [ all_cmd; list_cmd; run_cmd; asm_cmd; ablation_cmd; timeline_cmd; trace_lint_cmd; bench_diff_cmd ]
+    [
+      all_cmd;
+      list_cmd;
+      run_cmd;
+      asm_cmd;
+      ablation_cmd;
+      timeline_cmd;
+      trace_lint_cmd;
+      bench_diff_cmd;
+      fuzz_cmd;
+    ]
     @ List.map fig_cmd Experiments.Run_all.figures
   in
   exit (Cmd.eval (Cmd.group info cmds))

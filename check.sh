@@ -26,6 +26,23 @@ T=$(mktemp "$TMP/hbc-trace.XXXXXX.json")
 "$REPRO" trace-lint "$T"
 rm -f "$T"
 
+# --- sanitizer & fuzz smoke test: a sanitized run must report zero
+# violations; the fixed-seed fuzz sweep must pass; a forced seeded bug must
+# be caught (exit 1), shrunk to a JSON repro, and the repro must replay to
+# the same failure class ---
+"$REPRO" run spmv-powerlaw --scale 0.05 --workers 8 --sanitize > /dev/null
+"$REPRO" fuzz --smoke > /dev/null
+F=$(mktemp "$TMP/hbc-fuzz.XXXXXX.json")
+rc=0
+"$REPRO" fuzz --force-fail duplicate-leftover --out "$F" > /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "check.sh: forced seeded bug was not caught (exit $rc)" >&2
+    exit 1
+fi
+"$REPRO" fuzz --replay "$F" > /dev/null
+rm -f "$F"
+echo "check.sh: sanitizer + fuzz smoke OK"
+
 # --- perf-gate smoke test: emit a fresh report and diff it against the
 # committed baseline; deterministic regressions exit non-zero here exactly
 # as they do in CI ---

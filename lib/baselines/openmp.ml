@@ -323,4 +323,5 @@ let run_program ?(request = Hbc_core.Run_request.default) cfg (prog : _ Ir.Progr
     termination = !termination;
     metrics;
     trace = Obs.Trace.Sink.captured request.Hbc_core.Run_request.trace;
+    sanitizer = None;
   }

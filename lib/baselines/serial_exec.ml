@@ -44,4 +44,5 @@ let run_program ?request:_ (p : _ Ir.Program.t) =
     termination = Sim.Run_result.Finished;
     metrics = Sim.Metrics.create ();
     trace = [];
+    sanitizer = None;
   }

@@ -15,16 +15,36 @@ let chunk_size t = t.chunk
 
 let on_poll t = t.polls <- t.polls + 1
 
+type decision = { old_chunk : int; new_chunk : int; min_polls : int }
+
+(* The window is full: commit the update rule, reset the window, and return
+   the window minimum (the rule's other input, for observability). *)
+let close_window t =
+  let minimum = List.fold_left Stdlib.min max_int t.log in
+  t.log <- [];
+  let ratio = Float.of_int minimum /. Float.of_int t.target in
+  t.chunk <- Stdlib.max 1 (int_of_float (Float.round (Float.of_int t.chunk *. ratio)));
+  minimum
+
+(* Hot path: allocates nothing beyond the returned [Some] (the sanitizer's
+   {!decision} record is only built by {!on_heartbeat_full}, which callers
+   reserve for trace-capturing runs). *)
 let on_heartbeat t =
   t.log <- t.polls :: t.log;
   t.polls <- 0;
   if List.length t.log >= t.window then begin
-    let minimum = List.fold_left Stdlib.min max_int t.log in
-    t.log <- [];
-    let ratio = Float.of_int minimum /. Float.of_int t.target in
-    let chunk = Stdlib.max 1 (int_of_float (Float.round (Float.of_int t.chunk *. ratio))) in
-    t.chunk <- chunk;
-    Some chunk
+    ignore (close_window t : int);
+    Some t.chunk
+  end
+  else None
+
+let on_heartbeat_full t =
+  let old_chunk = t.chunk in
+  t.log <- t.polls :: t.log;
+  t.polls <- 0;
+  if List.length t.log >= t.window then begin
+    let min_polls = close_window t in
+    Some { old_chunk; new_chunk = t.chunk; min_polls }
   end
   else None
 

@@ -24,6 +24,14 @@ val on_heartbeat : t -> int option
     completed a window and the chunk size was recomputed (even if unchanged
     in value). *)
 
+type decision = { old_chunk : int; new_chunk : int; min_polls : int }
+(** One committed recomputation: [new_chunk = max 1 (round (old_chunk *
+    min_polls / target))]. The sanitizer replays this rule against traced
+    decisions to validate chunk-size transitions. *)
+
+val on_heartbeat_full : t -> decision option
+(** Like {!on_heartbeat}, but exposing the inputs of the update rule. *)
+
 val polls_since_heartbeat : t -> int
 
 val intervals_logged : t -> int

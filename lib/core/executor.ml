@@ -6,7 +6,21 @@ type status = Done | Promoted of int
 
 type seg_result = Seg_ok | Seg_promoted of int
 
-type task = { run : unit -> unit }
+(* [id] is a per-run serial used only by trace deque/lifecycle events; 0
+   for every task of an uncaptured run. *)
+type task = { id : int; run : unit -> unit }
+
+(* Deliberately plantable scheduler bugs, exercised by the sanitizer tests
+   and the fuzzer's forced-failure mode. Testing hook: never armed in
+   normal operation. *)
+type seeded_bug =
+  | Duplicate_leftover  (* push the leftover task twice on promotion *)
+  | Lose_stolen_task  (* drop one successfully stolen task on the floor *)
+  | Promote_innermost  (* invert the promotion policy's target choice *)
+
+let seeded_bug : seeded_bug option ref = ref None
+
+let set_seeded_bug b = seeded_bug := b
 
 type join = { mutable pending : int; owner : int }
 
@@ -31,6 +45,10 @@ type run_state = {
   depth : int array;  (* task-nesting depth per worker, drives the busy flag *)
   steal_fails : int array;  (* consecutive dry steal rounds, drives backoff *)
   mutable finished : bool;
+  mutable next_task_id : int;  (* trace-only task serial (captured runs) *)
+  mutable exec_epoch : int;  (* bumped per exec_nest call, part of slice keys *)
+  bug : seeded_bug option;  (* armed seeded scheduler bug (tests/fuzzer) *)
+  mutable bug_fired : bool;  (* one-shot bugs fire at most once per run *)
 }
 
 type 'e nest_handle = { st : run_state; nest : 'e Compiled.nest; nest_id : int; env : 'e }
@@ -111,10 +129,15 @@ let wake_one (st : run_state) =
   in
   find 0
 
+let mk_task (st : run_state) run =
+  st.next_task_id <- st.next_task_id + 1;
+  { id = st.next_task_id; run }
+
 let push_task (st : run_state) task =
   Sim.Deque.push_bottom st.deques.(wid st) task;
   st.last_pusher <- wid st;
   emit st Obs.Trace.Task_spawned;
+  if st.capture then emit st (Obs.Trace.Task_pushed { task = task.id });
   overhead st "promotion" (cm st).Sim.Cost_model.deque_push_cost;
   wake_one st
 
@@ -130,6 +153,7 @@ let maybe_stall (st : run_state) =
 let run_task (st : run_state) task =
   let w = wid st in
   st.steal_fails.(w) <- 0;
+  if st.capture then emit st (Obs.Trace.Task_exec { task = task.id });
   maybe_stall st;
   st.depth.(w) <- st.depth.(w) + 1;
   if st.depth.(w) = 1 then Heartbeat.set_busy st.hb ~worker:w true;
@@ -153,8 +177,15 @@ let try_steal (st : run_state) =
       match Sim.Deque.steal st.deques.(v) with
       | Some t ->
           emit st Obs.Trace.Steal_success;
+          if st.capture then emit st (Obs.Trace.Task_stolen { task = t.id; victim = v });
           overhead st "steal" (cm st).Sim.Cost_model.steal_success_cost;
-          Some t
+          if st.bug = Some Lose_stolen_task && not st.bug_fired then begin
+            (* Seeded bug: the stolen task vanishes — removed from the
+               victim's deque but never executed. *)
+            st.bug_fired <- true;
+            None
+          end
+          else Some t
       | None -> None
   in
   let rec attempt k =
@@ -207,6 +238,7 @@ let join_wait (st : run_state) join =
   while join.pending > 0 do
     match Sim.Deque.pop_bottom st.deques.(wid st) with
     | Some t ->
+        if st.capture then emit st (Obs.Trace.Task_popped { task = t.id });
         overhead st "join" (cm st).Sim.Cost_model.deque_pop_cost;
         run_task st t
     | None -> (
@@ -218,7 +250,9 @@ let join_wait (st : run_state) join =
 let scavenge (st : run_state) w =
   while not st.finished do
     match Sim.Deque.pop_bottom st.deques.(w) with
-    | Some t -> run_task st t
+    | Some t ->
+        if st.capture then emit st (Obs.Trace.Task_popped { task = t.id });
+        run_task st t
     | None -> (
         match try_steal st with
         | Some t -> run_task st t
@@ -256,6 +290,42 @@ let exec_leaf_iteration c ctxs (info : _ Compiled.loop_info) iter acc acc_bytes 
       | Ir.Nest.Stmt s -> acc := !acc + s.Ir.Nest.exec c.env ctxs iter
       | Ir.Nest.Nested child -> serial_loop c ctxs child acc acc_bytes)
     info.Compiled.loop.Ir.Nest.body
+
+(* Sanitizer bookkeeping: a loop-slice *invocation* is identified by the
+   iteration vector of its ancestors (each ancestor's current iteration)
+   plus the nest id, the loop ordinal, and an execution epoch bumped per
+   [exec_nest] call (drivers may run the same nest repeatedly with
+   identical bounds). Spawned slice halves and leftover tasks operate on
+   copied context sets that preserve the ancestors' iterations, so every
+   continuation of an invocation hashes to the same key and the sanitizer
+   can check that its [Iter_exec] intervals tile the [Slice_enter] range
+   exactly once. Computed only on captured runs. *)
+let slice_key c (ctxs : Ir.Ctx.set) ord =
+  let h = ref (((c.nest_id + 1) * 8191) + c.st.exec_epoch) in
+  List.iter
+    (fun o -> if o <> ord then h := (!h * 1000003) + ctxs.(o).Ir.Ctx.lo + 1)
+    c.nest.Compiled.infos.(ord).Compiled.chain_from_root;
+  ((!h * 1000003) + ord) land max_int
+
+let emit_slice_enter c ctxs ord =
+  let st = c.st in
+  if st.capture then begin
+    let ctx = ctxs.(ord) in
+    emit st
+      (Obs.Trace.Slice_enter
+         {
+           nest = c.nest_id;
+           ord;
+           key = slice_key c ctxs ord;
+           lo = ctx.Ir.Ctx.lo;
+           hi = ctx.Ir.Ctx.hi;
+         })
+  end
+
+let emit_iter_exec c ctxs ord ~lo ~hi =
+  let st = c.st in
+  if st.capture && hi > lo then
+    emit st (Obs.Trace.Iter_exec { nest = c.nest_id; ord; key = slice_key c ctxs ord; lo; hi })
 
 let rec run_slice : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> int -> status =
  fun c ts ctxs ord ->
@@ -311,11 +381,29 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
   let handle_beat () =
     (* A detected heartbeat: let AC close its interval, then promote. *)
     (match ac with
+    | Some a when st.capture -> (
+        (* Capturing runs pay for the full decision record so the sanitizer
+           can replay the update rule; plain runs take the alloc-free path. *)
+        match Adaptive_chunking.on_heartbeat_full a with
+        | Some d ->
+            emit st
+              (Obs.Trace.Chunk_update
+                 { key = ctxs.(c.nest.Compiled.root).Ir.Ctx.lo; chunk = d.Adaptive_chunking.new_chunk });
+            emit st
+              (Obs.Trace.Chunk_decision
+                 {
+                   key = slice_key c ctxs ord;
+                   old_chunk = d.Adaptive_chunking.old_chunk;
+                   min_polls = d.Adaptive_chunking.min_polls;
+                   chunk = d.Adaptive_chunking.new_chunk;
+                 })
+        | None -> ())
     | Some a -> (
         match Adaptive_chunking.on_heartbeat a with
         | Some chunk ->
             emit st
-              (Obs.Trace.Chunk_update { key = ctxs.(c.nest.Compiled.root).Ir.Ctx.lo; chunk })
+              (Obs.Trace.Chunk_update
+                 { key = ctxs.(c.nest.Compiled.root).Ir.Ctx.lo; chunk })
         | None -> ())
     | None -> ());
     if st.cfg.Rt_config.promotion && not ts.no_promote then promote c ts ctxs info else None
@@ -328,6 +416,7 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
         let acc = ref 0 in
         let acc_bytes = ref info.Compiled.loop.Ir.Nest.bytes_per_iter in
         exec_leaf_iteration c ctxs info ctx.Ir.Ctx.lo acc acc_bytes;
+        emit_iter_exec c ctxs ord ~lo:ctx.Ir.Ctx.lo ~hi:(ctx.Ir.Ctx.lo + 1);
         let poll = Heartbeat.poll_cost st.hb ~worker:w in
         advance_mixed st ~work:!acc ~bytes:!acc_bytes
           [ ("poll", poll); ("promotion-branch", costs.Sim.Cost_model.promotion_branch_cost) ];
@@ -359,6 +448,7 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
           ctx.Ir.Ctx.lo <- start + k;
           exec_leaf_iteration c ctxs info (start + k) acc acc_bytes
         done;
+        emit_iter_exec c ctxs ord ~lo:start ~hi:(start + todo);
         (* ctx.lo is the last executed iteration: the latch sees it, the
            leftover task resumes at lo + 1. *)
         ts.residual.(ord) <- ts.residual.(ord) - todo;
@@ -407,6 +497,9 @@ and run_general :
     | Seg_promoted j when j = info.Compiled.ordinal -> result := Some Done
     | Seg_promoted j -> result := Some (Promoted j)
     | Seg_ok ->
+        (* The iteration completed in full inside this task; emitted before
+           the latch so a promotion splitting this loop cannot lose it. *)
+        emit_iter_exec c ctxs info.Compiled.ordinal ~lo:iter ~hi:(iter + 1);
         (* Latch of a non-leaf DOALL loop: promotion-handler call guarded by
            a branch; the heartbeat visibility itself is the leaf poll's (or
            the interrupt flag), so no poll cost here. The iteration's own
@@ -452,6 +545,7 @@ and run_segments :
           (match child.Ir.Nest.init with
           | Some f -> f c.env ctxs.(child.Ir.Nest.ordinal).Ir.Ctx.locals
           | None -> ());
+          emit_slice_enter c ctxs child.Ir.Nest.ordinal;
           overhead st "lst-store" (cm st).Sim.Cost_model.lst_store_cost;
           match run_slice c ts ctxs child.Ir.Nest.ordinal with
           | Done -> go rest
@@ -473,15 +567,15 @@ and promote :
  fun c ts ctxs cur ->
   let st = c.st in
   let ts_forbidden = ts.forbidden in
-  let splittable o =
+  (* splitting an ancestor needs its compiled leftover task; with
+     Algorithm 1's leaves-only enumeration, promotions at non-leaf latches
+     can only split the interrupted loop itself *)
+  let statically_splittable o =
     c.nest.Compiled.infos.(o).Compiled.doall
-    && Ir.Ctx.remaining ctxs.(o) >= 1
-    (* splitting an ancestor needs its compiled leftover task; with
-       Algorithm 1's leaves-only enumeration, promotions at non-leaf latches
-       can only split the interrupted loop itself *)
     && (o = cur.Compiled.ordinal
        || Compiled.find_leftover c.nest ~li:cur.Compiled.ordinal ~lj:o <> None)
   in
+  let splittable o = statically_splittable o && Ir.Ctx.remaining ctxs.(o) >= 1 in
   (* Only the suffix of the chain below the task's ownership boundary is a
      legal split target: contexts at or above [forbidden] are frozen
      snapshots whose remaining iterations belong to the spawning task. *)
@@ -495,13 +589,30 @@ and promote :
     else owned_suffix cur.Compiled.chain_from_root
   in
   let target =
-    match st.cfg.Rt_config.policy with
-    | Rt_config.Outer_loop_first -> List.find_opt splittable chain
-    | Rt_config.Innermost_first -> List.find_opt splittable (List.rev chain)
+    if st.bug = Some Promote_innermost then
+      (* Seeded bug: silently invert the configured policy's direction. *)
+      match st.cfg.Rt_config.policy with
+      | Rt_config.Outer_loop_first -> List.find_opt splittable (List.rev chain)
+      | Rt_config.Innermost_first -> List.find_opt splittable chain
+    else
+      match st.cfg.Rt_config.policy with
+      | Rt_config.Outer_loop_first -> List.find_opt splittable chain
+      | Rt_config.Innermost_first -> List.find_opt splittable (List.rev chain)
   in
   match target with
   | None -> None
   | Some tgt ->
+      if st.capture then
+        emit st
+          (Obs.Trace.Promote_choice
+             {
+               cur = cur.Compiled.ordinal;
+               tgt;
+               chain =
+                 List.map
+                   (fun o -> (o, statically_splittable o, Ir.Ctx.remaining ctxs.(o)))
+                   chain;
+             });
       let tinfo = c.nest.Compiled.infos.(tgt) in
       emit st (Obs.Trace.promotion tinfo.Compiled.depth);
       overhead st "promotion" (cm st).Sim.Cost_model.promotion_handler_cost;
@@ -523,20 +634,17 @@ and promote :
           | None -> ());
           join.pending <- join.pending + 1;
           push_task st
-            {
-              run =
-                (fun () ->
-                  let ts' = fresh_task_state c in
-                  ts'.forbidden <- Option.value ~default:(-1) tinfo.Compiled.parent;
-                  (match run_slice c ts' nctxs tgt with
-                  | Done | Promoted _ -> ());
-                  (match reduction with
-                  | Some combine ->
-                      overhead st "reduction" (reduction_cost c.nest.Compiled.specs.(tgt));
-                      combine tctx.Ir.Ctx.locals nctxs.(tgt).Ir.Ctx.locals
-                  | None -> ());
-                  finish_join st join);
-            }
+            (mk_task st (fun () ->
+                 let ts' = fresh_task_state c in
+                 ts'.forbidden <- Option.value ~default:(-1) tinfo.Compiled.parent;
+                 (match run_slice c ts' nctxs tgt with
+                 | Done | Promoted _ -> ());
+                 (match reduction with
+                 | Some combine ->
+                     overhead st "reduction" (reduction_cost c.nest.Compiled.specs.(tgt));
+                     combine tctx.Ir.Ctx.locals nctxs.(tgt).Ir.Ctx.locals
+                 | None -> ());
+                 finish_join st join))
         end
       in
       spawn_slice rem_lo mid;
@@ -554,12 +662,21 @@ and promote :
             | Rt_config.Spawn ->
                 join.pending <- join.pending + 1;
                 push_task st
-                  {
-                    run =
-                      (fun () ->
-                        run_leftover c ~no_promote:false lctxs leftover;
-                        finish_join st join);
-                  }
+                  (mk_task st (fun () ->
+                       run_leftover c ~no_promote:false lctxs leftover;
+                       finish_join st join));
+                if st.bug = Some Duplicate_leftover && not st.bug_fired then begin
+                  (* Seeded bug: the leftover is pushed twice; its iterations
+                     execute twice (the duplicate gets its own context copy
+                     so both runs cover the full range). *)
+                  st.bug_fired <- true;
+                  let dctxs = Ir.Ctx.copy_set lctxs in
+                  join.pending <- join.pending + 1;
+                  push_task st
+                    (mk_task st (fun () ->
+                         run_leftover c ~no_promote:false dctxs leftover;
+                         finish_join st join))
+                end
             | Rt_config.Inline ->
                 (* TPAL: the leftover stays on the promoting task's critical
                    path — executed here, inside the handler, before the join;
@@ -609,7 +726,11 @@ and run_leftover : 'e. 'e nest_handle -> no_promote:bool -> Ir.Ctx.set -> Compil
         let info = c.nest.Compiled.infos.(of_) in
         let segs = Compiled.tail_of info ~after in
         match run_segments c ts ctxs info segs ctxs.(of_).Ir.Ctx.lo with
-        | Seg_ok -> incr i
+        | Seg_ok ->
+            (* The tail just completed the in-flight iteration of [of_] that
+               the promotion interrupted — it is only now fully executed. *)
+            emit_iter_exec c ctxs of_ ~lo:ctxs.(of_).Ir.Ctx.lo ~hi:(ctxs.(of_).Ir.Ctx.lo + 1);
+            incr i
         | Seg_promoted j -> skip_past_call j)
   done
 
@@ -623,6 +744,7 @@ let exec_nest st (compiled : 'e Pipeline.program) (env : 'e) nest =
     | (src, cn) :: rest -> if src == nest then (i, cn) else find (i + 1) rest
   in
   let nest_id, cn = find 0 compiled.Pipeline.nests in
+  st.exec_epoch <- st.exec_epoch + 1;
   let c = { st; nest = cn; nest_id; env } in
   let n = Ir.Nesting_tree.size cn.Compiled.tree in
   let ctxs = Array.init n (fun o -> Ir.Ctx.make ~ordinal:o ~spec:cn.Compiled.specs.(o)) in
@@ -633,6 +755,7 @@ let exec_nest st (compiled : 'e Pipeline.program) (env : 'e) nest =
   (match rinfo.Compiled.loop.Ir.Nest.init with
   | Some f -> f env ctxs.(root).Ir.Ctx.locals
   | None -> ());
+  if rinfo.Compiled.doall then emit_slice_enter c ctxs root;
   overhead st "lst-store" (cm st).Sim.Cost_model.lst_store_cost;
   let ts = fresh_task_state c in
   (match run_slice c ts ctxs root with
@@ -674,6 +797,10 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
       depth = Array.make cfg.Rt_config.workers 0;
       steal_fails = Array.make cfg.Rt_config.workers 0;
       finished = false;
+      next_task_id = 0;
+      exec_epoch = 0;
+      bug = !seeded_bug;
+      bug_fired = false;
     }
   in
   Sim.Engine.set_diagnostics eng (fun w ->
@@ -727,6 +854,7 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
     dnf = (!termination = Sim.Run_result.Dnf);
     termination = !termination;
     trace = Obs.Trace.Sink.captured request.Run_request.trace;
+    sanitizer = None;
   }
 
 let run ?request cfg program =

@@ -22,6 +22,25 @@ exception Did_not_finish
 exception Internal_error of string
 (** A runtime invariant broke (a bug, not a user error). *)
 
+(** Testing hook: a deliberately plantable scheduler bug, armed by the
+    sanitizer tests and the fuzzer's forced-failure mode so the invariant
+    checker can be shown to catch real scheduling mistakes. Never armed in
+    normal operation. *)
+type seeded_bug =
+  | Duplicate_leftover
+      (** the promotion handler pushes the leftover task twice, so its
+          iterations execute twice (violates work conservation) *)
+  | Lose_stolen_task
+      (** one successfully stolen task is dropped on the floor (violates
+          deque discipline / loses iterations; typically deadlocks) *)
+  | Promote_innermost
+      (** the promotion handler inverts the configured policy's direction
+          (violates outer-loop-first) *)
+
+val set_seeded_bug : seeded_bug option -> unit
+(** Arm (or with [None] disarm) a seeded bug for subsequent runs. Global,
+    read once per {!run_program} call. *)
+
 val run_program : ?request:Run_request.t -> Rt_config.t -> 'e Pipeline.program -> Sim.Run_result.t
 (** Run one compiled program. The optional {!Run_request.t} carries the
     per-run knobs — DNF cap, trial watchdogs, fault plan, trace sink; the

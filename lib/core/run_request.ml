@@ -4,6 +4,8 @@ type t = {
   guard : (unit -> string option) option;
   fault_plan : Sim.Fault_plan.t option;
   trace : Obs.Trace.Sink.t;
+  sanitize : bool;
+  fuzz_case : string option;
 }
 
 let default =
@@ -13,14 +15,17 @@ let default =
     guard = None;
     fault_plan = None;
     trace = Obs.Trace.Sink.null;
+    sanitize = false;
+    fuzz_case = None;
   }
 
-let make ?max_cycles ?cycle_budget ?guard ?fault_plan ?(trace = Obs.Trace.Sink.null) () =
-  { max_cycles; cycle_budget; guard; fault_plan; trace }
+let make ?max_cycles ?cycle_budget ?guard ?fault_plan ?(trace = Obs.Trace.Sink.null)
+    ?(sanitize = false) ?fuzz_case () =
+  { max_cycles; cycle_budget; guard; fault_plan; trace; sanitize; fuzz_case }
 
 let signature t =
   Digest.to_hex
     (Digest.string
        (Marshal.to_string
-          (t.max_cycles, t.fault_plan, Obs.Trace.Sink.captures t.trace)
+          (t.max_cycles, t.fault_plan, Obs.Trace.Sink.captures t.trace, t.sanitize, t.fuzz_case)
           []))

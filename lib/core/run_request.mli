@@ -24,6 +24,15 @@ type t = {
   trace : Obs.Trace.Sink.t;
       (** where the run emits its trace events; {!Obs.Trace.Sink.null}
           (the default) records nothing and costs nothing *)
+  sanitize : bool;
+      (** declarative marker: the run's sink includes an invariant
+          sanitizer. The executor treats it as any other sink; the flag
+          exists so sanitized and unsanitized runs never alias in the
+          journal (a sanitized run observes payload events an unsanitized
+          run's journal entry would claim it had not) *)
+  fuzz_case : string option;
+      (** content hash of the fuzz case that produced this request, when
+          the run is a fuzzer trial; journal-keyed like [sanitize] *)
 }
 
 val default : t
@@ -35,13 +44,16 @@ val make :
   ?guard:(unit -> string option) ->
   ?fault_plan:Sim.Fault_plan.t ->
   ?trace:Obs.Trace.Sink.t ->
+  ?sanitize:bool ->
+  ?fuzz_case:string ->
   unit ->
   t
 
 val signature : t -> string
 (** Hex content hash of the request's result-affecting fields — the fault
-    plan, the DNF cap, and whether the sink captures records (a traced
-    trial carries a trace in the journal; an untraced one must not alias
-    it). Budgets, guards, and the sink closure itself are excluded: they
-    never change a completed run's outcome. Combined with
-    {!Rt_config.signature} to key journal entries. *)
+    plan, the DNF cap, whether the sink captures records (a traced trial
+    carries a trace in the journal; an untraced one must not alias it),
+    the [sanitize] bit, and the fuzz-case hash. Budgets, guards, and the
+    sink closure itself are excluded: they never change a completed run's
+    outcome. Combined with {!Rt_config.signature} to key journal
+    entries. *)

@@ -108,8 +108,13 @@ let result_to_json (r : Sim.Run_result.t) =
       ("metrics", metrics_to_json r.Sim.Run_result.metrics);
     ]
   in
-  (* Omit the trace field entirely for untraced runs: journal lines stay as
-     small as before unless the trial actually captured events. *)
+  (* Omit optional fields entirely when absent: journal lines stay as small
+     as before unless the trial captured events or ran sanitized. *)
+  let base =
+    match r.Sim.Run_result.sanitizer with
+    | None -> base
+    | Some s -> base @ [ ("sanitizer", Str s) ]
+  in
   match r.Sim.Run_result.trace with
   | [] -> Obj base
   | recs -> Obj (base @ [ ("trace", Obs.Trace.records_to_json recs) ])
@@ -140,6 +145,7 @@ let result_of_json j =
             (match mem "trace" fields with
             | Some t -> Obs.Trace.records_of_json t
             | None -> []);
+          sanitizer = get_str "sanitizer" fields;
         }
   | _ -> None
 

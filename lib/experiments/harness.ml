@@ -198,6 +198,7 @@ let errored_result () =
     termination = Sim.Run_result.Finished;
     metrics = Sim.Metrics.create ();
     trace = [];
+    sanitizer = None;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -19,6 +19,14 @@ type event =
   | Fault_injected of fault
   | Mechanism_downgrade
   | Interval of { t0 : int; kind : string }
+  | Slice_enter of { nest : int; ord : int; key : int; lo : int; hi : int }
+  | Iter_exec of { nest : int; ord : int; key : int; lo : int; hi : int }
+  | Task_pushed of { task : int }
+  | Task_popped of { task : int }
+  | Task_stolen of { task : int; victim : int }
+  | Task_exec of { task : int }
+  | Chunk_decision of { key : int; old_chunk : int; min_polls : int; chunk : int }
+  | Promote_choice of { cur : int; tgt : int; chain : (int * bool * int) list }
 
 type record = { seq : int; time : int; worker : int; event : event }
 
@@ -45,6 +53,14 @@ let event_name = function
   | Fault_injected _ -> "fault-injected"
   | Mechanism_downgrade -> "mechanism-downgrade"
   | Interval _ -> "interval"
+  | Slice_enter _ -> "slice-enter"
+  | Iter_exec _ -> "iter-exec"
+  | Task_pushed _ -> "task-pushed"
+  | Task_popped _ -> "task-popped"
+  | Task_stolen _ -> "task-stolen"
+  | Task_exec _ -> "task-exec"
+  | Chunk_decision _ -> "chunk-decision"
+  | Promote_choice _ -> "promote-choice"
 
 module Sink = struct
   type stream = {
@@ -148,11 +164,22 @@ module Sink = struct
       r.bufs;
     List.sort (fun a b -> compare a.seq b.seq) !out
 
+  (* Each branch of a tee assigns its own [seq] numbers, so branch lists can
+     only be recombined on the emission timestamp. Branch lists are already
+     time-sorted (the engine dispatches in virtual-time order), so a stable
+     merge — left branch first on ties — reconstructs one chronological
+     stream instead of concatenating the branches back to back. *)
+  let rec merge_by_time a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys ->
+        if x.time <= y.time then x :: merge_by_time xs b else y :: merge_by_time a ys
+
   let rec captured = function
     | Null | Fn _ -> []
     | Stream s -> List.rev s.items
     | Ring r -> ring_records r
-    | Tee (a, b) -> captured a @ captured b
+    | Tee (a, b) -> merge_by_time (captured a) (captured b)
 
   let rec dropped = function
     | Null | Stream _ | Fn _ -> 0
@@ -193,6 +220,27 @@ let record_to_json r =
            | Beat_dropped | Steal_failed -> [])
     | Mechanism_downgrade -> [ Json.Str "md" ]
     | Interval { t0; kind } -> [ Json.Str "iv"; Json.Int t0; Json.Str kind ]
+    | Slice_enter { nest; ord; key; lo; hi } ->
+        [ Json.Str "se"; Json.Int nest; Json.Int ord; Json.Int key; Json.Int lo; Json.Int hi ]
+    | Iter_exec { nest; ord; key; lo; hi } ->
+        [ Json.Str "ie"; Json.Int nest; Json.Int ord; Json.Int key; Json.Int lo; Json.Int hi ]
+    | Task_pushed { task } -> [ Json.Str "dp"; Json.Int task ]
+    | Task_popped { task } -> [ Json.Str "dq"; Json.Int task ]
+    | Task_stolen { task; victim } -> [ Json.Str "dl"; Json.Int task; Json.Int victim ]
+    | Task_exec { task } -> [ Json.Str "dx"; Json.Int task ]
+    | Chunk_decision { key; old_chunk; min_polls; chunk } ->
+        [ Json.Str "cd"; Json.Int key; Json.Int old_chunk; Json.Int min_polls; Json.Int chunk ]
+    | Promote_choice { cur; tgt; chain } ->
+        [
+          Json.Str "pc";
+          Json.Int cur;
+          Json.Int tgt;
+          Json.Arr
+            (List.map
+               (fun (o, s, rem) ->
+                 Json.Arr [ Json.Int o; Json.Int (if s then 1 else 0); Json.Int rem ])
+               chain);
+        ]
   in
   Json.Arr (base @ tail)
 
@@ -215,6 +263,24 @@ let event_of_parts = function
   | [ Json.Str "fi"; Json.Str "stall"; Json.Int c ] -> Some (Fault_injected (Stall c))
   | [ Json.Str "md" ] -> Some Mechanism_downgrade
   | [ Json.Str "iv"; Json.Int t0; Json.Str kind ] -> Some (Interval { t0; kind })
+  | [ Json.Str "se"; Json.Int nest; Json.Int ord; Json.Int key; Json.Int lo; Json.Int hi ] ->
+      Some (Slice_enter { nest; ord; key; lo; hi })
+  | [ Json.Str "ie"; Json.Int nest; Json.Int ord; Json.Int key; Json.Int lo; Json.Int hi ] ->
+      Some (Iter_exec { nest; ord; key; lo; hi })
+  | [ Json.Str "dp"; Json.Int task ] -> Some (Task_pushed { task })
+  | [ Json.Str "dq"; Json.Int task ] -> Some (Task_popped { task })
+  | [ Json.Str "dl"; Json.Int task; Json.Int victim ] -> Some (Task_stolen { task; victim })
+  | [ Json.Str "dx"; Json.Int task ] -> Some (Task_exec { task })
+  | [ Json.Str "cd"; Json.Int key; Json.Int old_chunk; Json.Int min_polls; Json.Int chunk ] ->
+      Some (Chunk_decision { key; old_chunk; min_polls; chunk })
+  | [ Json.Str "pc"; Json.Int cur; Json.Int tgt; Json.Arr chain ] ->
+      let parse_cand = function
+        | Json.Arr [ Json.Int o; Json.Int s; Json.Int rem ] -> Some (o, s <> 0, rem)
+        | _ -> None
+      in
+      let cands = List.filter_map parse_cand chain in
+      if List.length cands = List.length chain then Some (Promote_choice { cur; tgt; chain = cands })
+      else None
   | _ -> None
 
 let records_to_json records = Json.Arr (List.map record_to_json records)

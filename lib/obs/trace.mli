@@ -46,6 +46,28 @@ type event =
   | Mechanism_downgrade  (** watchdog fallback to software polling *)
   | Interval of { t0 : int; kind : string }
       (** a worker execution interval [t0, time); emitted at its end *)
+  | Slice_enter of { nest : int; ord : int; key : int; lo : int; hi : int }
+      (** a loop-slice invocation began covering iterations [lo, hi) of the
+          loop at chain ordinal [ord]; [key] identifies the invocation
+          (ancestor iteration vector + execution epoch) so the sanitizer can
+          account coverage per invocation *)
+  | Iter_exec of { nest : int; ord : int; key : int; lo : int; hi : int }
+      (** iterations [lo, hi) of invocation [key] just executed; the
+          sanitizer's work-conservation check requires the union of these
+          intervals per [key] to tile its [Slice_enter] range exactly once *)
+  | Task_pushed of { task : int }  (** owner pushed [task] at deque bottom *)
+  | Task_popped of { task : int }  (** owner popped [task] at deque bottom *)
+  | Task_stolen of { task : int; victim : int }
+      (** the emitting worker stole [task] from the top of [victim]'s deque *)
+  | Task_exec of { task : int }  (** [task]'s body started running *)
+  | Chunk_decision of { key : int; old_chunk : int; min_polls : int; chunk : int }
+      (** adaptive chunking recomputed [chunk] from [old_chunk] given the
+          sliding-window minimum [min_polls]; the sanitizer replays the
+          update rule to validate the transition *)
+  | Promote_choice of { cur : int; tgt : int; chain : (int * bool * int) list }
+      (** a promotion chose chain ordinal [tgt] while running [cur]; [chain]
+          lists every owned candidate as (ordinal, splittable, remaining
+          iterations) so the outer-loop-first policy can be checked *)
 
 type record = { seq : int; time : int; worker : int; event : event }
 
@@ -95,7 +117,10 @@ module Sink : sig
 
   val captured : t -> record list
   (** Every stored record in emission ([seq]) order. Ring sinks merge their
-      per-worker buffers by [seq]; [fn] and [null] sinks yield []. *)
+      per-worker buffers by [seq]; [fn] and [null] sinks yield []. Tee sinks
+      merge both branches' captures by record time (stable, left branch
+      first on ties) — branch [seq] counters are independent, so time is
+      the only cross-branch order. *)
 
   val dropped : t -> int
   (** Records overwritten by ring sinks (summed across a tee). *)

@@ -103,6 +103,12 @@ let count_event t (ev : Obs.Trace.event) =
       t.faults_stall_cycles <- t.faults_stall_cycles + c
   | Obs.Trace.Mechanism_downgrade -> t.downgrades <- t.downgrades + 1
   | Obs.Trace.Interval _ -> ()
+  (* Sanitizer bookkeeping events: pure trace payload, no scalar counter.
+     The discrete occurrences they describe are already counted above
+     (Task_spawned, Steal_success, Promotion, Chunk_update). *)
+  | Obs.Trace.Slice_enter _ | Obs.Trace.Iter_exec _ | Obs.Trace.Task_pushed _
+  | Obs.Trace.Task_popped _ | Obs.Trace.Task_stolen _ | Obs.Trace.Task_exec _
+  | Obs.Trace.Chunk_decision _ | Obs.Trace.Promote_choice _ -> ()
 
 let counting_sink t = Obs.Trace.Sink.fn (fun ~time:_ ~worker:_ ev -> count_event t ev)
 

@@ -12,6 +12,7 @@ type t = {
   termination : termination;
   metrics : Metrics.t;
   trace : Obs.Trace.record list;
+  mutable sanitizer : string option;
 }
 
 let completed r = r.termination = Finished

@@ -24,6 +24,12 @@ type t = {
       (** the records captured by the run's trace sink ([] when the run was
           given a non-capturing sink); queried via [Obs.Trace_query] by the
           figure pipeline, the Gantt renderer, and the Perfetto exporter *)
+  mutable sanitizer : string option;
+      (** one-line sanitizer status ("sanitizer: OK ..." / "sanitizer: N
+          violation(s) ..."), filled in by callers that ran the executor
+          under an invariant sanitizer; [None] for unsanitized runs.
+          Mutable because the sanitizer's verdict (its [finish] checks)
+          only exists after the run's record is built. *)
 }
 
 val completed : t -> bool

@@ -19,4 +19,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("resilience", Test_resilience.suite);
       ("benchgate", Test_benchgate.suite);
+      ("sanitizer", Test_sanitizer.suite);
     ]

@@ -47,6 +47,7 @@ let run_result_helpers () =
       termination = Sim.Run_result.Finished;
       metrics = Sim.Metrics.create ();
       trace = [];
+      sanitizer = None;
     }
   in
   let base = mk 1000 1000 in

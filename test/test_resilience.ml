@@ -57,6 +57,7 @@ let sample_result () =
     termination = Sim.Run_result.Budget_exceeded { budget = 200_000; at = 123_456 };
     metrics;
     trace = sample_trace;
+    sanitizer = None;
   }
 
 (* ---------------- journal codec round-trips ---------------- *)
@@ -164,6 +165,7 @@ let counting_trial config ~tag calls =
         termination = Sim.Run_result.Finished;
         metrics = Sim.Metrics.create ();
         trace = [];
+        sanitizer = None;
       })
 
 let resume_skips_completed () =
@@ -211,6 +213,7 @@ let config_change_invalidates () =
                termination = Sim.Run_result.Finished;
                metrics = Sim.Metrics.create ();
                trace = [];
+               sanitizer = None;
              }));
       check_int "recomputed under new signature" 3 !calls);
   Sys.remove path
@@ -292,6 +295,7 @@ let transient_crash_retries_then_succeeds () =
       termination = Sim.Run_result.Finished;
       metrics = Sim.Metrics.create ();
       trace = [];
+      sanitizer = None;
     }
   in
   (match
@@ -332,6 +336,7 @@ let geomean_exclusion () =
           termination = Sim.Run_result.Finished;
           metrics = Sim.Metrics.create ();
           trace = [];
+          sanitizer = None;
         };
       speedup;
       valid = true;
@@ -356,6 +361,7 @@ let error_cells_render () =
       termination = Sim.Run_result.Dnf;
       metrics = Sim.Metrics.create ();
       trace = [];
+      sanitizer = None;
     }
   in
   let dnf_outcome =
