@@ -623,6 +623,15 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "force-fail" ] ~docv:"BUG" ~doc)
   in
+  let serve_arg =
+    let doc =
+      "Fuzz whole multi-tenant workload mixes (N tenants x arrival process x fault plan) through \
+       the job server instead of single cases: every completed job is differentially checked \
+       against its serial reference under contention, with the server and per-job sanitizers on. \
+       $(b,--cases) counts mixes."
+    in
+    Arg.(value & flag & info [ "serve" ] ~doc)
+  in
   let write_file path contents =
     let oc = open_out path in
     Fun.protect
@@ -673,7 +682,37 @@ let fuzz_cmd =
     Printf.printf "repro written to %s (replay: hbc_repro fuzz --replay %s)\n" out out;
     exit 1
   in
-  let run smoke fseed cases replay out force =
+  let run_serve_mixes fseed mixes =
+    let rng = Sim.Sim_rng.create fseed in
+    for i = 1 to mixes do
+      let m = Sanitizer.Fuzz.gen_mix rng in
+      let o = Serve.Fuzz.run_mix m in
+      if o.Serve.Fuzz.failures <> [] then begin
+        Printf.printf "FAIL mix %d/%d %s\n" i mixes (Sanitizer.Fuzz.mix_describe m);
+        Printf.printf "  hash %s\n" (Sanitizer.Fuzz.mix_hash m);
+        List.iter
+          (fun f ->
+            Printf.printf "  [%s] %s\n" (Serve.Fuzz.failure_kind f)
+              (Serve.Fuzz.failure_describe f))
+          o.Serve.Fuzz.failures;
+        Printf.printf "replay: hbc_repro fuzz --serve --seed %d --cases %d (mix %d)\n" fseed
+          mixes i;
+        exit 1
+      end;
+      let s = o.Serve.Fuzz.result.Serve.Server.stats in
+      Printf.printf "mix %2d/%d ok: %d submitted, %d completed, %d shed, %d deadline, %d failed\n%!"
+        i mixes s.Serve.Server.submitted s.Serve.Server.completed s.Serve.Server.shed
+        s.Serve.Server.deadline_exceeded s.Serve.Server.failed
+    done;
+    Printf.printf "fuzz --serve: %d mix(es), 0 failures (seed %d)\n" mixes fseed
+  in
+  let run smoke fseed cases replay out force serve =
+    if serve then begin
+      let fseed = if smoke then 2026 else fseed in
+      let mixes = if smoke then 3 else cases in
+      run_serve_mixes fseed mixes;
+      exit 0
+    end;
     match replay with
     | Some path -> (
         let j =
@@ -742,7 +781,252 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
-      const run $ smoke_arg $ fseed_arg $ cases_arg $ replay_arg $ out_arg $ force_arg)
+      const run $ smoke_arg $ fseed_arg $ cases_arg $ replay_arg $ out_arg $ force_arg
+      $ serve_arg)
+
+let serve_cmd =
+  let doc =
+    "Multi-tenant serving: a seeded open-loop stream of jobs from N tenants shares one simulated \
+     worker pool under admission control, weighted fairness, metered promotion budgets, per-job \
+     deadlines, and per-tenant circuit breakers. Overload degrades explicitly — typed sheds, \
+     deadline preemptions with partial results journaled, quarantined faulty tenants — and every \
+     decision is deterministic from the seed. Exit codes: 3 sanitizer violation, 4 an \
+     $(b,--expect-*) assertion failed."
+  in
+  let tenants_arg =
+    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc:"Number of tenants.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 6 & info [ "jobs" ] ~docv:"N" ~doc:"Jobs per tenant.")
+  in
+  let pool_arg =
+    Arg.(value & opt int 8 & info [ "pool" ] ~docv:"N" ~doc:"Simulated workers in the shared pool.")
+  in
+  let qcap_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Admission queue capacity; 0 sheds everything (the forced-shed smoke).")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt string "poisson:5000"
+      & info [ "arrival" ] ~docv:"PROC"
+          ~doc:
+            "Arrival process for every tenant: poisson:MEANGAP, burst:PERIOD:SIZE, or \
+             adversarial:QUIET:BURST.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "deadline" ] ~docv:"LO:HI"
+          ~doc:"Per-job deadline drawn from [LO,HI] cycles after submission.")
+  in
+  let faulty_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "faulty-tenant" ] ~docv:"T"
+          ~doc:
+            "Give tenant $(docv) a fault plan and a tight cycle budget, so its jobs fail \
+             structurally and its circuit breaker quarantines it.")
+  in
+  let service_arg =
+    Arg.(
+      value & opt string "hbc"
+      & info [ "service" ] ~docv:"SVC" ~doc:"Service executor: hbc, tpal, omp-static, or omp-dynamic.")
+  in
+  let sseed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Server seed: the whole run.")
+  in
+  let sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Run the server-level checker (job + budget conservation) and a per-job scheduler \
+             checker; violations exit 3.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Differentially check every completed job against its serial reference.")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:"Write the server's lifecycle trace as Chrome trace_event JSON to $(docv).")
+  in
+  let decisions_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "decisions" ] ~docv:"PATH"
+          ~doc:
+            "Write the textual decision journal to $(docv); byte-identical across equal-seed \
+             runs (the determinism smoke diffs two of these).")
+  in
+  let expect_shed_arg =
+    Arg.(value & flag & info [ "expect-shed" ] ~doc:"Exit 4 unless at least one job was shed.")
+  in
+  let expect_deadline_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-deadline" ] ~doc:"Exit 4 unless at least one job exceeded its deadline.")
+  in
+  let workload_cycle = [| "plus-reduce-array"; "mandelbrot"; "spmv-powerlaw"; "kmeans" |] in
+  let run tenants jobs pool qcap arrival deadline faulty service seed sanitize verify trace_path
+      decisions_path expect_shed expect_deadline =
+    let arrival =
+      match Serve.Arrival.of_string arrival with
+      | Some a -> a
+      | None ->
+          Printf.eprintf "serve: bad --arrival %s (poisson:G | burst:P:S | adversarial:Q:B)\n"
+            arrival;
+          exit 2
+    in
+    let deadline =
+      Option.map
+        (fun s ->
+          match String.split_on_char ':' s with
+          | [ lo; hi ] -> (
+              match (int_of_string_opt lo, int_of_string_opt hi) with
+              | Some lo, Some hi when 0 < lo && lo <= hi -> (lo, hi)
+              | _ ->
+                  Printf.eprintf "serve: bad --deadline %s (want LO:HI, 0 < LO <= HI)\n" s;
+                  exit 2)
+          | _ ->
+              Printf.eprintf "serve: bad --deadline %s (want LO:HI)\n" s;
+              exit 2)
+        deadline
+    in
+    let service =
+      match service with
+      | "hbc" -> Serve.Server.Hbc
+      | "tpal" -> Serve.Server.Tpal { chunk = 64 }
+      | "omp-static" ->
+          Serve.Server.Omp
+            { (Baselines.Openmp.dynamic ()) with Baselines.Openmp.schedule = Baselines.Openmp.Static }
+      | "omp-dynamic" -> Serve.Server.Omp (Baselines.Openmp.dynamic ())
+      | other ->
+          Printf.eprintf "serve: unknown service %s\n" other;
+          exit 2
+    in
+    let tenant i =
+      let faulty = faulty = Some i in
+      {
+        Serve.Server.tenant_default with
+        Serve.Server.weight = 1 + (i mod 2);
+        arrival;
+        jobs;
+        workloads = [ workload_cycle.(i mod Array.length workload_cycle) ];
+        workers_wanted = 2 + (2 * (i mod 2));
+        deadline;
+        cycle_budget = (if faulty then Some (3_000, 6_000) else None);
+        fault_plan =
+          (if faulty then
+             Some
+               {
+                 Sim.Fault_plan.seed = seed + i;
+                 beat_drop_prob = 0.3;
+                 beat_jitter = 2_000;
+                 steal_fail_prob = 0.3;
+                 steal_fail_burst = 2;
+                 stall_prob = 0.1;
+                 stall_cycles = 1_000;
+               }
+           else None);
+      }
+    in
+    (match faulty with
+    | Some t when t < 0 || t >= tenants ->
+        Printf.eprintf "serve: --faulty-tenant %d out of range (0..%d)\n" t (tenants - 1);
+        exit 2
+    | _ -> ());
+    let capture = Option.map (fun _ -> Obs.Trace.Sink.stream ()) trace_path in
+    let cfg =
+      {
+        Serve.Server.default_config with
+        Serve.Server.tenants = Array.init tenants tenant;
+        pool;
+        queue_capacity = qcap;
+        seed;
+        service;
+        sanitize;
+        verify;
+        trace = (match capture with Some s -> s | None -> Obs.Trace.Sink.null);
+      }
+    in
+    let r = Serve.Server.run cfg in
+    let s = r.Serve.Server.stats in
+    Printf.printf "service          : %s (%d tenants x %d jobs, pool %d, queue %d, seed %d)\n"
+      (Serve.Server.service_name service)
+      tenants jobs pool qcap seed;
+    Printf.printf "%s\n" (Serve.Server.summary r);
+    let by_tenant = Hashtbl.create 8 in
+    List.iter
+      (fun (rep : Serve.Server.job_report) ->
+        let c, d, sh, f =
+          try Hashtbl.find by_tenant rep.Serve.Server.tenant with Not_found -> (0, 0, 0, 0)
+        in
+        Hashtbl.replace by_tenant rep.Serve.Server.tenant
+          (match rep.Serve.Server.outcome with
+          | Serve.Server.Completed -> (c + 1, d, sh, f)
+          | Serve.Server.Deadline_exceeded -> (c, d + 1, sh, f)
+          | Serve.Server.Rejected _ -> (c, d, sh + 1, f)
+          | Serve.Server.Failed _ -> (c, d, sh, f + 1)))
+      r.Serve.Server.reports;
+    for t = 0 to tenants - 1 do
+      let c, d, sh, f = try Hashtbl.find by_tenant t with Not_found -> (0, 0, 0, 0) in
+      Printf.printf "tenant %d         : %d completed, %d deadline, %d shed, %d failed%s\n" t c d
+        sh f
+        (if faulty = Some t then " (faulty)" else "")
+    done;
+    (match decisions_path with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc r.Serve.Server.decisions);
+        Printf.printf "decisions        : %d lines -> %s\n"
+          (List.length (String.split_on_char '\n' r.Serve.Server.decisions) - 1)
+          path);
+    (match (trace_path, capture) with
+    | Some path, Some sink ->
+        let records = Obs.Trace.Sink.captured sink in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Obs.Perfetto.to_string ~process_name:"hbc-serve" records));
+        Printf.printf "trace            : %d events -> %s\n" (List.length records) path
+    | _ -> ());
+    if r.Serve.Server.violations <> [] then begin
+      List.iter
+        (fun (job, (v : Sanitizer.Checker.violation)) ->
+          Printf.eprintf "violation %s: [%s] t=%d %s\n"
+            (match job with Some j -> Printf.sprintf "job %d" j | None -> "server")
+            (Sanitizer.Checker.invariant_name v.Sanitizer.Checker.invariant)
+            v.Sanitizer.Checker.time v.Sanitizer.Checker.message)
+        r.Serve.Server.violations;
+      exit 3
+    end;
+    if sanitize then Printf.printf "sanitizer        : ok (server + %d job runs)\n" s.Serve.Server.admitted;
+    if expect_shed && s.Serve.Server.shed = 0 then begin
+      Printf.eprintf "serve: expected sheds but none occurred\n";
+      exit 4
+    end;
+    if expect_deadline && s.Serve.Server.deadline_exceeded = 0 then begin
+      Printf.eprintf "serve: expected deadline misses but none occurred\n";
+      exit 4
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ tenants_arg $ jobs_arg $ pool_arg $ qcap_arg $ arrival_arg $ deadline_arg
+      $ faulty_arg $ service_arg $ sseed_arg $ sanitize_arg $ verify_arg $ trace_arg
+      $ decisions_arg $ expect_shed_arg $ expect_deadline_arg)
 
 let () =
   let doc = "Reproduction harness for 'Compiling Loop-Based Nested Parallelism for Irregular Workloads' (ASPLOS'24)" in
@@ -758,6 +1042,7 @@ let () =
       trace_lint_cmd;
       bench_diff_cmd;
       fuzz_cmd;
+      serve_cmd;
     ]
     @ List.map fig_cmd Experiments.Run_all.figures
   in

@@ -43,6 +43,21 @@ fi
 rm -f "$F"
 echo "check.sh: sanitizer + fuzz smoke OK"
 
+# --- serve smoke test: a mixed-tenant overload run with the sanitizer on
+# must hit the shed and deadline paths (exit 4 if either never fires, exit 3
+# on any job/budget-conservation violation); equal seeds must journal
+# byte-identical decisions; a zero-capacity queue must shed everything ---
+D1=$(mktemp "$TMP/hbc-serve.XXXXXX.log"); D2=$(mktemp "$TMP/hbc-serve.XXXXXX.log")
+"$REPRO" serve --tenants 3 --jobs 4 --queue-cap 2 --deadline 200000:800000 \
+    --sanitize --verify --expect-shed --expect-deadline --seed 5 --decisions "$D1" > /dev/null
+"$REPRO" serve --tenants 3 --jobs 4 --queue-cap 2 --deadline 200000:800000 \
+    --sanitize --verify --expect-shed --expect-deadline --seed 5 --decisions "$D2" > /dev/null
+cmp -s "$D1" "$D2" || { echo "check.sh: serve decisions not deterministic" >&2; exit 1; }
+rm -f "$D1" "$D2"
+"$REPRO" serve --queue-cap 0 --jobs 2 --expect-shed > /dev/null
+"$REPRO" fuzz --serve --smoke > /dev/null
+echo "check.sh: serve smoke OK"
+
 # --- perf-gate smoke test: emit a fresh report and diff it against the
 # committed baseline; deterministic regressions exit non-zero here exactly
 # as they do in CI ---

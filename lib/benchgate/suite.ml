@@ -168,7 +168,89 @@ let macro () =
     omp_probe ~name:"macro/fig16/srad-omp-static" ~schedule:Baselines.Openmp.Static "srad";
   ]
 
-let all () = micro () @ macro ()
+(* --------------------------- serve probes ------------------------- *)
+
+(* Multi-tenant serving: tail latency and goodput are deterministic
+   functions of the seed (virtual time end to end), so p50/p99 sojourn and
+   goodput-under-overload are gated like any other det metric. Inner runs
+   use effect fibers: alloc advisory. *)
+let serve_probe ~name mk =
+  Probe.run ~name ~det_alloc:false (fun ctx ->
+      let r = Serve.Server.run (mk ()) in
+      let s = r.Serve.Server.stats in
+      Probe.deti ctx "submitted" s.Serve.Server.submitted;
+      Probe.deti ctx "completed" s.Serve.Server.completed;
+      Probe.deti ctx "shed" s.Serve.Server.shed;
+      Probe.deti ctx "deadline_exceeded" s.Serve.Server.deadline_exceeded;
+      Probe.deti ctx "failed" s.Serve.Server.failed;
+      Probe.deti ctx "breaker_opens" s.Serve.Server.breaker_opens;
+      Probe.deti ctx "makespan_cycles" s.Serve.Server.makespan;
+      Probe.det ctx "sojourn_p50_cycles" s.Serve.Server.sojourn_p50;
+      Probe.det ctx "sojourn_p99_cycles" s.Serve.Server.sojourn_p99;
+      Probe.det ctx "goodput" s.Serve.Server.goodput)
+
+(* Light load: everything admits and completes; pins the happy-path tail. *)
+let serve_steady () =
+  serve_probe ~name:"serve/steady-tail" (fun () ->
+      {
+        Serve.Server.default_config with
+        Serve.Server.tenants =
+          [|
+            {
+              Serve.Server.tenant_default with
+              Serve.Server.arrival = Serve.Arrival.Poisson { mean_gap = 60_000.0 };
+              jobs = 4;
+            };
+            {
+              Serve.Server.tenant_default with
+              Serve.Server.weight = 2;
+              arrival = Serve.Arrival.Burst { period = 120_000; size = 2 };
+              jobs = 4;
+              workloads = [ "mandelbrot" ];
+              scale = 0.01;
+            };
+          |];
+        seed = 11;
+      })
+
+(* Sustained overload: adversarial bursts against a short queue, tight
+   deadlines, and one budget-starved tenant that trips its breaker. Pins
+   the degradation path: shed counts, deadline accounting, breaker opens,
+   and goodput under overload. *)
+let serve_overload () =
+  serve_probe ~name:"serve/overload-goodput" (fun () ->
+      {
+        Serve.Server.default_config with
+        Serve.Server.tenants =
+          [|
+            {
+              Serve.Server.tenant_default with
+              Serve.Server.arrival = Serve.Arrival.Adversarial { quiet = 30_000; burst = 6 };
+              jobs = 12;
+              deadline = Some (40_000, 120_000);
+            };
+            {
+              Serve.Server.tenant_default with
+              Serve.Server.weight = 3;
+              arrival = Serve.Arrival.Poisson { mean_gap = 8_000.0 };
+              jobs = 8;
+              workloads = [ "spmv-powerlaw" ];
+              deadline = Some (60_000, 200_000);
+            };
+            {
+              Serve.Server.tenant_default with
+              Serve.Server.arrival = Serve.Arrival.Burst { period = 25_000; size = 4 };
+              jobs = 8;
+              cycle_budget = Some (2_000, 4_000);
+            };
+          |];
+        queue_capacity = 6;
+        seed = 7;
+      })
+
+let serve () = [ serve_steady (); serve_overload () ]
+
+let all () = micro () @ macro () @ serve ()
 
 let report ?(notes = []) ~label () =
   let provenance =

@@ -49,6 +49,9 @@ type run_state = {
   mutable exec_epoch : int;  (* bumped per exec_nest call, part of slice keys *)
   bug : seeded_bug option;  (* armed seeded scheduler bug (tests/fuzzer) *)
   mutable bug_fired : bool;  (* one-shot bugs fire at most once per run *)
+  mutable promo_left : int;
+      (* remaining metered promotions (max_int = unmetered); at 0 the run
+         degrades gracefully: no more splits, remaining work runs serially *)
 }
 
 type 'e nest_handle = { st : run_state; nest : 'e Compiled.nest; nest_id : int; env : 'e }
@@ -406,7 +409,9 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
                  { key = ctxs.(c.nest.Compiled.root).Ir.Ctx.lo; chunk })
         | None -> ())
     | None -> ());
-    if st.cfg.Rt_config.promotion && not ts.no_promote then promote c ts ctxs info else None
+    if st.cfg.Rt_config.promotion && not ts.no_promote && st.promo_left > 0 then
+      promote c ts ctxs info
+    else None
   in
   while !result = None && ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
     match info.Compiled.chunk with
@@ -510,7 +515,7 @@ and run_general :
           Heartbeat.consume st.hb ~worker:(wid st) ~count_poll:false
           || st.cfg.Rt_config.force_promotion
         in
-        if beat && st.cfg.Rt_config.promotion && not ts.no_promote then begin
+        if beat && st.cfg.Rt_config.promotion && not ts.no_promote && st.promo_left > 0 then begin
           match promote c ts ctxs info with
           | Some s -> result := Some s
           | None -> ctx.Ir.Ctx.lo <- iter + 1
@@ -602,6 +607,9 @@ and promote :
   match target with
   | None -> None
   | Some tgt ->
+      (* A metered promotion is spent only when a split actually happens:
+         beats with no eligible candidate cost nothing. *)
+      if st.promo_left <> Stdlib.max_int then st.promo_left <- st.promo_left - 1;
       if st.capture then
         emit st
           (Obs.Trace.Promote_choice
@@ -801,15 +809,29 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
       exec_epoch = 0;
       bug = !seeded_bug;
       bug_fired = false;
+      promo_left =
+        (match request.Run_request.promotion_budget with
+        | Some b -> Stdlib.max 0 b
+        | None -> Stdlib.max_int);
     }
   in
   Sim.Engine.set_diagnostics eng (fun w ->
       Printf.sprintf " deque=%d depth=%d%s" (Sim.Deque.length st.deques.(w)) st.depth.(w)
         (if Heartbeat.is_downgraded hb ~worker:w then " downgraded" else ""));
   Heartbeat.start hb;
-  (match request.Run_request.max_cycles with
-  | Some cap -> Sim.Engine.schedule_at eng ~time:cap (fun () -> raise Did_not_finish)
-  | None -> ());
+  (* A per-job deadline is a second DNF-style cap: whichever of the two
+     fires first preempts the run, and the server maps a deadline-armed
+     DNF to its structured Deadline_exceeded outcome. *)
+  (match (request.Run_request.max_cycles, request.Run_request.deadline) with
+  | None, None -> ()
+  | caps ->
+      let cap =
+        match caps with
+        | Some a, Some b -> Stdlib.min a b
+        | Some a, None | None, Some a -> a
+        | None, None -> assert false
+      in
+      Sim.Engine.schedule_at eng ~time:cap (fun () -> raise Did_not_finish));
   (match request.Run_request.cycle_budget with
   | Some budget -> Sim.Engine.set_budget eng budget
   | None -> ());

@@ -6,6 +6,10 @@ type t = {
   trace : Obs.Trace.Sink.t;
   sanitize : bool;
   fuzz_case : string option;
+  tenant : int option;
+  deadline : int option;
+  priority : int;
+  promotion_budget : int option;
 }
 
 let default =
@@ -17,15 +21,39 @@ let default =
     trace = Obs.Trace.Sink.null;
     sanitize = false;
     fuzz_case = None;
+    tenant = None;
+    deadline = None;
+    priority = 0;
+    promotion_budget = None;
   }
 
 let make ?max_cycles ?cycle_budget ?guard ?fault_plan ?(trace = Obs.Trace.Sink.null)
-    ?(sanitize = false) ?fuzz_case () =
-  { max_cycles; cycle_budget; guard; fault_plan; trace; sanitize; fuzz_case }
+    ?(sanitize = false) ?fuzz_case ?tenant ?deadline ?(priority = 0) ?promotion_budget () =
+  {
+    max_cycles;
+    cycle_budget;
+    guard;
+    fault_plan;
+    trace;
+    sanitize;
+    fuzz_case;
+    tenant;
+    deadline;
+    priority;
+    promotion_budget;
+  }
 
 let signature t =
   Digest.to_hex
     (Digest.string
        (Marshal.to_string
-          (t.max_cycles, t.fault_plan, Obs.Trace.Sink.captures t.trace, t.sanitize, t.fuzz_case)
+          ( t.max_cycles,
+            t.fault_plan,
+            Obs.Trace.Sink.captures t.trace,
+            t.sanitize,
+            t.fuzz_case,
+            t.tenant,
+            t.deadline,
+            t.priority,
+            t.promotion_budget )
           []))

@@ -14,6 +14,7 @@ let figures =
     Fig15.figure;
     Fig16.figure;
     Fault_sweep.figure;
+    Serve_bench.figure;
   ]
 
 let find id =

@@ -1,0 +1,9 @@
+(** Serving experiment (beyond the paper): the same seeded multi-tenant
+    overload scenario offered to the HBC, TPAL, and OpenMP service
+    executors, comparing tail sojourn (p50/p95/p99), goodput under
+    overload, sheds, and deadline misses. Deterministic from the seed;
+    every run carries the serve sanitizers. *)
+
+val render : Harness.config -> string
+
+val figure : Figure.t

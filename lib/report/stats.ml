@@ -26,6 +26,18 @@ let median = function
       if n mod 2 = 1 then List.nth sorted (n / 2)
       else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
 
+(* Nearest-rank percentile on the sorted sample: no interpolation, so the
+   result is always an observed value and the deterministic perf gate can
+   compare it exactly across runs. *)
+let percentile p = function
+  | [] -> 0.0
+  | xs ->
+      let sorted = List.sort Float.compare xs in
+      let n = List.length sorted in
+      let rank = int_of_float (Float.ceil (p /. 100.0 *. Float.of_int n)) in
+      let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+      List.nth sorted idx
+
 let minimum = function [] -> 0.0 | xs -> List.fold_left Float.min Float.infinity xs
 
 let maximum = function [] -> 0.0 | xs -> List.fold_left Float.max Float.neg_infinity xs

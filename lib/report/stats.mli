@@ -12,6 +12,11 @@ val mean : float list -> float
 
 val median : float list -> float
 
+val percentile : float -> float list -> float
+(** [percentile p xs] is the nearest-rank p-th percentile (p in
+    [\[0, 100\]]) of [xs]; 0 for the empty list. Always an observed sample
+    value, so tail-latency probes stay exactly reproducible. *)
+
 val minimum : float list -> float
 
 val maximum : float list -> float

@@ -4,6 +4,8 @@ type invariant =
   | Promotion_policy
   | Chunk_consistency
   | Clock_sanity
+  | Job_conservation
+  | Budget_conservation
 
 let invariant_name = function
   | Work_conservation -> "work-conservation"
@@ -11,6 +13,8 @@ let invariant_name = function
   | Promotion_policy -> "promotion-policy"
   | Chunk_consistency -> "chunk-consistency"
   | Clock_sanity -> "clock-sanity"
+  | Job_conservation -> "job-conservation"
+  | Budget_conservation -> "budget-conservation"
 
 type violation = {
   invariant : invariant;
@@ -34,6 +38,14 @@ type slice_state = { s_lo : int; s_hi : int; mutable covered : (int * int) list 
 (* Task lifecycle replayed from the deque records. *)
 type task_phase = Pushed | Taken | Executed
 
+(* Serve-mode job lifecycle replayed from the Job_* records; [J_terminal]
+   carries the terminal state name for duplicate-termination messages. *)
+type job_phase =
+  | J_submitted
+  | J_admitted
+  | J_started of { granted : int }
+  | J_terminal of string
+
 type t = {
   cfg : config;
   strict : bool;
@@ -47,6 +59,8 @@ type t = {
   tasks : (int, task_phase) Hashtbl.t;
   shadow : (int, int Sim.Deque.t) Hashtbl.t;  (* worker -> shadow deque of ids *)
   last_interval_end : (int, int) Hashtbl.t;  (* worker -> end of last Interval *)
+  jobs : (int, int * job_phase) Hashtbl.t;  (* job -> (tenant, phase) *)
+  tenant_balance : (int, int) Hashtbl.t;  (* tenant -> metered promotion balance *)
   mutable kept : violation list;  (* newest first *)
   mutable count : int;
   mutable finished : bool;
@@ -64,6 +78,8 @@ let create ?(strict = false) ?(window = 32) ?(max_violations = 100) cfg =
     last_time = 0;
     slices = Hashtbl.create 64;
     tasks = Hashtbl.create 64;
+    jobs = Hashtbl.create 16;
+    tenant_balance = Hashtbl.create 8;
     shadow = Hashtbl.create 8;
     last_interval_end = Hashtbl.create 8;
     kept = [];
@@ -222,6 +238,97 @@ let on_chunk_decision t ~time ~worker ~key ~old_chunk ~min_polls ~chunk =
          "chunk update %d -> %d (slice key %d) does not match rule max 1 (round (%d * %d / %d)) = %d"
          old_chunk chunk key old_chunk min_polls t.cfg.ac_target_polls expected)
 
+(* ------------------------------------------------------------------ *)
+(* Serve-mode invariants: job conservation and budget conservation.     *)
+(* ------------------------------------------------------------------ *)
+
+let job_phase_name = function
+  | J_submitted -> "submitted"
+  | J_admitted -> "admitted"
+  | J_started _ -> "started"
+  | J_terminal s -> s
+
+let balance_of t tenant = Option.value ~default:0 (Hashtbl.find_opt t.tenant_balance tenant)
+
+let on_job_submitted t ~time ~worker ~job ~tenant =
+  match Hashtbl.find_opt t.jobs job with
+  | Some (_, phase) ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d submitted twice (already %s)" job (job_phase_name phase))
+  | None -> Hashtbl.add t.jobs job (tenant, J_submitted)
+
+let on_job_admitted t ~time ~worker ~job ~tenant =
+  match Hashtbl.find_opt t.jobs job with
+  | Some (_, J_submitted) -> Hashtbl.replace t.jobs job (tenant, J_admitted)
+  | Some (_, phase) ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d admitted while %s" job (job_phase_name phase))
+  | None ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d admitted but never submitted" job)
+
+let on_job_shed t ~time ~worker ~job ~tenant ~reason =
+  match Hashtbl.find_opt t.jobs job with
+  | Some (_, J_submitted) -> Hashtbl.replace t.jobs job (tenant, J_terminal ("shed:" ^ reason))
+  | Some (_, phase) ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d shed (%s) while %s — shedding is legal only at submission" job
+           reason (job_phase_name phase))
+  | None ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d shed (%s) but never submitted" job reason)
+
+let on_job_started t ~time ~worker ~job ~tenant ~budget =
+  (match Hashtbl.find_opt t.jobs job with
+  | Some (_, J_admitted) -> Hashtbl.replace t.jobs job (tenant, J_started { granted = budget })
+  | Some (_, phase) ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d started while %s" job (job_phase_name phase))
+  | None ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d started but never admitted" job));
+  let balance = balance_of t tenant - budget in
+  Hashtbl.replace t.tenant_balance tenant balance;
+  if balance < 0 then
+    violate t ~time ~worker Budget_conservation
+      (Printf.sprintf
+         "tenant %d overdrew its promotion meter: grant %d drove the balance to %d" tenant budget
+         balance)
+
+let on_job_preempted t ~time ~worker ~job =
+  match Hashtbl.find_opt t.jobs job with
+  | Some (_, J_started _) -> ()
+  | Some (_, phase) ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d preempted while %s" job (job_phase_name phase))
+  | None ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d preempted but never admitted" job)
+
+let on_job_finished t ~time ~worker ~job ~tenant ~state ~promotions =
+  match Hashtbl.find_opt t.jobs job with
+  | Some (_, J_started { granted }) ->
+      Hashtbl.replace t.jobs job (tenant, J_terminal state);
+      if promotions > granted then
+        violate t ~time ~worker Budget_conservation
+          (Printf.sprintf "job %d used %d promotions against a grant of %d" job promotions granted)
+  | Some (_, J_admitted) ->
+      (* A queued job can expire at its deadline without ever starting; it
+         must then have consumed nothing. *)
+      Hashtbl.replace t.jobs job (tenant, J_terminal state);
+      if promotions <> 0 then
+        violate t ~time ~worker Budget_conservation
+          (Printf.sprintf "job %d finished from the queue yet reports %d promotions" job promotions)
+  | Some (_, phase) ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d finished (%s) while %s" job state (job_phase_name phase))
+  | None ->
+      violate t ~time ~worker Job_conservation
+        (Printf.sprintf "job %d finished (%s) but never submitted" job state)
+
+let on_budget_refill t ~tenant ~amount =
+  Hashtbl.replace t.tenant_balance tenant (balance_of t tenant + amount)
+
 let on_interval t ~time ~worker ~t0 =
   if t0 > time then
     violate t ~time ~worker Clock_sanity
@@ -259,6 +366,16 @@ let on_event t ~time ~worker (ev : Obs.Trace.event) =
   | Obs.Trace.Chunk_decision { key; old_chunk; min_polls; chunk } ->
       on_chunk_decision t ~time ~worker ~key ~old_chunk ~min_polls ~chunk
   | Obs.Trace.Interval { t0; kind = _ } -> on_interval t ~time ~worker ~t0
+  | Obs.Trace.Job_submitted { job; tenant } -> on_job_submitted t ~time ~worker ~job ~tenant
+  | Obs.Trace.Job_admitted { job; tenant; queued = _ } ->
+      on_job_admitted t ~time ~worker ~job ~tenant
+  | Obs.Trace.Job_shed { job; tenant; reason } -> on_job_shed t ~time ~worker ~job ~tenant ~reason
+  | Obs.Trace.Job_started { job; tenant; budget } ->
+      on_job_started t ~time ~worker ~job ~tenant ~budget
+  | Obs.Trace.Job_preempted { job; tenant = _ } -> on_job_preempted t ~time ~worker ~job
+  | Obs.Trace.Job_finished { job; tenant; state; promotions } ->
+      on_job_finished t ~time ~worker ~job ~tenant ~state ~promotions
+  | Obs.Trace.Budget_refill { tenant; amount } -> on_budget_refill t ~tenant ~amount
   | _ -> ()
 
 let sink t = Obs.Trace.Sink.fn (fun ~time ~worker ev -> on_event t ~time ~worker ev)
@@ -296,7 +413,19 @@ let finish t =
         | Taken ->
             violate t ~time ~worker Deque_discipline
               (Printf.sprintf "task %d taken from its deque but never executed (lost)" id))
-      (List.sort compare tasks)
+      (List.sort compare tasks);
+    (* Job conservation: every submitted job must have reached exactly one
+       terminal state (shed at submission, or a Job_finished accounting). *)
+    let jobs = Hashtbl.fold (fun id jp acc -> (id, jp) :: acc) t.jobs [] in
+    List.iter
+      (fun (id, (tenant, phase)) ->
+        match phase with
+        | J_terminal _ -> ()
+        | J_submitted | J_admitted | J_started _ ->
+            violate t ~time ~worker Job_conservation
+              (Printf.sprintf "job %d (tenant %d) never terminated: still %s at end of run" id
+                 tenant (job_phase_name phase)))
+      (List.sort compare jobs)
   end
 
 let violations t = List.rev t.kept

@@ -19,7 +19,14 @@
       must match the sliding-window update rule
       [max 1 (round (old * min_polls / target))];
     - {b clock sanity}: record times are monotone and per-worker execution
-      intervals are well-formed and non-overlapping.
+      intervals are well-formed and non-overlapping;
+    - {b job conservation} (serve mode): every submitted job reaches
+      exactly one terminal state — shed at submission, or a single
+      [Job_finished] accounting — and the lifecycle transitions
+      (submitted → admitted → started → finished) are respected;
+    - {b budget conservation} (serve mode): no tenant's metered promotion
+      balance goes negative across [Budget_refill]/[Job_started] grants,
+      and no job reports more promotions than its grant.
 
     Violations are collected (default) or raised immediately ([~strict]),
     each carrying the window of records leading up to the offence. *)
@@ -30,6 +37,8 @@ type invariant =
   | Promotion_policy
   | Chunk_consistency
   | Clock_sanity
+  | Job_conservation
+  | Budget_conservation
 
 val invariant_name : invariant -> string
 (** Stable kebab-case name ("work-conservation", ...). *)

@@ -1,0 +1,76 @@
+(* Per-tenant FIFO lanes (priority-ordered within a lane) under one global
+   capacity, drained by start-time fair queuing. *)
+
+type 'a item = { prio : int; seq : int; payload : 'a }
+
+type 'a t = {
+  capacity : int;
+  weights : int array;
+  lanes : 'a item list array;  (* ordered: higher prio first, then arrival seq *)
+  vtimes : float array;  (* per-tenant virtual finish time *)
+  mutable vclock : float;  (* vtime of the last service, lower-bounds activations *)
+  mutable total : int;
+  mutable seq : int;
+}
+
+let create ~capacity ~weights =
+  let n = Array.length weights in
+  {
+    capacity = Stdlib.max 0 capacity;
+    weights = Array.copy weights;
+    lanes = Array.make n [];
+    vtimes = Array.make n 0.0;
+    vclock = 0.0;
+    total = 0;
+    seq = 0;
+  }
+
+let length t = t.total
+
+let tenant_length t ~tenant = List.length t.lanes.(tenant)
+
+(* Priority first, then arrival order: a stable insertion so equal
+   priorities keep FIFO semantics. *)
+let rec insert item = function
+  | [] -> [ item ]
+  | x :: rest when x.prio >= item.prio -> x :: insert item rest
+  | rest -> item :: rest
+
+let offer t ~tenant ~priority payload =
+  if t.total >= t.capacity then false
+  else begin
+    if t.lanes.(tenant) = [] then
+      (* Activation: an idle tenant re-enters at the current virtual
+         clock, so banked idleness never becomes unbounded credit. *)
+      t.vtimes.(tenant) <- Stdlib.max t.vtimes.(tenant) t.vclock;
+    t.lanes.(tenant) <- insert { prio = priority; seq = t.seq; payload } t.lanes.(tenant);
+    t.seq <- t.seq + 1;
+    t.total <- t.total + 1;
+    true
+  end
+
+(* Tenants in (vtime, id) order; the head of the first lane whose head
+   passes [fits] is served — backfilling across tenants so one tenant's
+   oversized head cannot block the whole pool. *)
+let pop t ~fits =
+  let order =
+    Array.to_list (Array.init (Array.length t.lanes) (fun i -> i))
+    |> List.filter (fun i -> t.lanes.(i) <> [])
+    |> List.sort (fun a b -> compare (t.vtimes.(a), a) (t.vtimes.(b), b))
+  in
+  let rec try_lanes = function
+    | [] -> None
+    | tenant :: rest -> (
+        match t.lanes.(tenant) with
+        | item :: tail when fits item.payload ->
+            t.lanes.(tenant) <- tail;
+            t.total <- t.total - 1;
+            t.vclock <- Stdlib.max t.vclock t.vtimes.(tenant);
+            Some (tenant, item.payload)
+        | _ -> try_lanes rest)
+  in
+  try_lanes order
+
+let charge t ~tenant ~cost =
+  let w = Stdlib.max 1 t.weights.(tenant) in
+  t.vtimes.(tenant) <- t.vtimes.(tenant) +. (Float.of_int cost /. Float.of_int w)

@@ -1,0 +1,36 @@
+(** Bounded multi-tenant admission queue with weighted fair draining.
+
+    One global capacity bounds the queue; {!offer} refuses (the caller
+    sheds, explicitly) when it is full. Internally each tenant has its own
+    FIFO lane (higher-priority jobs first within a lane), and {!pop}
+    drains lanes by start-time fair queuing: each tenant carries a virtual
+    finish time advanced by [cost / weight] per unit of service
+    ({!charge}), and the non-empty lane with the smallest virtual time is
+    served next (ties to the lower tenant id). A lane whose head does not
+    pass the caller's [fits] predicate (not enough free pool workers) is
+    skipped — backfill — so a wide job cannot head-of-line-block the pool.
+
+    Everything is integer/float arithmetic over explicit state: no clocks,
+    no randomness, deterministic replay. *)
+
+type 'a t
+
+val create : capacity:int -> weights:int array -> 'a t
+(** One lane per entry of [weights]. [capacity] 0 is legal: every offer is
+    refused (the zero-capacity shed-everything edge case). *)
+
+val length : 'a t -> int
+
+val tenant_length : 'a t -> tenant:int -> int
+
+val offer : 'a t -> tenant:int -> priority:int -> 'a -> bool
+(** Enqueue unless the global capacity is reached; false means the caller
+    must shed the job (typed, never silent). *)
+
+val pop : 'a t -> fits:('a -> bool) -> (int * 'a) option
+(** Next (tenant, job) under weighted fairness, restricted to lane heads
+    satisfying [fits]; None when no head fits (or the queue is empty). *)
+
+val charge : 'a t -> tenant:int -> cost:int -> unit
+(** Advance the tenant's virtual time by [cost / weight] after it consumed
+    [cost] units of pool service (cycles × workers). *)

@@ -1,0 +1,50 @@
+type process =
+  | Poisson of { mean_gap : float }
+  | Burst of { period : int; size : int }
+  | Adversarial of { quiet : int; burst : int }
+
+let to_string = function
+  | Poisson { mean_gap } -> Printf.sprintf "poisson:%g" mean_gap
+  | Burst { period; size } -> Printf.sprintf "burst:%d:%d" period size
+  | Adversarial { quiet; burst } -> Printf.sprintf "adversarial:%d:%d" quiet burst
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "poisson"; g ] -> (
+      match float_of_string_opt g with
+      | Some g when g > 0.0 -> Some (Poisson { mean_gap = g })
+      | _ -> None)
+  | [ "burst"; p; n ] -> (
+      match (int_of_string_opt p, int_of_string_opt n) with
+      | Some p, Some n when p > 0 && n > 0 -> Some (Burst { period = p; size = n })
+      | _ -> None)
+  | [ "adversarial"; q; b ] -> (
+      match (int_of_string_opt q, int_of_string_opt b) with
+      | Some q, Some b when q > 0 && b > 0 -> Some (Adversarial { quiet = q; burst = b })
+      | _ -> None)
+  | _ -> None
+
+(* All three processes are open loop: the whole schedule is fixed before
+   the run, so admission decisions can never feed back into arrival times
+   and two runs with one seed see byte-identical offered load. *)
+let times process ~rng ~jobs =
+  if jobs <= 0 then []
+  else
+    match process with
+    | Poisson { mean_gap } ->
+        let rate = 1.0 /. mean_gap in
+        let t = ref 0 in
+        List.init jobs (fun _ ->
+            let gap = int_of_float (Float.round (Sim.Sim_rng.exponential rng ~rate)) in
+            t := !t + Stdlib.max 0 gap;
+            !t)
+    | Burst { period; size } ->
+        (* [size] simultaneous arrivals at every period boundary: the
+           same-tick pile-up the admission queue must order and, at
+           capacity, shed deterministically. *)
+        List.init jobs (fun k -> k / size * period)
+    | Adversarial { quiet; burst } ->
+        (* Worst case for a bounded queue: total silence, then [burst]
+           jobs in one tick, repeated. The quiet phase drains the pool so
+           every burst slams an empty queue at full height. *)
+        List.init jobs (fun k -> (k / burst + 1) * quiet)

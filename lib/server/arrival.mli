@@ -1,0 +1,27 @@
+(** Deterministic open-loop arrival processes for the job server.
+
+    A process maps (seeded rng, job count) to a fixed, nondecreasing list
+    of virtual arrival times computed before the run starts — offered load
+    never reacts to admission decisions, so overload behaviour is exactly
+    reproducible from the seed. *)
+
+type process =
+  | Poisson of { mean_gap : float }
+      (** memoryless arrivals with the given mean inter-arrival gap, in
+          virtual cycles (sampled via {!Sim.Sim_rng.exponential}) *)
+  | Burst of { period : int; size : int }
+      (** [size] simultaneous arrivals at t = 0, period, 2*period, ... —
+          exercises same-tick admission ordering *)
+  | Adversarial of { quiet : int; burst : int }
+      (** silence for [quiet] cycles, then [burst] jobs in one tick,
+          repeated — the worst case for a bounded queue *)
+
+val times : process -> rng:Sim.Sim_rng.t -> jobs:int -> int list
+(** Nondecreasing arrival times for [jobs] jobs, starting at virtual
+    time >= 0. Only [Poisson] consumes randomness. *)
+
+val to_string : process -> string
+(** Round-trips with {!of_string}: "poisson:800", "burst:5000:4",
+    "adversarial:20000:8". *)
+
+val of_string : string -> process option

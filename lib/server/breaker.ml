@@ -1,0 +1,93 @@
+type state = Closed | Open | Half_open
+
+let state_name = function Closed -> "closed" | Open -> "open" | Half_open -> "half-open"
+
+type config = {
+  failure_threshold : int;
+  cooldown : int;
+  backoff : float;
+  probe_budget : int;
+}
+
+let default_config = { failure_threshold = 3; cooldown = 50_000; backoff = 2.0; probe_budget = 2 }
+
+type t = {
+  cfg : config;
+  on_transition : from_state:state -> to_state:state -> unit;
+  mutable st : state;
+  mutable failures : int;  (* consecutive failures while closed *)
+  mutable opened_at : int;
+  mutable opens : int;  (* consecutive opens, drives the cooldown backoff *)
+  mutable probes_left : int;
+  mutable probe_successes : int;
+}
+
+let create ?(config = default_config) ~on_transition () =
+  {
+    cfg = config;
+    on_transition;
+    st = Closed;
+    failures = 0;
+    opened_at = 0;
+    opens = 0;
+    probes_left = 0;
+    probe_successes = 0;
+  }
+
+let state t = t.st
+
+(* Same shape as the harness's retry backoff: each consecutive open
+   multiplies the cooldown, so a tenant that keeps failing its half-open
+   probes is quarantined for exponentially longer. *)
+let current_cooldown t =
+  int_of_float (Float.round (Float.of_int t.cfg.cooldown *. (t.cfg.backoff ** Float.of_int (Stdlib.max 0 (t.opens - 1)))))
+
+let transition t to_state =
+  let from_state = t.st in
+  if from_state <> to_state then begin
+    t.st <- to_state;
+    t.on_transition ~from_state ~to_state
+  end
+
+let trip t ~now =
+  t.opens <- t.opens + 1;
+  t.opened_at <- now;
+  t.failures <- 0;
+  transition t Open
+
+let admit t ~now =
+  match t.st with
+  | Closed -> true
+  | Open ->
+      if now - t.opened_at >= current_cooldown t then begin
+        transition t Half_open;
+        t.probes_left <- t.cfg.probe_budget - 1;
+        t.probe_successes <- 0;
+        true
+      end
+      else false
+  | Half_open ->
+      if t.probes_left > 0 then begin
+        t.probes_left <- t.probes_left - 1;
+        true
+      end
+      else false
+
+let record t ~now ~ok =
+  match (t.st, ok) with
+  | Closed, true -> t.failures <- 0
+  | Closed, false ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.cfg.failure_threshold then trip t ~now
+  | Half_open, true ->
+      t.probe_successes <- t.probe_successes + 1;
+      if t.probe_successes >= t.cfg.probe_budget then begin
+        t.opens <- 0;
+        t.failures <- 0;
+        transition t Closed
+      end
+  | Half_open, false -> trip t ~now
+  | Open, _ ->
+      (* A job admitted before the trip can complete while the breaker is
+         already open; its outcome no longer changes the state. *)
+      ()

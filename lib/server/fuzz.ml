@@ -1,0 +1,90 @@
+(* Interpret a sanitizer-level workload mix as a full serve run and
+   classify anything that should never happen under contention. *)
+
+type failure =
+  | Mismatch of { job : int; workload : string }
+  | Invariant of { job : int option; violation : Sanitizer.Checker.violation }
+  | Crash of { job : int; reason : string }
+  | Lost_jobs of { submitted : int; accounted : int }
+
+let failure_kind = function
+  | Mismatch _ -> "mismatch"
+  | Invariant { violation; _ } ->
+      "violation:" ^ Sanitizer.Checker.invariant_name violation.Sanitizer.Checker.invariant
+  | Crash _ -> "crash"
+  | Lost_jobs _ -> "lost-jobs"
+
+let failure_describe = function
+  | Mismatch { job; workload } -> Printf.sprintf "job %d (%s): fingerprint mismatch" job workload
+  | Invariant { job; violation } ->
+      Printf.sprintf "%s: [%s @ t=%d] %s"
+        (match job with Some j -> Printf.sprintf "job %d" j | None -> "server")
+        (Sanitizer.Checker.invariant_name violation.Sanitizer.Checker.invariant)
+        violation.Sanitizer.Checker.time violation.Sanitizer.Checker.message
+  | Crash { job; reason } -> Printf.sprintf "job %d crashed: %s" job reason
+  | Lost_jobs { submitted; accounted } ->
+      Printf.sprintf "job conservation: %d submitted but %d accounted" submitted accounted
+
+type outcome = {
+  mix : Sanitizer.Fuzz.mix;
+  result : Server.result;
+  failures : failure list;
+}
+
+let tenant_of_mix (t : Sanitizer.Fuzz.mix_tenant) =
+  let arrival =
+    match Arrival.of_string t.Sanitizer.Fuzz.mt_arrival with
+    | Some a -> a
+    | None -> invalid_arg ("Serve_fuzz: bad arrival codec " ^ t.Sanitizer.Fuzz.mt_arrival)
+  in
+  {
+    Server.tenant_default with
+    weight = t.mt_weight;
+    arrival;
+    jobs = t.mt_jobs;
+    workloads = t.mt_workloads;
+    scale = t.mt_scale;
+    workers_wanted = t.mt_workers;
+    deadline = t.mt_deadline;
+    cycle_budget = t.mt_cycle_budget;
+    fault_plan = t.mt_plan;
+    promotion_want = t.mt_promotion_want;
+  }
+
+let config_of_mix (m : Sanitizer.Fuzz.mix) =
+  {
+    Server.default_config with
+    tenants = Array.of_list (List.map tenant_of_mix m.Sanitizer.Fuzz.mix_tenants);
+    pool = m.mix_pool;
+    queue_capacity = m.mix_queue;
+    seed = m.mix_seed;
+    sanitize = true;
+    verify = true;
+  }
+
+let classify (m : Sanitizer.Fuzz.mix) (r : Server.result) =
+  let failures = ref [] in
+  let add f = failures := f :: !failures in
+  List.iter
+    (fun (job, violation) -> add (Invariant { job; violation }))
+    r.Server.violations;
+  List.iter
+    (fun (rep : Server.job_report) ->
+      if rep.mismatch then add (Mismatch { job = rep.job; workload = rep.workload });
+      match rep.outcome with
+      | Server.Failed reason
+        when String.length reason >= 6 && String.sub reason 0 6 = "crash:" ->
+          add (Crash { job = rep.job; reason })
+      | _ -> ())
+    r.Server.reports;
+  (* Every submitted job must reach exactly one terminal outcome. *)
+  let s = r.Server.stats in
+  let accounted = s.shed + s.completed + s.deadline_exceeded + s.failed in
+  if accounted <> s.submitted || List.length r.Server.reports <> s.submitted then
+    add (Lost_jobs { submitted = s.submitted; accounted });
+  ignore m;
+  List.rev !failures
+
+let run_mix m =
+  let result = Server.run (config_of_mix m) in
+  { mix = m; result; failures = classify m result }

@@ -1,0 +1,38 @@
+(** Serve-mode differential fuzzing: interpret a {!Sanitizer.Fuzz.mix}
+    (N tenants x arrival process x fault plan) as a full multi-tenant
+    {!Server} run with sanitizers and serial-reference verification on,
+    and classify everything that must never happen under contention —
+    mismatching fingerprints, invariant violations, crashes, lost jobs.
+
+    Sheds, deadline misses and budget/guard failures are {e not} fuzz
+    failures: they are the server's typed, expected degradation paths. *)
+
+type failure =
+  | Mismatch of { job : int; workload : string }
+      (** a completed job's fingerprint differs from its serial reference *)
+  | Invariant of { job : int option; violation : Sanitizer.Checker.violation }
+      (** sanitizer violation; [None] is the server-level checker *)
+  | Crash of { job : int; reason : string }  (** the inner run raised *)
+  | Lost_jobs of { submitted : int; accounted : int }
+      (** terminal outcomes do not cover the submitted jobs *)
+
+val failure_kind : failure -> string
+(** Stable class tag: ["mismatch"], ["violation:<invariant>"], ["crash"],
+    ["lost-jobs"]. *)
+
+val failure_describe : failure -> string
+
+type outcome = {
+  mix : Sanitizer.Fuzz.mix;
+  result : Server.result;
+  failures : failure list;  (** empty: the mix passed *)
+}
+
+val config_of_mix : Sanitizer.Fuzz.mix -> Server.config
+(** The serve configuration a mix denotes: [sanitize = true],
+    [verify = true], everything else drawn from the mix.
+    @raise Invalid_argument on an unparseable arrival codec. *)
+
+val run_mix : Sanitizer.Fuzz.mix -> outcome
+(** Run the mix end to end. Deterministic: equal mixes give equal
+    outcomes. *)

@@ -1,0 +1,53 @@
+type config = { refill_period : int; refill_amount : int; burst_cap : int }
+
+let default_config = { refill_period = 100_000; refill_amount = 32; burst_cap = 96 }
+
+type t = {
+  cfg : config;
+  weights : int array;
+  balances : int array;
+  emit : time:int -> tenant:int -> amount:int -> unit;
+  mutable last_epoch : int;  (* latest epoch already credited; -1 = none *)
+}
+
+let create ?(config = default_config) ~weights ~emit () =
+  {
+    cfg = config;
+    weights = Array.copy weights;
+    balances = Array.make (Array.length weights) 0;
+    emit;
+    last_epoch = -1;
+  }
+
+let balance t ~tenant = t.balances.(tenant)
+
+let cap t tenant = t.cfg.burst_cap * t.weights.(tenant)
+
+(* Credit every epoch boundary in (last, now], stamping each refill with
+   its true boundary time so the trace stays in nondecreasing time order. *)
+let advance t ~now =
+  let epoch = now / t.cfg.refill_period in
+  for e = t.last_epoch + 1 to epoch do
+    let time = e * t.cfg.refill_period in
+    Array.iteri
+      (fun tenant w ->
+        let delta = Stdlib.min (t.cfg.refill_amount * w) (cap t tenant - t.balances.(tenant)) in
+        if delta > 0 then begin
+          t.balances.(tenant) <- t.balances.(tenant) + delta;
+          t.emit ~time ~tenant ~amount:delta
+        end)
+      t.weights
+  done;
+  if epoch > t.last_epoch then t.last_epoch <- epoch
+
+let grant t ~tenant ~want =
+  let g = Stdlib.max 0 (Stdlib.min want t.balances.(tenant)) in
+  t.balances.(tenant) <- t.balances.(tenant) - g;
+  g
+
+let refund t ~now ~tenant amount =
+  let credit = Stdlib.max 0 (Stdlib.min amount (cap t tenant - t.balances.(tenant))) in
+  if credit > 0 then begin
+    t.balances.(tenant) <- t.balances.(tenant) + credit;
+    t.emit ~time:now ~tenant ~amount:credit
+  end

@@ -1,0 +1,563 @@
+type service = Hbc | Tpal of { chunk : int } | Omp of Baselines.Openmp.config
+
+let service_name = function Hbc -> "hbc" | Tpal _ -> "tpal" | Omp _ -> "omp"
+
+type tenant_spec = {
+  weight : int;
+  arrival : Arrival.process;
+  jobs : int;
+  workloads : string list;
+  scale : float;
+  workers_wanted : int;
+  deadline : (int * int) option;
+  cycle_budget : (int * int) option;
+  fault_plan : Sim.Fault_plan.t option;
+  promotion_want : int;
+  priority : int;
+}
+
+let tenant_default =
+  {
+    weight = 1;
+    arrival = Arrival.Poisson { mean_gap = 5_000.0 };
+    jobs = 4;
+    workloads = [ "plus-reduce-array" ];
+    scale = 0.02;
+    workers_wanted = 4;
+    deadline = None;
+    cycle_budget = None;
+    fault_plan = None;
+    promotion_want = 16;
+    priority = 0;
+  }
+
+type config = {
+  tenants : tenant_spec array;
+  pool : int;
+  queue_capacity : int;
+  seed : int;
+  service : service;
+  rt : Hbc_core.Rt_config.t;
+  breaker : Breaker.config;
+  meter : Meter.config;
+  sanitize : bool;
+  verify : bool;
+  trace : Obs.Trace.Sink.t;
+}
+
+let default_config =
+  {
+    tenants = [||];
+    pool = 8;
+    queue_capacity = 16;
+    seed = 1;
+    service = Hbc;
+    rt = Hbc_core.Rt_config.hbc;
+    breaker = Breaker.default_config;
+    meter = Meter.default_config;
+    sanitize = false;
+    verify = false;
+    trace = Obs.Trace.Sink.null;
+  }
+
+type outcome = Completed | Deadline_exceeded | Rejected of string | Failed of string
+
+let outcome_name = function
+  | Completed -> "completed"
+  | Deadline_exceeded -> "deadline"
+  | Rejected r -> "rejected:" ^ r
+  | Failed r -> "failed:" ^ r
+
+type job_report = {
+  job : int;
+  tenant : int;
+  workload : string;
+  submit_time : int;
+  start_time : int option;
+  finish_time : int;
+  outcome : outcome;
+  granted : int;
+  promotions : int;
+  service_cycles : int option;
+  sojourn : int option;
+  work_cycles : int;
+  fingerprint : float option;
+  mismatch : bool;
+}
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  shed : int;
+  completed : int;
+  deadline_exceeded : int;
+  failed : int;
+  sojourn_p50 : float;
+  sojourn_p95 : float;
+  sojourn_p99 : float;
+  goodput : float;
+  makespan : int;
+  breaker_opens : int;
+}
+
+type result = {
+  reports : job_report list;
+  stats : stats;
+  decisions : string;
+  violations : (int option * Sanitizer.Checker.violation) list;
+}
+
+(* One job's fixed identity, drawn before the run starts. *)
+type pending = {
+  id : int;
+  p_tenant : int;
+  p_workload : string;
+  submit : int;
+  deadline_abs : int option;
+  budget_cap : int option;
+  jseed : int;
+  p_priority : int;
+  workers : int;
+  want : int;
+}
+
+type ev = Arrival of pending | Completion of completion
+
+and completion = {
+  c_job : pending;
+  c_outcome : outcome;
+  c_granted : int;
+  c_promotions : int;
+  c_service : int;
+  c_work : int;
+  c_fingerprint : float option;
+  c_mismatch : bool;
+  c_preempted : bool;
+  c_violations : Sanitizer.Checker.violation list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Job generation.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let draw_range rng = function
+  | None -> None
+  | Some (lo, hi) ->
+      let lo = Stdlib.min lo hi and hi = Stdlib.max lo hi in
+      Some (if hi = lo then lo else lo + Sim.Sim_rng.int rng (hi - lo + 1))
+
+(* Per-tenant child streams in tenant order, then per-job draws in a fixed
+   order: the whole offered load is a pure function of [cfg.seed]. *)
+let generate_jobs cfg =
+  let master = Sim.Sim_rng.create cfg.seed in
+  let all = ref [] in
+  Array.iteri
+    (fun tenant spec ->
+      let rng = Sim.Sim_rng.split master in
+      let times = Arrival.times spec.arrival ~rng ~jobs:spec.jobs in
+      List.iteri
+        (fun k time ->
+          let wl =
+            match spec.workloads with
+            | [] -> invalid_arg "Server: tenant with no workloads"
+            | [ w ] -> w
+            | ws -> List.nth ws (Sim.Sim_rng.int rng (List.length ws))
+          in
+          let deadline_rel = draw_range rng spec.deadline in
+          let budget_cap = draw_range rng spec.cycle_budget in
+          let jseed = 1 + Sim.Sim_rng.int rng 1_000_000 in
+          all :=
+            ( time,
+              tenant,
+              k,
+              {
+                id = 0;
+                p_tenant = tenant;
+                p_workload = wl;
+                submit = time;
+                deadline_abs = Option.map (fun d -> time + Stdlib.max 1 d) deadline_rel;
+                budget_cap;
+                jseed;
+                p_priority = spec.priority;
+                workers = Stdlib.max 1 (Stdlib.min spec.workers_wanted cfg.pool);
+                want = Stdlib.max 0 spec.promotion_want;
+              } )
+            :: !all)
+        times)
+    cfg.tenants;
+  (* Simultaneous arrivals are ordered (tenant, per-tenant index): one
+     fixed submission order per seed, whatever the map/fold order above. *)
+  let sorted = List.sort (fun (t1, a1, k1, _) (t2, a2, k2, _) -> compare (t1, a1, k1) (t2, a2, k2)) !all in
+  List.mapi (fun id (_, _, _, p) -> { p with id }) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Inner job execution.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Serial references are deterministic per (workload, scale): cache them
+   across jobs so verification does not rerun the reference per job. *)
+let serial_reference cache ~workload ~scale =
+  let key = (workload, scale) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let entry = Workloads.Registry.find workload in
+      let (Ir.Program.Any p) = entry.Workloads.Registry.make scale in
+      let r = Baselines.Serial_exec.run_program p in
+      Hashtbl.add cache key r;
+      r
+
+let tenant_scale cfg (p : pending) = cfg.tenants.(p.p_tenant).scale
+
+let run_job cfg serial_cache (p : pending) ~fault_plan ~grant ~now =
+  let entry = Workloads.Registry.find p.p_workload in
+  let (Ir.Program.Any prog) = entry.Workloads.Registry.make (tenant_scale cfg p) in
+  let remaining = Option.map (fun d -> Stdlib.max 1 (d - now)) p.deadline_abs in
+  let rt_base =
+    match cfg.service with
+    | Hbc -> cfg.rt
+    | Tpal { chunk } -> Baselines.Tpal.config ~chunk
+    | Omp _ -> cfg.rt
+  in
+  let rt = { rt_base with Hbc_core.Rt_config.workers = p.workers; seed = p.jseed } in
+  let checker =
+    if cfg.sanitize then Some (Sanitizer.Checker.create (Sanitizer.Checker.config_of_rt rt))
+    else None
+  in
+  let trace =
+    match checker with Some c -> Sanitizer.Checker.sink c | None -> Obs.Trace.Sink.null
+  in
+  let request =
+    Hbc_core.Run_request.make ?deadline:remaining ?cycle_budget:p.budget_cap ?fault_plan ~trace
+      ~sanitize:(checker <> None) ~tenant:p.p_tenant ~priority:p.p_priority
+      ~promotion_budget:grant ()
+  in
+  let run () =
+    match cfg.service with
+    | Hbc | Tpal _ -> Hbc_core.Executor.run ~request rt prog
+    | Omp ocfg ->
+        Baselines.Openmp.run_program ~request
+          { ocfg with Baselines.Openmp.workers = p.workers; seed = p.jseed }
+          prog
+  in
+  match run () with
+  | exception e ->
+      (* A structured abort never escapes the executor as an exception, so
+         anything raised here is a crash (e.g. an engine deadlock under an
+         aggressive fault plan). The pool slot is still reclaimed after a
+         deterministic penalty service time. *)
+      let service =
+        match (remaining, p.budget_cap) with
+        | Some r, Some b -> Stdlib.min r b
+        | Some r, None -> r
+        | None, Some b -> b
+        | None, None -> 1_000
+      in
+      ( Failed ("crash:" ^ Printexc.to_string e),
+        service,
+        0,
+        0,
+        None,
+        false,
+        false,
+        match checker with Some c -> Sanitizer.Checker.violations c | None -> [] )
+  | result ->
+      let promotions = result.Sim.Run_result.metrics.Sim.Metrics.promotions in
+      let service = Stdlib.max 1 result.Sim.Run_result.makespan in
+      let preempted = result.Sim.Run_result.dnf in
+      let outcome0 =
+        match result.Sim.Run_result.termination with
+        | Sim.Run_result.Finished -> Completed
+        | Sim.Run_result.Dnf -> Deadline_exceeded
+        | Sim.Run_result.Budget_exceeded _ -> Failed "budget"
+        | Sim.Run_result.Guard_aborted reason -> Failed ("guard:" ^ reason)
+      in
+      let mismatch =
+        cfg.verify && outcome0 = Completed
+        &&
+        let seq = serial_reference serial_cache ~workload:p.p_workload ~scale:(tenant_scale cfg p) in
+        not (Sim.Run_result.fingerprints_close seq result)
+      in
+      let violations =
+        match checker with
+        | None -> []
+        | Some c ->
+            (* End-of-run tiling only applies to runs that actually
+               finished: a preempted or aborted job legitimately leaves
+               uncovered iterations behind. *)
+            if result.Sim.Run_result.termination = Sim.Run_result.Finished then
+              Sanitizer.Checker.finish c;
+            Sanitizer.Checker.violations c
+      in
+      let outcome =
+        if mismatch then Failed "mismatch"
+        else if violations <> [] then Failed "invariant"
+        else outcome0
+      in
+      ( outcome,
+        service,
+        promotions,
+        result.Sim.Run_result.work_cycles,
+        Some result.Sim.Run_result.fingerprint,
+        mismatch,
+        preempted,
+        violations )
+
+(* ------------------------------------------------------------------ *)
+(* The server event loop.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run cfg =
+  if cfg.pool < 1 then invalid_arg "Server: pool must have at least one worker";
+  let jobs = generate_jobs cfg in
+  let njobs = List.length jobs in
+  let reports : job_report option array = Array.make njobs None in
+  let decisions = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string decisions (s ^ "\n")) fmt in
+  let server_checker = Sanitizer.Checker.create (Sanitizer.Checker.config_of_rt cfg.rt) in
+  let sink = Obs.Trace.Sink.tee (Sanitizer.Checker.sink server_checker) cfg.trace in
+  let emit ~time ev = Obs.Trace.Sink.emit sink ~time ~worker:(-1) ev in
+  let now = ref 0 in
+  let breaker_opens = ref 0 in
+  let weights = Array.map (fun s -> Stdlib.max 1 s.weight) cfg.tenants in
+  let meter =
+    Meter.create ~config:cfg.meter ~weights
+      ~emit:(fun ~time ~tenant ~amount ->
+        emit ~time (Obs.Trace.Budget_refill { tenant; amount });
+        line "t=%d refill tenant=%d amount=%d" time tenant amount)
+      ()
+  in
+  let breakers =
+    Array.init (Array.length cfg.tenants) (fun tenant ->
+        Breaker.create ~config:cfg.breaker
+          ~on_transition:(fun ~from_state ~to_state ->
+            if to_state = Breaker.Open then incr breaker_opens;
+            emit ~time:!now
+              (Obs.Trace.Breaker_transition
+                 {
+                   tenant;
+                   from_state = Breaker.state_name from_state;
+                   to_state = Breaker.state_name to_state;
+                 });
+            line "t=%d breaker tenant=%d %s->%s" !now tenant (Breaker.state_name from_state)
+              (Breaker.state_name to_state))
+          ())
+  in
+  let queue = Admission.create ~capacity:cfg.queue_capacity ~weights in
+  let serial_cache = Hashtbl.create 8 in
+  let job_violations = ref [] in
+  let free = ref cfg.pool in
+  (* Event queue: sorted (time, seq) list. Arrivals enter first (they are
+     known upfront), completions as they are scheduled; the global [seq]
+     makes same-tick ordering total and deterministic. *)
+  let events = ref [] in
+  let seq = ref 0 in
+  let push_event time ev =
+    let s = !seq in
+    incr seq;
+    let rec ins = function
+      | [] -> [ (time, s, ev) ]
+      | ((t', s', _) as x) :: rest ->
+          if (time, s) < (t', s') then (time, s, ev) :: x :: rest else x :: ins rest
+    in
+    events := ins !events
+  in
+  List.iter (fun p -> push_event p.submit (Arrival p)) jobs;
+  let finalize (p : pending) ~start_time ~outcome ~granted ~promotions ~service ~work ~fp
+      ~mismatch =
+    let sojourn =
+      match outcome with
+      | Completed | Deadline_exceeded | Failed _ -> Some (!now - p.submit)
+      | Rejected _ -> None
+    in
+    reports.(p.id) <-
+      Some
+        {
+          job = p.id;
+          tenant = p.p_tenant;
+          workload = p.p_workload;
+          submit_time = p.submit;
+          start_time;
+          finish_time = !now;
+          outcome;
+          granted;
+          promotions;
+          service_cycles = service;
+          sojourn;
+          work_cycles = work;
+          fingerprint = fp;
+          mismatch;
+        }
+  in
+  let shed (p : pending) reason =
+    emit ~time:!now (Obs.Trace.Job_shed { job = p.id; tenant = p.p_tenant; reason });
+    line "t=%d shed job=%d tenant=%d reason=%s" !now p.id p.p_tenant reason;
+    finalize p ~start_time:None ~outcome:(Rejected reason) ~granted:0 ~promotions:0 ~service:None
+      ~work:0 ~fp:None ~mismatch:false
+  in
+  let expired (p : pending) =
+    match p.deadline_abs with Some d -> !now >= d | None -> false
+  in
+  let rec dispatch () =
+    match Admission.pop queue ~fits:(fun p -> expired p || p.workers <= !free) with
+    | None -> ()
+    | Some (_, p) when expired p ->
+        (* The deadline passed while the job sat in the queue: it still
+           terminates with full accounting, it just never held the pool. *)
+        emit ~time:!now
+          (Obs.Trace.Job_finished
+             { job = p.id; tenant = p.p_tenant; state = "deadline"; promotions = 0 });
+        line "t=%d finish job=%d tenant=%d outcome=deadline service=0" !now p.id p.p_tenant;
+        finalize p ~start_time:None ~outcome:Deadline_exceeded ~granted:0 ~promotions:0
+          ~service:None ~work:0 ~fp:None ~mismatch:false;
+        dispatch ()
+    | Some (tenant, p) ->
+        let grant = Meter.grant meter ~tenant ~want:p.want in
+        emit ~time:!now (Obs.Trace.Job_started { job = p.id; tenant; budget = grant });
+        line "t=%d start job=%d tenant=%d workers=%d grant=%d deadline=%s" !now p.id tenant
+          p.workers grant
+          (match p.deadline_abs with Some d -> string_of_int d | None -> "none");
+        free := !free - p.workers;
+        let fault_plan = cfg.tenants.(tenant).fault_plan in
+        let outcome, service, promotions, work, fp, mismatch, preempted, violations =
+          run_job cfg serial_cache p ~fault_plan ~grant ~now:!now
+        in
+        List.iter (fun v -> job_violations := (Some p.id, v) :: !job_violations) violations;
+        push_event (!now + service)
+          (Completion
+             {
+               c_job = p;
+               c_outcome = outcome;
+               c_granted = grant;
+               c_promotions = promotions;
+               c_service = service;
+               c_work = work;
+               c_fingerprint = fp;
+               c_mismatch = mismatch;
+               c_preempted = preempted;
+               c_violations = violations;
+             });
+        dispatch ()
+  in
+  let on_arrival (p : pending) =
+    emit ~time:!now (Obs.Trace.Job_submitted { job = p.id; tenant = p.p_tenant });
+    line "t=%d submit job=%d tenant=%d wl=%s" !now p.id p.p_tenant p.p_workload;
+    if not (Breaker.admit breakers.(p.p_tenant) ~now:!now) then shed p "breaker-open"
+    else if not (Admission.offer queue ~tenant:p.p_tenant ~priority:p.p_priority p) then
+      shed p "queue-full"
+    else begin
+      emit ~time:!now
+        (Obs.Trace.Job_admitted { job = p.id; tenant = p.p_tenant; queued = Admission.length queue });
+      line "t=%d admit job=%d tenant=%d depth=%d" !now p.id p.p_tenant (Admission.length queue);
+      dispatch ()
+    end
+  in
+  let on_completion (c : completion) =
+    let p = c.c_job in
+    free := !free + p.workers;
+    Admission.charge queue ~tenant:p.p_tenant ~cost:(c.c_service * p.workers);
+    if c.c_preempted then begin
+      emit ~time:!now (Obs.Trace.Job_preempted { job = p.id; tenant = p.p_tenant });
+      line "t=%d preempt job=%d tenant=%d" !now p.id p.p_tenant
+    end;
+    emit ~time:!now
+      (Obs.Trace.Job_finished
+         {
+           job = p.id;
+           tenant = p.p_tenant;
+           state = outcome_name c.c_outcome;
+           promotions = c.c_promotions;
+         });
+    line "t=%d finish job=%d tenant=%d outcome=%s promotions=%d service=%d" !now p.id p.p_tenant
+      (outcome_name c.c_outcome) c.c_promotions c.c_service;
+    Meter.refund meter ~now:!now ~tenant:p.p_tenant (c.c_granted - c.c_promotions);
+    (match c.c_outcome with
+    | Completed -> Breaker.record breakers.(p.p_tenant) ~now:!now ~ok:true
+    | Failed _ -> Breaker.record breakers.(p.p_tenant) ~now:!now ~ok:false
+    | Deadline_exceeded | Rejected _ -> ());
+    finalize p
+      ~start_time:(Some (!now - c.c_service))
+      ~outcome:c.c_outcome ~granted:c.c_granted ~promotions:c.c_promotions
+      ~service:(Some c.c_service) ~work:c.c_work ~fp:c.c_fingerprint ~mismatch:c.c_mismatch;
+    dispatch ()
+  in
+  let makespan = ref 0 in
+  let rec loop () =
+    match !events with
+    | [] -> ()
+    | (time, _, ev) :: rest ->
+        events := rest;
+        now := time;
+        makespan := Stdlib.max !makespan time;
+        Meter.advance meter ~now:time;
+        (match ev with Arrival p -> on_arrival p | Completion c -> on_completion c);
+        loop ()
+  in
+  (* Epoch-0 credit lands before the first arrival. *)
+  Meter.advance meter ~now:0;
+  loop ();
+  Sanitizer.Checker.finish server_checker;
+  let reports =
+    Array.to_list reports
+    |> List.mapi (fun id r ->
+           match r with
+           | Some r -> r
+           | None ->
+               (* Unreachable by construction (every submitted job is shed
+                  or finished); keep the accounting honest if it ever is. *)
+               {
+                 job = id;
+                 tenant = -1;
+                 workload = "?";
+                 submit_time = 0;
+                 start_time = None;
+                 finish_time = 0;
+                 outcome = Failed "lost";
+                 granted = 0;
+                 promotions = 0;
+                 service_cycles = None;
+                 sojourn = None;
+                 work_cycles = 0;
+                 fingerprint = None;
+                 mismatch = false;
+               })
+  in
+  let count p = List.length (List.filter p reports) in
+  let completed = List.filter (fun r -> r.outcome = Completed) reports in
+  let sojourns =
+    List.filter_map (fun r -> Option.map Float.of_int r.sojourn) completed
+  in
+  let stats =
+    {
+      submitted = njobs;
+      admitted = count (fun r -> match r.outcome with Rejected _ -> false | _ -> true);
+      shed = count (fun r -> match r.outcome with Rejected _ -> true | _ -> false);
+      completed = List.length completed;
+      deadline_exceeded = count (fun r -> r.outcome = Deadline_exceeded);
+      failed = count (fun r -> match r.outcome with Failed _ -> true | _ -> false);
+      sojourn_p50 = Report.Stats.percentile 50.0 sojourns;
+      sojourn_p95 = Report.Stats.percentile 95.0 sojourns;
+      sojourn_p99 = Report.Stats.percentile 99.0 sojourns;
+      goodput =
+        (if !makespan = 0 then 0.0
+         else
+           Float.of_int (List.fold_left (fun acc r -> acc + r.work_cycles) 0 completed)
+           /. Float.of_int !makespan);
+      makespan = !makespan;
+      breaker_opens = !breaker_opens;
+    }
+  in
+  let violations =
+    List.map (fun v -> (None, v)) (Sanitizer.Checker.violations server_checker)
+    @ List.rev !job_violations
+  in
+  { reports; stats; decisions = Buffer.contents decisions; violations }
+
+let summary r =
+  let s = r.stats in
+  Printf.sprintf
+    "serve: %d submitted, %d admitted, %d shed, %d completed, %d deadline, %d failed | sojourn \
+     p50=%.0f p95=%.0f p99=%.0f | goodput=%.3f work/cycle | makespan=%d | breaker opens=%d | %d \
+     violation(s)"
+    s.submitted s.admitted s.shed s.completed s.deadline_exceeded s.failed s.sojourn_p50
+    s.sojourn_p95 s.sojourn_p99 s.goodput s.makespan s.breaker_opens (List.length r.violations)

@@ -1,0 +1,124 @@
+(** Multi-tenant heartbeat job server over the virtual-time engine.
+
+    A seeded stream of jobs from N tenants — each tenant an open-loop
+    {!Arrival.process} over registry workloads — shares one simulated pool
+    of workers. The server is itself a deterministic discrete-event
+    simulation: admission, fairness, metering, breaker and deadline
+    decisions all happen at virtual times, and each started job's service
+    time is the makespan of a real inner {!Hbc_core.Executor} run on the
+    job's slice of the pool (so deadlines are enforced by the engine's own
+    cycle-cap watchdogs, per job, and one job's budget exhaustion can
+    never terminate a co-scheduled job).
+
+    Robustness behaviours, all explicit and typed:
+    - a full bounded queue sheds at submission ([Rejected "queue-full"]);
+    - a tenant tripping its {!Breaker} is quarantined
+      ([Rejected "breaker-open"]) instead of stalling the pool;
+    - a job passing its deadline is preempted ([Deadline_exceeded]) with
+      partial results journaled and its pool share reclaimed;
+    - promotion opportunities are metered per tenant ({!Meter}), and an
+      exhausted grant degrades the job gracefully to serial execution.
+
+    Every decision is emitted as an {!Obs.Trace} event (and mirrored in a
+    textual decision journal for byte-identity tests); with [sanitize] the
+    run carries a server-level {!Sanitizer.Checker} proving job and budget
+    conservation plus one per-job checker for the scheduler invariants. *)
+
+type service = Hbc | Tpal of { chunk : int } | Omp of Baselines.Openmp.config
+
+val service_name : service -> string
+
+type tenant_spec = {
+  weight : int;  (** fair-queuing and meter weight (>= 1) *)
+  arrival : Arrival.process;
+  jobs : int;
+  workloads : string list;  (** registry names a job is drawn from *)
+  scale : float;
+  workers_wanted : int;  (** pool share per job (clamped to the pool) *)
+  deadline : (int * int) option;
+      (** per-job deadline range, in cycles relative to submission *)
+  cycle_budget : (int * int) option;
+      (** per-job livelock watchdog range (inner cycles); hitting it is a
+          structural failure, unlike a deadline miss *)
+  fault_plan : Sim.Fault_plan.t option;  (** a misbehaving tenant *)
+  promotion_want : int;  (** promotion grant requested per job *)
+  priority : int;  (** within-tenant queue ordering (higher first) *)
+}
+
+val tenant_default : tenant_spec
+
+type config = {
+  tenants : tenant_spec array;
+  pool : int;  (** simulated workers shared by all jobs (>= 1) *)
+  queue_capacity : int;  (** 0 is legal: everything sheds *)
+  seed : int;
+  service : service;
+  rt : Hbc_core.Rt_config.t;  (** base runtime config (workers/seed overridden per job) *)
+  breaker : Breaker.config;
+  meter : Meter.config;
+  sanitize : bool;  (** server-level + per-job invariant checkers *)
+  verify : bool;  (** differential-check completed jobs against the serial reference *)
+  trace : Obs.Trace.Sink.t;  (** extra sink for the server's own events *)
+}
+
+val default_config : config
+(** 8-worker pool, 16-deep queue, HBC service, no tenants. *)
+
+type outcome =
+  | Completed
+  | Deadline_exceeded  (** preempted at its deadline (or expired while queued) *)
+  | Rejected of string  (** shed at submission: "queue-full" or "breaker-open" *)
+  | Failed of string  (** structural: "budget", "guard:*", "crash:*", "mismatch", "invariant" *)
+
+val outcome_name : outcome -> string
+
+type job_report = {
+  job : int;
+  tenant : int;
+  workload : string;
+  submit_time : int;
+  start_time : int option;  (** None: shed, or expired while queued *)
+  finish_time : int;
+  outcome : outcome;
+  granted : int;  (** metered promotion grant *)
+  promotions : int;  (** promotions actually used (<= granted) *)
+  service_cycles : int option;
+  sojourn : int option;  (** finish - submit, for admitted jobs *)
+  work_cycles : int;
+  fingerprint : float option;
+  mismatch : bool;  (** verify-mode differential failure *)
+}
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  shed : int;
+  completed : int;
+  deadline_exceeded : int;
+  failed : int;
+  sojourn_p50 : float;  (** over completed jobs, in cycles *)
+  sojourn_p95 : float;
+  sojourn_p99 : float;
+  goodput : float;  (** completed work cycles per server cycle *)
+  makespan : int;
+  breaker_opens : int;
+}
+
+type result = {
+  reports : job_report list;  (** in job-id (submission) order *)
+  stats : stats;
+  decisions : string;
+      (** textual decision journal, one line per admit/shed/start/finish/
+          breaker/refill — byte-identical across equal-seed runs *)
+  violations : (int option * Sanitizer.Checker.violation) list;
+      (** (job, violation); [None] is the server-level checker *)
+}
+
+val run : config -> result
+(** Deterministic: equal configs (same seed) give equal results, byte for
+    byte including {!result.decisions}.
+    @raise Invalid_argument on an empty pool or a tenant with no
+    workloads. *)
+
+val summary : result -> string
+(** One line of counts and tail latencies for CLIs and smoke tests. *)

@@ -30,6 +30,13 @@ let float t bound =
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
+(* Inverse-CDF: -ln(1-u)/rate with u in [0, 1). 1-u is in (0, 1], so the
+   log never sees 0 and the sample is always finite and non-negative. *)
+let exponential t ~rate =
+  assert (rate > 0.0);
+  let u = float t 1.0 in
+  -.Float.log (1.0 -. u) /. rate
+
 (* Inverse-CDF sampling against the generalized harmonic number; the CDF is
    approximated by the continuous integral, which is accurate enough for
    workload generation and avoids O(n) tables. *)

@@ -28,6 +28,11 @@ val float : t -> float -> float
 val bool : t -> bool
 (** Fair coin. *)
 
+val exponential : t -> rate:float -> float
+(** [exponential t ~rate] samples an exponential inter-arrival time with
+    the given rate (mean [1 /. rate]); [rate] must be positive. Drives the
+    server's Poisson arrival processes. *)
+
 val zipf : t -> alpha:float -> n:int -> int
 (** [zipf t ~alpha ~n] samples from a Zipf distribution over [\[1, n\]] with
     exponent [alpha] (rejection-free inverse-CDF approximation). Used by the

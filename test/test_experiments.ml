@@ -37,7 +37,7 @@ let harness_speedup_sane () =
 let figure_ids () =
   Alcotest.(check (list string))
     "all figures present"
-    [ "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fault-sweep" ]
+    [ "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fault-sweep"; "serve-bench" ]
     (List.map (fun f -> f.Experiments.Figure.id) Experiments.Run_all.figures)
 
 let suite =

@@ -20,4 +20,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("benchgate", Test_benchgate.suite);
       ("sanitizer", Test_sanitizer.suite);
+      ("server", Test_server.suite);
     ]

@@ -373,6 +373,32 @@ let error_cells_render () =
   check_string "deadlock cell" "\xe2\x80\x94(deadlock)"
     (Experiments.Trial_error.cell (Experiments.Trial_error.Deadlock "d"))
 
+(* Serve-mode requests must never alias plain trials in the journal: each
+   of the new tenant/deadline/priority/promotion-budget knobs has to reach
+   the request signature. *)
+let signature_covers_serve_fields () =
+  let sig_of req = Hbc_core.Run_request.signature req in
+  let plain = sig_of (Hbc_core.Run_request.make ()) in
+  let variants =
+    [
+      ("tenant", Hbc_core.Run_request.make ~tenant:3 ());
+      ("deadline", Hbc_core.Run_request.make ~deadline:50_000 ());
+      ("priority", Hbc_core.Run_request.make ~priority:2 ());
+      ("promotion budget", Hbc_core.Run_request.make ~promotion_budget:8 ());
+    ]
+  in
+  List.iter
+    (fun (name, req) ->
+      check_bool (name ^ " changes the signature") true (sig_of req <> plain))
+    variants;
+  let sigs = plain :: List.map (fun (_, r) -> sig_of r) variants in
+  check_bool "all five signatures distinct" true
+    (List.length (List.sort_uniq compare sigs) = List.length sigs);
+  (* equal requests still agree *)
+  check_bool "signatures are stable" true
+    (sig_of (Hbc_core.Run_request.make ~tenant:3 ())
+    = sig_of (Hbc_core.Run_request.make ~tenant:3 ()))
+
 let suite =
   [
     Alcotest.test_case "journal: completed round-trip" `Quick roundtrip_completed;
@@ -387,4 +413,5 @@ let suite =
     Alcotest.test_case "deterministic failures fail fast" `Quick deterministic_failures_fail_fast;
     Alcotest.test_case "geomean excludes failures explicitly" `Quick geomean_exclusion;
     Alcotest.test_case "error cells render explicitly" `Quick error_cells_render;
+    Alcotest.test_case "signature covers serve fields" `Quick signature_covers_serve_fields;
   ]

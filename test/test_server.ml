@@ -1,0 +1,457 @@
+(* Multi-tenant job server: admission, fairness, deadlines, breakers,
+   metered promotion budgets, and the determinism they all hang off. *)
+
+let check = Alcotest.check
+
+let tenant = Serve.Server.tenant_default
+
+let base cfg = { Serve.Server.default_config with Serve.Server.sanitize = true; seed = 42 } |> cfg
+
+let run cfg = Serve.Server.run (base cfg)
+
+let outcomes (r : Serve.Server.result) =
+  List.map (fun (j : Serve.Server.job_report) -> (j.Serve.Server.tenant, j.Serve.Server.outcome)) r.Serve.Server.reports
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processes.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let arrival_roundtrip () =
+  List.iter
+    (fun p ->
+      let s = Serve.Arrival.to_string p in
+      match Serve.Arrival.of_string s with
+      | Some q -> check Alcotest.string "roundtrip" s (Serve.Arrival.to_string q)
+      | None -> Alcotest.failf "of_string failed on %s" s)
+    [
+      Serve.Arrival.Poisson { mean_gap = 800.0 };
+      Serve.Arrival.Burst { period = 5_000; size = 4 };
+      Serve.Arrival.Adversarial { quiet = 20_000; burst = 8 };
+    ];
+  check Alcotest.bool "garbage rejected" true (Serve.Arrival.of_string "warp:9" = None)
+
+let arrival_monotone_and_seeded () =
+  let times p seed =
+    Serve.Arrival.times p ~rng:(Sim.Sim_rng.create seed) ~jobs:32
+  in
+  List.iter
+    (fun p ->
+      let ts = times p 7 in
+      check Alcotest.int "count" 32 (List.length ts);
+      ignore
+        (List.fold_left
+           (fun prev t ->
+             check Alcotest.bool "nondecreasing" true (t >= prev && t >= 0);
+             t)
+           0 ts);
+      check Alcotest.bool "seed-deterministic" true (ts = times p 7))
+    [
+      Serve.Arrival.Poisson { mean_gap = 500.0 };
+      Serve.Arrival.Burst { period = 100; size = 3 };
+      Serve.Arrival.Adversarial { quiet = 1_000; burst = 5 };
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Breaker state machine.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_trip_and_recover () =
+  let cfg = { Serve.Breaker.default_config with Serve.Breaker.failure_threshold = 2; cooldown = 100; probe_budget = 1 } in
+  let b = Serve.Breaker.create ~config:cfg ~on_transition:(fun ~from_state:_ ~to_state:_ -> ()) () in
+  check Alcotest.bool "closed admits" true (Serve.Breaker.admit b ~now:0);
+  Serve.Breaker.record b ~now:1 ~ok:false;
+  check Alcotest.bool "one failure still closed" true (Serve.Breaker.admit b ~now:2);
+  Serve.Breaker.record b ~now:3 ~ok:false;
+  check Alcotest.bool "threshold trips open" false (Serve.Breaker.admit b ~now:4);
+  check Alcotest.bool "still cooling" false (Serve.Breaker.admit b ~now:50);
+  check Alcotest.bool "cooldown over: probe admitted" true (Serve.Breaker.admit b ~now:104);
+  check Alcotest.bool "probe budget spent" false (Serve.Breaker.admit b ~now:105);
+  Serve.Breaker.record b ~now:110 ~ok:true;
+  check Alcotest.bool "probe success closes" true (Serve.Breaker.admit b ~now:111)
+
+let breaker_backoff_grows () =
+  let cfg =
+    { Serve.Breaker.failure_threshold = 1; cooldown = 100; backoff = 2.0; probe_budget = 1 }
+  in
+  let b = Serve.Breaker.create ~config:cfg ~on_transition:(fun ~from_state:_ ~to_state:_ -> ()) () in
+  Serve.Breaker.record b ~now:0 ~ok:false;
+  check Alcotest.bool "first cooldown 100" true (Serve.Breaker.admit b ~now:100);
+  Serve.Breaker.record b ~now:101 ~ok:false;
+  (* second open: cooldown doubles *)
+  check Alcotest.bool "not after 100" false (Serve.Breaker.admit b ~now:201);
+  check Alcotest.bool "after 200" true (Serve.Breaker.admit b ~now:301)
+
+(* ------------------------------------------------------------------ *)
+(* Promotion meter.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let meter_refill_grant_refund () =
+  let refills = ref [] in
+  let cfg = { Serve.Meter.refill_period = 100; refill_amount = 10; burst_cap = 15 } in
+  let m =
+    Serve.Meter.create ~config:cfg
+      ~weights:[| 1; 2 |]
+      ~emit:(fun ~time ~tenant ~amount -> refills := (time, tenant, amount) :: !refills)
+      ()
+  in
+  Serve.Meter.advance m ~now:0;
+  check Alcotest.int "epoch 0 refill" 10 (Serve.Meter.balance m ~tenant:0);
+  check Alcotest.int "weighted refill" 20 (Serve.Meter.balance m ~tenant:1);
+  check Alcotest.int "grant min(want,balance)" 10 (Serve.Meter.grant m ~tenant:0 ~want:64);
+  check Alcotest.int "drained" 0 (Serve.Meter.balance m ~tenant:0);
+  Serve.Meter.refund m ~now:5 ~tenant:0 4;
+  check Alcotest.int "refund credits" 4 (Serve.Meter.balance m ~tenant:0);
+  Serve.Meter.advance m ~now:250;
+  (* epochs 1 and 2 credit 10 each, clamped at burst cap 15 *)
+  check Alcotest.int "burst cap" 15 (Serve.Meter.balance m ~tenant:0);
+  check Alcotest.bool "every refill emitted" true (List.length !refills > 0);
+  List.iter (fun (_, _, a) -> check Alcotest.bool "positive" true (a > 0)) !refills
+
+(* ------------------------------------------------------------------ *)
+(* Admission queue.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let admission_zero_capacity () =
+  let q = Serve.Admission.create ~capacity:0 ~weights:[| 1; 1 |] in
+  check Alcotest.bool "offer refused" false (Serve.Admission.offer q ~tenant:0 ~priority:0 "a");
+  check Alcotest.int "empty" 0 (Serve.Admission.length q)
+
+let admission_weighted_fairness () =
+  let q = Serve.Admission.create ~capacity:16 ~weights:[| 1; 2 |] in
+  for i = 0 to 3 do
+    ignore (Serve.Admission.offer q ~tenant:0 ~priority:0 (Printf.sprintf "a%d" i));
+    ignore (Serve.Admission.offer q ~tenant:1 ~priority:0 (Printf.sprintf "b%d" i))
+  done;
+  (* Equal cost per pop; tenant 1 has twice the weight, so it gets served
+     roughly twice as often while both lanes are busy. *)
+  let served = ref [] in
+  let rec drain () =
+    match Serve.Admission.pop q ~fits:(fun _ -> true) with
+    | None -> ()
+    | Some (t, _) ->
+        Serve.Admission.charge q ~tenant:t ~cost:100;
+        served := t :: !served;
+        drain ()
+  in
+  drain ();
+  let first_six = List.filteri (fun i _ -> i < 6) (List.rev !served) in
+  let t1 = List.length (List.filter (fun t -> t = 1) first_six) in
+  check Alcotest.int "8 served" 8 (List.length !served);
+  check Alcotest.bool "weight-2 tenant gets most of the early slots" true (t1 >= 3)
+
+let admission_priority_within_lane () =
+  let q = Serve.Admission.create ~capacity:8 ~weights:[| 1 |] in
+  ignore (Serve.Admission.offer q ~tenant:0 ~priority:0 "low");
+  ignore (Serve.Admission.offer q ~tenant:0 ~priority:5 "high");
+  ignore (Serve.Admission.offer q ~tenant:0 ~priority:5 "high2");
+  (match Serve.Admission.pop q ~fits:(fun _ -> true) with
+  | Some (_, p) -> check Alcotest.string "highest priority first" "high" p
+  | None -> Alcotest.fail "pop");
+  match Serve.Admission.pop q ~fits:(fun _ -> true) with
+  | Some (_, p) -> check Alcotest.string "FIFO within priority" "high2" p
+  | None -> Alcotest.fail "pop"
+
+let admission_backfill () =
+  let q = Serve.Admission.create ~capacity:8 ~weights:[| 1; 1 |] in
+  ignore (Serve.Admission.offer q ~tenant:0 ~priority:0 8);
+  (* wide job *)
+  ignore (Serve.Admission.offer q ~tenant:1 ~priority:0 2);
+  (* narrow job *)
+  match Serve.Admission.pop q ~fits:(fun w -> w <= 4) with
+  | Some (t, w) ->
+      check Alcotest.int "narrow job backfills" 2 w;
+      check Alcotest.int "from the other lane" 1 t
+  | None -> Alcotest.fail "backfill should serve the narrow job"
+
+(* ------------------------------------------------------------------ *)
+(* Server: overload edge cases (zero capacity, simultaneous arrivals,  *)
+(* byte-identical reruns).                                             *)
+(* ------------------------------------------------------------------ *)
+
+let small_tenants =
+  [|
+    { tenant with Serve.Server.jobs = 3; scale = 0.01 };
+    {
+      tenant with
+      Serve.Server.jobs = 3;
+      scale = 0.01;
+      workloads = [ "mandelbrot" ];
+      arrival = Serve.Arrival.Burst { period = 50_000; size = 3 };
+    };
+  |]
+
+let zero_capacity_sheds_everything () =
+  let r = run (fun c -> { c with Serve.Server.tenants = small_tenants; queue_capacity = 0 }) in
+  let s = r.Serve.Server.stats in
+  check Alcotest.int "all submitted" 6 s.Serve.Server.submitted;
+  check Alcotest.int "all shed" 6 s.Serve.Server.shed;
+  check Alcotest.int "none admitted" 0 s.Serve.Server.admitted;
+  List.iter
+    (function
+      | _, Serve.Server.Rejected "queue-full" -> ()
+      | _, o -> Alcotest.failf "expected queue-full shed, got %s" (Serve.Server.outcome_name o))
+    (outcomes r);
+  check Alcotest.int "no violations" 0 (List.length r.Serve.Server.violations)
+
+let simultaneous_arrivals_are_ordered () =
+  (* A burst of 3 jobs at t=0 from each of two tenants: admission order
+     must be total and reproducible (tenant id then per-tenant index). *)
+  let burst =
+    Array.map
+      (fun t -> { t with Serve.Server.arrival = Serve.Arrival.Burst { period = 1_000_000; size = 3 } })
+      small_tenants
+  in
+  let r1 = run (fun c -> { c with Serve.Server.tenants = burst }) in
+  let r2 = run (fun c -> { c with Serve.Server.tenants = burst }) in
+  check Alcotest.int "all admitted" 6 r1.Serve.Server.stats.Serve.Server.admitted;
+  check Alcotest.bool "same outcomes" true (outcomes r1 = outcomes r2);
+  check Alcotest.string "byte-identical decision journals" r1.Serve.Server.decisions
+    r2.Serve.Server.decisions
+
+let equal_seeds_byte_identical () =
+  let mk () =
+    run (fun c ->
+        {
+          c with
+          Serve.Server.tenants = small_tenants;
+          queue_capacity = 2;
+          verify = true;
+          seed = 1234;
+        })
+  in
+  let r1 = mk () and r2 = mk () in
+  check Alcotest.string "decisions" r1.Serve.Server.decisions r2.Serve.Server.decisions;
+  check Alcotest.bool "reports" true (r1.Serve.Server.reports = r2.Serve.Server.reports);
+  check Alcotest.bool "stats" true (r1.Serve.Server.stats = r2.Serve.Server.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines: structured, isolated, conserved.                         *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_cuts_only_its_job () =
+  let tenants =
+    [|
+      { tenant with Serve.Server.jobs = 2; scale = 0.01; deadline = Some (2_000, 2_000) };
+      { tenant with Serve.Server.jobs = 2; scale = 0.01; workloads = [ "mandelbrot" ] };
+    |]
+  in
+  let r = run (fun c -> { c with Serve.Server.tenants = tenants; verify = true }) in
+  List.iter
+    (fun (t, o) ->
+      match (t, o) with
+      | 0, Serve.Server.Deadline_exceeded -> ()
+      | 0, o -> Alcotest.failf "tenant 0 should deadline, got %s" (Serve.Server.outcome_name o)
+      | 1, Serve.Server.Completed -> ()
+      | _, o -> Alcotest.failf "tenant 1 should complete, got %s" (Serve.Server.outcome_name o))
+    (outcomes r);
+  check Alcotest.int "no violations" 0 (List.length r.Serve.Server.violations);
+  (* partial results journaled: deadline jobs still report service + work *)
+  List.iter
+    (fun (j : Serve.Server.job_report) ->
+      if j.Serve.Server.outcome = Serve.Server.Deadline_exceeded then begin
+        check Alcotest.bool "service recorded" true (j.Serve.Server.service_cycles <> None);
+        check Alcotest.bool "started" true (j.Serve.Server.start_time <> None)
+      end)
+    r.Serve.Server.reports
+
+(* Satellite regression: one job's cycle budget cannot kill a co-scheduled
+   job — budgets are per-job engine watchdogs, not pool-global state. *)
+let budget_exhaustion_is_isolated () =
+  let tenants =
+    [|
+      { tenant with Serve.Server.jobs = 3; scale = 0.01; cycle_budget = Some (1_500, 1_500) };
+      { tenant with Serve.Server.jobs = 3; scale = 0.01; workloads = [ "mandelbrot" ] };
+    |]
+  in
+  let r = run (fun c -> { c with Serve.Server.tenants = tenants; verify = true }) in
+  List.iter
+    (fun (t, o) ->
+      match (t, o) with
+      | 0, Serve.Server.Failed "budget" -> ()
+      | 0, Serve.Server.Rejected "breaker-open" -> () (* quarantined after repeated failures *)
+      | 0, o -> Alcotest.failf "tenant 0 should fail its budget, got %s" (Serve.Server.outcome_name o)
+      | 1, Serve.Server.Completed -> ()
+      | _, o -> Alcotest.failf "tenant 1 must be unaffected, got %s" (Serve.Server.outcome_name o))
+    (outcomes r);
+  check Alcotest.int "no violations" 0 (List.length r.Serve.Server.violations)
+
+let faulty_tenant_trips_breaker () =
+  let plan =
+    {
+      Sim.Fault_plan.seed = 5;
+      beat_drop_prob = 0.3;
+      beat_jitter = 1_000;
+      steal_fail_prob = 0.3;
+      steal_fail_burst = 2;
+      stall_prob = 0.1;
+      stall_cycles = 500;
+    }
+  in
+  let tenants =
+    [|
+      {
+        tenant with
+        Serve.Server.jobs = 8;
+        scale = 0.01;
+        arrival = Serve.Arrival.Poisson { mean_gap = 2_000.0 };
+        cycle_budget = Some (1_500, 1_500);
+        fault_plan = Some plan;
+      };
+      { tenant with Serve.Server.jobs = 3; scale = 0.01; workloads = [ "kmeans" ] };
+    |]
+  in
+  let r =
+    run (fun c ->
+        {
+          c with
+          Serve.Server.tenants = tenants;
+          breaker =
+            { Serve.Breaker.default_config with Serve.Breaker.failure_threshold = 2; cooldown = 1_000_000 };
+        })
+  in
+  let s = r.Serve.Server.stats in
+  check Alcotest.bool "breaker opened" true (s.Serve.Server.breaker_opens >= 1);
+  let quarantined =
+    List.exists (fun (t, o) -> t = 0 && o = Serve.Server.Rejected "breaker-open") (outcomes r)
+  in
+  check Alcotest.bool "later jobs quarantined" true quarantined;
+  List.iter
+    (fun (t, o) ->
+      if t = 1 && o <> Serve.Server.Completed then
+        Alcotest.failf "healthy tenant hit %s" (Serve.Server.outcome_name o))
+    (outcomes r);
+  check Alcotest.int "no violations" 0 (List.length r.Serve.Server.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Promotion budgets: metered, conserved, gracefully serial at zero.   *)
+(* ------------------------------------------------------------------ *)
+
+let promotions_never_exceed_grant () =
+  let r =
+    run (fun c ->
+        {
+          c with
+          Serve.Server.tenants = small_tenants;
+          meter = { Serve.Meter.refill_period = 50_000; refill_amount = 4; burst_cap = 8 };
+        })
+  in
+  List.iter
+    (fun (j : Serve.Server.job_report) ->
+      check Alcotest.bool "promotions <= granted" true (j.Serve.Server.promotions <= j.Serve.Server.granted))
+    r.Serve.Server.reports;
+  check Alcotest.int "budget conservation holds" 0 (List.length r.Serve.Server.violations)
+
+let zero_promotion_budget_runs_serial () =
+  let entry = Workloads.Registry.find "plus-reduce-array" in
+  let (Ir.Program.Any p) = entry.Workloads.Registry.make 0.01 in
+  let serial = Baselines.Serial_exec.run_program p in
+  let rt = { Hbc_core.Rt_config.default with Hbc_core.Rt_config.workers = 4; seed = 3 } in
+  let r =
+    Hbc_core.Executor.run ~request:(Hbc_core.Run_request.make ~promotion_budget:0 ()) rt p
+  in
+  check Alcotest.int "no promotions at zero budget" 0 r.Sim.Run_result.metrics.Sim.Metrics.promotions;
+  check Alcotest.bool "still the right answer" true (Sim.Run_result.fingerprints_close serial r);
+  (* and a metered run spends at most its budget *)
+  let r2 =
+    Hbc_core.Executor.run ~request:(Hbc_core.Run_request.make ~promotion_budget:3 ()) rt p
+  in
+  check Alcotest.bool "budgeted run bounded" true
+    (r2.Sim.Run_result.metrics.Sim.Metrics.promotions <= 3);
+  check Alcotest.bool "budgeted run correct" true (Sim.Run_result.fingerprints_close serial r2)
+
+(* ------------------------------------------------------------------ *)
+(* Job conservation.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let every_job_reaches_one_terminal_state () =
+  let r =
+    run (fun c ->
+        {
+          c with
+          Serve.Server.tenants =
+            Array.map
+              (fun t ->
+                { t with Serve.Server.deadline = Some (10_000, 400_000); jobs = 4 })
+              small_tenants;
+          queue_capacity = 3;
+        })
+  in
+  let s = r.Serve.Server.stats in
+  check Alcotest.int "reports cover submissions" s.Serve.Server.submitted
+    (List.length r.Serve.Server.reports);
+  check Alcotest.int "terminal outcomes partition submissions" s.Serve.Server.submitted
+    (s.Serve.Server.shed + s.Serve.Server.completed + s.Serve.Server.deadline_exceeded
+   + s.Serve.Server.failed);
+  let ids = List.map (fun (j : Serve.Server.job_report) -> j.Serve.Server.job) r.Serve.Server.reports in
+  check Alcotest.bool "each job exactly once" true (List.sort_uniq compare ids = List.sort compare ids);
+  check Alcotest.int "checker agrees" 0 (List.length r.Serve.Server.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Serve-mode fuzz plumbing.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_mix_is_seeded () =
+  let m1 = Sanitizer.Fuzz.gen_mix (Sim.Sim_rng.create 11) in
+  let m2 = Sanitizer.Fuzz.gen_mix (Sim.Sim_rng.create 11) in
+  let m3 = Sanitizer.Fuzz.gen_mix (Sim.Sim_rng.create 12) in
+  check Alcotest.string "equal seeds equal mixes" (Sanitizer.Fuzz.mix_hash m1)
+    (Sanitizer.Fuzz.mix_hash m2);
+  check Alcotest.bool "different seeds differ" true
+    (Sanitizer.Fuzz.mix_hash m1 <> Sanitizer.Fuzz.mix_hash m3);
+  List.iter
+    (fun (t : Sanitizer.Fuzz.mix_tenant) ->
+      check Alcotest.bool "arrival codec parses" true
+        (Serve.Arrival.of_string t.Sanitizer.Fuzz.mt_arrival <> None))
+    m1.Sanitizer.Fuzz.mix_tenants
+
+let tiny_mix_passes_differentially () =
+  let m =
+    {
+      Sanitizer.Fuzz.mix_seed = 77;
+      mix_pool = 4;
+      mix_queue = 4;
+      mix_tenants =
+        [
+          {
+            Sanitizer.Fuzz.mt_weight = 1;
+            mt_arrival = "burst:100000:2";
+            mt_jobs = 2;
+            mt_workloads = [ "plus-reduce-array" ];
+            mt_scale = 0.01;
+            mt_workers = 2;
+            mt_deadline = None;
+            mt_cycle_budget = None;
+            mt_plan = None;
+            mt_promotion_want = 8;
+          };
+        ];
+    }
+  in
+  let o = Serve.Fuzz.run_mix m in
+  check Alcotest.int "no failures" 0 (List.length o.Serve.Fuzz.failures);
+  check Alcotest.int "both jobs completed" 2
+    o.Serve.Fuzz.result.Serve.Server.stats.Serve.Server.completed
+
+let suite =
+  [
+    Alcotest.test_case "arrival codec roundtrips" `Quick arrival_roundtrip;
+    Alcotest.test_case "arrival times monotone + seeded" `Quick arrival_monotone_and_seeded;
+    Alcotest.test_case "breaker trips and recovers" `Quick breaker_trip_and_recover;
+    Alcotest.test_case "breaker backoff grows" `Quick breaker_backoff_grows;
+    Alcotest.test_case "meter refill/grant/refund" `Quick meter_refill_grant_refund;
+    Alcotest.test_case "admission zero capacity" `Quick admission_zero_capacity;
+    Alcotest.test_case "admission weighted fairness" `Quick admission_weighted_fairness;
+    Alcotest.test_case "admission priority in lane" `Quick admission_priority_within_lane;
+    Alcotest.test_case "admission backfill" `Quick admission_backfill;
+    Alcotest.test_case "zero-capacity queue sheds all" `Quick zero_capacity_sheds_everything;
+    Alcotest.test_case "simultaneous arrivals ordered" `Quick simultaneous_arrivals_are_ordered;
+    Alcotest.test_case "equal seeds byte-identical" `Quick equal_seeds_byte_identical;
+    Alcotest.test_case "deadline cuts only its job" `Quick deadline_cuts_only_its_job;
+    Alcotest.test_case "budget exhaustion isolated" `Quick budget_exhaustion_is_isolated;
+    Alcotest.test_case "faulty tenant quarantined" `Quick faulty_tenant_trips_breaker;
+    Alcotest.test_case "promotions never exceed grant" `Quick promotions_never_exceed_grant;
+    Alcotest.test_case "zero promotion budget is serial" `Quick zero_promotion_budget_runs_serial;
+    Alcotest.test_case "job conservation" `Quick every_job_reaches_one_terminal_state;
+    Alcotest.test_case "gen_mix is seeded" `Quick gen_mix_is_seeded;
+    Alcotest.test_case "tiny mix passes" `Quick tiny_mix_passes_differentially;
+  ]
