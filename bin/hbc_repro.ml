@@ -176,7 +176,9 @@ let run_cmd =
     "Run one benchmark under one executor and print its statistics. The $(b,--fault-*) options \
      inject a deterministic fault plan into the hbc executors (seed-reproducible; outputs still \
      match the sequential reference). $(b,--trace) additionally captures every scheduler event \
-     and exports a Chrome trace_event / Perfetto JSON file."
+     and exports a Chrome trace_event / Perfetto JSON file. $(b,--pause-at) checkpoints the run \
+     cooperatively at a cycle boundary; $(b,--resume-from) continues it to a byte-identical \
+     final result."
   in
   let bench_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
@@ -200,13 +202,53 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "sanitize" ] ~doc)
   in
-  let run config bench executor fault_plan trace_path sanitize journal =
+  let pause_arg =
+    let doc =
+      "Cooperatively pause the run at the first event at or past $(docv) virtual cycles and \
+       write the serializable checkpoint to the $(b,--checkpoint) path (hbc executors only)."
+    in
+    Arg.(value & opt (some int) None & info [ "pause-at" ] ~docv:"CYCLE" ~doc)
+  in
+  let ckpt_arg =
+    let doc = "Where $(b,--pause-at) writes the checkpoint JSON." in
+    Arg.(value & opt string "hbc-checkpoint.json" & info [ "checkpoint" ] ~docv:"PATH" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume a previously paused run from the checkpoint in $(docv): the job is replayed to \
+       the boundary with trace emission muted, byte-verified against the checkpoint, then \
+       continued live — the final result is byte-identical to an uninterrupted run."
+    in
+    Arg.(value & opt (some string) None & info [ "resume-from" ] ~docv:"PATH" ~doc)
+  in
+  let run config bench executor fault_plan trace_path sanitize pause_at ckpt_path resume_path
+      journal =
     with_journal journal @@ fun () ->
     let entry =
       try Workloads.Registry.find bench
       with Not_found ->
         Printf.eprintf "unknown benchmark %s; try `hbc_repro list`\n" bench;
         exit 1
+    in
+    let resume_from =
+      Option.map
+        (fun path ->
+          let contents =
+            try
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            with Sys_error msg ->
+              Printf.eprintf "run: cannot read checkpoint %s: %s\n" path msg;
+              exit 2
+          in
+          match Sim.Checkpoint_state.of_string contents with
+          | Ok ck -> ck
+          | Error e ->
+              Printf.eprintf "run: %s is not a checkpoint: %s\n" path e;
+              exit 2)
+        resume_path
     in
     let base = Experiments.Harness.baseline config entry in
     let san =
@@ -222,15 +264,67 @@ let run_cmd =
       | Some sa, None -> Some (Sanitizer.Checker.sink sa)
       | Some sa, Some s -> Some (Obs.Trace.Sink.tee (Sanitizer.Checker.sink sa) s)
     in
-    let request = Hbc_core.Run_request.make ?fault_plan ?trace:sink ~sanitize () in
+    let request =
+      Hbc_core.Run_request.make ?fault_plan ?trace:sink ~sanitize ?pause_at ?resume_from ()
+    in
     let tag_of t =
       let t = if fault_plan = None then t else t ^ "+faults" in
       let t = if trace_path = None then t else t ^ "+trace" in
+      let t = if pause_at = None then t else t ^ "+pause" in
+      let t = if resume_from = None then t else t ^ "+resume" in
       if sanitize then t ^ "+sanitize" else t
     in
+    (* A paused (or resumed) run is not a campaign trial: the harness
+       would journal it as a poisoned entry and flag the pause as an
+       invariant error. Drive the executor directly instead. *)
+    let run_direct cfg_fn =
+      let (Ir.Program.Any p) = entry.Workloads.Registry.make config.Experiments.Harness.scale in
+      let rt =
+        cfg_fn
+          {
+            Hbc_core.Rt_config.default with
+            workers = config.Experiments.Harness.workers;
+            seed = config.Experiments.Harness.seed;
+          }
+      in
+      let r = Hbc_core.Executor.run ~request rt p in
+      let valid =
+        match r.Sim.Run_result.termination with
+        | Sim.Run_result.Finished -> Sim.Run_result.fingerprints_close base r
+        | _ -> false
+      in
+      {
+        Experiments.Harness.result = r;
+        speedup = Sim.Run_result.speedup ~baseline:base r;
+        valid;
+        error = None;
+      }
+    in
+    let direct = pause_at <> None || resume_from <> None in
+    (if direct then
+       match executor with
+       | "hbc" | "hbc-km" | "hbc-ping" -> ()
+       | other ->
+           Printf.eprintf "run: --pause-at/--resume-from need an hbc executor, not %s\n" other;
+           exit 2);
     let outcome =
       match executor with
       | "seq" -> { Experiments.Harness.result = base; speedup = 1.0; valid = true; error = None }
+      | "hbc" when direct -> run_direct (fun c -> c)
+      | "hbc-km" when direct ->
+          run_direct (fun c ->
+              {
+                c with
+                Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_kernel_module;
+                chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
+              })
+      | "hbc-ping" when direct ->
+          run_direct (fun c ->
+              {
+                c with
+                Hbc_core.Rt_config.mechanism = Hbc_core.Rt_config.Interrupt_ping_thread;
+                chunk = Hbc_core.Compiled.Static entry.Workloads.Registry.tpal_chunk;
+              })
       | "hbc" -> Experiments.Harness.run_hbc config ~tag:(tag_of "hbc") ~request entry
       | "hbc-km" ->
           Experiments.Harness.run_hbc config ~tag:(tag_of "hbc-km") ~request
@@ -319,6 +413,18 @@ let run_cmd =
     | Some e ->
         Printf.printf "trial error      : %s\n" (Experiments.Trial_error.to_string e)
     | None -> ());
+    (match r.Sim.Run_result.termination with
+    | Sim.Run_result.Paused ck ->
+        let oc = open_out ckpt_path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Sim.Checkpoint_state.to_string ck));
+        Printf.printf "paused           : %s\n" (Sim.Checkpoint_state.describe ck);
+        Printf.printf "checkpoint       : digest %s -> %s\n" (Sim.Checkpoint_state.digest ck)
+          ckpt_path;
+        Printf.printf "resume           : hbc_repro run %s -e %s --resume-from %s\n" bench
+          executor ckpt_path
+    | _ -> ());
     if r.Sim.Run_result.dnf then print_endline "run DID NOT FINISH (virtual-time cap)";
     match san with
     | None -> ()
@@ -341,7 +447,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ config_term $ bench_arg $ exec_arg $ fault_plan_term $ trace_arg
-      $ sanitize_arg $ journal_term)
+      $ sanitize_arg $ pause_arg $ ckpt_arg $ resume_arg $ journal_term)
 
 let asm_cmd =
   let doc =
@@ -686,7 +792,9 @@ let fuzz_cmd =
     let rng = Sim.Sim_rng.create fseed in
     for i = 1 to mixes do
       let m = Sanitizer.Fuzz.gen_mix rng in
-      let o = Serve.Fuzz.run_mix m in
+      (* Every mix is also crash-injected: the campaign is re-run through
+         a WAL killed halfway, recovered, and byte-compared. *)
+      let o = Serve.Fuzz.run_mix_recovery m in
       if o.Serve.Fuzz.failures <> [] then begin
         Printf.printf "FAIL mix %d/%d %s\n" i mixes (Sanitizer.Fuzz.mix_describe m);
         Printf.printf "  hash %s\n" (Sanitizer.Fuzz.mix_hash m);
@@ -700,11 +808,16 @@ let fuzz_cmd =
         exit 1
       end;
       let s = o.Serve.Fuzz.result.Serve.Server.stats in
-      Printf.printf "mix %2d/%d ok: %d submitted, %d completed, %d shed, %d deadline, %d failed\n%!"
-        i mixes s.Serve.Server.submitted s.Serve.Server.completed s.Serve.Server.shed
-        s.Serve.Server.deadline_exceeded s.Serve.Server.failed
+      Printf.printf
+        "mix %2d/%d ok [%s]: %d submitted, %d completed, %d shed, %d deadline, %d failed, %d \
+         ck/%d res\n\
+         %!"
+        i mixes m.Sanitizer.Fuzz.mix_preempt s.Serve.Server.submitted s.Serve.Server.completed
+        s.Serve.Server.shed s.Serve.Server.deadline_exceeded s.Serve.Server.failed
+        s.Serve.Server.checkpointed s.Serve.Server.resumed
     done;
-    Printf.printf "fuzz --serve: %d mix(es), 0 failures (seed %d)\n" mixes fseed
+    Printf.printf "fuzz --serve: %d mix(es) (+ kill-and-recover each), 0 failures (seed %d)\n"
+      mixes fseed
   in
   let run smoke fseed cases replay out force serve =
     if serve then begin
@@ -873,9 +986,46 @@ let serve_cmd =
       value & flag
       & info [ "expect-deadline" ] ~doc:"Exit 4 unless at least one job exceeded its deadline.")
   in
+  let preempt_arg =
+    Arg.(
+      value & opt string "cancel"
+      & info [ "preempt-policy" ] ~docv:"POLICY"
+          ~doc:
+            "What a deadline does to a running job: $(b,cancel) kills it (partial results \
+             journaled); $(b,pause) checkpoints it at an engine boundary, refunds its unused \
+             promotion grant, and requeues it with a refreshed deadline — completed jobs are \
+             byte-identical to uninterrupted runs.")
+  in
+  let max_preempts_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-preempts" ] ~docv:"N"
+          ~doc:
+            "Pause/resume episodes (and breaker deferrals) allowed per job before the final \
+             episode runs against a hard deadline.")
+  in
+  let wal_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal" ] ~docv:"PATH"
+          ~doc:
+            "Write the decision journal through a write-ahead log at $(docv): each line is \
+             flushed before the next decision. Re-running against a partial log (after a kill) \
+             byte-verifies the committed prefix, drops a torn trailing record, and appends only \
+             new decisions.")
+  in
+  let kill_after_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "kill-after" ] ~docv:"N"
+          ~doc:
+            "Crash injection (needs $(b,--wal)): after $(docv) WAL appends, tear the next \
+             record mid-write and abort with exit 137 — the recovery smoke resumes from the \
+             torn log.")
+  in
   let workload_cycle = [| "plus-reduce-array"; "mandelbrot"; "spmv-powerlaw"; "kmeans" |] in
   let run tenants jobs pool qcap arrival deadline faulty service seed sanitize verify trace_path
-      decisions_path expect_shed expect_deadline =
+      decisions_path expect_shed expect_deadline preempt max_preempts wal kill_after =
     let arrival =
       match Serve.Arrival.of_string arrival with
       | Some a -> a
@@ -942,6 +1092,17 @@ let serve_cmd =
         Printf.eprintf "serve: --faulty-tenant %d out of range (0..%d)\n" t (tenants - 1);
         exit 2
     | _ -> ());
+    let preempt =
+      match Serve.Server.preempt_of_string preempt with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "serve: bad --preempt-policy %s (cancel | pause)\n" preempt;
+          exit 2
+    in
+    if kill_after <> None && wal = None then begin
+      Printf.eprintf "serve: --kill-after needs --wal\n";
+      exit 2
+    end;
     let capture = Option.map (fun _ -> Obs.Trace.Sink.stream ()) trace_path in
     let cfg =
       {
@@ -954,13 +1115,32 @@ let serve_cmd =
         sanitize;
         verify;
         trace = (match capture with Some s -> s | None -> Obs.Trace.Sink.null);
+        preempt;
+        max_preempts;
+        wal;
+        wal_kill_after = kill_after;
       }
     in
-    let r = Serve.Server.run cfg in
+    let r =
+      try Serve.Server.run cfg with
+      | Serve.Server.Killed ->
+          Printf.eprintf "serve: killed by --kill-after crash injection (WAL record torn)\n";
+          exit 137
+      | Serve.Server.Wal msg ->
+          Printf.eprintf "serve: WAL recovery failed: %s\n" msg;
+          exit 5
+    in
     let s = r.Serve.Server.stats in
-    Printf.printf "service          : %s (%d tenants x %d jobs, pool %d, queue %d, seed %d)\n"
+    Printf.printf
+      "service          : %s (%d tenants x %d jobs, pool %d, queue %d, seed %d, preempt %s)\n"
       (Serve.Server.service_name service)
-      tenants jobs pool qcap seed;
+      tenants jobs pool qcap seed
+      (Serve.Server.preempt_name preempt);
+    (match wal with
+    | None -> ()
+    | Some path ->
+        Printf.printf "wal              : %d committed line(s) replayed <- %s\n"
+          r.Serve.Server.wal_replayed path);
     Printf.printf "%s\n" (Serve.Server.summary r);
     let by_tenant = Hashtbl.create 8 in
     List.iter
@@ -1026,7 +1206,8 @@ let serve_cmd =
     Term.(
       const run $ tenants_arg $ jobs_arg $ pool_arg $ qcap_arg $ arrival_arg $ deadline_arg
       $ faulty_arg $ service_arg $ sseed_arg $ sanitize_arg $ verify_arg $ trace_arg
-      $ decisions_arg $ expect_shed_arg $ expect_deadline_arg)
+      $ decisions_arg $ expect_shed_arg $ expect_deadline_arg $ preempt_arg $ max_preempts_arg
+      $ wal_arg $ kill_after_arg)
 
 let () =
   let doc = "Reproduction harness for 'Compiling Loop-Based Nested Parallelism for Irregular Workloads' (ASPLOS'24)" in

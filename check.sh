@@ -58,6 +58,43 @@ rm -f "$D1" "$D2"
 "$REPRO" fuzz --serve --smoke > /dev/null
 echo "check.sh: serve smoke OK"
 
+# --- job pause/resume smoke test: pause a run at a heartbeat boundary,
+# resume it from the checkpoint file, and require the resumed run's full
+# report (makespan, fingerprint validity, promotion/steal counts) to be
+# byte-identical to an uninterrupted run's ---
+CK=$(mktemp "$TMP/hbc-ck.XXXXXX.json")
+RA=$(mktemp "$TMP/hbc-run.XXXXXX.txt"); RB=$(mktemp "$TMP/hbc-run.XXXXXX.txt")
+"$REPRO" run spmv-powerlaw --scale 0.05 --workers 8 > "$RA"
+"$REPRO" run spmv-powerlaw --scale 0.05 --workers 8 \
+    --pause-at 100000 --checkpoint "$CK" > /dev/null
+[ -s "$CK" ] || { echo "check.sh: pause wrote no checkpoint" >&2; exit 1; }
+"$REPRO" run spmv-powerlaw --scale 0.05 --workers 8 --resume-from "$CK" > "$RB"
+cmp -s "$RA" "$RB" || { echo "check.sh: resumed run differs from uninterrupted" >&2; exit 1; }
+rm -f "$CK" "$RA" "$RB"
+echo "check.sh: pause/resume smoke OK"
+
+# --- serve crash-recovery smoke test: kill a WAL-journaled campaign
+# mid-write (exit 137), recover it from the WAL, and require the recovered
+# decision journal to be byte-identical to an uninterrupted run's (and to
+# the WAL body itself) ---
+W=$(mktemp "$TMP/hbc-serve.XXXXXX.wal")
+D1=$(mktemp "$TMP/hbc-serve.XXXXXX.log"); D2=$(mktemp "$TMP/hbc-serve.XXXXXX.log")
+SERVE_CFG="--tenants 1 --jobs 3 --seed 42 --deadline 8000:8000 \
+    --preempt-policy pause --max-preempts 50 --sanitize --verify"
+"$REPRO" serve $SERVE_CFG --decisions "$D1" > /dev/null
+rm -f "$W"   # --kill-after must start from an empty WAL, not mktemp's file
+rc=0
+"$REPRO" serve $SERVE_CFG --wal "$W" --kill-after 12 > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 137 ]; then
+    echo "check.sh: injected WAL kill did not fire (exit $rc)" >&2
+    exit 1
+fi
+"$REPRO" serve $SERVE_CFG --wal "$W" --decisions "$D2" > /dev/null
+cmp -s "$D1" "$D2" || { echo "check.sh: recovered decisions differ from uninterrupted" >&2; exit 1; }
+tail -n +2 "$W" | cmp -s - "$D2" || { echo "check.sh: WAL body differs from decisions" >&2; exit 1; }
+rm -f "$W" "$D1" "$D2"
+echo "check.sh: serve kill-and-recover smoke OK"
+
 # --- perf-gate smoke test: emit a fresh report and diff it against the
 # committed baseline; deterministic regressions exit non-zero here exactly
 # as they do in CI ---

@@ -91,6 +91,48 @@ let micro_engine_dispatch () =
       Probe.deti ctx "makespan_cycles" (Sim.Engine.max_time eng);
       Probe.deti ctx "timer_ticks" !ticks)
 
+(* Checkpoint capture at a pause boundary, priced end to end: pause a
+   real run mid-flight, serialize the checkpoint through its byte-stable
+   codec, then resume and run to completion. The codec length, slice and
+   iteration counts pin the capture itself; the resumed makespan equalling
+   the uninterrupted one pins the replay (hot-path cost shows up in the
+   makespan/overhead metrics of the macro probes, which share the
+   executor's pause-check). Effect fibers: alloc advisory. *)
+let micro_checkpoint_capture () =
+  Probe.run ~name:"micro/checkpoint-capture" ~det_alloc:false (fun ctx ->
+      let entry = Workloads.Registry.find "spmv-powerlaw" in
+      let rt = { Hbc_core.Rt_config.default with workers = tiny_workers; seed } in
+      let (Ir.Program.Any p) = entry.Workloads.Registry.make tiny_scale in
+      let full = Hbc_core.Executor.run rt p in
+      let boundary = full.Sim.Run_result.makespan / 2 in
+      let paused =
+        Hbc_core.Executor.run ~request:(Hbc_core.Run_request.make ~pause_at:boundary ()) rt p
+      in
+      let ck =
+        match paused.Sim.Run_result.termination with
+        | Sim.Run_result.Paused ck -> ck
+        | _ -> failwith "checkpoint probe: run did not pause"
+      in
+      let encoded = Sim.Checkpoint_state.to_string ck in
+      let rounds = 256 in
+      for _ = 1 to rounds do
+        ignore (Sim.Checkpoint_state.to_string ck)
+      done;
+      let resumed =
+        Hbc_core.Executor.run ~request:(Hbc_core.Run_request.make ~resume_from:ck ()) rt p
+      in
+      Probe.deti ctx "encodes" rounds;
+      Probe.deti ctx "checkpoint_bytes" (String.length encoded);
+      Probe.deti ctx "live_slices" (List.length ck.Sim.Checkpoint_state.slices);
+      Probe.deti ctx "remaining_iters" (Sim.Checkpoint_state.remaining_iterations ck);
+      Probe.deti ctx "resumed_makespan" resumed.Sim.Run_result.makespan;
+      Probe.deti ctx "identical"
+        (if
+           resumed.Sim.Run_result.makespan = full.Sim.Run_result.makespan
+           && resumed.Sim.Run_result.fingerprint = full.Sim.Run_result.fingerprint
+         then 1
+         else 0))
+
 let micro () =
   [
     micro_deque ();
@@ -99,6 +141,7 @@ let micro () =
     micro_adaptive_chunking ();
     micro_trace_emission ();
     micro_engine_dispatch ();
+    micro_checkpoint_capture ();
   ]
 
 (* --------------------------- macro probes ------------------------- *)
@@ -248,7 +291,40 @@ let serve_overload () =
         seed = 7;
       })
 
-let serve () = [ serve_steady (); serve_overload () ]
+(* Preempt–resume serving: tight deadlines under [Pause_and_requeue], so
+   every job is checkpointed and resumed many times yet still completes.
+   Pins the checkpoint/resume counts and the preempted tail. *)
+let serve_preempt () =
+  Probe.run ~name:"serve/preempt-resume" ~det_alloc:false (fun ctx ->
+      let r =
+        Serve.Server.run
+          {
+            Serve.Server.default_config with
+            Serve.Server.tenants =
+              [|
+                {
+                  Serve.Server.tenant_default with
+                  Serve.Server.arrival = Serve.Arrival.Burst { period = 30_000; size = 3 };
+                  jobs = 3;
+                  scale = 0.01;
+                  workers_wanted = 2;
+                  deadline = Some (8_000, 8_000);
+                };
+              |];
+            seed = 42;
+            preempt = Serve.Server.Pause_and_requeue;
+            max_preempts = 50;
+          }
+      in
+      let s = r.Serve.Server.stats in
+      Probe.deti ctx "submitted" s.Serve.Server.submitted;
+      Probe.deti ctx "completed" s.Serve.Server.completed;
+      Probe.deti ctx "checkpointed" s.Serve.Server.checkpointed;
+      Probe.deti ctx "resumed" s.Serve.Server.resumed;
+      Probe.deti ctx "makespan_cycles" s.Serve.Server.makespan;
+      Probe.det ctx "sojourn_p50_cycles" s.Serve.Server.sojourn_p50)
+
+let serve () = [ serve_steady (); serve_overload (); serve_preempt () ]
 
 let all () = micro () @ macro () @ serve ()
 

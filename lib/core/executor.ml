@@ -30,6 +30,14 @@ type join = { mutable pending : int; owner : int }
    -1 when the task owns its whole chain (the root task). *)
 type task_state = { residual : int array; mutable no_promote : bool; mutable forbidden : int }
 
+(* Live-slice registry for checkpoint capture, armed only when the request
+   pauses or resumes. One LIFO stack per worker holds the DOALL slice
+   activations currently on that worker's fiber; the checkpoint reads each
+   context's remaining range in place at the pause boundary. When armed it
+   costs two list writes per slice activation and nothing per iteration;
+   unarmed runs skip it entirely, keeping the hot path untouched. *)
+type live_slice = { ck_key : int; ck_nest : string; ck_ctx : Ir.Ctx.t }
+
 type run_state = {
   cfg : Rt_config.t;
   eng : Sim.Engine.t;
@@ -49,6 +57,8 @@ type run_state = {
   mutable exec_epoch : int;  (* bumped per exec_nest call, part of slice keys *)
   bug : seeded_bug option;  (* armed seeded scheduler bug (tests/fuzzer) *)
   mutable bug_fired : bool;  (* one-shot bugs fire at most once per run *)
+  live_slices : live_slice list array option;
+      (* per-worker stacks of live DOALL slices; Some only on pause/resume *)
   mutable promo_left : int;
       (* remaining metered promotions (max_int = unmetered); at 0 the run
          degrades gracefully: no more splits, remaining work runs serially *)
@@ -331,6 +341,25 @@ let emit_iter_exec c ctxs ord ~lo ~hi =
     emit st (Obs.Trace.Iter_exec { nest = c.nest_id; ord; key = slice_key c ctxs ord; lo; hi })
 
 let rec run_slice : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> int -> status =
+ fun c ts ctxs ord ->
+  match c.st.live_slices with
+  | Some live when c.nest.Compiled.infos.(ord).Compiled.doall ->
+      (* Slices never migrate workers mid-run (a task executes on the fiber
+         that started it), so registration and removal hit the same stack. *)
+      let w = wid c.st in
+      live.(w) <-
+        {
+          ck_key = slice_key c ctxs ord;
+          ck_nest = Printf.sprintf "%s#%d" c.nest.Compiled.source_name ord;
+          ck_ctx = ctxs.(ord);
+        }
+        :: live.(w);
+      let r = run_slice_body c ts ctxs ord in
+      (match live.(w) with _ :: rest -> live.(w) <- rest | [] -> ());
+      r
+  | _ -> run_slice_body c ts ctxs ord
+
+and run_slice_body : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> int -> status =
  fun c ts ctxs ord ->
   let st = c.st in
   let info = c.nest.Compiled.infos.(ord) in
@@ -777,10 +806,25 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
   let env = program.Ir.Program.make_env () in
   let eng = Sim.Engine.create ~seed:cfg.Rt_config.seed ~num_workers:cfg.Rt_config.workers () in
   let metrics = Sim.Metrics.create () in
+  (* On resume the request's sink is muted until the replay passes the
+     pause boundary: the observer already saw every earlier event during
+     the original episodes, so the per-episode streams tile the
+     uninterrupted stream exactly once. The counting sink is NOT gated —
+     the replay re-derives the counters from cycle 0, which is exactly
+     what makes the final metrics byte-identical to an uninterrupted
+     run. *)
+  let resuming = Option.is_some request.Run_request.resume_from in
+  let gate = ref (not resuming) in
+  let observer =
+    if resuming && Obs.Trace.Sink.enabled request.Run_request.trace then
+      Obs.Trace.Sink.fn (fun ~time ~worker ev ->
+          if !gate then Obs.Trace.Sink.emit request.Run_request.trace ~time ~worker ev)
+    else request.Run_request.trace
+  in
   (* Every runtime event flows through one tee: the counting sink keeps
      the scalar counters; the request's sink is whatever the caller wants
      to observe (usually null). *)
-  let trace = Obs.Trace.Sink.tee (Sim.Metrics.counting_sink metrics) request.Run_request.trace in
+  let trace = Obs.Trace.Sink.tee (Sim.Metrics.counting_sink metrics) observer in
   let inj =
     Sim.Fault_injector.create
       (Option.value request.Run_request.fault_plan ~default:Sim.Fault_plan.none)
@@ -809,10 +853,22 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
       exec_epoch = 0;
       bug = !seeded_bug;
       bug_fired = false;
+      live_slices =
+        (if resuming || Option.is_some request.Run_request.pause_at then
+           Some (Array.make cfg.Rt_config.workers [])
+         else None);
       promo_left =
-        (match request.Run_request.promotion_budget with
-        | Some b -> Stdlib.max 0 b
-        | None -> Stdlib.max_int);
+        (match request.Run_request.resume_from with
+        | Some ck -> (
+            (* The replay restarts from cycle 0 under the first episode's
+               grant; this episode's own grant applies at the boundary. *)
+            match ck.Sim.Checkpoint_state.granted with
+            | Some g -> Stdlib.max 0 g
+            | None -> Stdlib.max_int)
+        | None -> (
+            match request.Run_request.promotion_budget with
+            | Some b -> Stdlib.max 0 b
+            | None -> Stdlib.max_int));
     }
   in
   Sim.Engine.set_diagnostics eng (fun w ->
@@ -839,30 +895,151 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
   | Some guard -> Sim.Engine.set_guard eng guard
   | None -> ());
   let termination = ref Sim.Run_result.Finished in
+  let main w =
+    if w = 0 then begin
+      (* The driver itself counts as task depth so inline tasks do not
+         clear worker 0's busy flag when they finish. *)
+      st.depth.(0) <- 1;
+      Heartbeat.set_busy hb ~worker:0 true;
+      let cpu =
+        {
+          Ir.Program.exec = (fun nest -> exec_nest st compiled env nest);
+          advance = (fun cyc -> add_work st cyc);
+        }
+      in
+      let t0 = Sim.Engine.now eng in
+      program.Ir.Program.driver env cpu;
+      if st.capture && Sim.Engine.now eng > t0 then
+        emit st (Obs.Trace.Interval { t0; kind = "driver" });
+      st.depth.(0) <- 0;
+      Heartbeat.set_busy hb ~worker:0 false;
+      st.finished <- true;
+      Heartbeat.stop hb;
+      Sim.Engine.unpark_all eng
+    end
+    else scavenge st w
+  in
+  (* Observational state at the pause boundary the engine just stopped at.
+     Every field is a pure function of the dispatch history, so an
+     uninterrupted replay reaching the same boundary re-derives the same
+     bytes — that is the resume-divergence check. *)
+  let checkpoint_now ~at_cycle ~episode ~granted ~regrants =
+    let live = match st.live_slices with Some l -> l | None -> [||] in
+    let slices =
+      List.concat
+        (List.init (Array.length live) (fun w ->
+             (* stacks are LIFO; serialize bottom-to-top for a stable order *)
+             List.rev_map
+               (fun e ->
+                 {
+                   Sim.Checkpoint_state.sl_worker = w;
+                   sl_task = e.ck_key;
+                   sl_nest = e.ck_nest;
+                   sl_lo = e.ck_ctx.Ir.Ctx.lo;
+                   sl_hi = e.ck_ctx.Ir.Ctx.hi;
+                 })
+               live.(w)))
+    in
+    {
+      Sim.Checkpoint_state.at_cycle;
+      episode;
+      rng_state = Sim.Sim_rng.state (Sim.Engine.rng eng);
+      next_task_id = st.next_task_id;
+      work_cycles = metrics.Sim.Metrics.work_cycles;
+      promotions_used = metrics.Sim.Metrics.promotions;
+      granted;
+      regrants;
+      clocks = Array.init cfg.Rt_config.workers (fun w -> Sim.Engine.clock_of eng w);
+      deques =
+        Array.map (fun d -> List.map (fun (t : task) -> t.id) (Sim.Deque.to_list d)) st.deques;
+      slices;
+    }
+  in
   (try
-     Sim.Engine.run eng (fun w ->
-         if w = 0 then begin
-           (* The driver itself counts as task depth so inline tasks do not
-              clear worker 0's busy flag when they finish. *)
-           st.depth.(0) <- 1;
-           Heartbeat.set_busy hb ~worker:0 true;
-           let cpu =
-             {
-               Ir.Program.exec = (fun nest -> exec_nest st compiled env nest);
-               advance = (fun cyc -> add_work st cyc);
-             }
+     match request.Run_request.resume_from with
+     | None ->
+         (match request.Run_request.pause_at with
+         | Some p -> Sim.Engine.set_pause_at eng p
+         | None -> ());
+         Sim.Engine.run eng main;
+         if Sim.Engine.paused eng then
+           termination :=
+             Sim.Run_result.Paused
+               (checkpoint_now
+                  ~at_cycle:(Option.get request.Run_request.pause_at)
+                  ~episode:1 ~granted:request.Run_request.promotion_budget ~regrants:[])
+     | Some ck ->
+         (* Effect fibers cannot be serialized, so resume replays the run
+            from cycle 0 — determinism makes the replay byte-exact — and
+            proves the re-derived boundary state matches the checkpoint
+            before continuing past it. *)
+         let ok = ref true in
+         let diverged reason =
+           ok := false;
+           termination := Sim.Run_result.Guard_aborted ("resume-divergence: " ^ reason)
+         in
+         let started = ref false in
+         let run_to cycle =
+           Sim.Engine.set_pause_at eng cycle;
+           if !started then Sim.Engine.continue_run eng
+           else begin
+             started := true;
+             Sim.Engine.run eng main
+           end;
+           if not (Sim.Engine.paused eng) then
+             diverged (Printf.sprintf "run finished before the boundary at cycle %d" cycle)
+         in
+         (* Re-apply the grant history so metered promotion decisions replay
+            exactly as in the original episodes. *)
+         List.iter
+           (fun (cycle, grant) ->
+             if !ok then begin
+               run_to cycle;
+               if !ok && grant >= 0 then st.promo_left <- grant
+             end)
+           ck.Sim.Checkpoint_state.regrants;
+         if !ok then run_to ck.Sim.Checkpoint_state.at_cycle;
+         if !ok then begin
+           let derived =
+             checkpoint_now ~at_cycle:ck.Sim.Checkpoint_state.at_cycle
+               ~episode:ck.Sim.Checkpoint_state.episode
+               ~granted:ck.Sim.Checkpoint_state.granted
+               ~regrants:ck.Sim.Checkpoint_state.regrants
            in
-           let t0 = Sim.Engine.now eng in
-           program.Ir.Program.driver env cpu;
-           if st.capture && Sim.Engine.now eng > t0 then
-             emit st (Obs.Trace.Interval { t0; kind = "driver" });
-           st.depth.(0) <- 0;
-           Heartbeat.set_busy hb ~worker:0 false;
-           st.finished <- true;
-           Heartbeat.stop hb;
-           Sim.Engine.unpark_all eng
+           if not (Sim.Checkpoint_state.equal derived ck) then
+             diverged
+               (Printf.sprintf "replayed state %s does not match checkpoint %s"
+                  (Sim.Checkpoint_state.digest derived)
+                  (Sim.Checkpoint_state.digest ck))
+           else begin
+             (* The replay reproduced the paused state exactly: open the
+                gate, apply this episode's grant (None keeps the remaining
+                balance, which is what byte-identical continuation needs),
+                and run for real. *)
+             gate := true;
+             let applied =
+               match request.Run_request.promotion_budget with
+               | Some g ->
+                   st.promo_left <- Stdlib.max 0 g;
+                   Stdlib.max 0 g
+               | None -> -1
+             in
+             (match request.Run_request.pause_at with
+             | Some p when p > ck.Sim.Checkpoint_state.at_cycle -> Sim.Engine.set_pause_at eng p
+             | Some _ | None -> Sim.Engine.clear_pause eng);
+             Sim.Engine.continue_run eng;
+             if Sim.Engine.paused eng then
+               termination :=
+                 Sim.Run_result.Paused
+                   (checkpoint_now
+                      ~at_cycle:(Option.get request.Run_request.pause_at)
+                      ~episode:(ck.Sim.Checkpoint_state.episode + 1)
+                      ~granted:ck.Sim.Checkpoint_state.granted
+                      ~regrants:
+                        (ck.Sim.Checkpoint_state.regrants
+                        @ [ (ck.Sim.Checkpoint_state.at_cycle, applied) ]))
+           end
          end
-         else scavenge st w)
    with
   | Did_not_finish -> termination := Sim.Run_result.Dnf
   | Sim.Engine.Budget_exceeded { budget; time } ->

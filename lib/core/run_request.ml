@@ -10,6 +10,8 @@ type t = {
   deadline : int option;
   priority : int;
   promotion_budget : int option;
+  pause_at : int option;
+  resume_from : Sim.Checkpoint_state.t option;
 }
 
 let default =
@@ -25,10 +27,13 @@ let default =
     deadline = None;
     priority = 0;
     promotion_budget = None;
+    pause_at = None;
+    resume_from = None;
   }
 
 let make ?max_cycles ?cycle_budget ?guard ?fault_plan ?(trace = Obs.Trace.Sink.null)
-    ?(sanitize = false) ?fuzz_case ?tenant ?deadline ?(priority = 0) ?promotion_budget () =
+    ?(sanitize = false) ?fuzz_case ?tenant ?deadline ?(priority = 0) ?promotion_budget ?pause_at
+    ?resume_from () =
   {
     max_cycles;
     cycle_budget;
@@ -41,6 +46,8 @@ let make ?max_cycles ?cycle_budget ?guard ?fault_plan ?(trace = Obs.Trace.Sink.n
     deadline;
     priority;
     promotion_budget;
+    pause_at;
+    resume_from;
   }
 
 let signature t =
@@ -55,5 +62,10 @@ let signature t =
             t.tenant,
             t.deadline,
             t.priority,
-            t.promotion_budget )
+            t.promotion_budget,
+            t.pause_at,
+            (* The checkpoint in its byte-stable codec form, not the record:
+               Marshal over the record would hash physical structure, the
+               codec string hashes content. *)
+            Option.map Sim.Checkpoint_state.to_string t.resume_from )
           []))

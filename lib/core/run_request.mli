@@ -47,6 +47,16 @@ type t = {
       (** metered promotion grant: after this many promotions the executor
           stops splitting and degrades gracefully to serial execution of
           the remaining work. [None] is unmetered. *)
+  pause_at : int option;
+      (** cooperative preemption boundary in virtual cycles: the run stops
+          at the first event at or past this time and terminates with
+          [Run_result.Paused] carrying a {!Sim.Checkpoint_state} (unless it
+          finishes first). *)
+  resume_from : Sim.Checkpoint_state.t option;
+      (** resume a previously paused run: the executor replays the job from
+          cycle 0 with trace emission muted up to the checkpoint boundary,
+          byte-verifies the re-derived checkpoint against this one, then
+          continues live. Divergence aborts with [Guard_aborted]. *)
 }
 
 val default : t
@@ -64,6 +74,8 @@ val make :
   ?deadline:int ->
   ?priority:int ->
   ?promotion_budget:int ->
+  ?pause_at:int ->
+  ?resume_from:Sim.Checkpoint_state.t ->
   unit ->
   t
 
@@ -74,7 +86,9 @@ val signature : t -> string
     the [sanitize] bit, the fuzz-case hash, and the serve-mode fields
     (tenant, deadline, priority, promotion budget — each changes what a
     run produces or whom its journal entry belongs to, so serve-mode
-    entries never alias plain trials). Budgets, guards, and the sink
-    closure itself are excluded: they never change a completed run's
-    outcome. Combined with {!Rt_config.signature} to key journal
-    entries. *)
+    entries never alias plain trials). [pause_at] and the [resume_from]
+    checkpoint (hashed via its byte-stable codec) are included: a paused
+    episode and an uninterrupted run of the same job produce different
+    results and must never alias. Budgets, guards, and the sink closure
+    itself are excluded: they never change a completed run's outcome.
+    Combined with {!Rt_config.signature} to key journal entries. *)

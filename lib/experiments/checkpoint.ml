@@ -37,12 +37,22 @@ let termination_to_json (t : Sim.Run_result.termination) =
       Obj [ ("state", Str "budget"); ("budget", Int budget); ("at", Int at) ]
   | Sim.Run_result.Guard_aborted reason ->
       Obj [ ("state", Str "guard"); ("reason", Str reason) ]
+  | Sim.Run_result.Paused ck ->
+      (* Byte-stable checkpoint codec string; journal round trips keep the
+         resume-divergence byte check meaningful. *)
+      Obj [ ("state", Str "paused"); ("ckpt", Str (Sim.Checkpoint_state.to_string ck)) ]
 
 let termination_of_json = function
   | Obj fields -> (
       match get_str "state" fields with
       | Some "finished" -> Sim.Run_result.Finished
       | Some "dnf" -> Sim.Run_result.Dnf
+      | Some "paused" -> (
+          match
+            Option.map Sim.Checkpoint_state.of_string (get_str "ckpt" fields)
+          with
+          | Some (Ok ck) -> Sim.Run_result.Paused ck
+          | Some (Error _) | None -> Sim.Run_result.Finished)
       | Some "budget" ->
           Sim.Run_result.Budget_exceeded
             {

@@ -40,6 +40,11 @@ let of_termination (t : Sim.Run_result.termination) =
   | Sim.Run_result.Budget_exceeded { budget; at } ->
       Some (Timeout (Printf.sprintf "cycle budget %d exceeded at virtual time %d" budget at))
   | Sim.Run_result.Guard_aborted reason -> Some (Timeout reason)
+  (* Campaign trials never arm a pause boundary; a paused result reaching
+     the harness means the request was misbuilt, and caching it as a
+     completed trial would poison the journal. *)
+  | Sim.Run_result.Paused ck ->
+      Some (Invariant_violation ("unexpected pause in campaign trial: " ^ Sim.Checkpoint_state.describe ck))
 
 let of_exn (e : exn) =
   match e with

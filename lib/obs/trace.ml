@@ -32,6 +32,8 @@ type event =
   | Job_shed of { job : int; tenant : int; reason : string }
   | Job_started of { job : int; tenant : int; budget : int }
   | Job_preempted of { job : int; tenant : int }
+  | Job_checkpointed of { job : int; tenant : int; at_cycle : int }
+  | Job_resumed of { job : int; tenant : int; episode : int; budget : int }
   | Job_finished of { job : int; tenant : int; state : string; promotions : int }
   | Breaker_transition of { tenant : int; from_state : string; to_state : string }
   | Budget_refill of { tenant : int; amount : int }
@@ -74,6 +76,8 @@ let event_name = function
   | Job_shed _ -> "job-shed"
   | Job_started _ -> "job-started"
   | Job_preempted _ -> "job-preempted"
+  | Job_checkpointed _ -> "job-checkpointed"
+  | Job_resumed _ -> "job-resumed"
   | Job_finished _ -> "job-finished"
   | Breaker_transition _ -> "breaker-transition"
   | Budget_refill _ -> "budget-refill"
@@ -265,6 +269,10 @@ let record_to_json r =
     | Job_started { job; tenant; budget } ->
         [ Json.Str "jr"; Json.Int job; Json.Int tenant; Json.Int budget ]
     | Job_preempted { job; tenant } -> [ Json.Str "jp"; Json.Int job; Json.Int tenant ]
+    | Job_checkpointed { job; tenant; at_cycle } ->
+        [ Json.Str "jk"; Json.Int job; Json.Int tenant; Json.Int at_cycle ]
+    | Job_resumed { job; tenant; episode; budget } ->
+        [ Json.Str "ju"; Json.Int job; Json.Int tenant; Json.Int episode; Json.Int budget ]
     | Job_finished { job; tenant; state; promotions } ->
         [ Json.Str "jf"; Json.Int job; Json.Int tenant; Json.Str state; Json.Int promotions ]
     | Breaker_transition { tenant; from_state; to_state } ->
@@ -318,6 +326,10 @@ let event_of_parts = function
   | [ Json.Str "jr"; Json.Int job; Json.Int tenant; Json.Int budget ] ->
       Some (Job_started { job; tenant; budget })
   | [ Json.Str "jp"; Json.Int job; Json.Int tenant ] -> Some (Job_preempted { job; tenant })
+  | [ Json.Str "jk"; Json.Int job; Json.Int tenant; Json.Int at_cycle ] ->
+      Some (Job_checkpointed { job; tenant; at_cycle })
+  | [ Json.Str "ju"; Json.Int job; Json.Int tenant; Json.Int episode; Json.Int budget ] ->
+      Some (Job_resumed { job; tenant; episode; budget })
   | [ Json.Str "jf"; Json.Int job; Json.Int tenant; Json.Str state; Json.Int promotions ] ->
       Some (Job_finished { job; tenant; state; promotions })
   | [ Json.Str "bk"; Json.Int tenant; Json.Str from_state; Json.Str to_state ] ->

@@ -81,6 +81,16 @@ type event =
   | Job_preempted of { job : int; tenant : int }
       (** the deadline watchdog cut the job mid-run; its pool share is
           reclaimed and partial results are journaled *)
+  | Job_checkpointed of { job : int; tenant : int; at_cycle : int }
+      (** the job was cooperatively paused at engine boundary [at_cycle]
+          and its checkpoint saved; it will re-enter admission and resume
+          (pause-and-requeue preemption, not a cancel) *)
+  | Job_resumed of { job : int; tenant : int; episode : int; budget : int }
+      (** a checkpointed job re-started from its saved state; [episode]
+          counts completed pause/resume episodes before this one (first
+          resume is episode 1) and [budget] is the fresh promotion grant
+          metered for the new episode (the sanitizer debits it like a
+          [Job_started] grant) *)
   | Job_finished of { job : int; tenant : int; state : string; promotions : int }
       (** terminal accounting for a started job: [state] is "completed",
           "deadline" or "failed-*"; [promotions] is what it actually used

@@ -6,6 +6,7 @@ type invariant =
   | Clock_sanity
   | Job_conservation
   | Budget_conservation
+  | Resume_conservation
 
 let invariant_name = function
   | Work_conservation -> "work-conservation"
@@ -15,6 +16,7 @@ let invariant_name = function
   | Clock_sanity -> "clock-sanity"
   | Job_conservation -> "job-conservation"
   | Budget_conservation -> "budget-conservation"
+  | Resume_conservation -> "resume-conservation"
 
 type violation = {
   invariant : invariant;
@@ -39,11 +41,16 @@ type slice_state = { s_lo : int; s_hi : int; mutable covered : (int * int) list 
 type task_phase = Pushed | Taken | Executed
 
 (* Serve-mode job lifecycle replayed from the Job_* records; [J_terminal]
-   carries the terminal state name for duplicate-termination messages. *)
+   carries the terminal state name for duplicate-termination messages.
+   [granted] accumulates across pause/resume episodes — a resumed job's
+   total promotion use is checked against the sum of every grant it drew
+   — and [episodes] counts completed pause/resume episodes so a
+   [Job_resumed] record claiming the wrong episode is flagged. *)
 type job_phase =
   | J_submitted
   | J_admitted
-  | J_started of { granted : int }
+  | J_started of { granted : int; episodes : int }
+  | J_checkpointed of { granted : int; episodes : int }
   | J_terminal of string
 
 type t = {
@@ -246,6 +253,7 @@ let job_phase_name = function
   | J_submitted -> "submitted"
   | J_admitted -> "admitted"
   | J_started _ -> "started"
+  | J_checkpointed _ -> "checkpointed"
   | J_terminal s -> s
 
 let balance_of t tenant = Option.value ~default:0 (Hashtbl.find_opt t.tenant_balance tenant)
@@ -280,7 +288,8 @@ let on_job_shed t ~time ~worker ~job ~tenant ~reason =
 
 let on_job_started t ~time ~worker ~job ~tenant ~budget =
   (match Hashtbl.find_opt t.jobs job with
-  | Some (_, J_admitted) -> Hashtbl.replace t.jobs job (tenant, J_started { granted = budget })
+  | Some (_, J_admitted) ->
+      Hashtbl.replace t.jobs job (tenant, J_started { granted = budget; episodes = 0 })
   | Some (_, phase) ->
       violate t ~time ~worker Job_conservation
         (Printf.sprintf "job %d started while %s" job (job_phase_name phase))
@@ -295,6 +304,51 @@ let on_job_started t ~time ~worker ~job ~tenant ~budget =
          "tenant %d overdrew its promotion meter: grant %d drove the balance to %d" tenant budget
          balance)
 
+(* Resume conservation: pause/resume episodes must alternate correctly —
+   only a started job checkpoints, only a checkpointed job resumes, the
+   resume's episode number matches the pauses that actually happened, and
+   grants accumulate so the final promotion count is checked against the
+   whole history. The exactly-once tiling of the iteration space across
+   episodes is enforced by the per-job work-conservation checker, whose
+   sink persists across episodes and sees each episode's events exactly
+   once (resumed runs mute the replayed prefix). *)
+let on_job_checkpointed t ~time ~worker ~job ~tenant ~at_cycle =
+  match Hashtbl.find_opt t.jobs job with
+  | Some (_, J_started { granted; episodes }) ->
+      if at_cycle <= 0 then
+        violate t ~time ~worker Resume_conservation
+          (Printf.sprintf "job %d checkpointed at non-positive cycle %d" job at_cycle);
+      Hashtbl.replace t.jobs job (tenant, J_checkpointed { granted; episodes = episodes + 1 })
+  | Some (_, phase) ->
+      violate t ~time ~worker Resume_conservation
+        (Printf.sprintf "job %d checkpointed while %s" job (job_phase_name phase))
+  | None ->
+      violate t ~time ~worker Resume_conservation
+        (Printf.sprintf "job %d checkpointed but never submitted" job)
+
+let on_job_resumed t ~time ~worker ~job ~tenant ~episode ~budget =
+  (match Hashtbl.find_opt t.jobs job with
+  | Some (_, J_checkpointed { granted; episodes }) ->
+      if episode <> episodes then
+        violate t ~time ~worker Resume_conservation
+          (Printf.sprintf "job %d resumed claiming episode %d but %d pause(s) happened" job
+             episode episodes);
+      Hashtbl.replace t.jobs job (tenant, J_started { granted = granted + budget; episodes })
+  | Some (_, phase) ->
+      violate t ~time ~worker Resume_conservation
+        (Printf.sprintf "job %d resumed while %s (only a checkpointed job can resume)" job
+           (job_phase_name phase))
+  | None ->
+      violate t ~time ~worker Resume_conservation
+        (Printf.sprintf "job %d resumed but never submitted" job));
+  let balance = balance_of t tenant - budget in
+  Hashtbl.replace t.tenant_balance tenant balance;
+  if balance < 0 then
+    violate t ~time ~worker Budget_conservation
+      (Printf.sprintf
+         "tenant %d overdrew its promotion meter: resume grant %d drove the balance to %d" tenant
+         budget balance)
+
 let on_job_preempted t ~time ~worker ~job =
   match Hashtbl.find_opt t.jobs job with
   | Some (_, J_started _) -> ()
@@ -307,7 +361,11 @@ let on_job_preempted t ~time ~worker ~job =
 
 let on_job_finished t ~time ~worker ~job ~tenant ~state ~promotions =
   match Hashtbl.find_opt t.jobs job with
-  | Some (_, J_started { granted }) ->
+  | Some (_, (J_started { granted; _ } | J_checkpointed { granted; _ })) ->
+      (* A checkpointed job may terminate without resuming (its episode
+         budget ran out, or its refreshed deadline expired in the queue);
+         either way the whole history's promotions are bounded by the
+         accumulated grants. *)
       Hashtbl.replace t.jobs job (tenant, J_terminal state);
       if promotions > granted then
         violate t ~time ~worker Budget_conservation
@@ -373,6 +431,10 @@ let on_event t ~time ~worker (ev : Obs.Trace.event) =
   | Obs.Trace.Job_started { job; tenant; budget } ->
       on_job_started t ~time ~worker ~job ~tenant ~budget
   | Obs.Trace.Job_preempted { job; tenant = _ } -> on_job_preempted t ~time ~worker ~job
+  | Obs.Trace.Job_checkpointed { job; tenant; at_cycle } ->
+      on_job_checkpointed t ~time ~worker ~job ~tenant ~at_cycle
+  | Obs.Trace.Job_resumed { job; tenant; episode; budget } ->
+      on_job_resumed t ~time ~worker ~job ~tenant ~episode ~budget
   | Obs.Trace.Job_finished { job; tenant; state; promotions } ->
       on_job_finished t ~time ~worker ~job ~tenant ~state ~promotions
   | Obs.Trace.Budget_refill { tenant; amount } -> on_budget_refill t ~tenant ~amount
@@ -421,6 +483,11 @@ let finish t =
       (fun (id, (tenant, phase)) ->
         match phase with
         | J_terminal _ -> ()
+        | J_checkpointed { episodes; _ } ->
+            violate t ~time ~worker Resume_conservation
+              (Printf.sprintf
+                 "job %d (tenant %d) checkpointed (episode %d) but never resumed or finished" id
+                 tenant episodes)
         | J_submitted | J_admitted | J_started _ ->
             violate t ~time ~worker Job_conservation
               (Printf.sprintf "job %d (tenant %d) never terminated: still %s at end of run" id

@@ -25,8 +25,16 @@
       [Job_finished] accounting — and the lifecycle transitions
       (submitted → admitted → started → finished) are respected;
     - {b budget conservation} (serve mode): no tenant's metered promotion
-      balance goes negative across [Budget_refill]/[Job_started] grants,
-      and no job reports more promotions than its grant.
+      balance goes negative across [Budget_refill]/[Job_started]/
+      [Job_resumed] grants, and no job reports more promotions than its
+      accumulated grants;
+    - {b resume conservation} (serve mode): pause/resume episodes
+      alternate correctly — only a started job checkpoints, only a
+      checkpointed job resumes, each [Job_resumed] claims exactly the
+      number of pauses that happened, and no job is left checkpointed at
+      end of run. Combined with per-job work conservation (whose sink
+      persists across episodes), the iteration space of a preempted job is
+      proven to execute exactly once across all its episodes.
 
     Violations are collected (default) or raised immediately ([~strict]),
     each carrying the window of records leading up to the offence. *)
@@ -39,6 +47,7 @@ type invariant =
   | Clock_sanity
   | Job_conservation
   | Budget_conservation
+  | Resume_conservation
 
 val invariant_name : invariant -> string
 (** Stable kebab-case name ("work-conservation", ...). *)

@@ -322,6 +322,7 @@ type mix = {
   mix_seed : int;
   mix_pool : int;
   mix_queue : int;
+  mix_preempt : string;
   mix_tenants : mix_tenant list;
 }
 
@@ -337,10 +338,13 @@ let gen_arrival rng =
 let gen_mix_tenant rng ~pool ~faulty =
   let n_wl = 1 + Sim.Sim_rng.int rng 3 in
   let workloads = List.init n_wl (fun _ -> pick rng workload_pool) in
+  (* Low end tight enough that a pause-policy quantum lands inside a
+     typical job's makespan (so preemption paths actually run), high end
+     loose enough that most jobs still complete. *)
   let deadline =
     if Sim.Sim_rng.bool rng then
-      let base = 30_000 + Sim.Sim_rng.int rng 300_000 in
-      Some (base, 4 * base)
+      let base = 8_000 + Sim.Sim_rng.int rng 150_000 in
+      Some (base, 3 * base)
     else None
   in
   let plan =
@@ -382,6 +386,7 @@ let gen_mix rng =
     mix_seed = Sim.Sim_rng.int rng 1_000_000;
     mix_pool = pool;
     mix_queue = 2 + Sim.Sim_rng.int rng 9;
+    mix_preempt = (if Sim.Sim_rng.bool rng then "pause" else "cancel");
     mix_tenants =
       List.init tenants (fun i -> gen_mix_tenant rng ~pool ~faulty:(faulty_tenant = Some i));
   }
@@ -390,11 +395,12 @@ let mix_hash m =
   Digest.to_hex
     (Digest.string
        (Marshal.to_string
-          (m.mix_seed, m.mix_pool, m.mix_queue, m.mix_tenants)
+          (m.mix_seed, m.mix_pool, m.mix_queue, m.mix_preempt, m.mix_tenants)
           []))
 
 let mix_describe m =
-  Printf.sprintf "mix seed=%d pool=%d queue=%d tenants=[%s]" m.mix_seed m.mix_pool m.mix_queue
+  Printf.sprintf "mix seed=%d pool=%d queue=%d policy=%s tenants=[%s]" m.mix_seed m.mix_pool
+    m.mix_queue m.mix_preempt
     (String.concat "; "
        (List.map
           (fun t ->

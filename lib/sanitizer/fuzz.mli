@@ -82,12 +82,16 @@ type mix = {
   mix_seed : int;
   mix_pool : int;
   mix_queue : int;
+  mix_preempt : string;
+      (** preemption-policy codec ("cancel" / "pause"): what a deadline
+          draw means — kill, or checkpoint-and-requeue *)
   mix_tenants : mix_tenant list;
 }
 
 val gen_mix : Sim.Sim_rng.t -> mix
-(** Draw one random workload mix (2–4 tenants, at most one faulty). Equal
-    generator states draw equal mixes. *)
+(** Draw one random workload mix (2–4 tenants, at most one faulty,
+    either preemption policy). Equal generator states draw equal
+    mixes. *)
 
 val mix_hash : mix -> string
 (** Hex digest identifying the mix in campaign journals. *)

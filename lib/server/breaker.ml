@@ -73,21 +73,41 @@ let admit t ~now =
       end
       else false
 
-let record t ~now ~ok =
+let record ?(probe = true) t ~now ~ok =
   match (t.st, ok) with
   | Closed, true -> t.failures <- 0
   | Closed, false ->
       t.failures <- t.failures + 1;
       if t.failures >= t.cfg.failure_threshold then trip t ~now
   | Half_open, true ->
-      t.probe_successes <- t.probe_successes + 1;
-      if t.probe_successes >= t.cfg.probe_budget then begin
-        t.opens <- 0;
-        t.failures <- 0;
-        transition t Closed
+      (* Only outcomes of jobs admitted AS half-open probes count toward
+         closing: a job admitted while still closed that happens to finish
+         during the half-open window is stale evidence — before the trip
+         the tenant was failing, so its success says nothing about
+         recovery, and counting it would close the breaker without the
+         probe budget ever being exercised. *)
+      if probe then begin
+        t.probe_successes <- t.probe_successes + 1;
+        if t.probe_successes >= t.cfg.probe_budget then begin
+          t.opens <- 0;
+          t.failures <- 0;
+          transition t Closed
+        end
       end
-  | Half_open, false -> trip t ~now
+  | Half_open, false ->
+      (* A failure re-trips whatever admitted the job: stale or probe, the
+         tenant demonstrably still fails. *)
+      trip t ~now
   | Open, _ ->
       (* A job admitted before the trip can complete while the breaker is
          already open; its outcome no longer changes the state. *)
       ()
+
+(* Earliest virtual time at which [admit] could next return true; callers
+   deferring a submission instead of shedding it (pause-and-requeue
+   preemption) use it to schedule the retry. Best effort for half-open:
+   probe outcomes decide the actual state, so retry one cooldown later. *)
+let retry_at t ~now =
+  match t.st with
+  | Open -> Stdlib.max (now + 1) (t.opened_at + current_cooldown t)
+  | Closed | Half_open -> now + Stdlib.max 1 t.cfg.cooldown

@@ -38,7 +38,17 @@ val admit : t -> now:int -> bool
 (** May the tenant submit a job now? Transitions open -> half-open when
     the cooldown has elapsed (the admitted job is the first probe). *)
 
-val record : t -> now:int -> ok:bool -> unit
+val record : ?probe:bool -> t -> now:int -> ok:bool -> unit
 (** Feed a completed job's outcome back. [ok = false] means the job failed
     structurally (budget/guard/invariant) — deadline misses under overload
-    are the server's fault, not the tenant's, and must not be recorded. *)
+    are the server's fault, not the tenant's, and must not be recorded.
+
+    [probe] (default true) says whether the job's ADMISSION consumed a
+    half-open probe. Pass false for jobs admitted while the breaker was
+    still closed: if such a job completes during a later half-open window
+    its success is stale evidence and must not count toward re-closing
+    (its failure still re-trips — the tenant demonstrably still fails). *)
+
+val retry_at : t -> now:int -> int
+(** Earliest virtual time at which {!admit} could next succeed (strictly
+    after [now]); used to defer a submission instead of shedding it. *)

@@ -6,6 +6,7 @@ type failure =
   | Invariant of { job : int option; violation : Sanitizer.Checker.violation }
   | Crash of { job : int; reason : string }
   | Lost_jobs of { submitted : int; accounted : int }
+  | Recovery of string
 
 let failure_kind = function
   | Mismatch _ -> "mismatch"
@@ -13,6 +14,7 @@ let failure_kind = function
       "violation:" ^ Sanitizer.Checker.invariant_name violation.Sanitizer.Checker.invariant
   | Crash _ -> "crash"
   | Lost_jobs _ -> "lost-jobs"
+  | Recovery _ -> "recovery"
 
 let failure_describe = function
   | Mismatch { job; workload } -> Printf.sprintf "job %d (%s): fingerprint mismatch" job workload
@@ -24,6 +26,7 @@ let failure_describe = function
   | Crash { job; reason } -> Printf.sprintf "job %d crashed: %s" job reason
   | Lost_jobs { submitted; accounted } ->
       Printf.sprintf "job conservation: %d submitted but %d accounted" submitted accounted
+  | Recovery msg -> Printf.sprintf "crash recovery: %s" msg
 
 type outcome = {
   mix : Sanitizer.Fuzz.mix;
@@ -52,6 +55,11 @@ let tenant_of_mix (t : Sanitizer.Fuzz.mix_tenant) =
   }
 
 let config_of_mix (m : Sanitizer.Fuzz.mix) =
+  let preempt =
+    match Server.preempt_of_string m.Sanitizer.Fuzz.mix_preempt with
+    | Some p -> p
+    | None -> invalid_arg ("Serve_fuzz: bad preempt codec " ^ m.Sanitizer.Fuzz.mix_preempt)
+  in
   {
     Server.default_config with
     tenants = Array.of_list (List.map tenant_of_mix m.Sanitizer.Fuzz.mix_tenants);
@@ -60,6 +68,7 @@ let config_of_mix (m : Sanitizer.Fuzz.mix) =
     seed = m.mix_seed;
     sanitize = true;
     verify = true;
+    preempt;
   }
 
 let classify (m : Sanitizer.Fuzz.mix) (r : Server.result) =
@@ -88,3 +97,42 @@ let classify (m : Sanitizer.Fuzz.mix) (r : Server.result) =
 let run_mix m =
   let result = Server.run (config_of_mix m) in
   { mix = m; result; failures = classify m result }
+
+(* Crash-tolerance check: kill the same campaign halfway through its WAL
+   (torn record and all), recover from the partial log, and demand the
+   recovered decision journal be byte-identical to the uninterrupted
+   run's. Any divergence — replay mismatch, missing kill, changed bytes —
+   is a [Recovery] failure. *)
+let run_mix_recovery m =
+  let o = run_mix m in
+  let cfg = config_of_mix m in
+  let lines = List.length (String.split_on_char '\n' o.result.Server.decisions) - 1 in
+  if lines < 2 then o
+  else
+    let wal = Filename.temp_file "hbc-fuzz" ".wal" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove wal with Sys_error _ -> ())
+      (fun () ->
+        let kill = Stdlib.max 1 (lines / 2) in
+        let killed =
+          match Server.run { cfg with wal = Some wal; wal_kill_after = Some kill } with
+          | _ -> false
+          | exception Server.Killed -> true
+        in
+        match Server.run { cfg with wal = Some wal } with
+        | exception Server.Wal msg ->
+            { o with failures = o.failures @ [ Recovery ("wal replay: " ^ msg) ] }
+        | recovered ->
+            let extra = ref [] in
+            if not killed then
+              extra := Recovery "kill hook did not fire before campaign end" :: !extra;
+            if killed && recovered.Server.wal_replayed = 0 then
+              extra := Recovery "recovery replayed no committed WAL lines" :: !extra;
+            if recovered.Server.decisions <> o.result.Server.decisions then
+              extra :=
+                Recovery
+                  (Printf.sprintf
+                     "recovered decisions diverge from uninterrupted run (%d replayed)"
+                     recovered.Server.wal_replayed)
+                :: !extra;
+            { o with failures = o.failures @ List.rev !extra })

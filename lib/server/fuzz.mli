@@ -15,10 +15,13 @@ type failure =
   | Crash of { job : int; reason : string }  (** the inner run raised *)
   | Lost_jobs of { submitted : int; accounted : int }
       (** terminal outcomes do not cover the submitted jobs *)
+  | Recovery of string
+      (** a WAL-recovered re-run of the campaign diverged from the
+          uninterrupted run *)
 
 val failure_kind : failure -> string
 (** Stable class tag: ["mismatch"], ["violation:<invariant>"], ["crash"],
-    ["lost-jobs"]. *)
+    ["lost-jobs"], ["recovery"]. *)
 
 val failure_describe : failure -> string
 
@@ -36,3 +39,10 @@ val config_of_mix : Sanitizer.Fuzz.mix -> Server.config
 val run_mix : Sanitizer.Fuzz.mix -> outcome
 (** Run the mix end to end. Deterministic: equal mixes give equal
     outcomes. *)
+
+val run_mix_recovery : Sanitizer.Fuzz.mix -> outcome
+(** {!run_mix}, then crash-inject the same campaign: re-run it through a
+    temporary WAL killed (with a torn trailing record) halfway through
+    its decisions, recover from the partial log, and byte-compare the
+    recovered journal against the uninterrupted run's. Divergence is
+    reported as a {!Recovery} failure on top of the base outcome. *)

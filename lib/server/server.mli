@@ -14,19 +14,59 @@
     - a full bounded queue sheds at submission ([Rejected "queue-full"]);
     - a tenant tripping its {!Breaker} is quarantined
       ([Rejected "breaker-open"]) instead of stalling the pool;
-    - a job passing its deadline is preempted ([Deadline_exceeded]) with
-      partial results journaled and its pool share reclaimed;
+    - under the default [Cancel] preemption policy a job passing its
+      deadline is preempted ([Deadline_exceeded]) with partial results
+      journaled and its pool share reclaimed;
+    - under [Pause_and_requeue] the deadline draw becomes a per-episode
+      compute quantum: the job is cooperatively paused at the quantum
+      boundary, its {!Sim.Checkpoint_state} saved, its unconsumed grant
+      refunded to the meter, and it re-enters admission with a refreshed
+      deadline; the resumed episode continues from the checkpoint (replay
+      with a muted trace prefix, byte-verified at the boundary) so a
+      completed job's fingerprint is byte-identical to an uninterrupted
+      run. Breaker-quarantined submissions are deferred past the cooldown
+      instead of shed. After [max_preempts] pauses the final episode runs
+      against a hard inner deadline and terminates.
     - promotion opportunities are metered per tenant ({!Meter}), and an
       exhausted grant degrades the job gracefully to serial execution.
 
     Every decision is emitted as an {!Obs.Trace} event (and mirrored in a
     textual decision journal for byte-identity tests); with [sanitize] the
-    run carries a server-level {!Sanitizer.Checker} proving job and budget
-    conservation plus one per-job checker for the scheduler invariants. *)
+    run carries a server-level {!Sanitizer.Checker} proving job, budget
+    and resume conservation plus one per-job checker — persistent across
+    pause/resume episodes — for the scheduler invariants.
+
+    With [wal = Some path] the decision journal is a write-ahead log:
+    every line is flushed to disk before the next decision is taken. The
+    campaign being a deterministic function of the config, crash recovery
+    re-runs it from the start, byte-verifies every regenerated line
+    against the committed prefix (raising {!Wal} on divergence), drops a
+    torn trailing record, and appends only past the verified prefix — so
+    a killed serve process resumes with byte-identical subsequent
+    decisions and zero lost or duplicated jobs. *)
 
 type service = Hbc | Tpal of { chunk : int } | Omp of Baselines.Openmp.config
 
 val service_name : service -> string
+
+type preempt_policy =
+  | Cancel  (** deadline kills the job; partial results journaled *)
+  | Pause_and_requeue
+      (** deadline quantum pauses the job at an engine boundary; it
+          checkpoints, re-enters admission and later resumes *)
+
+val preempt_name : preempt_policy -> string
+(** "cancel" / "pause" — stable CLI and WAL-header names. *)
+
+val preempt_of_string : string -> preempt_policy option
+
+exception Killed
+(** Raised by the [wal_kill_after] crash-injection hook after tearing the
+    in-flight WAL record — the simulated power cut for recovery tests. *)
+
+exception Wal of string
+(** WAL recovery failure: header mismatch (the log belongs to a different
+    campaign) or replay divergence against a committed line. *)
 
 type tenant_spec = {
   weight : int;  (** fair-queuing and meter weight (>= 1) *)
@@ -36,7 +76,8 @@ type tenant_spec = {
   scale : float;
   workers_wanted : int;  (** pool share per job (clamped to the pool) *)
   deadline : (int * int) option;
-      (** per-job deadline range, in cycles relative to submission *)
+      (** per-job deadline range, in cycles relative to submission; under
+          [Pause_and_requeue] the same draw is the per-episode quantum *)
   cycle_budget : (int * int) option;
       (** per-job livelock watchdog range (inner cycles); hitting it is a
           structural failure, unlike a deadline miss *)
@@ -59,10 +100,19 @@ type config = {
   sanitize : bool;  (** server-level + per-job invariant checkers *)
   verify : bool;  (** differential-check completed jobs against the serial reference *)
   trace : Obs.Trace.Sink.t;  (** extra sink for the server's own events *)
+  preempt : preempt_policy;  (** what a deadline does to a running job *)
+  max_preempts : int;
+      (** pause/resume episodes (and breaker deferrals) allowed per job
+          before the final episode runs against a hard deadline *)
+  wal : string option;  (** write the decision journal through a WAL file *)
+  wal_kill_after : int option;
+      (** crash-injection: after this many WAL appends, tear the next
+          record mid-write and raise {!Killed} *)
 }
 
 val default_config : config
-(** 8-worker pool, 16-deep queue, HBC service, no tenants. *)
+(** 8-worker pool, 16-deep queue, HBC service, no tenants, [Cancel]
+    preemption, no WAL. *)
 
 type outcome =
   | Completed
@@ -80,13 +130,14 @@ type job_report = {
   start_time : int option;  (** None: shed, or expired while queued *)
   finish_time : int;
   outcome : outcome;
-  granted : int;  (** metered promotion grant *)
+  granted : int;  (** metered promotion grants, summed across episodes *)
   promotions : int;  (** promotions actually used (<= granted) *)
-  service_cycles : int option;
+  service_cycles : int option;  (** total inner compute across episodes *)
   sojourn : int option;  (** finish - submit, for admitted jobs *)
   work_cycles : int;
   fingerprint : float option;
   mismatch : bool;  (** verify-mode differential failure *)
+  episodes : int;  (** completed pause/resume episodes (0: never paused) *)
 }
 
 type stats = {
@@ -96,6 +147,8 @@ type stats = {
   completed : int;
   deadline_exceeded : int;
   failed : int;
+  checkpointed : int;  (** pause events across all jobs *)
+  resumed : int;  (** resume dispatches across all jobs *)
   sojourn_p50 : float;  (** over completed jobs, in cycles *)
   sojourn_p95 : float;
   sojourn_p99 : float;
@@ -108,17 +161,24 @@ type result = {
   reports : job_report list;  (** in job-id (submission) order *)
   stats : stats;
   decisions : string;
-      (** textual decision journal, one line per admit/shed/start/finish/
-          breaker/refill — byte-identical across equal-seed runs *)
+      (** textual decision journal, one line per admit/shed/start/
+          checkpoint/resume/finish/breaker/refill — byte-identical across
+          equal-seed runs, including WAL-recovered ones *)
   violations : (int option * Sanitizer.Checker.violation) list;
       (** (job, violation); [None] is the server-level checker *)
+  wal_replayed : int;
+      (** committed WAL lines replayed (and byte-verified) before any new
+          decision was appended; 0 on a fresh log or without a WAL *)
 }
 
 val run : config -> result
 (** Deterministic: equal configs (same seed) give equal results, byte for
-    byte including {!result.decisions}.
+    byte including {!result.decisions} — and a run recovered from a
+    partial WAL produces the same bytes as an uninterrupted one.
     @raise Invalid_argument on an empty pool or a tenant with no
-    workloads. *)
+    workloads.
+    @raise Wal on WAL header mismatch or replay divergence.
+    @raise Killed from the [wal_kill_after] hook. *)
 
 val summary : result -> string
 (** One line of counts and tail latencies for CLIs and smoke tests. *)

@@ -119,6 +119,8 @@ type t = {
   mutable guard : (unit -> string option) option;
   mutable guard_every : int;
   mutable guard_countdown : int;
+  mutable pause_at : int option;  (* cooperative pause boundary (absolute time) *)
+  mutable paused : bool;
 }
 
 type _ Effect.t += Advance : int -> unit Effect.t
@@ -143,7 +145,17 @@ let create ?(seed = 42) ~num_workers () =
     guard = None;
     guard_every = 4096;
     guard_countdown = 4096;
+    pause_at = None;
+    paused = false;
   }
+
+let set_pause_at t time = t.pause_at <- Some time
+
+(* Disarms the boundary only: [paused] stays true so [continue_run]'s
+   guard still accepts the engine (it resets the flag itself). *)
+let clear_pause t = t.pause_at <- None
+
+let paused t = t.paused
 
 let set_diagnostics t f = t.diagnostics <- Some f
 
@@ -268,15 +280,21 @@ let start_worker t w main =
           | _ -> None);
     }
 
-let run t main =
-  t.live <- t.nworkers;
-  for w = 0 to t.nworkers - 1 do
-    push_event t 0 (Callback (fun () -> start_worker t w main))
-  done;
+(* The dispatch loop, shared by [run] and [continue_run]. A pause boundary
+   is checked *before* the top event is dropped or counted, so a paused
+   engine holds the exact pre-dispatch state: resuming it replays the same
+   dispatch sequence (and [dispatched] counts) an uninterrupted run has. *)
+let run_loop t =
   let starved = ref 0 in
+  let must_pause () =
+    match t.pause_at with
+    | None -> false
+    | Some p -> (not (Heap.is_empty t.heap)) && Heap.top_time t.heap >= p
+  in
   let rec loop () =
     if t.live > 0 then begin
-      if t.pending_resumes = 0 then begin
+      if must_pause () then t.paused <- true
+      else if t.pending_resumes = 0 then begin
         (* Only callbacks remain. If every live worker is parked, no callback
            body can produce progress by itself unless it unparks someone, so
            run callbacks until one does or the heap drains. *)
@@ -318,6 +336,18 @@ let run t main =
   in
   loop ();
   t.current <- -1
+
+let run t main =
+  t.live <- t.nworkers;
+  for w = 0 to t.nworkers - 1 do
+    push_event t 0 (Callback (fun () -> start_worker t w main))
+  done;
+  run_loop t
+
+let continue_run t =
+  if not t.paused then invalid_arg "Engine.continue_run: engine is not paused";
+  t.paused <- false;
+  run_loop t
 
 let max_time t = Array.fold_left Stdlib.max 0 t.clocks
 

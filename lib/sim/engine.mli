@@ -81,9 +81,33 @@ val every : t -> start:int -> interval:int -> (unit -> unit) -> unit -> unit
 
 val run : t -> (int -> unit) -> unit
 (** [run t main] starts [num_workers] fibers, worker [w] executing [main w]
-    from virtual time 0, and processes events until all workers finish.
+    from virtual time 0, and processes events until all workers finish —
+    or until the {!set_pause_at} boundary is reached, in which case the
+    engine stops with its heap and fiber continuations intact ({!paused}
+    becomes true) and can be continued with {!continue_run}.
     @raise Deadlock if all unfinished workers are parked with nothing
     scheduled to wake them. *)
+
+val set_pause_at : t -> int -> unit
+(** Arm a cooperative pause boundary: the dispatch loop stops *before*
+    dispatching any event whose virtual time is [>=] the boundary. Unlike
+    {!set_budget} this is not an abort — every continuation, clock, and
+    queued event is preserved, so {!continue_run} resumes the identical
+    dispatch sequence an uninterrupted run would have had. *)
+
+val clear_pause : t -> unit
+(** Disarm the pause boundary. The {!paused} flag is left as is (it is
+    {!continue_run}'s job to reset it), so a paused engine stays
+    continuable after its boundary is cleared. *)
+
+val paused : t -> bool
+(** True when {!run} (or {!continue_run}) returned at a pause boundary
+    rather than by all workers finishing. *)
+
+val continue_run : t -> unit
+(** Continue a paused engine ({!paused} must be true). Typically the caller
+    first moves or clears the boundary with {!set_pause_at}/{!clear_pause};
+    otherwise the engine pauses again immediately. *)
 
 val max_time : t -> int
 (** Largest virtual clock reached across workers (the makespan after

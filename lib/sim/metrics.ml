@@ -112,8 +112,9 @@ let count_event t (ev : Obs.Trace.event) =
   (* Server-layer lifecycle events: counted by the serve report, not by the
      per-run scalar counters (a single run never emits them). *)
   | Obs.Trace.Job_submitted _ | Obs.Trace.Job_admitted _ | Obs.Trace.Job_shed _
-  | Obs.Trace.Job_started _ | Obs.Trace.Job_preempted _ | Obs.Trace.Job_finished _
-  | Obs.Trace.Breaker_transition _ | Obs.Trace.Budget_refill _ -> ()
+  | Obs.Trace.Job_started _ | Obs.Trace.Job_preempted _ | Obs.Trace.Job_checkpointed _
+  | Obs.Trace.Job_resumed _ | Obs.Trace.Job_finished _ | Obs.Trace.Breaker_transition _
+  | Obs.Trace.Budget_refill _ -> ()
 
 let counting_sink t = Obs.Trace.Sink.fn (fun ~time:_ ~worker:_ ev -> count_event t ev)
 

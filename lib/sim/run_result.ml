@@ -3,6 +3,7 @@ type termination =
   | Dnf
   | Budget_exceeded of { budget : int; at : int }
   | Guard_aborted of string
+  | Paused of Checkpoint_state.t
 
 type t = {
   makespan : int;
@@ -22,6 +23,7 @@ let termination_to_string = function
   | Dnf -> "dnf"
   | Budget_exceeded { budget; at } -> Printf.sprintf "budget-exceeded(%d at %d)" budget at
   | Guard_aborted reason -> Printf.sprintf "guard-aborted(%s)" reason
+  | Paused ck -> Printf.sprintf "paused(%s)" (Checkpoint_state.describe ck)
 
 let speedup ~baseline r =
   if r.dnf || (not (completed r)) || r.makespan = 0 then 0.0

@@ -12,6 +12,10 @@ type termination =
   | Guard_aborted of string
       (** aborted by an external guard (wall-clock deadline); partial
           counters only *)
+  | Paused of Checkpoint_state.t
+      (** cooperatively paused at an engine pause boundary; the payload is
+          the serializable checkpoint a later run can resume from (see
+          {!Checkpoint_state}); partial counters, resumable *)
 
 type t = {
   makespan : int;  (** virtual cycles from program start to completion *)

@@ -6,6 +6,10 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+
+let set_state t s = t.state <- s
+
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   let z = t.state in

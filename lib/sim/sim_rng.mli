@@ -12,6 +12,13 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy continuing from the current state. *)
 
+val state : t -> int64
+(** Raw generator state, for checkpointing. Restoring it with
+    {!set_state} resumes the exact stream. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the generator state (checkpoint restore). *)
+
 val split : t -> t
 (** [split t] derives a statistically independent child generator and
     advances [t]; used to give each worker or generator its own stream. *)

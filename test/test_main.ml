@@ -20,5 +20,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("benchgate", Test_benchgate.suite);
       ("sanitizer", Test_sanitizer.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("server", Test_server.suite);
     ]

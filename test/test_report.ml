@@ -58,10 +58,35 @@ let run_result_helpers () =
   check_bool "fingerprints close" true
     (Sim.Run_result.fingerprints_close (mk 1 1) { (mk 1 1) with Sim.Run_result.fingerprint = 1.0000000001 })
 
+(* Nearest-rank percentile: always an observed value, with the empty,
+   singleton, duplicate, and p0/p100 boundary cases pinned — the server's
+   sojourn tails (and the perf gate comparing them exactly) depend on
+   these semantics. *)
+let percentile_edge_cases () =
+  let p q xs = Report.Stats.percentile q xs in
+  let eq name = Alcotest.(check (float 0.0)) name in
+  eq "empty sample is 0" 0.0 (p 50.0 []);
+  eq "singleton p0" 7.0 (p 0.0 [ 7.0 ]);
+  eq "singleton p50" 7.0 (p 50.0 [ 7.0 ]);
+  eq "singleton p100" 7.0 (p 100.0 [ 7.0 ]);
+  let xs = [ 4.0; 1.0; 3.0; 2.0 ] in
+  eq "p0 clamps to the minimum" 1.0 (p 0.0 xs);
+  eq "p100 is the maximum" 4.0 (p 100.0 xs);
+  eq "p25 nearest-rank" 1.0 (p 25.0 xs);
+  eq "p50 nearest-rank (no interpolation)" 2.0 (p 50.0 xs);
+  eq "p51 rounds up to the next rank" 3.0 (p 51.0 xs);
+  let dups = [ 5.0; 5.0; 1.0; 5.0 ] in
+  eq "duplicates p25" 1.0 (p 25.0 dups);
+  eq "duplicates p75" 5.0 (p 75.0 dups);
+  List.iter
+    (fun q -> Alcotest.(check bool) "always an observed value" true (List.mem (p q xs) xs))
+    [ 0.0; 10.0; 33.0; 66.0; 99.0; 100.0 ]
+
 let suite =
   [
     Alcotest.test_case "stats: geomean" `Quick geomean_known;
     Alcotest.test_case "stats: median" `Quick median_known;
+    Alcotest.test_case "stats: percentile edge cases" `Quick percentile_edge_cases;
     Alcotest.test_case "table: render" `Quick table_render;
     Alcotest.test_case "chart: render" `Quick chart_render;
     Alcotest.test_case "table: cells" `Quick cells;

@@ -81,6 +81,71 @@ let breaker_backoff_grows () =
   check Alcotest.bool "not after 100" false (Serve.Breaker.admit b ~now:201);
   check Alcotest.bool "after 200" true (Serve.Breaker.admit b ~now:301)
 
+(* Half-open probe accounting: only outcomes of jobs admitted AS probes
+   may close the breaker; pre-trip stragglers are stale evidence. *)
+let breaker_stale_success_not_probe () =
+  let cfg =
+    { Serve.Breaker.default_config with Serve.Breaker.failure_threshold = 2; cooldown = 100; probe_budget = 2 }
+  in
+  let b = Serve.Breaker.create ~config:cfg ~on_transition:(fun ~from_state:_ ~to_state:_ -> ()) () in
+  Serve.Breaker.record b ~now:1 ~ok:false;
+  Serve.Breaker.record b ~now:2 ~ok:false;
+  check Alcotest.bool "tripped" true (Serve.Breaker.state b = Serve.Breaker.Open);
+  check Alcotest.bool "probe admitted after cooldown" true (Serve.Breaker.admit b ~now:102);
+  check Alcotest.bool "half-open" true (Serve.Breaker.state b = Serve.Breaker.Half_open);
+  (* jobs admitted before the trip finish during the half-open window:
+     their successes must not count toward re-closing *)
+  Serve.Breaker.record ~probe:false b ~now:103 ~ok:true;
+  Serve.Breaker.record ~probe:false b ~now:104 ~ok:true;
+  check Alcotest.bool "stale successes ignored" true (Serve.Breaker.state b = Serve.Breaker.Half_open);
+  check Alcotest.bool "second probe admitted" true (Serve.Breaker.admit b ~now:105);
+  Serve.Breaker.record b ~now:106 ~ok:true;
+  check Alcotest.bool "one probe success is not enough" true
+    (Serve.Breaker.state b = Serve.Breaker.Half_open);
+  Serve.Breaker.record b ~now:107 ~ok:true;
+  check Alcotest.bool "probe budget of successes closes" true
+    (Serve.Breaker.state b = Serve.Breaker.Closed)
+
+(* trip -> cooldown -> half-open -> re-trip under simultaneous arrivals:
+   two arrivals at the same instant share the probe budget, a failing
+   probe re-opens with doubled backoff, and a late probe success while
+   re-opened changes nothing. *)
+let breaker_retrip_under_simultaneous_arrivals () =
+  let cfg =
+    {
+      Serve.Breaker.failure_threshold = 2;
+      cooldown = 100;
+      backoff = 2.0;
+      probe_budget = 2;
+    }
+  in
+  let opens = ref 0 in
+  let b =
+    Serve.Breaker.create ~config:cfg
+      ~on_transition:(fun ~from_state:_ ~to_state -> if to_state = Serve.Breaker.Open then incr opens)
+      ()
+  in
+  (* simultaneous failures trip once *)
+  Serve.Breaker.record b ~now:1 ~ok:false;
+  Serve.Breaker.record b ~now:1 ~ok:false;
+  check Alcotest.int "one open" 1 !opens;
+  check Alcotest.int "retry_at is the cooldown end" 101 (Serve.Breaker.retry_at b ~now:50);
+  check Alcotest.bool "cooling: both simultaneous arrivals denied" false
+    (Serve.Breaker.admit b ~now:50 || Serve.Breaker.admit b ~now:50);
+  (* cooldown over: two simultaneous arrivals share the probe budget *)
+  check Alcotest.bool "first probe" true (Serve.Breaker.admit b ~now:101);
+  check Alcotest.bool "second probe" true (Serve.Breaker.admit b ~now:101);
+  check Alcotest.bool "budget spent: third denied" false (Serve.Breaker.admit b ~now:101);
+  (* one probe fails: re-trip with doubled cooldown *)
+  Serve.Breaker.record b ~now:110 ~ok:false;
+  check Alcotest.int "re-tripped" 2 !opens;
+  (* the surviving probe's late success changes nothing while open *)
+  Serve.Breaker.record b ~now:111 ~ok:true;
+  check Alcotest.bool "still open" true (Serve.Breaker.state b = Serve.Breaker.Open);
+  check Alcotest.int "backoff doubles the retry" 310 (Serve.Breaker.retry_at b ~now:120);
+  check Alcotest.bool "doubled cooldown still holds" false (Serve.Breaker.admit b ~now:309);
+  check Alcotest.bool "admits after the doubled cooldown" true (Serve.Breaker.admit b ~now:310)
+
 (* ------------------------------------------------------------------ *)
 (* Promotion meter.                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -387,6 +452,92 @@ let every_job_reaches_one_terminal_state () =
   check Alcotest.int "checker agrees" 0 (List.length r.Serve.Server.violations)
 
 (* ------------------------------------------------------------------ *)
+(* Preempt–resume policy and WAL crash recovery.                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One tenant, a quantum far below each job's makespan: under
+   [Pause_and_requeue] every job must checkpoint/resume many times and
+   still complete with a fingerprint matching its serial reference. *)
+let pause_cfg c =
+  {
+    c with
+    Serve.Server.tenants =
+      [|
+        {
+          tenant with
+          Serve.Server.arrival = Serve.Arrival.Burst { period = 30_000; size = 3 };
+          jobs = 3;
+          scale = 0.01;
+          workers_wanted = 2;
+          deadline = Some (8_000, 8_000);
+        };
+      |];
+    verify = true;
+    preempt = Serve.Server.Pause_and_requeue;
+    max_preempts = 50;
+  }
+
+let pause_policy_completes () =
+  let r = run pause_cfg in
+  let s = r.Serve.Server.stats in
+  check Alcotest.int "all jobs complete" 3 s.Serve.Server.completed;
+  check Alcotest.bool "jobs were checkpointed" true (s.Serve.Server.checkpointed > 0);
+  check Alcotest.int "every checkpoint resumed" s.Serve.Server.checkpointed s.Serve.Server.resumed;
+  check Alcotest.int "no violations" 0 (List.length r.Serve.Server.violations);
+  List.iter
+    (fun (j : Serve.Server.job_report) ->
+      check Alcotest.bool "episodes counted" true (j.Serve.Server.episodes > 0);
+      check Alcotest.bool "fingerprint matches serial reference" false j.Serve.Server.mismatch;
+      check Alcotest.bool "promotions within cumulative grant" true
+        (j.Serve.Server.promotions <= j.Serve.Server.granted))
+    r.Serve.Server.reports
+
+let cancel_vs_pause_contrast () =
+  let cancel = run (fun c -> { (pause_cfg c) with Serve.Server.preempt = Serve.Server.Cancel }) in
+  let s = cancel.Serve.Server.stats in
+  check Alcotest.int "cancel: the tight deadline kills everything" 0 s.Serve.Server.completed;
+  check Alcotest.int "cancel: all deadline-exceeded" 3 s.Serve.Server.deadline_exceeded;
+  check Alcotest.int "cancel: nothing checkpointed" 0 s.Serve.Server.checkpointed
+
+let pause_policy_deterministic () =
+  let a = run pause_cfg and b = run pause_cfg in
+  check Alcotest.string "decision journals byte-identical" a.Serve.Server.decisions
+    b.Serve.Server.decisions
+
+let with_temp_wal f =
+  let path = Filename.temp_file "hbc-test" ".wal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let wal_kill_and_recover () =
+  let fresh = run pause_cfg in
+  with_temp_wal (fun path ->
+      (match
+         run (fun c ->
+             { (pause_cfg c) with Serve.Server.wal = Some path; wal_kill_after = Some 12 })
+       with
+      | _ -> Alcotest.fail "kill hook did not fire"
+      | exception Serve.Server.Killed -> ());
+      let recovered = run (fun c -> { (pause_cfg c) with Serve.Server.wal = Some path }) in
+      check Alcotest.int "committed prefix replayed" 12 recovered.Serve.Server.wal_replayed;
+      check Alcotest.string "decisions byte-identical after recovery"
+        fresh.Serve.Server.decisions recovered.Serve.Server.decisions;
+      check Alcotest.int "zero lost jobs" fresh.Serve.Server.stats.Serve.Server.submitted
+        recovered.Serve.Server.stats.Serve.Server.submitted;
+      check Alcotest.int "completions preserved" fresh.Serve.Server.stats.Serve.Server.completed
+        recovered.Serve.Server.stats.Serve.Server.completed;
+      (* a second recovery over the now-complete log replays everything *)
+      let again = run (fun c -> { (pause_cfg c) with Serve.Server.wal = Some path }) in
+      check Alcotest.string "idempotent recovery" fresh.Serve.Server.decisions
+        again.Serve.Server.decisions)
+
+let wal_foreign_log_rejected () =
+  with_temp_wal (fun path ->
+      ignore (run (fun c -> { (pause_cfg c) with Serve.Server.wal = Some path }));
+      match run (fun c -> { (pause_cfg c) with Serve.Server.wal = Some path; seed = 43 }) with
+      | _ -> Alcotest.fail "a foreign campaign's WAL was accepted"
+      | exception Serve.Server.Wal _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Serve-mode fuzz plumbing.                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -410,6 +561,7 @@ let tiny_mix_passes_differentially () =
       Sanitizer.Fuzz.mix_seed = 77;
       mix_pool = 4;
       mix_queue = 4;
+      mix_preempt = "pause";
       mix_tenants =
         [
           {
@@ -454,4 +606,12 @@ let suite =
     Alcotest.test_case "job conservation" `Quick every_job_reaches_one_terminal_state;
     Alcotest.test_case "gen_mix is seeded" `Quick gen_mix_is_seeded;
     Alcotest.test_case "tiny mix passes" `Quick tiny_mix_passes_differentially;
+    Alcotest.test_case "breaker ignores stale successes" `Quick breaker_stale_success_not_probe;
+    Alcotest.test_case "breaker re-trips simultaneous probes" `Quick
+      breaker_retrip_under_simultaneous_arrivals;
+    Alcotest.test_case "pause policy completes" `Quick pause_policy_completes;
+    Alcotest.test_case "cancel vs pause contrast" `Quick cancel_vs_pause_contrast;
+    Alcotest.test_case "pause policy deterministic" `Quick pause_policy_deterministic;
+    Alcotest.test_case "wal kill and recover" `Quick wal_kill_and_recover;
+    Alcotest.test_case "wal foreign log rejected" `Quick wal_foreign_log_rejected;
   ]
