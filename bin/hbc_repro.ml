@@ -187,6 +187,15 @@ let run_cmd =
     let doc = "Executor: seq, hbc, hbc-km, hbc-ping, tpal, omp-static, or omp-dynamic." in
     Arg.(value & opt string "hbc" & info [ "executor"; "e" ] ~docv:"EXEC" ~doc)
   in
+  let backend_arg =
+    let doc =
+      "Scheduler backend: $(b,sim) (the virtual-time engine; the default) or $(b,domains) (real \
+       OCaml 5 domains via the native runner — same policy core, wall-clock heartbeats). The \
+       domains backend supports the seq, hbc, and tpal executors; makespan is wall microseconds \
+       and fault injection / pause-resume are unavailable."
+    in
+    Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
   let trace_arg =
     let doc =
       "Capture the full scheduler event trace and write it as Chrome trace_event JSON to \
@@ -221,9 +230,16 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume-from" ] ~docv:"PATH" ~doc)
   in
-  let run config bench executor fault_plan trace_path sanitize pause_at ckpt_path resume_path
-      journal =
+  let run config bench executor backend_s fault_plan trace_path sanitize pause_at ckpt_path
+      resume_path journal =
     with_journal journal @@ fun () ->
+    let backend =
+      match Sched.Policy.backend_kind_of_string backend_s with
+      | Ok b -> b
+      | Error e ->
+          Printf.eprintf "run: %s\n" e;
+          exit 1
+    in
     let entry =
       try Workloads.Registry.find bench
       with Not_found ->
@@ -265,8 +281,83 @@ let run_cmd =
       | Some sa, Some s -> Some (Obs.Trace.Sink.tee (Sanitizer.Checker.sink sa) s)
     in
     let request =
-      Hbc_core.Run_request.make ?fault_plan ?trace:sink ~sanitize ?pause_at ?resume_from ()
+      Hbc_core.Run_request.make ~backend ?fault_plan ?trace:sink ~sanitize ?pause_at ?resume_from
+        ()
     in
+    let finish_sanitizer (r : Sim.Run_result.t) =
+      match san with
+      | None -> ()
+      | Some sa ->
+          Sanitizer.Checker.finish sa;
+          let verdict = Sanitizer.Checker.summary sa in
+          r.Sim.Run_result.sanitizer <- Some verdict;
+          Printf.printf "sanitizer        : %s\n" verdict;
+          if not (Sanitizer.Checker.ok sa) then begin
+            List.iter
+              (fun (v : Sanitizer.Checker.violation) ->
+                Printf.eprintf "  [%s] t=%d w=%d %s\n"
+                  (Sanitizer.Checker.invariant_name v.Sanitizer.Checker.invariant)
+                  v.Sanitizer.Checker.time v.Sanitizer.Checker.worker v.Sanitizer.Checker.message)
+              (Sanitizer.Checker.violations sa);
+            exit 3
+          end
+    in
+    let export_trace (r : Sim.Run_result.t) =
+      match trace_path with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc
+                (Obs.Perfetto.to_string
+                   ~process_name:(entry.Workloads.Registry.name ^ "/" ^ executor)
+                   r.Sim.Run_result.trace));
+          Printf.printf "trace            : %d events -> %s\n"
+            (List.length r.Sim.Run_result.trace) path
+    in
+    if backend = Sched.Policy.Domains then begin
+      (* Native runs bypass the trial journal: wall-clock makespans are not
+         reproducible measurements, and the harness's virtual-time stats do
+         not apply. Validation is still against the simulated sequential
+         reference — fingerprints are backend-independent. *)
+      if fault_plan <> None || pause_at <> None || resume_path <> None then begin
+        Printf.eprintf "run: --backend domains has no fault injection or pause/resume\n";
+        exit 2
+      end;
+      let engine =
+        match executor with
+        | "seq" -> Sched_run.Serial
+        | "hbc" ->
+            Sched_run.Hbc
+              {
+                Hbc_core.Rt_config.default with
+                workers = config.Experiments.Harness.workers;
+                seed = config.Experiments.Harness.seed;
+              }
+        | "tpal" -> Sched_run.Tpal { chunk = entry.Workloads.Registry.tpal_chunk }
+        | other ->
+            Printf.eprintf "run: --backend domains supports seq, hbc, and tpal, not %s\n" other;
+            exit 2
+      in
+      let (Ir.Program.Any p) = entry.Workloads.Registry.make config.Experiments.Harness.scale in
+      let r = Sched_run.run ~request ~backend engine p in
+      let valid = Sim.Run_result.fingerprints_close base r in
+      Printf.printf "benchmark        : %s (%s on %s)\n" entry.Workloads.Registry.name executor
+        backend_s;
+      Printf.printf "baseline work    : %d cycles (simulated reference)\n"
+        base.Sim.Run_result.work_cycles;
+      Printf.printf "makespan         : %d us wall on %d domains\n" r.Sim.Run_result.makespan
+        config.Experiments.Harness.workers;
+      Printf.printf "body work        : %d cycles\n" r.Sim.Run_result.work_cycles;
+      Printf.printf "promotions       : %d\n" r.Sim.Run_result.metrics.Sim.Metrics.promotions;
+      Printf.printf "output valid     : %b\n" valid;
+      export_trace r;
+      finish_sanitizer r;
+      if not valid then exit 4
+    end
+    else begin
     let tag_of t =
       let t = if fault_plan = None then t else t ^ "+faults" in
       let t = if trace_path = None then t else t ^ "+trace" in
@@ -396,19 +487,7 @@ let run_cmd =
           (fun (w, t) -> Printf.printf " [worker %d at %d]" w t)
           (Obs.Trace_query.downgrades r.Sim.Run_result.trace);
         print_newline ());
-    (match trace_path with
-    | None -> ()
-    | Some path ->
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            output_string oc
-              (Obs.Perfetto.to_string
-                 ~process_name:(entry.Workloads.Registry.name ^ "/" ^ executor)
-                 r.Sim.Run_result.trace));
-        Printf.printf "trace            : %d events -> %s\n"
-          (List.length r.Sim.Run_result.trace) path);
+    export_trace r;
     (match outcome.Experiments.Harness.error with
     | Some e ->
         Printf.printf "trial error      : %s\n" (Experiments.Trial_error.to_string e)
@@ -426,27 +505,13 @@ let run_cmd =
           executor ckpt_path
     | _ -> ());
     if r.Sim.Run_result.dnf then print_endline "run DID NOT FINISH (virtual-time cap)";
-    match san with
-    | None -> ()
-    | Some sa ->
-        Sanitizer.Checker.finish sa;
-        let verdict = Sanitizer.Checker.summary sa in
-        r.Sim.Run_result.sanitizer <- Some verdict;
-        Printf.printf "sanitizer        : %s\n" verdict;
-        if not (Sanitizer.Checker.ok sa) then begin
-          List.iter
-            (fun (v : Sanitizer.Checker.violation) ->
-              Printf.eprintf "  [%s] t=%d w=%d %s\n"
-                (Sanitizer.Checker.invariant_name v.Sanitizer.Checker.invariant)
-                v.Sanitizer.Checker.time v.Sanitizer.Checker.worker v.Sanitizer.Checker.message)
-            (Sanitizer.Checker.violations sa);
-          exit 3
-        end
+    finish_sanitizer r
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
-      const run $ config_term $ bench_arg $ exec_arg $ fault_plan_term $ trace_arg
+      const run $ config_term $ bench_arg $ exec_arg $ backend_arg $ fault_plan_term $ trace_arg
       $ sanitize_arg $ pause_arg $ ckpt_arg $ resume_arg $ journal_term)
 
 let asm_cmd =

@@ -43,6 +43,12 @@ fi
 rm -f "$F"
 echo "check.sh: sanitizer + fuzz smoke OK"
 
+# --- native domains smoke test: the real-parallelism backend must produce
+# the sequential fingerprint (exit 4 on mismatch) and its linearized trace
+# must satisfy the full sanitizer invariant set (exit 3 on violation) ---
+"$REPRO" run spmv-powerlaw --scale 0.05 --backend domains -e hbc -w 2 --sanitize > /dev/null
+echo "check.sh: native domains smoke OK"
+
 # --- serve smoke test: a mixed-tenant overload run with the sanitizer on
 # must hit the shed and deadline paths (exit 4 if either never fires, exit 3
 # on any job/budget-conservation violation); equal seeds must journal

@@ -15,4 +15,6 @@
 val config : chunk:int -> Hbc_core.Rt_config.t
 
 val run_program : chunk:int -> 'e Ir.Program.t -> Sim.Run_result.t
-(** [chunk] is the per-benchmark hand-tuned static chunk size. *)
+(** [chunk] is the per-benchmark hand-tuned static chunk size.
+    @deprecated New call sites should go through the backend-agnostic
+    facade, [Sched_run.run (Tpal { chunk })]. *)

@@ -133,6 +133,21 @@ let micro_checkpoint_capture () =
          then 1
          else 0))
 
+(* The domains backend's dispatch overhead: one worker, deterministic
+   poll-count heartbeats, untraced (the backend's lock-free fast path —
+   identity critical sections, no-op emission). Single-worker scheduling
+   is fully deterministic (the owner pops its own spawned halves in
+   order), so promotions and body work gate; real time is advisory. *)
+let micro_domains_dispatch () =
+  Probe.run ~name:"micro/domains-dispatch" ~det_alloc:false (fun ctx ->
+      let entry = Workloads.Registry.find "spmv-powerlaw" in
+      let rt = { Hbc_core.Rt_config.default with workers = 1; seed } in
+      let (Ir.Program.Any p) = entry.Workloads.Registry.make tiny_scale in
+      let r = Hb_parallel.Native_run.run ~beat:(Hb_parallel.Native_run.Every_polls 64) rt p in
+      Probe.deti ctx "promotions" r.Sim.Run_result.metrics.Sim.Metrics.promotions;
+      Probe.deti ctx "work_cycles" r.Sim.Run_result.work_cycles;
+      Probe.adv ctx "makespan_wall_us" (Float.of_int r.Sim.Run_result.makespan))
+
 let micro () =
   [
     micro_deque ();
@@ -142,6 +157,7 @@ let micro () =
     micro_trace_emission ();
     micro_engine_dispatch ();
     micro_checkpoint_capture ();
+    micro_domains_dispatch ();
   ]
 
 (* --------------------------- macro probes ------------------------- *)

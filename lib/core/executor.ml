@@ -6,14 +6,14 @@ type status = Done | Promoted of int
 
 type seg_result = Seg_ok | Seg_promoted of int
 
-(* [id] is a per-run serial used only by trace deque/lifecycle events; 0
-   for every task of an uncaptured run. *)
-type task = { id : int; run : unit -> unit }
+(* The scheduler proper — deque discipline, steal protocol, joins, task
+   lifecycle events — lives in the backend-agnostic policy core; this
+   executor is its simulator instantiation plus the cost-annotated nest
+   interpreter. The same functor over [Hb_parallel.Domains_backend] runs
+   the identical policy on real OCaml 5 domains. *)
+module S = Sched.Core.Make (Sim_backend)
 
-(* Deliberately plantable scheduler bugs, exercised by the sanitizer tests
-   and the fuzzer's forced-failure mode. Testing hook: never armed in
-   normal operation. *)
-type seeded_bug =
+type seeded_bug = Sim_backend.seeded_bug =
   | Duplicate_leftover  (* push the leftover task twice on promotion *)
   | Lose_stolen_task  (* drop one successfully stolen task on the floor *)
   | Promote_innermost  (* invert the promotion policy's target choice *)
@@ -21,8 +21,6 @@ type seeded_bug =
 let seeded_bug : seeded_bug option ref = ref None
 
 let set_seeded_bug b = seeded_bug := b
-
-type join = { mutable pending : int; owner : int }
 
 (* [forbidden]: ordinal of the lowest loop in the enclosing context this
    task does NOT own (its frozen ancestors' iterations belong to the task
@@ -46,17 +44,11 @@ type run_state = {
   trace : Obs.Trace.Sink.t;  (* counting sink teed with the request's sink *)
   capture : bool;  (* the request's sink wants payload events (intervals) *)
   inj : Sim.Fault_injector.t;
-  deques : task Sim.Deque.t array;
+  sb : Sim_backend.t;  (* the simulator as a scheduler backend (deques, RNG) *)
+  sc : S.t;  (* the shared policy core instantiated over [sb] *)
   ac : (int * int * int, Adaptive_chunking.t) Hashtbl.t;
   bus : Sim.Membus.t;
-  mutable last_pusher : int;  (* steal-affinity hint: deque that grew last *)
-  depth : int array;  (* task-nesting depth per worker, drives the busy flag *)
-  steal_fails : int array;  (* consecutive dry steal rounds, drives backoff *)
-  mutable finished : bool;
-  mutable next_task_id : int;  (* trace-only task serial (captured runs) *)
   mutable exec_epoch : int;  (* bumped per exec_nest call, part of slice keys *)
-  bug : seeded_bug option;  (* armed seeded scheduler bug (tests/fuzzer) *)
-  mutable bug_fired : bool;  (* one-shot bugs fire at most once per run *)
   live_slices : live_slice list array option;
       (* per-worker stacks of live DOALL slices; Some only on pause/resume *)
   mutable promo_left : int;
@@ -126,151 +118,6 @@ let ac_for st ~worker ~nest_id ~ord =
       in
       Hashtbl.add st.ac key a;
       a
-
-(* ------------------------------------------------------------------ *)
-(* Scheduler: deques, stealing, joins.                                  *)
-(* ------------------------------------------------------------------ *)
-
-let wake_one (st : run_state) =
-  let n = Array.length st.deques in
-  let start = Sim.Sim_rng.int (Sim.Engine.rng st.eng) n in
-  let rec find k =
-    if k < n then begin
-      let w = (start + k) mod n in
-      if Sim.Engine.is_parked st.eng w then Sim.Engine.unpark st.eng w else find (k + 1)
-    end
-  in
-  find 0
-
-let mk_task (st : run_state) run =
-  st.next_task_id <- st.next_task_id + 1;
-  { id = st.next_task_id; run }
-
-let push_task (st : run_state) task =
-  Sim.Deque.push_bottom st.deques.(wid st) task;
-  st.last_pusher <- wid st;
-  emit st Obs.Trace.Task_spawned;
-  if st.capture then emit st (Obs.Trace.Task_pushed { task = task.id });
-  overhead st "promotion" (cm st).Sim.Cost_model.deque_push_cost;
-  wake_one st
-
-(* Injected OS-preemption stall at a scheduling point (no-op without an
-   active fault plan). *)
-let maybe_stall (st : run_state) =
-  let c = Sim.Fault_injector.stall_cycles st.inj ~worker:(wid st) in
-  if c > 0 then begin
-    Sim.Engine.advance st.eng c;
-    Sim.Metrics.add_overhead st.metrics "fault-stall" c
-  end
-
-let run_task (st : run_state) task =
-  let w = wid st in
-  st.steal_fails.(w) <- 0;
-  if st.capture then emit st (Obs.Trace.Task_exec { task = task.id });
-  maybe_stall st;
-  st.depth.(w) <- st.depth.(w) + 1;
-  if st.depth.(w) = 1 then Heartbeat.set_busy st.hb ~worker:w true;
-  let t0 = Sim.Engine.now st.eng in
-  task.run ();
-  if st.capture && st.depth.(w) = 1 && Sim.Engine.now st.eng > t0 then
-    emit st (Obs.Trace.Interval { t0; kind = "task" });
-  st.depth.(w) <- st.depth.(w) - 1;
-  if st.depth.(w) = 0 then Heartbeat.set_busy st.hb ~worker:w false
-
-let try_steal (st : run_state) =
-  let n = Array.length st.deques in
-  let w = wid st in
-  let probe v =
-    emit st Obs.Trace.Steal_attempt;
-    overhead st "steal" (cm st).Sim.Cost_model.steal_attempt_cost;
-    (* An injected contention burst: the attempt's CAS loses even against a
-       non-empty victim; the attempt cost is still paid. *)
-    if Sim.Fault_injector.steal_fails st.inj ~worker:w then None
-    else
-      match Sim.Deque.steal st.deques.(v) with
-      | Some t ->
-          emit st Obs.Trace.Steal_success;
-          if st.capture then emit st (Obs.Trace.Task_stolen { task = t.id; victim = v });
-          overhead st "steal" (cm st).Sim.Cost_model.steal_success_cost;
-          if st.bug = Some Lose_stolen_task && not st.bug_fired then begin
-            (* Seeded bug: the stolen task vanishes — removed from the
-               victim's deque but never executed. *)
-            st.bug_fired <- true;
-            None
-          end
-          else Some t
-      | None -> None
-  in
-  let rec attempt k =
-    if k = 0 || n = 1 then None
-    else begin
-      let v = Sim.Sim_rng.int (Sim.Engine.rng st.eng) n in
-      if v = w then attempt (k - 1) else match probe v with Some t -> Some t | None -> attempt (k - 1)
-    end
-  in
-  (* Deques are usually empty under heartbeat scheduling; probing the deque
-     that grew most recently first saves most of the random-walk probes. *)
-  if n > 1 && st.last_pusher <> w && not (Sim.Deque.is_empty st.deques.(st.last_pusher)) then
-    match probe st.last_pusher with Some t -> Some t | None -> attempt 8
-  else attempt 8
-
-(* A dry steal round under fault injection backs off exponentially (base
-   [idle_backoff], jittered, bounded) before parking: parking instantly
-   makes a worker blind to the end of an injected contention burst, while
-   unbounded spinning burns the makespan. Returns true when the worker
-   should park. Zero-fault runs park immediately, exactly as before. *)
-let backoff_rounds = 6
-
-let should_park (st : run_state) =
-  if not (Sim.Fault_injector.active st.inj) then true
-  else begin
-    let w = wid st in
-    let f = st.steal_fails.(w) in
-    if f >= backoff_rounds then begin
-      st.steal_fails.(w) <- 0;
-      true
-    end
-    else begin
-      st.steal_fails.(w) <- f + 1;
-      let d = (cm st).Sim.Cost_model.idle_backoff lsl f in
-      let d = d + Sim.Fault_injector.backoff_jitter st.inj ~worker:w ~limit:(1 + (d / 2)) in
-      overhead st "idle-backoff" d;
-      false
-    end
-  end
-
-let finish_join (st : run_state) join =
-  join.pending <- join.pending - 1;
-  if wid st <> join.owner then begin
-    emit st Obs.Trace.Task_joined_slow;
-    overhead st "join" (cm st).Sim.Cost_model.join_slow_path_cost
-  end;
-  if join.pending = 0 then Sim.Engine.unpark st.eng join.owner
-
-let join_wait (st : run_state) join =
-  while join.pending > 0 do
-    match Sim.Deque.pop_bottom st.deques.(wid st) with
-    | Some t ->
-        if st.capture then emit st (Obs.Trace.Task_popped { task = t.id });
-        overhead st "join" (cm st).Sim.Cost_model.deque_pop_cost;
-        run_task st t
-    | None -> (
-        match try_steal st with
-        | Some t -> run_task st t
-        | None -> if join.pending > 0 && should_park st then Sim.Engine.park st.eng)
-  done
-
-let scavenge (st : run_state) w =
-  while not st.finished do
-    match Sim.Deque.pop_bottom st.deques.(w) with
-    | Some t ->
-        if st.capture then emit st (Obs.Trace.Task_popped { task = t.id });
-        run_task st t
-    | None -> (
-        match try_steal st with
-        | Some t -> run_task st t
-        | None -> if not st.finished && should_park st then Sim.Engine.park st.eng)
-  done
 
 (* ------------------------------------------------------------------ *)
 (* Interpreter for compiled nests.                                      *)
@@ -613,26 +460,14 @@ and promote :
   (* Only the suffix of the chain below the task's ownership boundary is a
      legal split target: contexts at or above [forbidden] are frozen
      snapshots whose remaining iterations belong to the spawning task. *)
-  let rec owned_suffix = function
-    | [] -> []
-    | o :: rest when o = ts_forbidden -> rest
-    | _ :: rest -> owned_suffix rest
-  in
-  let chain =
-    if ts_forbidden < 0 then cur.Compiled.chain_from_root
-    else owned_suffix cur.Compiled.chain_from_root
-  in
-  let target =
-    if st.bug = Some Promote_innermost then
+  let chain = Sched.Policy.owned_suffix ~forbidden:ts_forbidden cur.Compiled.chain_from_root in
+  let policy =
+    if st.sb.Sim_backend.bug = Some Sim_backend.Promote_innermost then
       (* Seeded bug: silently invert the configured policy's direction. *)
-      match st.cfg.Rt_config.policy with
-      | Rt_config.Outer_loop_first -> List.find_opt splittable (List.rev chain)
-      | Rt_config.Innermost_first -> List.find_opt splittable chain
-    else
-      match st.cfg.Rt_config.policy with
-      | Rt_config.Outer_loop_first -> List.find_opt splittable chain
-      | Rt_config.Innermost_first -> List.find_opt splittable (List.rev chain)
+      Sched.Policy.invert st.cfg.Rt_config.policy
+    else st.cfg.Rt_config.policy
   in
+  let target = Sched.Policy.choose_target ~policy ~splittable chain in
   match target with
   | None -> None
   | Some tgt ->
@@ -658,8 +493,8 @@ and promote :
       (* Consume the remaining iterations from the running task; everything
          from here on belongs to the spawned tasks. *)
       tctx.Ir.Ctx.hi <- tctx.Ir.Ctx.lo + 1;
-      let mid = rem_lo + (((rem_hi - rem_lo) + 1) / 2) in
-      let join = { pending = 0; owner = wid st } in
+      let mid = Sched.Policy.split_point ~lo:rem_lo ~hi:rem_hi in
+      let join = S.new_join st.sc in
       let reduction = tinfo.Compiled.loop.Ir.Nest.reduction in
       let spawn_slice lo hi =
         if hi > lo then begin
@@ -669,9 +504,9 @@ and promote :
           (match tinfo.Compiled.loop.Ir.Nest.init with
           | Some f -> f c.env nctxs.(tgt).Ir.Ctx.locals
           | None -> ());
-          join.pending <- join.pending + 1;
-          push_task st
-            (mk_task st (fun () ->
+          S.add_pending join;
+          S.push_task st.sc
+            (S.mk_task st.sc (fun () ->
                  let ts' = fresh_task_state c in
                  ts'.forbidden <- Option.value ~default:(-1) tinfo.Compiled.parent;
                  (match run_slice c ts' nctxs tgt with
@@ -681,7 +516,7 @@ and promote :
                      overhead st "reduction" (reduction_cost c.nest.Compiled.specs.(tgt));
                      combine tctx.Ir.Ctx.locals nctxs.(tgt).Ir.Ctx.locals
                  | None -> ());
-                 finish_join st join))
+                 S.finish_join st.sc join))
         end
       in
       spawn_slice rem_lo mid;
@@ -697,22 +532,25 @@ and promote :
             let lctxs = Ir.Ctx.copy_set ctxs in
             match st.cfg.Rt_config.leftover with
             | Rt_config.Spawn ->
-                join.pending <- join.pending + 1;
-                push_task st
-                  (mk_task st (fun () ->
+                S.add_pending join;
+                S.push_task st.sc
+                  (S.mk_task st.sc (fun () ->
                        run_leftover c ~no_promote:false lctxs leftover;
-                       finish_join st join));
-                if st.bug = Some Duplicate_leftover && not st.bug_fired then begin
+                       S.finish_join st.sc join));
+                if
+                  st.sb.Sim_backend.bug = Some Sim_backend.Duplicate_leftover
+                  && not st.sb.Sim_backend.bug_fired
+                then begin
                   (* Seeded bug: the leftover is pushed twice; its iterations
                      execute twice (the duplicate gets its own context copy
                      so both runs cover the full range). *)
-                  st.bug_fired <- true;
+                  st.sb.Sim_backend.bug_fired <- true;
                   let dctxs = Ir.Ctx.copy_set lctxs in
-                  join.pending <- join.pending + 1;
-                  push_task st
-                    (mk_task st (fun () ->
+                  S.add_pending join;
+                  S.push_task st.sc
+                    (S.mk_task st.sc (fun () ->
                          run_leftover c ~no_promote:false dctxs leftover;
-                         finish_join st join))
+                         S.finish_join st.sc join))
                 end
             | Rt_config.Inline ->
                 (* TPAL: the leftover stays on the promoting task's critical
@@ -721,7 +559,7 @@ and promote :
                    points. *)
                 run_leftover c ~no_promote:false lctxs leftover)
       end;
-      join_wait st join;
+      S.join_wait st.sc join;
       Some (if tgt = cur.Compiled.ordinal then Done else Promoted tgt)
 
 and run_leftover : 'e. 'e nest_handle -> no_promote:bool -> Ir.Ctx.set -> Compiled.leftover -> unit
@@ -733,32 +571,20 @@ and run_leftover : 'e. 'e nest_handle -> no_promote:bool -> Ir.Ctx.set -> Compil
   ts.no_promote <- no_promote;
   ts.forbidden <- leftover.Compiled.lj;
   let steps = Array.of_list leftover.Compiled.steps in
-  let len = Array.length steps in
-  let i = ref 0 in
-  (* A promotion inside the leftover split ancestor [j]: the new leftover
-     took over everything up to and including [j]'s remaining iterations and
-     tail; resume after our own Call_slice of [j]. *)
-  let skip_past_call j =
-    let rec find k =
-      if k >= len then
-        raise (Internal_error (Printf.sprintf "leftover skip: no Call_slice %d" j))
-      else
-        match steps.(k) with
-        | Compiled.Call_slice o when o = j -> k + 1
-        | Compiled.Call_slice _ | Compiled.Increase_iv _ | Compiled.Tail_work _ -> find (k + 1)
-    in
-    i := find (!i + 1)
+  let is_call = function
+    | Compiled.Call_slice o -> Some o
+    | Compiled.Increase_iv _ | Compiled.Tail_work _ -> None
   in
-  while !i < len do
-    match steps.(!i) with
+  let exec step =
+    match step with
     | Compiled.Increase_iv o ->
         ctxs.(o).Ir.Ctx.lo <- ctxs.(o).Ir.Ctx.lo + 1;
-        incr i
+        Sched.Leftover_walk.Next
     | Compiled.Call_slice o -> (
         match run_slice c ts ctxs o with
-        | Done -> incr i
-        | Promoted j when j = o -> incr i
-        | Promoted j -> skip_past_call j)
+        | Done -> Sched.Leftover_walk.Next
+        | Promoted j when j = o -> Sched.Leftover_walk.Next
+        | Promoted j -> Sched.Leftover_walk.Skip_past j)
     | Compiled.Tail_work { of_; after } -> (
         let info = c.nest.Compiled.infos.(of_) in
         let segs = Compiled.tail_of info ~after in
@@ -767,9 +593,12 @@ and run_leftover : 'e. 'e nest_handle -> no_promote:bool -> Ir.Ctx.set -> Compil
             (* The tail just completed the in-flight iteration of [of_] that
                the promotion interrupted — it is only now fully executed. *)
             emit_iter_exec c ctxs of_ ~lo:ctxs.(of_).Ir.Ctx.lo ~hi:(ctxs.(of_).Ir.Ctx.lo + 1);
-            incr i
-        | Seg_promoted j -> skip_past_call j)
-  done
+            Sched.Leftover_walk.Next
+        | Seg_promoted j -> Sched.Leftover_walk.Skip_past j)
+  in
+  try Sched.Leftover_walk.run ~steps ~is_call ~exec
+  with Sched.Leftover_walk.Missing_call j ->
+    raise (Internal_error (Printf.sprintf "leftover skip: no Call_slice %d" j))
 
 (* ------------------------------------------------------------------ *)
 (* Top level.                                                           *)
@@ -833,6 +662,11 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
       ()
   in
   let hb = Heartbeat.create ~injector:inj ~trace cfg eng metrics in
+  let capture = Obs.Trace.Sink.enabled request.Run_request.trace in
+  let sb =
+    Sim_backend.create ~eng ~cost:cfg.Rt_config.cost ~metrics ~trace ~capture ~inj ~hb
+      ~workers:cfg.Rt_config.workers ~bug:!seeded_bug
+  in
   let st =
     {
       cfg;
@@ -840,19 +674,13 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
       hb;
       metrics;
       trace;
-      capture = Obs.Trace.Sink.enabled request.Run_request.trace;
+      capture;
       inj;
-      deques = Array.init cfg.Rt_config.workers (fun _ -> Sim.Deque.create ());
+      sb;
+      sc = S.create sb;
       ac = Hashtbl.create 64;
       bus = Sim.Membus.create ~bytes_per_cycle:cfg.Rt_config.cost.Sim.Cost_model.dram_bytes_per_cycle;
-      last_pusher = 0;
-      depth = Array.make cfg.Rt_config.workers 0;
-      steal_fails = Array.make cfg.Rt_config.workers 0;
-      finished = false;
-      next_task_id = 0;
       exec_epoch = 0;
-      bug = !seeded_bug;
-      bug_fired = false;
       live_slices =
         (if resuming || Option.is_some request.Run_request.pause_at then
            Some (Array.make cfg.Rt_config.workers [])
@@ -872,7 +700,9 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
     }
   in
   Sim.Engine.set_diagnostics eng (fun w ->
-      Printf.sprintf " deque=%d depth=%d%s" (Sim.Deque.length st.deques.(w)) st.depth.(w)
+      Printf.sprintf " deque=%d depth=%d%s"
+        (Sim.Deque.length st.sb.Sim_backend.deques.(w))
+        (S.depth st.sc).(w)
         (if Heartbeat.is_downgraded hb ~worker:w then " downgraded" else ""));
   Heartbeat.start hb;
   (* A per-job deadline is a second DNF-style cap: whichever of the two
@@ -899,7 +729,7 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
     if w = 0 then begin
       (* The driver itself counts as task depth so inline tasks do not
          clear worker 0's busy flag when they finish. *)
-      st.depth.(0) <- 1;
+      (S.depth st.sc).(0) <- 1;
       Heartbeat.set_busy hb ~worker:0 true;
       let cpu =
         {
@@ -911,13 +741,13 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
       program.Ir.Program.driver env cpu;
       if st.capture && Sim.Engine.now eng > t0 then
         emit st (Obs.Trace.Interval { t0; kind = "driver" });
-      st.depth.(0) <- 0;
+      (S.depth st.sc).(0) <- 0;
       Heartbeat.set_busy hb ~worker:0 false;
-      st.finished <- true;
+      S.set_finished st.sc;
       Heartbeat.stop hb;
       Sim.Engine.unpark_all eng
     end
-    else scavenge st w
+    else S.scavenge st.sc
   in
   (* Observational state at the pause boundary the engine just stopped at.
      Every field is a pure function of the dispatch history, so an
@@ -944,14 +774,16 @@ let run_program ?(request = Run_request.default) (cfg : Rt_config.t)
       Sim.Checkpoint_state.at_cycle;
       episode;
       rng_state = Sim.Sim_rng.state (Sim.Engine.rng eng);
-      next_task_id = st.next_task_id;
+      next_task_id = S.next_task_id st.sc;
       work_cycles = metrics.Sim.Metrics.work_cycles;
       promotions_used = metrics.Sim.Metrics.promotions;
       granted;
       regrants;
       clocks = Array.init cfg.Rt_config.workers (fun w -> Sim.Engine.clock_of eng w);
       deques =
-        Array.map (fun d -> List.map (fun (t : task) -> t.id) (Sim.Deque.to_list d)) st.deques;
+        Array.map
+          (fun d -> List.map (fun (t : Sched.Task.t) -> t.Sched.Task.id) (Sim.Deque.to_list d))
+          st.sb.Sim_backend.deques;
       slices;
     }
   in

@@ -26,7 +26,7 @@ exception Internal_error of string
     sanitizer tests and the fuzzer's forced-failure mode so the invariant
     checker can be shown to catch real scheduling mistakes. Never armed in
     normal operation. *)
-type seeded_bug =
+type seeded_bug = Sim_backend.seeded_bug =
   | Duplicate_leftover
       (** the promotion handler pushes the leftover task twice, so its
           iterations execute twice (violates work conservation) *)
@@ -50,4 +50,7 @@ val run_program : ?request:Run_request.t -> Rt_config.t -> 'e Pipeline.program -
     perturbs virtual time, so results are independent of the sink. *)
 
 val run : ?request:Run_request.t -> Rt_config.t -> 'e Ir.Program.t -> Sim.Run_result.t
-(** Compile (with the chunk mode from the config) and run. *)
+(** Compile (with the chunk mode from the config) and run.
+    @deprecated New call sites should go through the backend-agnostic
+    facade, [Sched_run.run (Hbc cfg)] — it dispatches between this
+    simulator instantiation and the native domains one. *)

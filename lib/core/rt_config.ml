@@ -1,8 +1,11 @@
 type mechanism = Software_polling | Interrupt_ping_thread | Interrupt_kernel_module
 
-type leftover_mode = Spawn | Inline
+(* Policy types live in the backend-agnostic scheduler core; the equations
+   keep the historical [Rt_config.Spawn] / [Rt_config.Outer_loop_first]
+   constructors (and their Marshal representation) intact. *)
+type leftover_mode = Sched.Policy.leftover_mode = Spawn | Inline
 
-type promotion_policy = Outer_loop_first | Innermost_first
+type promotion_policy = Sched.Policy.promotion_policy = Outer_loop_first | Innermost_first
 
 type t = {
   cost : Sim.Cost_model.t;

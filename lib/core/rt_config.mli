@@ -5,7 +5,7 @@ type mechanism =
   | Interrupt_ping_thread  (** POSIX-signal ping thread (Sec. 5.2) *)
   | Interrupt_kernel_module  (** hrtimer + IPI broadcast kernel module (Sec. 5.2) *)
 
-type promotion_policy =
+type promotion_policy = Sched.Policy.promotion_policy =
   | Outer_loop_first
       (** the paper's policy: split the outermost loop with remaining
           iterations — coarsest tasks, best amortization (Sec. 2) *)
@@ -13,7 +13,7 @@ type promotion_policy =
       (** ablation: split the loop that received the heartbeat — finest
           tasks; shows why the paper's policy matters *)
 
-type leftover_mode =
+type leftover_mode = Sched.Policy.leftover_mode =
   | Spawn  (** HBC: the leftover is a third parallel task with a full closure *)
   | Inline
       (** TPAL: the leftover lacks a complete closure, so it runs inline on

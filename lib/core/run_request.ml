@@ -1,4 +1,5 @@
 type t = {
+  backend : Sched.Policy.backend_kind;
   max_cycles : int option;
   cycle_budget : int option;
   guard : (unit -> string option) option;
@@ -16,6 +17,7 @@ type t = {
 
 let default =
   {
+    backend = Sched.Policy.Sim;
     max_cycles = None;
     cycle_budget = None;
     guard = None;
@@ -31,10 +33,11 @@ let default =
     resume_from = None;
   }
 
-let make ?max_cycles ?cycle_budget ?guard ?fault_plan ?(trace = Obs.Trace.Sink.null)
-    ?(sanitize = false) ?fuzz_case ?tenant ?deadline ?(priority = 0) ?promotion_budget ?pause_at
-    ?resume_from () =
+let make ?(backend = Sched.Policy.Sim) ?max_cycles ?cycle_budget ?guard ?fault_plan
+    ?(trace = Obs.Trace.Sink.null) ?(sanitize = false) ?fuzz_case ?tenant ?deadline ?(priority = 0)
+    ?promotion_budget ?pause_at ?resume_from () =
   {
+    backend;
     max_cycles;
     cycle_budget;
     guard;
@@ -54,7 +57,10 @@ let signature t =
   Digest.to_hex
     (Digest.string
        (Marshal.to_string
-          ( t.max_cycles,
+          ( (* string, not the variant: byte-stable across constructor
+               reorderings *)
+            Sched.Policy.backend_kind_to_string t.backend,
+            t.max_cycles,
             t.fault_plan,
             Obs.Trace.Sink.captures t.trace,
             t.sanitize,

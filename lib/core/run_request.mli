@@ -9,6 +9,11 @@
     no longer thread parallel optional arguments. *)
 
 type t = {
+  backend : Sched.Policy.backend_kind;
+      (** which scheduler backend executes the run: [Sim] (the default),
+          the virtual-time engine, or [Domains], real OCaml 5 domains via
+          the native runner. Dispatched by the [Sched_run] facade;
+          signature-keyed — a native trial never aliases a simulated one. *)
   max_cycles : int option;
       (** DNF cap on virtual time (the paper's did-not-finish semantics) *)
   cycle_budget : int option;
@@ -63,6 +68,7 @@ val default : t
 (** No caps, no watchdogs, no faults, null sink. *)
 
 val make :
+  ?backend:Sched.Policy.backend_kind ->
   ?max_cycles:int ->
   ?cycle_budget:int ->
   ?guard:(unit -> string option) ->
@@ -80,8 +86,8 @@ val make :
   t
 
 val signature : t -> string
-(** Hex content hash of the request's result-affecting fields — the fault
-    plan, the DNF cap, whether the sink captures records (a traced trial
+(** Hex content hash of the request's result-affecting fields — the
+    backend, the fault plan, the DNF cap, whether the sink captures records (a traced trial
     carries a trace in the journal; an untraced one must not alias it),
     the [sanitize] bit, the fuzz-case hash, and the serve-mode fields
     (tenant, deadline, priority, promotion budget — each changes what a

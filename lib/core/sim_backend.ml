@@ -1,0 +1,147 @@
+(* The virtual-time simulator as a {!Sched.Backend_intf.BACKEND}: worker
+   identity and time come from the engine, deques are [Sim.Deque], costs
+   advance the engine clock with per-kind metrics attribution, and idling
+   is engine parking behind the fault-aware exponential backoff. The
+   engine is single-fibered, so [critical] is a plain call and emission
+   order is exactly the historical executor's — the functor instantiation
+   is byte-identical to the pre-refactor code. *)
+
+(* Deliberately plantable scheduler bugs, exercised by the sanitizer tests
+   and the fuzzer's forced-failure mode. Testing hook: never armed in
+   normal operation. *)
+type seeded_bug =
+  | Duplicate_leftover  (* push the leftover task twice on promotion *)
+  | Lose_stolen_task  (* drop one successfully stolen task on the floor *)
+  | Promote_innermost  (* invert the promotion policy's target choice *)
+
+type t = {
+  eng : Sim.Engine.t;
+  cost : Sim.Cost_model.t;
+  metrics : Sim.Metrics.t;
+  trace : Obs.Trace.Sink.t;  (* counting sink teed with the request's sink *)
+  capture : bool;  (* the request's sink wants payload events *)
+  inj : Sim.Fault_injector.t;
+  hb : Heartbeat.t;
+  deques : Sched.Task.t Sim.Deque.t array;
+  steal_fails : int array;  (* consecutive dry steal rounds, drives backoff *)
+  bug : seeded_bug option;  (* armed seeded scheduler bug (tests/fuzzer) *)
+  mutable bug_fired : bool;  (* one-shot bugs fire at most once per run *)
+}
+
+let create ~eng ~cost ~metrics ~trace ~capture ~inj ~hb ~workers ~bug =
+  {
+    eng;
+    cost;
+    metrics;
+    trace;
+    capture;
+    inj;
+    hb;
+    deques = Array.init workers (fun _ -> Sim.Deque.create ());
+    steal_fails = Array.make workers 0;
+    bug;
+    bug_fired = false;
+  }
+
+let num_workers b = Array.length b.deques
+
+let worker_id b = Sim.Engine.worker_id b.eng
+
+let now b = Sim.Engine.now b.eng
+
+let capture b = b.capture
+
+let critical _b f = f ()
+
+let emit b ev = Obs.Trace.Sink.emit b.trace ~time:(now b) ~worker:(worker_id b) ev
+
+(* Charge overhead cycles: one engine advance, per-kind attribution. *)
+let overhead b kind c =
+  if c > 0 then begin
+    Sim.Engine.advance b.eng c;
+    Sim.Metrics.add_overhead b.metrics kind c
+  end
+
+let push b task = Sim.Deque.push_bottom b.deques.(worker_id b) task
+
+let pop b = Sim.Deque.pop_bottom b.deques.(worker_id b)
+
+let steal_from b ~victim = Sim.Deque.steal b.deques.(victim)
+
+let deque_empty b ~worker = Sim.Deque.is_empty b.deques.(worker)
+
+let random_victim b = Sim.Sim_rng.int (Sim.Engine.rng b.eng) (num_workers b)
+
+let steal_vetoed b = Sim.Fault_injector.steal_fails b.inj ~worker:(worker_id b)
+
+let keep_stolen b _task =
+  if b.bug = Some Lose_stolen_task && not b.bug_fired then begin
+    (* Seeded bug: the stolen task vanishes — removed from the victim's
+       deque but never executed. *)
+    b.bug_fired <- true;
+    false
+  end
+  else true
+
+(* Injected OS-preemption stall at a scheduling point (no-op without an
+   active fault plan). *)
+let pre_task b =
+  let c = Sim.Fault_injector.stall_cycles b.inj ~worker:(worker_id b) in
+  if c > 0 then begin
+    Sim.Engine.advance b.eng c;
+    Sim.Metrics.add_overhead b.metrics "fault-stall" c
+  end
+
+let on_task_claim b = b.steal_fails.(worker_id b) <- 0
+
+let wake_one b =
+  let n = num_workers b in
+  let start = Sim.Sim_rng.int (Sim.Engine.rng b.eng) n in
+  let rec find k =
+    if k < n then begin
+      let w = (start + k) mod n in
+      if Sim.Engine.is_parked b.eng w then Sim.Engine.unpark b.eng w else find (k + 1)
+    end
+  in
+  find 0
+
+let unpark b ~worker = Sim.Engine.unpark b.eng worker
+
+(* A dry steal round under fault injection backs off exponentially (base
+   [idle_backoff], jittered, bounded) before parking: parking instantly
+   makes a worker blind to the end of an injected contention burst, while
+   unbounded spinning burns the makespan. Zero-fault runs park
+   immediately, exactly as before. *)
+let backoff_rounds = 6
+
+let should_park b =
+  if not (Sim.Fault_injector.active b.inj) then true
+  else begin
+    let w = worker_id b in
+    let f = b.steal_fails.(w) in
+    if f >= backoff_rounds then begin
+      b.steal_fails.(w) <- 0;
+      true
+    end
+    else begin
+      b.steal_fails.(w) <- f + 1;
+      let d = b.cost.Sim.Cost_model.idle_backoff lsl f in
+      let d = d + Sim.Fault_injector.backoff_jitter b.inj ~worker:w ~limit:(1 + (d / 2)) in
+      overhead b "idle-backoff" d;
+      false
+    end
+  end
+
+let idle b = if should_park b then Sim.Engine.park b.eng
+
+let set_busy b ~worker ~busy = Heartbeat.set_busy b.hb ~worker busy
+
+let charge_push b = overhead b "promotion" b.cost.Sim.Cost_model.deque_push_cost
+
+let charge_pop b = overhead b "join" b.cost.Sim.Cost_model.deque_pop_cost
+
+let charge_steal_attempt b = overhead b "steal" b.cost.Sim.Cost_model.steal_attempt_cost
+
+let charge_steal_success b = overhead b "steal" b.cost.Sim.Cost_model.steal_success_cost
+
+let charge_join_slow b = overhead b "join" b.cost.Sim.Cost_model.join_slow_path_cost

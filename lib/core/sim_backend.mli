@@ -1,0 +1,94 @@
+(** The deterministic virtual-time simulator as a scheduler backend
+    ({!Sched.Backend_intf.BACKEND}).
+
+    Worker identity and time come from {!Sim.Engine}; deques are
+    {!Sim.Deque}; overhead charges advance the engine clock with per-kind
+    metrics attribution; idling is engine parking behind the fault-aware
+    exponential backoff. The engine is single-fibered, so [critical] is a
+    plain call and [Sched.Core.Make (Sim_backend)] reproduces the
+    pre-functor executor byte for byte (pinned by golden tests). *)
+
+(** Testing hook: a deliberately plantable scheduler bug, armed by the
+    sanitizer tests and the fuzzer's forced-failure mode. Never armed in
+    normal operation. *)
+type seeded_bug = Duplicate_leftover | Lose_stolen_task | Promote_innermost
+
+type t = {
+  eng : Sim.Engine.t;
+  cost : Sim.Cost_model.t;
+  metrics : Sim.Metrics.t;
+  trace : Obs.Trace.Sink.t;  (** counting sink teed with the request's sink *)
+  capture : bool;  (** the request's sink wants payload events *)
+  inj : Sim.Fault_injector.t;
+  hb : Heartbeat.t;
+  deques : Sched.Task.t Sim.Deque.t array;
+  steal_fails : int array;
+  bug : seeded_bug option;
+  mutable bug_fired : bool;
+}
+
+val create :
+  eng:Sim.Engine.t ->
+  cost:Sim.Cost_model.t ->
+  metrics:Sim.Metrics.t ->
+  trace:Obs.Trace.Sink.t ->
+  capture:bool ->
+  inj:Sim.Fault_injector.t ->
+  hb:Heartbeat.t ->
+  workers:int ->
+  bug:seeded_bug option ->
+  t
+
+(** {2 BACKEND implementation} *)
+
+val num_workers : t -> int
+
+val worker_id : t -> int
+
+val now : t -> int
+
+val capture : t -> bool
+
+val critical : t -> (unit -> unit) -> unit
+
+val emit : t -> Obs.Trace.event -> unit
+
+val push : t -> Sched.Task.t -> unit
+
+val pop : t -> Sched.Task.t option
+
+val steal_from : t -> victim:int -> Sched.Task.t option
+
+val deque_empty : t -> worker:int -> bool
+
+val random_victim : t -> int
+
+val steal_vetoed : t -> bool
+
+val keep_stolen : t -> Sched.Task.t -> bool
+
+val pre_task : t -> unit
+
+val on_task_claim : t -> unit
+
+val wake_one : t -> unit
+
+val unpark : t -> worker:int -> unit
+
+val idle : t -> unit
+
+val set_busy : t -> worker:int -> busy:bool -> unit
+
+val charge_push : t -> unit
+
+val charge_pop : t -> unit
+
+val charge_steal_attempt : t -> unit
+
+val charge_steal_success : t -> unit
+
+val charge_join_slow : t -> unit
+
+val overhead : t -> string -> int -> unit
+(** Charge overhead cycles: one engine advance, per-kind attribution
+    (shared with the executor's interpreter). *)

@@ -1,0 +1,124 @@
+(* Real OCaml 5 domains as a {!Sched.Backend_intf.BACKEND}: worker
+   identity lives in domain-local storage, deques are the lock-free
+   Chase–Lev {!Ws_deque}, victims come from a per-worker xorshift, and
+   idling is bounded spinning then a short sleep.
+
+   Tracing: an untraced backend has [critical] as a plain call and [emit]
+   as a no-op — the scheduler runs fully lock-free. A traced backend
+   takes one global mutex around every deque-op + emission group and
+   stamps events with a logical tick drawn under that mutex, so the
+   recorded stream is a linearization consistent with the real deque
+   states: the sanitizer's shadow Chase–Lev replay and its clock-sanity
+   invariant hold on native traces exactly as on simulated ones. Tracing
+   serializes scheduling points only, never loop bodies. *)
+
+type t = {
+  n : int;
+  deques : Sched.Task.t Ws_deque.t array;
+  trace : Obs.Trace.Sink.t;
+  traced : bool;  (* enabled sink: linearize scheduling points *)
+  capture : bool;
+  mu : Mutex.t;
+  tick : int Atomic.t;  (* logical trace clock; bumped per emission *)
+  rng : int array;  (* per-worker xorshift state for victim selection *)
+  spins : int array;  (* consecutive idle rounds, drives spin-then-sleep *)
+}
+
+(* The worker index of the calling domain. Domains a pool did not
+   register (never the case inside the scheduler) act as worker 0. *)
+let index_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let register ~worker = Domain.DLS.set index_key worker
+
+let create ~workers ~trace ~capture =
+  let n = Stdlib.max 1 workers in
+  {
+    n;
+    deques = Array.init n (fun _ -> Ws_deque.create ());
+    trace;
+    traced = Obs.Trace.Sink.enabled trace;
+    capture;
+    mu = Mutex.create ();
+    tick = Atomic.make 0;
+    rng = Array.init n (fun i -> (i * 0x9E3779B9) + 1);
+    spins = Array.make n 0;
+  }
+
+let num_workers b = b.n
+
+let worker_id b =
+  let i = Domain.DLS.get index_key in
+  if i >= 0 && i < b.n then i else 0
+
+let now b = Atomic.get b.tick
+
+let capture b = b.capture
+
+let critical b f =
+  if b.traced then begin
+    Mutex.lock b.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock b.mu) f
+  end
+  else f ()
+
+(* Only called inside [critical], so the tick order equals the mutex
+   linearization order: stamps are globally nondecreasing. *)
+let emit b ev =
+  if b.traced then begin
+    let t = Atomic.fetch_and_add b.tick 1 + 1 in
+    Obs.Trace.Sink.emit b.trace ~time:t ~worker:(worker_id b) ev
+  end
+
+let push b task = Ws_deque.push b.deques.(worker_id b) task
+
+let pop b = Ws_deque.pop b.deques.(worker_id b)
+
+let steal_from b ~victim = Ws_deque.steal b.deques.(victim)
+
+let deque_empty b ~worker = Ws_deque.size b.deques.(worker) = 0
+
+let random_victim b =
+  let w = worker_id b in
+  let s = b.rng.(w) in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = (s lxor (s lsl 17)) land max_int in
+  b.rng.(w) <- s;
+  s mod b.n
+
+let steal_vetoed _b = false
+
+let keep_stolen _b _task = true
+
+let pre_task _b = ()
+
+let on_task_claim b = b.spins.(worker_id b) <- 0
+
+(* No parking natively: idle workers spin briefly, then sleep a hair so a
+   starved machine still makes progress. Wakeups are therefore no-ops. *)
+let wake_one _b = ()
+
+let unpark _b ~worker:_ = ()
+
+let spin_rounds = 64
+
+let idle b =
+  let w = worker_id b in
+  let s = b.spins.(w) in
+  if s < spin_rounds then begin
+    b.spins.(w) <- s + 1;
+    Domain.cpu_relax ()
+  end
+  else Unix.sleepf 50e-6
+
+let set_busy _b ~worker:_ ~busy:_ = ()
+
+let charge_push _b = ()
+
+let charge_pop _b = ()
+
+let charge_steal_attempt _b = ()
+
+let charge_steal_success _b = ()
+
+let charge_join_slow _b = ()

@@ -1,0 +1,69 @@
+(** Real OCaml 5 domains as a scheduler backend
+    ({!Sched.Backend_intf.BACKEND}).
+
+    Worker identity lives in domain-local storage ({!register}); deques
+    are the lock-free Chase–Lev {!Ws_deque}; victim selection is a
+    per-worker xorshift; idling spins then sleeps (no parking). An
+    untraced backend is fully lock-free. A traced one (enabled sink)
+    linearizes every deque-op + emission group under one global mutex and
+    stamps events with a logical tick, so {!Sanitizer.Checker} validates
+    native streams — shadow-deque replay included — with the same
+    invariant set it runs on simulated ones. *)
+
+type t
+
+val register : worker:int -> unit
+(** Bind the calling domain to a worker index (domain-local). The pool
+    registers the caller as worker 0 and each spawned domain as 1..n-1. *)
+
+val create : workers:int -> trace:Obs.Trace.Sink.t -> capture:bool -> t
+
+(** {2 BACKEND implementation} *)
+
+val num_workers : t -> int
+
+val worker_id : t -> int
+
+val now : t -> int
+
+val capture : t -> bool
+
+val critical : t -> (unit -> unit) -> unit
+
+val emit : t -> Obs.Trace.event -> unit
+
+val push : t -> Sched.Task.t -> unit
+
+val pop : t -> Sched.Task.t option
+
+val steal_from : t -> victim:int -> Sched.Task.t option
+
+val deque_empty : t -> worker:int -> bool
+
+val random_victim : t -> int
+
+val steal_vetoed : t -> bool
+
+val keep_stolen : t -> Sched.Task.t -> bool
+
+val pre_task : t -> unit
+
+val on_task_claim : t -> unit
+
+val wake_one : t -> unit
+
+val unpark : t -> worker:int -> unit
+
+val idle : t -> unit
+
+val set_busy : t -> worker:int -> busy:bool -> unit
+
+val charge_push : t -> unit
+
+val charge_pop : t -> unit
+
+val charge_steal_attempt : t -> unit
+
+val charge_steal_success : t -> unit
+
+val charge_join_slow : t -> unit

@@ -1,94 +1,62 @@
-type task = unit -> unit
+(* The flat native API: a domain pool running the shared scheduler core
+   ([Sched.Core.Make (Domains_backend)]) with wall-clock heartbeats.
+   Promotion split points, deque discipline, steals and joins are the
+   policy core's — the same code the virtual-time executor runs — so this
+   file only holds the pool lifecycle and the chunked range walker. *)
+
+module C = Sched.Core.Make (Domains_backend)
 
 type pool = {
+  b : Domains_backend.t;
+  core : C.t;
   n : int;
-  queues : task Ws_deque.t array;
   mutable domains : unit Domain.t list;
-  stop : bool Atomic.t;
   hb_interval : float;  (* seconds *)
   promo_count : int Atomic.t;
   next_beat : float array;
-  rng_state : int array;  (* per-domain xorshift for victim selection *)
-  ac : Hbc_core.Adaptive_chunking.t array;  (* per-member adaptive chunking *)
+  ac : Sched.Adaptive_chunking.t array;  (* per-member adaptive chunking *)
   mutable closed : bool;
 }
 
-let index_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
-
-let my_index pool =
-  let i = Domain.DLS.get index_key in
-  if i >= 0 && i < pool.n then i else pool.n - 1
-
-let chunk_size = 32
+let initial_chunk = 32
 
 let now () = Unix.gettimeofday ()
 
-(* Owner-side operations go through the lock-free Chase-Lev deque; thieves
-   use [steal]. *)
-let push pool i task = Ws_deque.push pool.queues.(i) task
-
-let pop_own pool i = Ws_deque.pop pool.queues.(i)
-
-let next_victim pool i =
-  let s = pool.rng_state.(i) in
-  let s = s lxor (s lsl 13) in
-  let s = s lxor (s lsr 7) in
-  let s = (s lxor (s lsl 17)) land max_int in
-  pool.rng_state.(i) <- s;
-  s mod pool.n
-
-let find_task pool i =
-  match pop_own pool i with
-  | Some t -> Some t
-  | None ->
-      let rec hunt k =
-        if k = 0 then None
-        else begin
-          let v = next_victim pool i in
-          if v = i then hunt (k - 1)
-          else
-            match Ws_deque.steal pool.queues.(v) with
-            | Some t -> Some t
-            | None -> hunt (k - 1)
-        end
-      in
-      hunt pool.n
+let my_index pool = Domains_backend.worker_id pool.b
 
 let worker pool i () =
-  Domain.DLS.set index_key i;
-  while not (Atomic.get pool.stop) do
-    match find_task pool i with Some t -> t () | None -> Domain.cpu_relax ()
-  done
+  Domains_backend.register ~worker:i;
+  C.scavenge pool.core
 
 let create ?(heartbeat_us = 100.0) ~num_domains () =
   let n = Stdlib.max 1 num_domains in
+  let b = Domains_backend.create ~workers:n ~trace:Obs.Trace.Sink.null ~capture:false in
   let pool =
     {
+      b;
+      core = C.create b;
       n;
-      queues = Array.init n (fun _ -> Ws_deque.create ());
       domains = [];
-      stop = Atomic.make false;
       hb_interval = heartbeat_us *. 1e-6;
       promo_count = Atomic.make 0;
       next_beat = Array.make n 0.0;
-      rng_state = Array.init n (fun i -> (i * 0x9E3779B9) + 1);
       ac =
         Array.init n (fun _ ->
-            Hbc_core.Adaptive_chunking.create ~initial_chunk:chunk_size ~target_polls:8 ~window:2 ());
+            Sched.Adaptive_chunking.create ~initial_chunk ~target_polls:8 ~window:2 ());
       closed = false;
     }
   in
-  let t0 = now () +. (heartbeat_us *. 1e-6) in
+  let t0 = now () +. pool.hb_interval in
   Array.iteri (fun i _ -> pool.next_beat.(i) <- t0) pool.next_beat;
-  (* The caller is the last pool member; n-1 extra domains. *)
-  Domain.DLS.set index_key (n - 1);
-  pool.domains <- List.init (n - 1) (fun i -> Domain.spawn (worker pool i));
+  (* The caller is worker 0; n-1 extra domains scavenge until shutdown. *)
+  Domains_backend.register ~worker:0;
+  pool.domains <- List.init (n - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
   pool
 
 let shutdown pool =
   if not pool.closed then begin
     pool.closed <- true;
-    Atomic.set pool.stop true;
+    C.set_finished pool.core;
     List.iter Domain.join pool.domains;
     pool.domains <- []
   end
@@ -105,28 +73,23 @@ let promotions pool = Atomic.get pool.promo_count
    Polls and beats also drive the member's adaptive chunking, exactly as in
    the simulated runtime (Sec. 5.1). *)
 let poll_beat pool i =
-  Hbc_core.Adaptive_chunking.on_poll pool.ac.(i);
+  Sched.Adaptive_chunking.on_poll pool.ac.(i);
   let t = now () in
   if t >= pool.next_beat.(i) then begin
     pool.next_beat.(i) <- t +. pool.hb_interval;
-    ignore (Hbc_core.Adaptive_chunking.on_heartbeat pool.ac.(i));
+    ignore (Sched.Adaptive_chunking.on_heartbeat pool.ac.(i));
     true
   end
   else false
 
-let current_chunk pool i = Hbc_core.Adaptive_chunking.chunk_size pool.ac.(i)
+let current_chunk pool i = Sched.Adaptive_chunking.chunk_size pool.ac.(i)
 
-type 'a cell = { mutable value : 'a option; done_flag : bool Atomic.t }
-
-let wait_cell pool i cell =
-  while not (Atomic.get cell.done_flag) do
-    match find_task pool i with Some t -> t () | None -> Domain.cpu_relax ()
-  done;
-  Option.get cell.value
+let chunk_size_of pool ~member = Sched.Adaptive_chunking.chunk_size pool.ac.(member)
 
 (* Heartbeat-promoted execution of [lo, hi): run chunks sequentially; on a
-   beat, hand the upper half of the remaining range to the scheduler and
-   continue on the lower half, joining (and help-stealing) at the end. *)
+   beat, hand the upper half of the remaining range to the scheduler as a
+   core task and continue on the lower half, joining (with help-stealing,
+   via the core's join_wait) at the end. *)
 let rec run_range : 'a. pool -> ('a -> int -> 'a) -> ('a -> 'a -> 'a) -> 'a -> 'a -> int -> int -> 'a
     =
  fun pool body combine init acc lo hi ->
@@ -140,25 +103,26 @@ let rec run_range : 'a. pool -> ('a -> int -> 'a) -> ('a -> 'a -> 'a) -> 'a -> '
     done;
     l := !l + c;
     if hi - !l > 1 && poll_beat pool i then begin
-      let mid = !l + (((hi - !l) + 1) / 2) in
-      let cell = { value = None; done_flag = Atomic.make false } in
+      let mid = Sched.Policy.split_point ~lo:!l ~hi in
+      let slot = ref None in
+      let join = C.new_join pool.core in
       Atomic.incr pool.promo_count;
-      push pool i (fun () ->
-          let r = run_range pool body combine init init mid hi in
-          cell.value <- Some r;
-          Atomic.set cell.done_flag true);
+      C.add_pending join;
+      C.push_task pool.core
+        (C.mk_task pool.core (fun () ->
+             slot := Some (run_range pool body combine init init mid hi);
+             C.finish_join pool.core join));
       let left = run_range pool body combine init !acc !l mid in
-      let right = wait_cell pool i cell in
-      result := Some (combine left right)
+      C.join_wait pool.core join;
+      (* join_wait's pending read is the acquire matching finish_join's
+         release, so the slot write is visible here. *)
+      result := Some (combine left (Option.get !slot))
     end
   done;
   match !result with Some r -> r | None -> !acc
 
-let chunk_size_of pool ~member = Hbc_core.Adaptive_chunking.chunk_size pool.ac.(member)
-
 let parallel_for pool ~lo ~hi body =
-  if hi > lo then
-    run_range pool (fun () k -> body k) (fun () () -> ()) () () lo hi
+  if hi > lo then run_range pool (fun () k -> body k) (fun () () -> ()) () () lo hi
 
 let parallel_reduce pool ~lo ~hi ~init ~body ~combine =
   if hi <= lo then init else run_range pool body combine init init lo hi

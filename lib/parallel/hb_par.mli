@@ -1,11 +1,18 @@
 (** A real heartbeat-scheduled parallel-for on OCaml 5 domains.
 
-    This is the runtime half of the paper running natively (not simulated):
-    a work-stealing domain pool whose [parallel_for] polls a monotonic clock
-    at chunk boundaries and, when a heartbeat interval has elapsed, promotes
-    the remaining iterations by splitting them in half and pushing the upper
-    half as a stealable task — all parallelism is latent until a heartbeat
-    materializes it, so tight loops run at near-sequential speed.
+    This is the flat-loop native API: a domain pool running the shared
+    scheduler core ([Sched.Core.Make (Domains_backend)] — the same
+    promotion split, deque discipline, steals and joins the virtual-time
+    executor instantiates over {!Sim_backend}) whose [parallel_for] polls
+    a monotonic clock at chunk boundaries and, when a heartbeat interval
+    has elapsed, promotes the remaining iterations by splitting them at
+    {!Sched.Policy.split_point} and pushing the upper half as a stealable
+    core task — all parallelism is latent until a heartbeat materializes
+    it, so tight loops run at near-sequential speed.
+
+    For running {e compiled programs} (nests, leftover tasks, traced and
+    sanitized runs) natively, use {!Native_run} — or the backend-agnostic
+    facade [Sched_run.run ~backend:Domains], which dispatches here.
 
     On the single-core container this library is exercised for correctness
     (results equal the sequential ones under any interleaving); on a real

@@ -1,0 +1,569 @@
+(* The compiled-nest interpreter on real OCaml 5 domains.
+
+   This is the executor's interpreter minus the virtual-time machinery:
+   no cost charging, no membus, no fault injection — real time is simply
+   spent. Everything the paper argues about is shared with the simulator
+   through [lib/sched]: the promotion choice ([Sched.Policy]), the
+   adaptive-chunking rule ([Sched.Adaptive_chunking]), the leftover walk
+   ([Sched.Leftover_walk]) and the whole deque/steal/join discipline
+   ([Sched.Core.Make (Domains_backend)]). Traced runs emit the same
+   capture-gated [Obs.Trace] events at the same operation boundaries as
+   the simulator, linearized by the backend's mutex, so the sanitizer
+   validates native streams with its full invariant set; fingerprints
+   cross-check against simulator runs of the same program. *)
+
+module Compiled = Hbc_core.Compiled
+module Rt_config = Hbc_core.Rt_config
+module Pipeline = Hbc_core.Pipeline
+module Run_request = Hbc_core.Run_request
+module C = Sched.Core.Make (Domains_backend)
+
+exception Internal_error = Hbc_core.Executor.Internal_error
+
+(* When a native worker observes a heartbeat. [Wall_us] is the paper's
+   interval timer; [Every_polls] is a deterministic poll-count proxy that
+   makes single-domain runs reproducible (benchgate, CI smoke). *)
+type beat_source = Wall_us of float | Every_polls of int
+
+type status = Done | Promoted of int
+
+type seg_result = Seg_ok | Seg_promoted of int
+
+type task_state = { residual : int array; mutable no_promote : bool; mutable forbidden : int }
+
+type run_state = {
+  cfg : Rt_config.t;
+  b : Domains_backend.t;
+  core : C.t;
+  beat : beat_source;
+  next_beat : float array;  (* per worker, Wall_us only *)
+  polls : int array;  (* per worker, Every_polls only *)
+  ac : (int * int, Sched.Adaptive_chunking.t) Hashtbl.t array;
+      (* per worker, keyed (nest_id, ord) — worker-private, no lock *)
+  work : int array;  (* per-worker body-work cycles, summed at the end *)
+  promotions : int Atomic.t;
+  promo_left : int Atomic.t;  (* metered promotions; max_int = unmetered *)
+  capture : bool;
+  mutable exec_epoch : int;  (* driver-only mutation, between nests *)
+}
+
+type 'e nest_handle = { st : run_state; nest : 'e Compiled.nest; nest_id : int; env : 'e }
+
+let wid (st : run_state) = Domains_backend.worker_id st.b
+
+let emit (st : run_state) ev = Domains_backend.critical st.b (fun () -> Domains_backend.emit st.b ev)
+
+let add_work (st : run_state) c = if c > 0 then st.work.(wid st) <- st.work.(wid st) + c
+
+(* One heartbeat check on this worker. A leaf poll counts ([count_poll]);
+   a non-leaf latch only reads the flag, exactly as in the simulator. *)
+let consume (st : run_state) w ~count_poll =
+  match st.beat with
+  | Every_polls n ->
+      if count_poll then st.polls.(w) <- st.polls.(w) + 1;
+      if st.polls.(w) >= n then begin
+        st.polls.(w) <- 0;
+        true
+      end
+      else false
+  | Wall_us us ->
+      let t = Unix.gettimeofday () in
+      if t >= st.next_beat.(w) then begin
+        st.next_beat.(w) <- t +. (us *. 1e-6);
+        true
+      end
+      else false
+
+(* Spend one metered promotion, failing when racing workers drained the
+   meter first; unmetered runs never touch the counter. *)
+let spend_promotion st =
+  if Atomic.get st.promo_left = Stdlib.max_int then true
+  else begin
+    let rec go () =
+      let v = Atomic.get st.promo_left in
+      v > 0 && (Atomic.compare_and_set st.promo_left v (v - 1) || go ())
+    in
+    go ()
+  end
+
+let fresh_task_state c =
+  {
+    residual = Array.make (Ir.Nesting_tree.size c.nest.Compiled.tree) 0;
+    no_promote = false;
+    forbidden = -1;
+  }
+
+let ac_for st ~worker ~nest_id ~ord =
+  let tbl = st.ac.(worker) in
+  let key = (nest_id, ord) in
+  match Hashtbl.find_opt tbl key with
+  | Some a -> a
+  | None ->
+      let a =
+        Sched.Adaptive_chunking.create ~target_polls:st.cfg.Rt_config.ac_target_polls
+          ~window:st.cfg.Rt_config.ac_window ()
+      in
+      Hashtbl.add tbl key a;
+      a
+
+(* Sequential subtree execution for non-DOALL (pruned) loops. *)
+let rec serial_loop c (ctxs : Ir.Ctx.set) (l : _ Ir.Nest.loop) acc =
+  let ctx = ctxs.(l.Ir.Nest.ordinal) in
+  let lo, hi = l.Ir.Nest.bounds c.env ctxs in
+  Ir.Ctx.set_slice ctx ~lo ~hi;
+  (match l.Ir.Nest.init with Some f -> f c.env ctx.Ir.Ctx.locals | None -> ());
+  while ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
+    List.iter
+      (fun seg ->
+        match seg with
+        | Ir.Nest.Stmt s -> acc := !acc + s.Ir.Nest.exec c.env ctxs ctx.Ir.Ctx.lo
+        | Ir.Nest.Nested child -> serial_loop c ctxs child acc)
+      l.Ir.Nest.body;
+    ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+  done
+
+let exec_leaf_iteration c ctxs (info : _ Compiled.loop_info) iter acc =
+  List.iter
+    (fun seg ->
+      match seg with
+      | Ir.Nest.Stmt s -> acc := !acc + s.Ir.Nest.exec c.env ctxs iter
+      | Ir.Nest.Nested child -> serial_loop c ctxs child acc)
+    info.Compiled.loop.Ir.Nest.body
+
+(* Same invocation-key scheme as the executor (content hash of the
+   ancestor iteration vector + nest id + execution epoch), so spawned
+   halves and leftover continuations of one invocation land on one key
+   and the sanitizer's tiling check works on native traces unchanged. *)
+let slice_key c (ctxs : Ir.Ctx.set) ord =
+  let h = ref (((c.nest_id + 1) * 8191) + c.st.exec_epoch) in
+  List.iter
+    (fun o -> if o <> ord then h := (!h * 1000003) + ctxs.(o).Ir.Ctx.lo + 1)
+    c.nest.Compiled.infos.(ord).Compiled.chain_from_root;
+  ((!h * 1000003) + ord) land max_int
+
+let emit_slice_enter c ctxs ord =
+  let st = c.st in
+  if st.capture then begin
+    let ctx = ctxs.(ord) in
+    emit st
+      (Obs.Trace.Slice_enter
+         {
+           nest = c.nest_id;
+           ord;
+           key = slice_key c ctxs ord;
+           lo = ctx.Ir.Ctx.lo;
+           hi = ctx.Ir.Ctx.hi;
+         })
+  end
+
+let emit_iter_exec c ctxs ord ~lo ~hi =
+  let st = c.st in
+  if st.capture && hi > lo then
+    emit st (Obs.Trace.Iter_exec { nest = c.nest_id; ord; key = slice_key c ctxs ord; lo; hi })
+
+let rec run_slice : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> int -> status =
+ fun c ts ctxs ord ->
+  let info = c.nest.Compiled.infos.(ord) in
+  let ctx = ctxs.(ord) in
+  if not info.Compiled.doall then begin
+    (* Bounds were set by the caller; run the subtree serially. *)
+    let acc = ref 0 in
+    while ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
+      List.iter
+        (fun seg ->
+          match seg with
+          | Ir.Nest.Stmt s -> acc := !acc + s.Ir.Nest.exec c.env ctxs ctx.Ir.Ctx.lo
+          | Ir.Nest.Nested child -> serial_loop c ctxs child acc)
+        info.Compiled.loop.Ir.Nest.body;
+      ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+    done;
+    add_work c.st !acc;
+    Done
+  end
+  else if info.Compiled.is_leaf then run_leaf c ts ctxs info
+  else run_general c ts ctxs info
+
+and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loop_info -> status
+    =
+ fun c ts ctxs info ->
+  let st = c.st in
+  let ord = info.Compiled.ordinal in
+  let ctx = ctxs.(ord) in
+  let w = wid st in
+  let ac =
+    match info.Compiled.chunk with
+    | Compiled.Adaptive -> Some (ac_for st ~worker:w ~nest_id:c.nest_id ~ord)
+    | Compiled.Static _ | Compiled.No_chunking -> None
+  in
+  if not st.cfg.Rt_config.chunk_transferring then ts.residual.(ord) <- 0;
+  let result = ref None in
+  let handle_beat () =
+    (match ac with
+    | Some a when st.capture -> (
+        match Sched.Adaptive_chunking.on_heartbeat_full a with
+        | Some d ->
+            emit st
+              (Obs.Trace.Chunk_update
+                 {
+                   key = ctxs.(c.nest.Compiled.root).Ir.Ctx.lo;
+                   chunk = d.Sched.Adaptive_chunking.new_chunk;
+                 });
+            emit st
+              (Obs.Trace.Chunk_decision
+                 {
+                   key = slice_key c ctxs ord;
+                   old_chunk = d.Sched.Adaptive_chunking.old_chunk;
+                   min_polls = d.Sched.Adaptive_chunking.min_polls;
+                   chunk = d.Sched.Adaptive_chunking.new_chunk;
+                 })
+        | None -> ())
+    | Some a -> ignore (Sched.Adaptive_chunking.on_heartbeat a)
+    | None -> ());
+    if st.cfg.Rt_config.promotion && not ts.no_promote && Atomic.get st.promo_left > 0 then
+      promote c ts ctxs info
+    else None
+  in
+  while !result = None && ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
+    let s =
+      match info.Compiled.chunk with
+      | Compiled.No_chunking -> 1
+      | Compiled.Static s -> s
+      | Compiled.Adaptive -> Sched.Adaptive_chunking.chunk_size (Option.get ac)
+    in
+    if ts.residual.(ord) <= 0 then ts.residual.(ord) <- s;
+    let start = ctx.Ir.Ctx.lo in
+    let todo = Stdlib.min ts.residual.(ord) (ctx.Ir.Ctx.hi - start) in
+    let acc = ref 0 in
+    for k = 0 to todo - 1 do
+      ctx.Ir.Ctx.lo <- start + k;
+      exec_leaf_iteration c ctxs info (start + k) acc
+    done;
+    emit_iter_exec c ctxs ord ~lo:start ~hi:(start + todo);
+    add_work st !acc;
+    (* ctx.lo is the last executed iteration: the latch sees it, the
+       leftover task resumes at lo + 1. *)
+    ts.residual.(ord) <- ts.residual.(ord) - todo;
+    if ts.residual.(ord) = 0 then begin
+      (match ac with Some a -> Sched.Adaptive_chunking.on_poll a | None -> ());
+      let beat = consume st w ~count_poll:true || st.cfg.Rt_config.force_promotion in
+      if beat then begin
+        match handle_beat () with
+        | Some s -> result := Some s
+        | None -> ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+      end
+      else ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+    end
+    else
+      (* Partial chunk: the invocation ends here and the residual transfers
+         to the next invocation of this leaf in this task. *)
+      ctx.Ir.Ctx.lo <- ctx.Ir.Ctx.lo + 1
+  done;
+  match !result with Some s -> s | None -> Done
+
+and run_general :
+    'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loop_info -> status =
+ fun c ts ctxs info ->
+  let st = c.st in
+  let ctx = ctxs.(info.Compiled.ordinal) in
+  let result = ref None in
+  while !result = None && ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
+    let iter = ctx.Ir.Ctx.lo in
+    match run_segments c ts ctxs info info.Compiled.loop.Ir.Nest.body iter with
+    | Seg_promoted j when j = info.Compiled.ordinal -> result := Some Done
+    | Seg_promoted j -> result := Some (Promoted j)
+    | Seg_ok ->
+        (* Emitted before the latch so a promotion splitting this loop
+           cannot lose the completed iteration. *)
+        emit_iter_exec c ctxs info.Compiled.ordinal ~lo:iter ~hi:(iter + 1);
+        let beat = consume st (wid st) ~count_poll:false || st.cfg.Rt_config.force_promotion in
+        if beat && st.cfg.Rt_config.promotion && not ts.no_promote && Atomic.get st.promo_left > 0
+        then begin
+          match promote c ts ctxs info with
+          | Some s -> result := Some s
+          | None -> ctx.Ir.Ctx.lo <- iter + 1
+        end
+        else ctx.Ir.Ctx.lo <- iter + 1
+  done;
+  match !result with Some s -> s | None -> Done
+
+and run_segments :
+    'e.
+    'e nest_handle ->
+    task_state ->
+    Ir.Ctx.set ->
+    'e Compiled.loop_info ->
+    'e Ir.Nest.segment list ->
+    int ->
+    seg_result =
+ fun c ts ctxs _info segs iter ->
+  let st = c.st in
+  let rec go = function
+    | [] -> Seg_ok
+    | Ir.Nest.Stmt s :: rest ->
+        add_work st (s.Ir.Nest.exec c.env ctxs iter);
+        go rest
+    | Ir.Nest.Nested child :: rest ->
+        let cinfo = c.nest.Compiled.infos.(child.Ir.Nest.ordinal) in
+        if cinfo.Compiled.doall then begin
+          let lo, hi = child.Ir.Nest.bounds c.env ctxs in
+          Ir.Ctx.set_slice ctxs.(child.Ir.Nest.ordinal) ~lo ~hi;
+          (match child.Ir.Nest.init with
+          | Some f -> f c.env ctxs.(child.Ir.Nest.ordinal).Ir.Ctx.locals
+          | None -> ());
+          emit_slice_enter c ctxs child.Ir.Nest.ordinal;
+          match run_slice c ts ctxs child.Ir.Nest.ordinal with
+          | Done -> go rest
+          | Promoted j -> Seg_promoted j
+        end
+        else begin
+          let acc = ref 0 in
+          serial_loop c ctxs child acc;
+          add_work st !acc;
+          go rest
+        end
+  in
+  go segs
+
+(* The promotion handler: policy-chosen split of the current context
+   chain, task creation through the shared core, clone-optimized join.
+   One native-only difference from the executor: reduction halves are
+   combined on the owner after the join (in spawn order) instead of
+   inside each spawned task — two tasks mutating the parent's locals
+   concurrently would race; the join's acquire publishes their writes. *)
+and promote :
+    'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loop_info -> status option =
+ fun c ts ctxs cur ->
+  let st = c.st in
+  let ts_forbidden = ts.forbidden in
+  let statically_splittable o =
+    c.nest.Compiled.infos.(o).Compiled.doall
+    && (o = cur.Compiled.ordinal
+       || Compiled.find_leftover c.nest ~li:cur.Compiled.ordinal ~lj:o <> None)
+  in
+  let splittable o = statically_splittable o && Ir.Ctx.remaining ctxs.(o) >= 1 in
+  let chain = Sched.Policy.owned_suffix ~forbidden:ts_forbidden cur.Compiled.chain_from_root in
+  match Sched.Policy.choose_target ~policy:st.cfg.Rt_config.policy ~splittable chain with
+  | None -> None
+  | Some tgt ->
+      if not (spend_promotion st) then None
+      else begin
+        Atomic.incr st.promotions;
+        if st.capture then
+          emit st
+            (Obs.Trace.Promote_choice
+               {
+                 cur = cur.Compiled.ordinal;
+                 tgt;
+                 chain =
+                   List.map
+                     (fun o -> (o, statically_splittable o, Ir.Ctx.remaining ctxs.(o)))
+                     chain;
+               });
+        let tinfo = c.nest.Compiled.infos.(tgt) in
+        emit st (Obs.Trace.promotion tinfo.Compiled.depth);
+        let tctx = ctxs.(tgt) in
+        let rem_lo = tctx.Ir.Ctx.lo + 1 and rem_hi = tctx.Ir.Ctx.hi in
+        tctx.Ir.Ctx.hi <- tctx.Ir.Ctx.lo + 1;
+        let mid = Sched.Policy.split_point ~lo:rem_lo ~hi:rem_hi in
+        let join = C.new_join st.core in
+        let reduction = tinfo.Compiled.loop.Ir.Nest.reduction in
+        let spawned = ref [] in
+        let spawn_slice lo hi =
+          if hi > lo then begin
+            let nctxs = Ir.Ctx.copy_set ctxs in
+            Ir.Ctx.refresh_subtree nctxs ~ordinals:tinfo.Compiled.subtree
+              ~specs:c.nest.Compiled.specs;
+            Ir.Ctx.set_slice nctxs.(tgt) ~lo ~hi;
+            (match tinfo.Compiled.loop.Ir.Nest.init with
+            | Some f -> f c.env nctxs.(tgt).Ir.Ctx.locals
+            | None -> ());
+            spawned := nctxs :: !spawned;
+            C.add_pending join;
+            C.push_task st.core
+              (C.mk_task st.core (fun () ->
+                   let ts' = fresh_task_state c in
+                   ts'.forbidden <- Option.value ~default:(-1) tinfo.Compiled.parent;
+                   (match run_slice c ts' nctxs tgt with Done | Promoted _ -> ());
+                   C.finish_join st.core join))
+          end
+        in
+        spawn_slice rem_lo mid;
+        spawn_slice mid rem_hi;
+        (if tgt <> cur.Compiled.ordinal then
+           match Compiled.find_leftover c.nest ~li:cur.Compiled.ordinal ~lj:tgt with
+           | None ->
+               raise
+                 (Internal_error
+                    (Printf.sprintf "missing leftover task for pair (%d, %d)" cur.Compiled.ordinal
+                       tgt))
+           | Some leftover -> (
+               let lctxs = Ir.Ctx.copy_set ctxs in
+               match st.cfg.Rt_config.leftover with
+               | Rt_config.Spawn ->
+                   C.add_pending join;
+                   C.push_task st.core
+                     (C.mk_task st.core (fun () ->
+                          run_leftover c ~no_promote:false lctxs leftover;
+                          C.finish_join st.core join))
+               | Rt_config.Inline -> run_leftover c ~no_promote:false lctxs leftover));
+        C.join_wait st.core join;
+        (match reduction with
+        | Some combine ->
+            List.iter
+              (fun nctxs -> combine tctx.Ir.Ctx.locals nctxs.(tgt).Ir.Ctx.locals)
+              (List.rev !spawned)
+        | None -> ());
+        Some (if tgt = cur.Compiled.ordinal then Done else Promoted tgt)
+      end
+
+and run_leftover : 'e. 'e nest_handle -> no_promote:bool -> Ir.Ctx.set -> Compiled.leftover -> unit
+    =
+ fun c ~no_promote ctxs leftover ->
+  let st = c.st in
+  if st.capture then emit st Obs.Trace.Leftover_run;
+  let ts = fresh_task_state c in
+  ts.no_promote <- no_promote;
+  ts.forbidden <- leftover.Compiled.lj;
+  let steps = Array.of_list leftover.Compiled.steps in
+  let is_call = function
+    | Compiled.Call_slice o -> Some o
+    | Compiled.Increase_iv _ | Compiled.Tail_work _ -> None
+  in
+  let exec step =
+    match step with
+    | Compiled.Increase_iv o ->
+        ctxs.(o).Ir.Ctx.lo <- ctxs.(o).Ir.Ctx.lo + 1;
+        Sched.Leftover_walk.Next
+    | Compiled.Call_slice o -> (
+        match run_slice c ts ctxs o with
+        | Done -> Sched.Leftover_walk.Next
+        | Promoted j when j = o -> Sched.Leftover_walk.Next
+        | Promoted j -> Sched.Leftover_walk.Skip_past j)
+    | Compiled.Tail_work { of_; after } -> (
+        let info = c.nest.Compiled.infos.(of_) in
+        let segs = Compiled.tail_of info ~after in
+        match run_segments c ts ctxs info segs ctxs.(of_).Ir.Ctx.lo with
+        | Seg_ok ->
+            emit_iter_exec c ctxs of_ ~lo:ctxs.(of_).Ir.Ctx.lo ~hi:(ctxs.(of_).Ir.Ctx.lo + 1);
+            Sched.Leftover_walk.Next
+        | Seg_promoted j -> Sched.Leftover_walk.Skip_past j)
+  in
+  try Sched.Leftover_walk.run ~steps ~is_call ~exec
+  with Sched.Leftover_walk.Missing_call j ->
+    raise (Internal_error (Printf.sprintf "leftover skip: no Call_slice %d" j))
+
+let exec_nest st (compiled : 'e Pipeline.program) (env : 'e) nest =
+  let rec find i = function
+    | [] -> raise (Internal_error "exec of a nest the program did not declare")
+    | (src, cn) :: rest -> if src == nest then (i, cn) else find (i + 1) rest
+  in
+  let nest_id, cn = find 0 compiled.Pipeline.nests in
+  st.exec_epoch <- st.exec_epoch + 1;
+  let c = { st; nest = cn; nest_id; env } in
+  let n = Ir.Nesting_tree.size cn.Compiled.tree in
+  let ctxs = Array.init n (fun o -> Ir.Ctx.make ~ordinal:o ~spec:cn.Compiled.specs.(o)) in
+  let root = cn.Compiled.root in
+  let rinfo = cn.Compiled.infos.(root) in
+  let lo, hi = rinfo.Compiled.loop.Ir.Nest.bounds env ctxs in
+  Ir.Ctx.set_slice ctxs.(root) ~lo ~hi;
+  (match rinfo.Compiled.loop.Ir.Nest.init with
+  | Some f -> f env ctxs.(root).Ir.Ctx.locals
+  | None -> ());
+  if rinfo.Compiled.doall then emit_slice_enter c ctxs root;
+  let ts = fresh_task_state c in
+  (match run_slice c ts ctxs root with
+  | Done -> ()
+  | Promoted _ -> raise (Internal_error "root slice reported an ancestor promotion"));
+  match rinfo.Compiled.loop.Ir.Nest.commit with Some f -> f env ctxs | None -> ()
+
+let run_program ?(request = Run_request.default) ?(beat = Wall_us 100.0) (cfg : Rt_config.t)
+    (compiled : 'e Pipeline.program) : Sim.Run_result.t =
+  (match request.Run_request.fault_plan with
+  | Some _ -> invalid_arg "Native_run: fault injection is simulator-only"
+  | None -> ());
+  (match (request.Run_request.pause_at, request.Run_request.resume_from) with
+  | None, None -> ()
+  | _ -> invalid_arg "Native_run: pause/resume checkpointing is simulator-only");
+  let program = compiled.Pipeline.source in
+  let env = program.Ir.Program.make_env () in
+  let n = Stdlib.max 1 cfg.Rt_config.workers in
+  let capture = Obs.Trace.Sink.enabled request.Run_request.trace in
+  let b = Domains_backend.create ~workers:n ~trace:request.Run_request.trace ~capture in
+  let core = C.create b in
+  let st =
+    {
+      cfg;
+      b;
+      core;
+      beat;
+      next_beat = Array.make n 0.0;
+      polls = Array.make n 0;
+      ac = Array.init n (fun _ -> Hashtbl.create 8);
+      work = Array.make n 0;
+      promotions = Atomic.make 0;
+      promo_left =
+        Atomic.make
+          (match request.Run_request.promotion_budget with
+          | Some bud -> Stdlib.max 0 bud
+          | None -> Stdlib.max_int);
+      capture;
+      exec_epoch = 0;
+    }
+  in
+  (match beat with
+  | Wall_us us ->
+      let t0 = Unix.gettimeofday () +. (us *. 1e-6) in
+      Array.iteri (fun i _ -> st.next_beat.(i) <- t0) st.next_beat
+  | Every_polls _ -> ());
+  Domains_backend.register ~worker:0;
+  let domains =
+    List.init (n - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domains_backend.register ~worker:(i + 1);
+            C.scavenge core))
+  in
+  let t_start = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      C.set_finished core;
+      List.iter Domain.join domains)
+    (fun () ->
+      (* Driver intervals cover only the serial segments between nests —
+         while a nest runs, worker 0 records its own task intervals, and
+         one interval spanning the whole run would overlap them. *)
+      let mark = ref (Domains_backend.now b) in
+      let driver_segment_ends () =
+        if st.capture && Domains_backend.now b > !mark then
+          emit st (Obs.Trace.Interval { t0 = !mark; kind = "driver" })
+      in
+      let cpu =
+        {
+          Ir.Program.exec =
+            (fun nest ->
+              driver_segment_ends ();
+              exec_nest st compiled env nest;
+              mark := Domains_backend.now b);
+          advance = (fun cyc -> add_work st cyc);
+        }
+      in
+      program.Ir.Program.driver env cpu;
+      driver_segment_ends ());
+  let elapsed_us = int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6) in
+  let metrics = Sim.Metrics.create () in
+  metrics.Sim.Metrics.work_cycles <- Array.fold_left ( + ) 0 st.work;
+  metrics.Sim.Metrics.promotions <- Atomic.get st.promotions;
+  {
+    (* makespan is wall microseconds here, not virtual cycles — comparable
+       only between native runs. *)
+    Sim.Run_result.makespan = elapsed_us;
+    metrics;
+    fingerprint = program.Ir.Program.fingerprint env;
+    work_cycles = metrics.Sim.Metrics.work_cycles;
+    dnf = false;
+    termination = Sim.Run_result.Finished;
+    trace = Obs.Trace.Sink.captured request.Run_request.trace;
+    sanitizer = None;
+  }
+
+let run ?request ?beat cfg program =
+  run_program ?request ?beat cfg (Pipeline.compile_program ~chunk:cfg.Rt_config.chunk program)

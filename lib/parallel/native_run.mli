@@ -1,0 +1,51 @@
+(** The compiled-nest interpreter on real OCaml 5 domains.
+
+    The second instantiation of the scheduler core: the same
+    {!Sched.Policy} promotion choice, {!Sched.Adaptive_chunking} rule,
+    {!Sched.Leftover_walk} and deque/steal/join discipline
+    ([Sched.Core.Make (Domains_backend)]) that the virtual-time
+    {!Hbc_core.Executor} runs — driven by wall-clock heartbeats and real
+    parallelism instead of simulated time. Traced runs emit the same
+    capture-gated {!Obs.Trace} events at the same operation boundaries,
+    so {!Sanitizer.Checker} validates native streams with its full
+    invariant set, and fingerprints cross-check against simulator runs
+    of the same program. *)
+
+exception Internal_error of string
+(** Alias of {!Hbc_core.Executor.Internal_error}: a runtime invariant
+    broke (a bug, not a user error). *)
+
+(** When a native worker observes a heartbeat. *)
+type beat_source =
+  | Wall_us of float  (** interval timer, microseconds (the paper's mechanism) *)
+  | Every_polls of int
+      (** deterministic poll-count proxy: a beat every [n] leaf polls on a
+          worker. With one worker the schedule is fully reproducible —
+          benchgate and CI smoke runs use this. *)
+
+val run_program :
+  ?request:Hbc_core.Run_request.t ->
+  ?beat:beat_source ->
+  Hbc_core.Rt_config.t ->
+  'e Hbc_core.Pipeline.program ->
+  Sim.Run_result.t
+(** Run one compiled program on [cfg.workers] domains (the caller is
+    worker 0). The config's virtual cost model, mechanism and seed are
+    ignored; policy, chunking, promotion and leftover knobs all apply.
+    From the request, [trace], [sanitize] and [promotion_budget] apply.
+
+    The result reuses the simulator's record: [makespan] is wall-clock
+    microseconds (comparable only between native runs), [work_cycles]
+    and [metrics.work_cycles] sum the per-worker body work,
+    [metrics.promotions] counts splits; other metric counters stay 0.
+
+    @raise Invalid_argument on simulator-only requests ([fault_plan],
+    [pause_at]/[resume_from]). *)
+
+val run :
+  ?request:Hbc_core.Run_request.t ->
+  ?beat:beat_source ->
+  Hbc_core.Rt_config.t ->
+  'e Ir.Program.t ->
+  Sim.Run_result.t
+(** Compile (with the chunk mode from the config) and run. *)

@@ -6,23 +6,13 @@
     its sequentially-consistent form — OCaml's [Atomic] operations are SC,
     so no explicit fences are needed.
 
+    The interface is exactly the scheduler core's deque signature
+    ({!Sched.Backend_intf.DEQUE}) — the same shape {!Sim.Deque} implements
+    for the simulator and the sanitizer's shadow replay, which is what lets
+    {!Sanitizer.Checker.Deque_discipline} audit this implementation against
+    the sequential model on linearized native traces.
+
     Safety contract: {!push} and {!pop} may only be called by the owning
     domain; {!steal} may be called by any domain. *)
 
-type 'a t
-
-val create : unit -> 'a t
-
-val push : 'a t -> 'a -> unit
-(** Owner-side push at the bottom; grows the buffer as needed. *)
-
-val pop : 'a t -> 'a option
-(** Owner-side pop of the newest element; races with thieves only on the
-    last element. *)
-
-val steal : 'a t -> 'a option
-(** Thief-side removal of the oldest element; [None] when empty or when the
-    race for the element was lost. *)
-
-val size : 'a t -> int
-(** Snapshot size (approximate under concurrency; exact when quiescent). *)
+include Sched.Backend_intf.DEQUE

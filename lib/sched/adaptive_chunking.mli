@@ -1,12 +1,17 @@
-(** Adaptive chunking, AC (Sec. 5.1) — re-export of
-    {!Sched.Adaptive_chunking}, where the state machine now lives so both
-    the virtual-time executor and the native domains runtime drive the
-    same sliding-window rule. See that module for the full documentation.
+(** Adaptive chunking, AC (Sec. 5.1).
 
-    The type equations below keep every existing [Hbc_core] caller (tests,
-    benchgate probes, examples) source-compatible. *)
+    Per worker and per leaf loop, AC adjusts the chunk size so that a small
+    target number of polls happens per heartbeat interval. A sliding window
+    logs the polls observed in each of the last [window] heartbeat
+    intervals; at the end of a window the minimum poll count m is compared
+    to the target T and the chunk size is rescaled by m/T (minimum 1).
 
-type t = Sched.Adaptive_chunking.t
+    The module is a pure state machine so it can be property-tested in
+    isolation and shared by every backend: the virtual-time executor and
+    the native domains runtime drive the same rule from their polling
+    paths, and the sanitizer replays it against both trace streams. *)
+
+type t
 
 val create : ?initial_chunk:int -> target_polls:int -> window:int -> unit -> t
 (** [initial_chunk] defaults to 1 as in the paper. *)
@@ -21,11 +26,7 @@ val on_heartbeat : t -> int option
     completed a window and the chunk size was recomputed (even if unchanged
     in value). *)
 
-type decision = Sched.Adaptive_chunking.decision = {
-  old_chunk : int;
-  new_chunk : int;
-  min_polls : int;
-}
+type decision = { old_chunk : int; new_chunk : int; min_polls : int }
 (** One committed recomputation: [new_chunk = max 1 (round (old_chunk *
     min_polls / target))]. The sanitizer replays this rule against traced
     decisions to validate chunk-size transitions. *)

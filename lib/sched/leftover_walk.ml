@@ -1,0 +1,25 @@
+(* The leftover-task step walker (Algorithm 2): execute the generated
+   steps in order; a promotion inside a split ancestor [j] means the new
+   leftover took over everything up to and including [j]'s remaining
+   iterations and tail, so the walk resumes after its own Call_slice of
+   [j]. The step datatype stays backend-side (it carries compiled
+   closures); the walk only needs to recognize which steps are slice
+   calls. *)
+
+type outcome = Next | Skip_past of int
+
+exception Missing_call of int
+
+let run ~steps ~is_call ~exec =
+  let len = Array.length steps in
+  let i = ref 0 in
+  let skip_past j =
+    let rec find k =
+      if k >= len then raise (Missing_call j)
+      else match is_call steps.(k) with Some o when o = j -> k + 1 | _ -> find (k + 1)
+    in
+    i := find (!i + 1)
+  in
+  while !i < len do
+    match exec steps.(!i) with Next -> incr i | Skip_past j -> skip_past j
+  done

@@ -1,0 +1,23 @@
+(** Backend-agnostic driver for leftover-task step lists (Algorithm 2).
+
+    A leftover task is a straight-line list of steps (increase an
+    induction variable, call a loop slice, run a tail) generated at compile
+    time; executing one is a walk over that list with one non-local rule:
+    when a slice call reports that an {e ancestor} [j] was promoted, the
+    new leftover task spawned by that promotion has taken over everything
+    up to and including [j], so the walk must skip forward past its own
+    call of [j]'s slice. Both backends execute leftovers through this
+    walker, keeping the paper's Algorithm 2 semantics in one place. *)
+
+type outcome =
+  | Next  (** the step completed; continue with the next one *)
+  | Skip_past of int  (** ancestor [j] was promoted; resume after [Call_slice j] *)
+
+exception Missing_call of int
+(** The skip rule found no [Call_slice j] ahead of the cursor — a compiler
+    invariant violation, not a user error. *)
+
+val run : steps:'s array -> is_call:('s -> int option) -> exec:('s -> outcome) -> unit
+(** [run ~steps ~is_call ~exec] walks [steps] left to right. [is_call]
+    classifies a step as [Some ordinal] when it is a slice call; [exec]
+    executes one step and reports how to continue. *)

@@ -1,0 +1,32 @@
+type promotion_policy = Outer_loop_first | Innermost_first
+
+type leftover_mode = Spawn | Inline
+
+type backend_kind = Sim | Domains
+
+let backend_kind_to_string = function Sim -> "sim" | Domains -> "domains"
+
+let backend_kind_of_string = function
+  | "sim" -> Ok Sim
+  | "domains" -> Ok Domains
+  | s -> Error (Printf.sprintf "unknown backend %S (expected sim or domains)" s)
+
+let invert = function Outer_loop_first -> Innermost_first | Innermost_first -> Outer_loop_first
+
+let owned_suffix ~forbidden chain =
+  if forbidden < 0 then chain
+  else begin
+    let rec drop = function
+      | [] -> []
+      | o :: rest when o = forbidden -> rest
+      | _ :: rest -> drop rest
+    in
+    drop chain
+  end
+
+let choose_target ~policy ~splittable chain =
+  match policy with
+  | Outer_loop_first -> List.find_opt splittable chain
+  | Innermost_first -> List.find_opt splittable (List.rev chain)
+
+let split_point ~lo ~hi = lo + (((hi - lo) + 1) / 2)

@@ -1,0 +1,50 @@
+(** The paper's scheduling policy, backend-agnostic.
+
+    Everything here is pure: which loop a promotion splits
+    ({!choose_target}, Sec. 2), which part of the context chain a task is
+    allowed to split ({!owned_suffix}), and where a promoted range is cut
+    ({!split_point}). Both the virtual-time executor and the native domains
+    runtime call these functions, so the two backends promote identically
+    by construction and the sanitizer checks them against one rule. *)
+
+type promotion_policy =
+  | Outer_loop_first
+      (** the paper's policy: split the outermost loop with remaining
+          iterations — coarsest tasks, best amortization (Sec. 2) *)
+  | Innermost_first
+      (** ablation: split the loop that received the heartbeat — finest
+          tasks; shows why the paper's policy matters *)
+
+type leftover_mode =
+  | Spawn  (** HBC: the leftover is a third parallel task with a full closure *)
+  | Inline
+      (** TPAL: the leftover runs inline on the promoting task's critical
+          path and can never be stolen (Sec. 6.3) *)
+
+(** Which scheduler backend executes a run: the deterministic virtual-time
+    simulator, or real OCaml 5 domains over the Chase–Lev deque. *)
+type backend_kind = Sim | Domains
+
+val backend_kind_to_string : backend_kind -> string
+
+val backend_kind_of_string : string -> (backend_kind, string) result
+
+val invert : promotion_policy -> promotion_policy
+(** The opposite direction (used by the seeded [Promote_innermost] bug). *)
+
+val owned_suffix : forbidden:int -> int list -> int list
+(** [owned_suffix ~forbidden chain] is the suffix of [chain] strictly below
+    the ownership boundary [forbidden]: contexts at or above it are frozen
+    snapshots whose remaining iterations belong to the spawning task and
+    must never be split. [forbidden < 0] means the task owns its whole
+    chain (the root task) and the chain is returned unchanged. *)
+
+val choose_target : policy:promotion_policy -> splittable:(int -> bool) -> int list -> int option
+(** The promotion choice: the first [splittable] ordinal of the owned chain
+    in policy order — chain order (outermost first) under
+    [Outer_loop_first], reversed under [Innermost_first]. *)
+
+val split_point : lo:int -> hi:int -> int
+(** Where a promotion cuts the remaining range [\[lo, hi)]: the upper-biased
+    midpoint [lo + (hi - lo + 1) / 2], matching the executor's historical
+    arithmetic (pinned by trace-replay tests). *)

@@ -1,0 +1,5 @@
+(* A schedulable unit of the heartbeat runtime. [id] is a per-run serial
+   used only by trace deque/lifecycle events; backends number tasks through
+   {!Core.Make.mk_task} so the sequence is identical whatever deque the
+   task lands in. *)
+type t = { id : int; run : unit -> unit }

@@ -1,0 +1,44 @@
+(** The backend-agnostic run facade: one entry point over every executor
+    front end and both scheduler backends.
+
+    [Executor.run] (virtual time), [Native_run.run] (OCaml 5 domains) and
+    the [Baselines] executors all produce a {!Sim.Run_result.t} from an
+    {!Ir.Program.t} and a {!Hbc_core.Run_request.t}; this module is the
+    total dispatch over (engine × backend) so harnesses, the CLI and
+    tests pick a combination instead of an entry point. The heartbeat
+    engines ([Hbc], [Tpal]) run on either backend — the same
+    [Sched.Core] policy functor instantiated over {!Sim_backend} or
+    [Domains_backend]. The OpenMP-model baselines are virtual-time
+    simulations and exist only on [Sim]; the sequential reference is
+    backend-neutral. *)
+
+type engine =
+  | Hbc of Hbc_core.Rt_config.t  (** the heartbeat runtime under this configuration *)
+  | Tpal of { chunk : int }  (** TPAL: static chunk, inline leftover, ping thread *)
+  | Openmp of Baselines.Openmp.config  (** OpenMP-model baseline (sim only) *)
+  | Serial  (** sequential reference; backend-neutral *)
+  | Hybrid of { hbc : Hbc_core.Rt_config.t; omp : Baselines.Openmp.config }
+      (** regularity-dispatched heartbeat/static hybrid (sim only) *)
+
+val hbc : engine
+(** [Hbc Rt_config.hbc] — the paper's configuration. *)
+
+val hybrid : engine
+(** The Sec. 6.8 hybrid under default configurations. *)
+
+val run :
+  ?request:Hbc_core.Run_request.t ->
+  ?backend:Sched.Policy.backend_kind ->
+  ?beat:Hb_parallel.Native_run.beat_source ->
+  engine ->
+  'e Ir.Program.t ->
+  Sim.Run_result.t
+(** Run [program] under [engine] on [backend] (default: the request's
+    [backend] field, itself defaulting to [Sim]). The returned result's
+    provenance is truthful: the request is re-stamped with the backend
+    that actually ran, so journal signatures never alias across backends.
+    [beat] applies to domains runs only (default wall-clock 100 µs).
+
+    @raise Invalid_argument for combinations the backend cannot express
+    ([Openmp]/[Hybrid] on [Domains]) and for simulator-only request
+    features on [Domains] (fault plans, pause/resume). *)

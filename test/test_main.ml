@@ -15,6 +15,7 @@ let () =
       ("io", Test_io.suite);
       ("fork_join", Test_fork_join.suite);
       ("parallel", Test_parallel.suite);
+      ("sched", Test_sched.suite);
       ("report", Test_report.suite);
       ("experiments", Test_experiments.suite);
       ("resilience", Test_resilience.suite);

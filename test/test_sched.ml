@@ -1,0 +1,252 @@
+(* Tests for the backend-agnostic scheduler core (lib/sched) and its two
+   instantiations: policy units, leftover-walk units, Ws_deque conformance
+   against the simulator's sequential Chase–Lev model, sim determinism
+   (pinning the functor extraction), sim-vs-domains fingerprint parity on
+   the differential workloads, sanitizer-clean native traces, and the
+   Sched_run facade's dispatch. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let qt = QCheck_alcotest.to_alcotest
+
+(* ---------------------------- policy ------------------------------ *)
+
+let policy_owned_suffix () =
+  Alcotest.(check (list int)) "no forbidden" [ 0; 1; 2 ] (Sched.Policy.owned_suffix ~forbidden:(-1) [ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "drops through forbidden" [ 2 ] (Sched.Policy.owned_suffix ~forbidden:1 [ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "forbidden leaf" [] (Sched.Policy.owned_suffix ~forbidden:2 [ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "forbidden absent" [] (Sched.Policy.owned_suffix ~forbidden:7 [ 0; 1; 2 ])
+
+let policy_choose_target () =
+  let splittable o = o = 1 || o = 2 in
+  Alcotest.(check (option int)) "outer first" (Some 1)
+    (Sched.Policy.choose_target ~policy:Sched.Policy.Outer_loop_first ~splittable [ 0; 1; 2 ]);
+  Alcotest.(check (option int)) "inner first" (Some 2)
+    (Sched.Policy.choose_target ~policy:Sched.Policy.Innermost_first ~splittable [ 0; 1; 2 ]);
+  Alcotest.(check (option int)) "none splittable" None
+    (Sched.Policy.choose_target ~policy:Sched.Policy.Outer_loop_first
+       ~splittable:(fun _ -> false)
+       [ 0; 1; 2 ]);
+  check_bool "invert is an involution" true
+    (Sched.Policy.invert (Sched.Policy.invert Sched.Policy.Outer_loop_first)
+    = Sched.Policy.Outer_loop_first)
+
+let policy_split_point () =
+  (* Upper-rounded midpoint: the lower half is never larger. *)
+  check_int "even" 15 (Sched.Policy.split_point ~lo:10 ~hi:20);
+  check_int "odd rounds up" 16 (Sched.Policy.split_point ~lo:10 ~hi:21);
+  check_int "two iterations split 1/1" 11 (Sched.Policy.split_point ~lo:10 ~hi:12)
+
+let policy_backend_kind () =
+  check_bool "sim round-trips" true
+    (Sched.Policy.backend_kind_of_string (Sched.Policy.backend_kind_to_string Sched.Policy.Sim)
+    = Ok Sched.Policy.Sim);
+  check_bool "domains round-trips" true
+    (Sched.Policy.backend_kind_of_string (Sched.Policy.backend_kind_to_string Sched.Policy.Domains)
+    = Ok Sched.Policy.Domains);
+  check_bool "junk rejected" true
+    (match Sched.Policy.backend_kind_of_string "cuda" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------- leftover walk -------------------------- *)
+
+let walk_runs_in_order () =
+  let log = ref [] in
+  Sched.Leftover_walk.run
+    ~steps:[| `A; `B; `C |]
+    ~is_call:(fun _ -> None)
+    ~exec:(fun s ->
+      log := s :: !log;
+      Sched.Leftover_walk.Next);
+  check_bool "all steps in order" true (List.rev !log = [ `A; `B; `C ])
+
+let walk_skip_past () =
+  (* A promotion of ancestor 1 inside step 0 skips everything up to and
+     including 1's own Call_slice. *)
+  let log = ref [] in
+  let steps = [| `Call 2; `Iv; `Call 1; `Tail; `Call 0 |] in
+  Sched.Leftover_walk.run ~steps
+    ~is_call:(fun s -> match s with `Call o -> Some o | _ -> None)
+    ~exec:(fun s ->
+      log := s :: !log;
+      match s with `Call 2 -> Sched.Leftover_walk.Skip_past 1 | _ -> Sched.Leftover_walk.Next);
+  check_bool "resumed after Call 1" true (List.rev !log = [ `Call 2; `Tail; `Call 0 ])
+
+let walk_missing_call () =
+  check_bool "missing call raises" true
+    (try
+       Sched.Leftover_walk.run ~steps:[| `X |]
+         ~is_call:(fun _ -> None)
+         ~exec:(fun _ -> Sched.Leftover_walk.Skip_past 3);
+       false
+     with Sched.Leftover_walk.Missing_call 3 -> true)
+
+(* --------------------- Ws_deque conformance ----------------------- *)
+
+(* The native Chase–Lev deque against the simulator's sequential model
+   (which is also the sanitizer's shadow-replay structure): any
+   single-threaded op sequence must produce identical results. The
+   concurrent side is covered by test_parallel's exactly-once tests and
+   by the sanitizer's shadow replay of linearized native traces below. *)
+let ws_deque_matches_model =
+  QCheck.Test.make ~name:"Ws_deque = Sim.Deque on sequential op sequences" ~count:500
+    QCheck.(list (int_range 0 2))
+    (fun ops ->
+      let d = Hb_parallel.Ws_deque.create () in
+      let m = Sim.Deque.create () in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+              incr next;
+              Hb_parallel.Ws_deque.push d !next;
+              Sim.Deque.push_bottom m !next;
+              Hb_parallel.Ws_deque.size d = Sim.Deque.length m
+          | 1 -> Hb_parallel.Ws_deque.pop d = Sim.Deque.pop_bottom m
+          | _ -> Hb_parallel.Ws_deque.steal d = Sim.Deque.steal m)
+        ops)
+
+(* ------------------ sim determinism (extraction pin) -------------- *)
+
+(* Pins the functor extraction: the sim instantiation of the shared core
+   is a deterministic function of (config, program) — two runs agree to
+   the byte on result and trace. Any backend leakage into the policy
+   core (real time, domain identity) would break this first. *)
+let sim_runs_byte_identical () =
+  let p = Test_runtime.make_irregular ~rows:120 ~max_size:10 ~seed:42 in
+  let cfg = { Hbc_core.Rt_config.default with workers = 4 } in
+  let run () =
+    let sink = Obs.Trace.Sink.stream () in
+    let request = Hbc_core.Run_request.make ~trace:sink () in
+    Hbc_core.Executor.run ~request cfg p
+  in
+  let a = run () and b = run () in
+  check_int "makespan" a.Sim.Run_result.makespan b.Sim.Run_result.makespan;
+  check_bool "fingerprint" true
+    (a.Sim.Run_result.fingerprint = b.Sim.Run_result.fingerprint);
+  check_int "promotions" a.Sim.Run_result.metrics.Sim.Metrics.promotions
+    b.Sim.Run_result.metrics.Sim.Metrics.promotions;
+  check_bool "traces identical" true (a.Sim.Run_result.trace = b.Sim.Run_result.trace)
+
+(* ------------------- sim vs domains parity ------------------------ *)
+
+let native_request () = Hbc_core.Run_request.make ~backend:Sched.Policy.Domains ()
+
+let parity_on workers (Ir.Program.Any p) =
+  let seq = Baselines.Serial_exec.run_program p in
+  let cfg = { Hbc_core.Rt_config.default with workers } in
+  let sim = Hbc_core.Executor.run cfg p in
+  let native =
+    Sched_run.run ~request:(native_request ()) ~beat:(Hb_parallel.Native_run.Wall_us 50.0)
+      (Sched_run.Hbc cfg) p
+  in
+  check_bool
+    (Printf.sprintf "sim matches seq at P=%d" workers)
+    true
+    (Sim.Run_result.fingerprints_close seq sim);
+  check_bool
+    (Printf.sprintf "domains matches seq at P=%d" workers)
+    true
+    (Sim.Run_result.fingerprints_close seq native);
+  check_bool
+    (Printf.sprintf "domains matches sim at P=%d" workers)
+    true
+    (Sim.Run_result.fingerprints_close sim native);
+  check_int
+    (Printf.sprintf "native body work = serial work at P=%d" workers)
+    seq.Sim.Run_result.work_cycles native.Sim.Run_result.work_cycles
+
+let parity_irregular () =
+  List.iter
+    (fun workers ->
+      parity_on workers (Ir.Program.Any (Test_runtime.make_irregular ~rows:400 ~max_size:12 ~seed:7)))
+    [ 1; 2; 4 ]
+
+let parity_registry () =
+  List.iter
+    (fun name ->
+      let entry = Workloads.Registry.find name in
+      List.iter
+        (fun workers -> parity_on workers (entry.Workloads.Registry.make 0.05))
+        [ 1; 2; 4 ])
+    [ "plus-reduce-array"; "spmv-powerlaw" ]
+
+(* ------------------ sanitizer on native traces -------------------- *)
+
+(* A traced domains run must satisfy the same invariant set as a simulated
+   one: work conservation (every iteration exactly once), shadow Chase–Lev
+   deque replay, promotion-policy replay, chunk-rule replay, and clock
+   sanity over the linearized stream. *)
+let native_trace_sanitizer_clean () =
+  let p = Test_runtime.make_irregular ~rows:400 ~max_size:12 ~seed:11 in
+  let cfg = { Hbc_core.Rt_config.default with workers = 2 } in
+  let checker = Sanitizer.Checker.create (Sanitizer.Checker.config_of_rt cfg) in
+  let request =
+    Hbc_core.Run_request.make ~backend:Sched.Policy.Domains
+      ~trace:(Sanitizer.Checker.sink checker) ~sanitize:true ()
+  in
+  (* A deterministic poll-count beat fires densely enough that the run
+     promotes even on a loaded single-core machine. *)
+  let r =
+    Hb_parallel.Native_run.run ~request ~beat:(Hb_parallel.Native_run.Every_polls 16) cfg p
+  in
+  Sanitizer.Checker.finish checker;
+  check_bool
+    (Printf.sprintf "sanitizer clean: %s" (Sanitizer.Checker.summary checker))
+    true (Sanitizer.Checker.ok checker);
+  check_bool "native run promoted" true (r.Sim.Run_result.metrics.Sim.Metrics.promotions > 0);
+  let seq = Baselines.Serial_exec.run_program p in
+  check_bool "traced native run still correct" true (Sim.Run_result.fingerprints_close seq r)
+
+(* --------------------------- facade ------------------------------- *)
+
+let facade_dispatch () =
+  let p = Test_runtime.make_irregular ~rows:60 ~max_size:8 ~seed:3 in
+  let seq = Sched_run.run Sched_run.Serial p in
+  let sim_hbc = Sched_run.run Sched_run.hbc p in
+  check_bool "facade serial = facade hbc" true (Sim.Run_result.fingerprints_close seq sim_hbc);
+  let tpal = Sched_run.run (Sched_run.Tpal { chunk = 16 }) p in
+  check_bool "facade tpal" true (Sim.Run_result.fingerprints_close seq tpal);
+  check_bool "omp on domains rejected" true
+    (try
+       ignore
+         (Sched_run.run ~backend:Sched.Policy.Domains
+            (Sched_run.Openmp (Baselines.Openmp.dynamic ()))
+            p);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "faults on domains rejected" true
+    (try
+       let request =
+         Hbc_core.Run_request.make ~backend:Sched.Policy.Domains
+           ~fault_plan:{ Sim.Fault_plan.none with seed = 1; beat_drop_prob = 0.5 } ()
+       in
+       ignore (Sched_run.run ~request Sched_run.hbc p);
+       false
+     with Invalid_argument _ -> true)
+
+let request_signature_keyed_by_backend () =
+  let sim = Hbc_core.Run_request.make () in
+  let dom = Hbc_core.Run_request.make ~backend:Sched.Policy.Domains () in
+  check_bool "backends never alias in the journal" true
+    (Hbc_core.Run_request.signature sim <> Hbc_core.Run_request.signature dom)
+
+let suite =
+  [
+    Alcotest.test_case "policy: owned suffix" `Quick policy_owned_suffix;
+    Alcotest.test_case "policy: choose target" `Quick policy_choose_target;
+    Alcotest.test_case "policy: split point" `Quick policy_split_point;
+    Alcotest.test_case "policy: backend kind strings" `Quick policy_backend_kind;
+    Alcotest.test_case "leftover walk: in order" `Quick walk_runs_in_order;
+    Alcotest.test_case "leftover walk: skip past" `Quick walk_skip_past;
+    Alcotest.test_case "leftover walk: missing call" `Quick walk_missing_call;
+    qt ws_deque_matches_model;
+    Alcotest.test_case "sim: byte-identical reruns" `Quick sim_runs_byte_identical;
+    Alcotest.test_case "parity: irregular nest, P=1,2,4" `Slow parity_irregular;
+    Alcotest.test_case "parity: registry workloads, P=1,2,4" `Slow parity_registry;
+    Alcotest.test_case "native trace: sanitizer clean" `Slow native_trace_sanitizer_clean;
+    Alcotest.test_case "facade: dispatch and guards" `Quick facade_dispatch;
+    Alcotest.test_case "request: backend in signature" `Quick request_signature_keyed_by_backend;
+  ]
