@@ -60,12 +60,12 @@ let bench_perfect_hash =
 let bench_ac =
   Test.make ~name:"adaptive chunking beat cycle"
     (Staged.stage
-       (let ac = Hbc_core.Adaptive_chunking.create ~target_polls:8 ~window:2 () in
+       (let ac = Sched.Adaptive_chunking.create ~target_polls:8 ~window:2 () in
         fun () ->
           for _ = 0 to 15 do
-            Hbc_core.Adaptive_chunking.on_poll ac
+            Sched.Adaptive_chunking.on_poll ac
           done;
-          ignore (Hbc_core.Adaptive_chunking.on_heartbeat ac)))
+          ignore (Sched.Adaptive_chunking.on_heartbeat ac)))
 
 let bench_membus =
   Test.make ~name:"membus serve x64"
@@ -189,8 +189,25 @@ let flag_values name =
   in
   collect 1 []
 
+(* --suite selects which probe families the report runs. "macro" is the
+   whole macro-scale gate set (figure families, the P-sweep, serving) so
+   CI's micro and macro steps partition the full suite between them;
+   "nightly" is the ungated P=1024 sweep point. *)
+let suite_probes = function
+  | "all" -> Benchgate.Suite.all ()
+  | "micro" -> Benchgate.Suite.micro ()
+  | "macro" -> Benchgate.Suite.macro () @ Benchgate.Suite.p_sweep () @ Benchgate.Suite.serve ()
+  | "p-sweep" -> Benchgate.Suite.p_sweep ()
+  | "serve" -> Benchgate.Suite.serve ()
+  | "nightly" -> Benchgate.Suite.nightly ()
+  | s ->
+      Printf.eprintf
+        "unknown --suite %s (expected all | micro | macro | p-sweep | serve | nightly)\n" s;
+      exit 2
+
 let report_mode path =
   let label = Option.value (flag_value "--label") ~default:"dev" in
+  let suite = Option.value (flag_value "--suite") ~default:"all" in
   let notes =
     List.map
       (fun kv ->
@@ -199,10 +216,11 @@ let report_mode path =
         | None -> (kv, ""))
       (flag_values "--note")
   in
-  let report = Benchgate.Suite.report ~notes ~label () in
+  let probes = suite_probes suite in
+  let report = Benchgate.Suite.report ~notes:(notes @ [ ("suite", suite) ]) ~probes ~label () in
   Benchgate.Report.write_file path report;
-  Printf.printf "benchgate: wrote %d probes (label %s) to %s\n" (List.length report.Benchgate.Report.probes)
-    label path
+  Printf.printf "benchgate: wrote %d probes (suite %s, label %s) to %s\n"
+    (List.length report.Benchgate.Report.probes) suite label path
 
 let () =
   match flag_value "--report" with

@@ -107,10 +107,19 @@ let fig_cmd (f : Experiments.Figure.t) =
 
 let all_cmd =
   let doc = "Reproduce every figure (4-16)." in
-  let run config journal =
-    with_journal journal (fun () -> print_string (Experiments.Run_all.render_all config))
+  let parallel_trials =
+    let doc =
+      "Warm trial simulations across $(docv) OCaml domains before the sequential replay pass. \
+       Output (figures, journal) is byte-identical to the sequential campaign; only wall time \
+       changes. 1 = fully sequential."
+    in
+    Arg.(value & opt int 1 & info [ "parallel-trials" ] ~docv:"N" ~doc)
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ config_term $ journal_term)
+  let run config journal domains =
+    with_journal journal (fun () ->
+        print_string (Experiments.Run_all.render_all_parallel config ~domains))
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ config_term $ journal_term $ parallel_trials)
 
 let list_cmd =
   let doc = "List the benchmarks (Table 1) with their metadata." in
@@ -732,6 +741,14 @@ let bench_diff_cmd =
     let doc = "Warn threshold for advisory metrics such as wall time (relative)." in
     Arg.(value & opt float 0.25 & info [ "adv-threshold" ] ~docv:"T" ~doc)
   in
+  let subset_arg =
+    let doc =
+      "Compare only probes present in NEW: baseline probes the candidate did not run are out \
+       of scope rather than 'removed'. For diffing a partial-suite report (CI's split \
+       micro/macro bench steps) against the full committed baseline."
+    in
+    Arg.(value & flag & info [ "subset" ] ~doc)
+  in
   let read_report path =
     match Benchgate.Report.read_file path with
     | r -> r
@@ -745,16 +762,28 @@ let bench_diff_cmd =
         Printf.eprintf "bench-diff: %s is not a benchmark report: %s\n" path msg;
         exit 2
   in
-  let run old_path new_path threshold adv_threshold =
+  let run old_path new_path threshold adv_threshold subset =
     let old = read_report old_path in
     let new_ = read_report new_path in
+    let old =
+      if not subset then old
+      else
+        {
+          old with
+          Benchgate.Report.probes =
+            List.filter
+              (fun p ->
+                Benchgate.Report.find_probe new_ p.Benchgate.Report.probe <> None)
+              old.Benchgate.Report.probes;
+        }
+    in
     let lines, verdict = Benchgate.Diff.compare ~threshold ~adv_threshold ~old ~new_ () in
     print_string (Benchgate.Diff.render ~threshold ~old ~new_ lines verdict);
     exit (Benchgate.Diff.exit_code verdict)
   in
   Cmd.v
     (Cmd.info "bench-diff" ~doc)
-    Term.(const run $ old_arg $ new_arg $ threshold_arg $ adv_threshold_arg)
+    Term.(const run $ old_arg $ new_arg $ threshold_arg $ adv_threshold_arg $ subset_arg)
 
 let fuzz_cmd =
   let doc =

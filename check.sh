@@ -109,6 +109,22 @@ dune exec bench/main.exe -- --report "$B" --label check > /dev/null
 "$REPRO" bench-diff bench/baseline.json "$B"
 rm -f "$B"
 
+# --- domains-parallel campaign smoke test: a tiny campaign warmed across
+# 2 domains must produce a journal and figure output byte-identical to the
+# sequential run's ---
+PDIR=$(mktemp -d "$TMP/hbc-par.XXXXXX")
+"$REPRO" all --scale 0.01 --workers 4 --journal "$PDIR/j.jsonl" \
+    > "$PDIR/seq.txt"
+mv "$PDIR/j.jsonl" "$PDIR/seq.jsonl"
+"$REPRO" all --scale 0.01 --workers 4 --journal "$PDIR/j.jsonl" \
+    --parallel-trials 2 > "$PDIR/par.txt"
+cmp -s "$PDIR/seq.jsonl" "$PDIR/j.jsonl" \
+    || { echo "check.sh: parallel-trials journal differs from sequential" >&2; exit 1; }
+cmp -s "$PDIR/seq.txt" "$PDIR/par.txt" \
+    || { echo "check.sh: parallel-trials figure output differs from sequential" >&2; exit 1; }
+rm -rf "$PDIR"
+echo "check.sh: parallel-trials byte-identity OK"
+
 # --- checkpoint/resume smoke test: seed a journal, kill a campaign, resume ---
 if [ "${HBC_CHECK_SKIP_RESUME:-0}" = "1" ]; then
     echo "check.sh: skipping kill-and-resume test (HBC_CHECK_SKIP_RESUME=1)"

@@ -44,13 +44,13 @@ let micro_perfect_hash () =
 
 let micro_adaptive_chunking () =
   Probe.run ~name:"micro/adaptive-chunking" (fun ctx ->
-      let ac = Hbc_core.Adaptive_chunking.create ~target_polls:8 ~window:4 () in
+      let ac = Sched.Adaptive_chunking.create ~target_polls:8 ~window:4 () in
       let beats = 2048 in
       for _ = 1 to beats do
         for _ = 1 to 8 do
-          Hbc_core.Adaptive_chunking.on_poll ac
+          Sched.Adaptive_chunking.on_poll ac
         done;
-        ignore (Hbc_core.Adaptive_chunking.on_heartbeat ac)
+        ignore (Sched.Adaptive_chunking.on_heartbeat ac)
       done;
       Probe.deti ctx "beats" beats)
 
@@ -227,6 +227,52 @@ let macro () =
     omp_probe ~name:"macro/fig16/srad-omp-static" ~schedule:Baselines.Openmp.Static "srad";
   ]
 
+(* --------------------------- P-sweep probes ----------------------- *)
+
+(* Datacenter-scale event-engine scaling gate. Each probe drives a pure
+   engine workload at P simulated cores and a fixed per-worker iteration
+   count: every worker advances by a mixed schedule of cost-model-sized
+   steps (50..1073 cycles — the poll/steal/promotion cost range), a
+   recurring heartbeat-interval timer fires throughout, and one
+   far-future callback parks in the calendar queue's overflow bucket.
+   Unlike the executor macros this path has no effect-handler executor
+   fibers, only engine fibers, which allocate deterministically — so
+   alloc words gate det here, and a per-event allocation regression in
+   the queue fails CI at any P. Events dispatched, work cycles, and
+   makespan pin the dispatch behavior itself: a scheduling change that
+   alters event counts at P=256 but not P=16 is a scaling regression
+   this sweep exists to catch. *)
+let p_sweep_iters = 1024
+
+let p_sweep_probe p =
+  Probe.run ~name:(Printf.sprintf "macro/p-sweep/engine-p%d" p) (fun ctx ->
+      let eng = Sim.Engine.create ~seed ~num_workers:p () in
+      let ticks = ref 0 in
+      let cancel =
+        Sim.Engine.every eng ~start:30_000 ~interval:30_000 (fun () -> incr ticks)
+      in
+      (* Beyond the wheel horizon: exercises the sorted overflow lane. *)
+      Sim.Engine.schedule_at eng ~time:1_000_000_000 (fun () -> ());
+      let work = ref 0 in
+      Sim.Engine.run eng (fun w ->
+          for i = 1 to p_sweep_iters do
+            let c = 50 + ((i * ((w land 7) + 7)) land 1023) in
+            work := !work + c;
+            Sim.Engine.advance eng c
+          done);
+      cancel ();
+      Probe.deti ctx "events_dispatched" (Sim.Engine.events_processed eng);
+      Probe.deti ctx "work_cycles" !work;
+      Probe.deti ctx "makespan_cycles" (Sim.Engine.max_time eng);
+      Probe.deti ctx "timer_ticks" !ticks)
+
+let p_sweep () = List.map p_sweep_probe [ 16; 64; 256 ]
+
+(* The nightly-profile sweep: P=1024 is minutes of fiber setup on CI
+   runners, so it runs from the workflow_dispatch nightly profile and
+   never gates PRs. *)
+let nightly () = [ p_sweep_probe 1024 ]
+
 (* --------------------------- serve probes ------------------------- *)
 
 (* Multi-tenant serving: tail latency and goodput are deterministic
@@ -342,9 +388,9 @@ let serve_preempt () =
 
 let serve () = [ serve_steady (); serve_overload (); serve_preempt () ]
 
-let all () = micro () @ macro () @ serve ()
+let all () = micro () @ macro () @ p_sweep () @ serve ()
 
-let report ?(notes = []) ~label () =
+let report ?(notes = []) ?probes ~label () =
   let provenance =
     [
       ("suite_scale", Printf.sprintf "%.3f" tiny_scale);
@@ -352,4 +398,5 @@ let report ?(notes = []) ~label () =
       ("suite_seed", string_of_int seed);
     ]
   in
-  Report.make ~notes:(notes @ provenance) ~label (all ())
+  let probes = match probes with Some ps -> ps | None -> all () in
+  Report.make ~notes:(notes @ provenance) ~label probes

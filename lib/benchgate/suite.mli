@@ -19,8 +19,25 @@ val micro : unit -> Report.probe list
 
 val macro : unit -> Report.probe list
 
-val all : unit -> Report.probe list
-(** [micro () @ macro ()]. *)
+val p_sweep : unit -> Report.probe list
+(** The event-engine scaling gate: a fixed-iteration synthetic engine
+    workload at P ∈ {16, 64, 256} simulated cores. Events dispatched,
+    work cycles, makespan, and (engine fibers being deterministic
+    allocators) alloc words all gate det, so P-scaling regressions fail
+    CI like alloc regressions do. *)
 
-val report : ?notes:(string * string) list -> label:string -> unit -> Report.t
-(** Run the full suite; scale/workers provenance is merged into [notes]. *)
+val nightly : unit -> Report.probe list
+(** The P=1024 sweep point. Run from the CI nightly profile only; never
+    part of {!all}, never gates PRs. *)
+
+val serve : unit -> Report.probe list
+
+val all : unit -> Report.probe list
+(** [micro () @ macro () @ p_sweep () @ serve ()]. *)
+
+val report :
+  ?notes:(string * string) list -> ?probes:Report.probe list -> label:string -> unit -> Report.t
+(** Build a report from [probes] (default: the full {!all} suite);
+    scale/workers provenance is merged into [notes]. Pass an explicit
+    probe list to emit a partial-suite report (CI's split micro/macro
+    steps, the nightly sweep). *)

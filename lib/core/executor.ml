@@ -46,7 +46,7 @@ type run_state = {
   inj : Sim.Fault_injector.t;
   sb : Sim_backend.t;  (* the simulator as a scheduler backend (deques, RNG) *)
   sc : S.t;  (* the shared policy core instantiated over [sb] *)
-  ac : (int * int * int, Adaptive_chunking.t) Hashtbl.t;
+  ac : (int * int * int, Sched.Adaptive_chunking.t) Hashtbl.t;
   bus : Sim.Membus.t;
   mutable exec_epoch : int;  (* bumped per exec_nest call, part of slice keys *)
   live_slices : live_slice list array option;
@@ -113,7 +113,7 @@ let ac_for st ~worker ~nest_id ~ord =
   | Some a -> a
   | None ->
       let a =
-        Adaptive_chunking.create ~target_polls:st.cfg.Rt_config.ac_target_polls
+        Sched.Adaptive_chunking.create ~target_polls:st.cfg.Rt_config.ac_target_polls
           ~window:st.cfg.Rt_config.ac_window ()
       in
       Hashtbl.add st.ac key a;
@@ -263,22 +263,22 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
     | Some a when st.capture -> (
         (* Capturing runs pay for the full decision record so the sanitizer
            can replay the update rule; plain runs take the alloc-free path. *)
-        match Adaptive_chunking.on_heartbeat_full a with
+        match Sched.Adaptive_chunking.on_heartbeat_full a with
         | Some d ->
             emit st
               (Obs.Trace.Chunk_update
-                 { key = ctxs.(c.nest.Compiled.root).Ir.Ctx.lo; chunk = d.Adaptive_chunking.new_chunk });
+                 { key = ctxs.(c.nest.Compiled.root).Ir.Ctx.lo; chunk = d.Sched.Adaptive_chunking.new_chunk });
             emit st
               (Obs.Trace.Chunk_decision
                  {
                    key = slice_key c ctxs ord;
-                   old_chunk = d.Adaptive_chunking.old_chunk;
-                   min_polls = d.Adaptive_chunking.min_polls;
-                   chunk = d.Adaptive_chunking.new_chunk;
+                   old_chunk = d.Sched.Adaptive_chunking.old_chunk;
+                   min_polls = d.Sched.Adaptive_chunking.min_polls;
+                   chunk = d.Sched.Adaptive_chunking.new_chunk;
                  })
         | None -> ())
     | Some a -> (
-        match Adaptive_chunking.on_heartbeat a with
+        match Sched.Adaptive_chunking.on_heartbeat a with
         | Some chunk ->
             emit st
               (Obs.Trace.Chunk_update
@@ -301,7 +301,7 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
         let poll = Heartbeat.poll_cost st.hb ~worker:w in
         advance_mixed st ~work:!acc ~bytes:!acc_bytes
           [ ("poll", poll); ("promotion-branch", costs.Sim.Cost_model.promotion_branch_cost) ];
-        (match ac with Some a -> Adaptive_chunking.on_poll a | None -> ());
+        (match ac with Some a -> Sched.Adaptive_chunking.on_poll a | None -> ());
         let beat =
           Heartbeat.consume st.hb ~worker:w ~count_poll:true
           || st.cfg.Rt_config.force_promotion
@@ -316,7 +316,7 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
         let s =
           match info.Compiled.chunk with
           | Compiled.Static s -> s
-          | Compiled.Adaptive -> Adaptive_chunking.chunk_size (Option.get ac)
+          | Compiled.Adaptive -> Sched.Adaptive_chunking.chunk_size (Option.get ac)
           | Compiled.No_chunking -> 1
         in
         if ts.residual.(ord) <= 0 then ts.residual.(ord) <- s;
@@ -343,7 +343,7 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
               ("poll", poll);
               ("promotion-branch", costs.Sim.Cost_model.promotion_branch_cost);
             ];
-          (match ac with Some a -> Adaptive_chunking.on_poll a | None -> ());
+          (match ac with Some a -> Sched.Adaptive_chunking.on_poll a | None -> ());
           let beat =
             let b = Heartbeat.consume st.hb ~worker:w ~count_poll:true in
             b || st.cfg.Rt_config.force_promotion

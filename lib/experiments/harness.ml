@@ -40,6 +40,40 @@ let failures : (string * string) list ref = ref []
    journaled as failed) are skipped and reported, never re-run. *)
 let quarantine : (string, string * Trial_error.t) Hashtbl.t = Hashtbl.create 16
 
+(* Domains-parallel campaigns run in two phases. The warm phase renders
+   figures concurrently across domains with the journal OFF and every
+   computed result parked in [warm] (mutex-guarded; trial simulations are
+   deterministic, so a racy duplicate compute stores the same value). The
+   replay phase then re-renders sequentially; a trial that finds its key
+   in [warm] journals and caches the parked result exactly as a fresh
+   compute would — so the journal, figure text, and quarantine are
+   byte-identical to a sequential campaign's. *)
+let warm : (string, Sim.Run_result.t) Hashtbl.t = Hashtbl.create 64
+
+let warm_mutex = Mutex.create ()
+
+let warming = Atomic.make false
+
+let begin_warm () =
+  Hashtbl.reset warm;
+  Atomic.set warming true
+
+(* Warm-phase bookkeeping (cache, quarantine, validation failures) is
+   discarded: it was filled in nondeterministic domain order, and the
+   sequential replay rebuilds all of it in the canonical order. *)
+let end_warm () =
+  Atomic.set warming false;
+  Hashtbl.reset cache;
+  Hashtbl.reset quarantine;
+  failures := []
+
+let warm_results () = Hashtbl.length warm
+
+let add_failure entry_tag =
+  Mutex.lock warm_mutex;
+  failures := entry_tag :: !failures;
+  Mutex.unlock warm_mutex
+
 let journal_ref : Checkpoint.t option ref = ref None
 
 let set_journal j = journal_ref := j
@@ -122,9 +156,49 @@ let classify_run (r : Sim.Run_result.t) =
 let attempt_once compute =
   match compute () with r -> classify_run r | exception e -> Error (Trial_error.of_exn e)
 
+(* Bounded retry with exponential backoff for transient failures;
+   deterministic failures (timeout, deadlock, invariant, mismatch) fail
+   fast. *)
+let attempt_retries config label compute =
+  let rec attempt n =
+    match attempt_once compute with
+    | Ok r -> Ok r
+    | Error e when Trial_error.transient e && n < config.max_retries ->
+        if config.retry_backoff > 0.0 then
+          Unix.sleepf (config.retry_backoff *. Float.of_int (1 lsl n));
+        if config.verbose then
+          Printf.eprintf "[retry %d/%d] %s: %s\n%!" (n + 1) config.max_retries label
+            (Trial_error.to_string e);
+        attempt (n + 1)
+    | Error e -> Error e
+  in
+  attempt 0
+
+(* Warm phase: domains race only on [warm]; the journal, cache, and
+   quarantine are untouched, so the replay phase starts from pristine
+   state. Errors are not parked — the replay recomputes them (the
+   simulation is deterministic) and quarantines in canonical order. *)
+let warm_trial config ~key ~label compute =
+  Mutex.lock warm_mutex;
+  let hit = Hashtbl.find_opt warm key in
+  Mutex.unlock warm_mutex;
+  match hit with
+  | Some r -> Ok r
+  | None -> (
+      if config.verbose then Printf.eprintf "[warm] %s\n%!" label;
+      match attempt_retries config label compute with
+      | Ok r ->
+          Mutex.lock warm_mutex;
+          Hashtbl.replace warm key r;
+          Mutex.unlock warm_mutex;
+          Ok r
+      | Error e -> Error e)
+
 let trial config ~bench ~tag ~signature compute =
   let key = trial_key config ~bench ~tag ~signature in
   let label = bench ^ "/" ^ tag in
+  if Atomic.get warming then warm_trial config ~key ~label compute
+  else
   match Hashtbl.find_opt cache key with
   | Some r -> Ok r
   | None -> (
@@ -159,23 +233,19 @@ let trial config ~bench ~tag ~signature compute =
               Hashtbl.replace quarantine key (label, e);
               Error e
           | None -> (
-              if config.verbose then Printf.eprintf "[run] %s\n%!" label;
-              (* Bounded retry with exponential backoff for transient
-                 failures; deterministic failures (timeout, deadlock,
-                 invariant, mismatch) fail fast. *)
-              let rec attempt n =
-                match attempt_once compute with
-                | Ok r -> Ok r
-                | Error e when Trial_error.transient e && n < config.max_retries ->
-                    if config.retry_backoff > 0.0 then
-                      Unix.sleepf (config.retry_backoff *. Float.of_int (1 lsl n));
-                    if config.verbose then
-                      Printf.eprintf "[retry %d/%d] %s: %s\n%!" (n + 1) config.max_retries label
-                        (Trial_error.to_string e);
-                    attempt (n + 1)
-                | Error e -> Error e
+              (* Warm results journal and cache exactly as a fresh compute
+                 would, so a parallel campaign's journal matches the
+                 sequential one byte for byte. *)
+              let computed =
+                match Hashtbl.find_opt warm key with
+                | Some r ->
+                    if config.verbose then Printf.eprintf "[replay] %s\n%!" label;
+                    Ok r
+                | None ->
+                    if config.verbose then Printf.eprintf "[run] %s\n%!" label;
+                    attempt_retries config label compute
               in
-              match attempt 0 with
+              match computed with
               | Ok r ->
                   Hashtbl.replace cache key r;
                   record (Checkpoint.Completed r);
@@ -224,7 +294,7 @@ let outcome_of config entry tag result =
         || (not (Sim.Run_result.completed result))
         || Sim.Run_result.fingerprints_close base result
       in
-      if not valid then failures := (entry.Workloads.Registry.name, tag) :: !failures;
+      if not valid then add_failure (entry.Workloads.Registry.name, tag);
       let error =
         if valid then None
         else

@@ -125,3 +125,20 @@ val geomean_row : label:string -> outcome list list -> string list
 val clear_cache : unit -> unit
 (** Reset the in-memory cache, quarantine, and validation failures (the
     journal, if any, is untouched). *)
+
+val begin_warm : unit -> unit
+(** Enter the warm phase of a domains-parallel campaign: until
+    {!end_warm}, every trial computes (or reuses) its result in a
+    mutex-guarded warm table shared across domains, touching neither the
+    journal nor the sequential cache/quarantine state. *)
+
+val end_warm : unit -> unit
+(** Leave the warm phase and discard warm-phase bookkeeping (cache,
+    quarantine, validation failures — all filled in nondeterministic
+    domain order). The warm table itself is kept: the sequential replay
+    pass that follows journals and caches each warm result exactly as a
+    fresh compute would, making the campaign's journal and figure output
+    byte-identical to a sequential run's. *)
+
+val warm_results : unit -> int
+(** Number of results parked in the warm table (introspection). *)

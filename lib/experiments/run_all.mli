@@ -18,3 +18,11 @@ val campaign_summary : unit -> string
 val render_all : Harness.config -> string
 (** Render every figure (each guarded against aborts) followed by the
     campaign summary. *)
+
+val render_all_parallel : Harness.config -> domains:int -> string
+(** Like {!render_all}, but trial simulations are computed concurrently
+    across [domains] OCaml domains (figure-granular work stealing) in a
+    warm phase, then replayed sequentially. Output — figure text,
+    journal, quarantine, summary — is byte-identical to {!render_all}
+    for the same configuration; only wall-clock time changes.
+    [domains <= 1] is exactly {!render_all}. *)

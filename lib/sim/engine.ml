@@ -1,112 +1,39 @@
-type event =
-  | Resume of (unit, unit) Effect.Deep.continuation * int
-  | Callback of (unit -> unit)
-
 exception Deadlock of string
 
 exception Budget_exceeded of { budget : int; time : int }
 
 exception Guard_stop of string
 
-(* Binary min-heap on (time, seq); seq breaks ties FIFO for determinism.
+(* Events live in the calendar queue (Event_queue) as unboxed ints: an
+   event is (time, seq, code), where the code identifies the payload in
+   an engine-side table. Codes [0, nworkers) are worker resumes — a
+   worker has at most one outstanding continuation (it is either
+   running, parked, or waiting on exactly one queued resume), so the
+   continuation lives in a per-worker slot and pushing a resume writes
+   three flat ints plus one slot store. Codes >= nworkers are timed
+   callbacks; the closure lives in a free-listed slot table. Neither
+   path allocates on push or pop, so steady-state scheduling costs no
+   minor words beyond closures the caller already made. *)
 
-   Stored as parallel arrays rather than an array of entry records: the
-   dispatch loop is the hottest path in the simulator, and the record
-   representation cost one 4-word allocation per push plus a 2-word
-   [Some] per pop. With parallel arrays both are gone — [push] writes
-   three flat slots ([times]/[seqs] are unboxed int arrays) and the
-   caller reads the top in place with [top_time]/[top_ev] before
-   [drop]ping it, so steady-state scheduling allocates nothing beyond
-   the event payload itself. *)
-module Heap = struct
-  type t = {
-    mutable times : int array;
-    mutable seqs : int array;
-    mutable evs : event array;
-    mutable size : int;
-  }
+(* A continuation slot's empty state. Never resumed: slots are read only
+   for codes the queue handed back, and each push fills the slot first.
+   An immediate is a valid member of any boxed array, so this is safe
+   for the GC; it is just never a valid continuation. *)
+let dummy_k : (unit, unit) Effect.Deep.continuation = Obj.magic 0
 
-  let dummy_ev = Callback ignore
-
-  let create () =
-    {
-      times = Array.make 64 0;
-      seqs = Array.make 64 0;
-      evs = Array.make 64 dummy_ev;
-      size = 0;
-    }
-
-  let less h i j =
-    h.times.(i) < h.times.(j) || (h.times.(i) = h.times.(j) && h.seqs.(i) < h.seqs.(j))
-
-  let swap h i j =
-    let t = h.times.(i) and s = h.seqs.(i) and e = h.evs.(i) in
-    h.times.(i) <- h.times.(j);
-    h.seqs.(i) <- h.seqs.(j);
-    h.evs.(i) <- h.evs.(j);
-    h.times.(j) <- t;
-    h.seqs.(j) <- s;
-    h.evs.(j) <- e
-
-  let push h ~time ~seq ev =
-    if h.size = Array.length h.times then begin
-      let cap = 2 * h.size in
-      let times = Array.make cap 0 and seqs = Array.make cap 0 and evs = Array.make cap dummy_ev in
-      Array.blit h.times 0 times 0 h.size;
-      Array.blit h.seqs 0 seqs 0 h.size;
-      Array.blit h.evs 0 evs 0 h.size;
-      h.times <- times;
-      h.seqs <- seqs;
-      h.evs <- evs
-    end;
-    let i = ref h.size in
-    h.size <- h.size + 1;
-    h.times.(!i) <- time;
-    h.seqs.(!i) <- seq;
-    h.evs.(!i) <- ev;
-    let continue = ref true in
-    while !continue && !i > 0 do
-      let parent = (!i - 1) / 2 in
-      if less h !i parent then begin
-        swap h !i parent;
-        i := parent
-      end
-      else continue := false
-    done
-
-  let is_empty h = h.size = 0
-
-  (* Valid only when not empty; callers check [is_empty] first. *)
-  let top_time h = h.times.(0)
-  let top_ev h = h.evs.(0)
-
-  let drop h =
-    h.size <- h.size - 1;
-    h.times.(0) <- h.times.(h.size);
-    h.seqs.(0) <- h.seqs.(h.size);
-    h.evs.(0) <- h.evs.(h.size);
-    h.evs.(h.size) <- dummy_ev (* don't retain popped continuations *);
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < h.size && less h l !smallest then smallest := l;
-      if r < h.size && less h r !smallest then smallest := r;
-      if !smallest <> !i then begin
-        swap h !smallest !i;
-        i := !smallest
-      end
-      else continue := false
-    done
-end
+let dummy_cb : unit -> unit = ignore
 
 type t = {
   nworkers : int;
   clocks : int array;
   parked : (unit, unit) Effect.Deep.continuation option array;
   finished : bool array;
-  heap : Heap.t;
+  q : Event_queue.t;
+  resume_ks : (unit, unit) Effect.Deep.continuation array;  (* valid iff a resume is queued *)
+  mutable cbs : (unit -> unit) array;  (* callback slots, indexed by code - nworkers *)
+  mutable cb_hwm : int;  (* callback slots ever allocated *)
+  mutable cb_free : int array;  (* freelist stack of callback slots *)
+  mutable cb_free_len : int;
   mutable seq : int;
   mutable dispatched : int;
   mutable live : int;
@@ -132,7 +59,12 @@ let create ?(seed = 42) ~num_workers () =
     clocks = Array.make num_workers 0;
     parked = Array.make num_workers None;
     finished = Array.make num_workers false;
-    heap = Heap.create ();
+    q = Event_queue.create ();
+    resume_ks = Array.make num_workers dummy_k;
+    cbs = Array.make 16 dummy_cb;
+    cb_hwm = 0;
+    cb_free = Array.make 16 0;
+    cb_free_len = 0;
     seq = 0;
     dispatched = 0;
     live = 0;
@@ -210,10 +142,52 @@ let now t = if t.current >= 0 then t.clocks.(t.current) else t.engine_time
 
 let clock_of t w = t.clocks.(w)
 
-let push_event t time ev =
-  (match ev with Resume _ -> t.pending_resumes <- t.pending_resumes + 1 | Callback _ -> ());
-  Heap.push t.heap ~time ~seq:t.seq ev;
+let push_resume t ~time w k =
+  t.resume_ks.(w) <- k;
+  t.pending_resumes <- t.pending_resumes + 1;
+  Event_queue.push t.q ~time ~seq:t.seq ~code:w;
   t.seq <- t.seq + 1
+
+let cb_slot t =
+  if t.cb_free_len > 0 then begin
+    t.cb_free_len <- t.cb_free_len - 1;
+    t.cb_free.(t.cb_free_len)
+  end
+  else begin
+    if t.cb_hwm = Array.length t.cbs then begin
+      let cap = 2 * t.cb_hwm in
+      let cbs = Array.make cap dummy_cb in
+      Array.blit t.cbs 0 cbs 0 t.cb_hwm;
+      t.cbs <- cbs;
+      let free = Array.make cap 0 in
+      Array.blit t.cb_free 0 free 0 t.cb_free_len;
+      t.cb_free <- free
+    end;
+    let slot = t.cb_hwm in
+    t.cb_hwm <- slot + 1;
+    slot
+  end
+
+let push_callback t ~time f =
+  let slot = cb_slot t in
+  t.cbs.(slot) <- f;
+  Event_queue.push t.q ~time ~seq:t.seq ~code:(t.nworkers + slot);
+  t.seq <- t.seq + 1
+
+(* Take the payload of the queue's top event out of its slot. Callers
+   drop the queue entry themselves. *)
+let take_callback t code =
+  let slot = code - t.nworkers in
+  let f = t.cbs.(slot) in
+  t.cbs.(slot) <- dummy_cb (* don't retain fired closures *);
+  t.cb_free.(t.cb_free_len) <- slot;
+  t.cb_free_len <- t.cb_free_len + 1;
+  f
+
+let take_resume t w =
+  let k = t.resume_ks.(w) in
+  t.resume_ks.(w) <- dummy_k (* don't retain resumed continuations *);
+  k
 
 let advance t c =
   assert (t.current >= 0);
@@ -232,18 +206,18 @@ let unpark t w =
   | Some k ->
       t.parked.(w) <- None;
       t.clocks.(w) <- Stdlib.max t.clocks.(w) (now t);
-      push_event t t.clocks.(w) (Resume (k, w))
+      push_resume t ~time:t.clocks.(w) w k
 
 let unpark_all t =
   for w = 0 to t.nworkers - 1 do
     unpark t w
   done
 
-let schedule_at t ~time f = push_event t time (Callback f)
+let schedule_at t ~time f = push_callback t ~time f
 
 (* One [tick] closure is allocated per timer, not per firing: rearming
    pushes the same closure again with a bumped [next], so a recurring
-   timer costs only the Callback cell per tick on the hot path. *)
+   timer costs only its free-listed slot on the hot path. *)
 let every t ~start ~interval f =
   let alive = ref true in
   let next = ref start in
@@ -275,7 +249,7 @@ let start_worker t w main =
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   t.clocks.(w) <- t.clocks.(w) + c;
-                  push_event t t.clocks.(w) (Resume (k, w)))
+                  push_resume t ~time:t.clocks.(w) w k)
           | Park -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> t.parked.(w) <- Some k)
           | _ -> None);
     }
@@ -289,7 +263,7 @@ let run_loop t =
   let must_pause () =
     match t.pause_at with
     | None -> false
-    | Some p -> (not (Heap.is_empty t.heap)) && Heap.top_time t.heap >= p
+    | Some p -> (not (Event_queue.is_empty t.q)) && Event_queue.top_time t.q >= p
   in
   let rec loop () =
     if t.live > 0 then begin
@@ -297,39 +271,42 @@ let run_loop t =
       else if t.pending_resumes = 0 then begin
         (* Only callbacks remain. If every live worker is parked, no callback
            body can produce progress by itself unless it unparks someone, so
-           run callbacks until one does or the heap drains. *)
+           run callbacks until one does or the queue drains. *)
         incr starved;
         if !starved > 100_000 then
           deadlock t "workers parked; callbacks firing without waking anyone";
-        if Heap.is_empty t.heap then deadlock t "live workers parked and event queue empty";
-        let time = Heap.top_time t.heap in
-        (match Heap.top_ev t.heap with
-        | Callback f ->
-            Heap.drop t.heap;
-            check_watchdogs t time;
-            t.current <- -1;
-            t.engine_time <- time;
-            f ()
-        | Resume _ -> assert false);
+        if Event_queue.is_empty t.q then deadlock t "live workers parked and event queue empty";
+        let time = Event_queue.top_time t.q in
+        let code = Event_queue.top_code t.q in
+        assert (code >= t.nworkers);
+        let f = take_callback t code in
+        Event_queue.drop t.q;
+        check_watchdogs t time;
+        t.current <- -1;
+        t.engine_time <- time;
+        f ();
         loop ()
       end
       else begin
         starved := 0;
-        if Heap.is_empty t.heap then deadlock t "pending resumes not in heap";
-        let time = Heap.top_time t.heap in
-        let ev = Heap.top_ev t.heap in
-        Heap.drop t.heap;
+        if Event_queue.is_empty t.q then deadlock t "pending resumes not in queue";
+        let time = Event_queue.top_time t.q in
+        let code = Event_queue.top_code t.q in
+        Event_queue.drop t.q;
         check_watchdogs t time;
-        (match ev with
-        | Resume (k, w) ->
-            t.pending_resumes <- t.pending_resumes - 1;
-            t.current <- w;
-            t.engine_time <- time;
-            Effect.Deep.continue k ()
-        | Callback f ->
-            t.current <- -1;
-            t.engine_time <- time;
-            f ());
+        if code < t.nworkers then begin
+          let k = take_resume t code in
+          t.pending_resumes <- t.pending_resumes - 1;
+          t.current <- code;
+          t.engine_time <- time;
+          Effect.Deep.continue k ()
+        end
+        else begin
+          let f = take_callback t code in
+          t.current <- -1;
+          t.engine_time <- time;
+          f ()
+        end;
         loop ()
       end
     end
@@ -340,7 +317,7 @@ let run_loop t =
 let run t main =
   t.live <- t.nworkers;
   for w = 0 to t.nworkers - 1 do
-    push_event t 0 (Callback (fun () -> start_worker t w main))
+    push_callback t ~time:0 (fun () -> start_worker t w main)
   done;
   run_loop t
 

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "hbc"
     [
       ("sim", Test_sim.suite);
+      ("event_queue", Test_event_queue.suite);
       ("ir", Test_ir.suite);
       ("compiler", Test_compiler.suite);
       ("linker", Test_linker.suite);

@@ -9,43 +9,43 @@ let check_bool = Alcotest.(check bool)
 (* ------------------------ adaptive chunking ----------------------- *)
 
 let ac_initial () =
-  let ac = Hbc_core.Adaptive_chunking.create ~target_polls:8 ~window:4 () in
-  check_int "starts at 1" 1 (Hbc_core.Adaptive_chunking.chunk_size ac)
+  let ac = Sched.Adaptive_chunking.create ~target_polls:8 ~window:4 () in
+  check_int "starts at 1" 1 (Sched.Adaptive_chunking.chunk_size ac)
 
 let ac_grows_when_polling_too_much () =
-  let ac = Hbc_core.Adaptive_chunking.create ~target_polls:8 ~window:2 () in
+  let ac = Sched.Adaptive_chunking.create ~target_polls:8 ~window:2 () in
   for _ = 1 to 80 do
-    Hbc_core.Adaptive_chunking.on_poll ac
+    Sched.Adaptive_chunking.on_poll ac
   done;
-  Alcotest.(check (option int)) "window open" None (Hbc_core.Adaptive_chunking.on_heartbeat ac);
+  Alcotest.(check (option int)) "window open" None (Sched.Adaptive_chunking.on_heartbeat ac);
   for _ = 1 to 96 do
-    Hbc_core.Adaptive_chunking.on_poll ac
+    Sched.Adaptive_chunking.on_poll ac
   done;
   (* min(80, 96) / 8 = 10 -> chunk 1 * 10 *)
-  Alcotest.(check (option int)) "rescaled" (Some 10) (Hbc_core.Adaptive_chunking.on_heartbeat ac)
+  Alcotest.(check (option int)) "rescaled" (Some 10) (Sched.Adaptive_chunking.on_heartbeat ac)
 
 let ac_shrinks_when_polling_too_little () =
-  let ac = Hbc_core.Adaptive_chunking.create ~initial_chunk:100 ~target_polls:8 ~window:1 () in
+  let ac = Sched.Adaptive_chunking.create ~initial_chunk:100 ~target_polls:8 ~window:1 () in
   for _ = 1 to 2 do
-    Hbc_core.Adaptive_chunking.on_poll ac
+    Sched.Adaptive_chunking.on_poll ac
   done;
   (* 2/8 * 100 = 25 *)
-  Alcotest.(check (option int)) "shrunk" (Some 25) (Hbc_core.Adaptive_chunking.on_heartbeat ac)
+  Alcotest.(check (option int)) "shrunk" (Some 25) (Sched.Adaptive_chunking.on_heartbeat ac)
 
 let ac_never_below_one () =
-  let ac = Hbc_core.Adaptive_chunking.create ~initial_chunk:2 ~target_polls:8 ~window:1 () in
-  ignore (Hbc_core.Adaptive_chunking.on_heartbeat ac);
-  check_int "floor" 1 (Hbc_core.Adaptive_chunking.chunk_size ac)
+  let ac = Sched.Adaptive_chunking.create ~initial_chunk:2 ~target_polls:8 ~window:1 () in
+  ignore (Sched.Adaptive_chunking.on_heartbeat ac);
+  check_int "floor" 1 (Sched.Adaptive_chunking.chunk_size ac)
 
 let ac_rejects_bad_params () =
   check_bool "target" true
     (try
-       ignore (Hbc_core.Adaptive_chunking.create ~target_polls:0 ~window:1 ());
+       ignore (Sched.Adaptive_chunking.create ~target_polls:0 ~window:1 ());
        false
      with Invalid_argument _ -> true);
   check_bool "window" true
     (try
-       ignore (Hbc_core.Adaptive_chunking.create ~target_polls:1 ~window:0 ());
+       ignore (Sched.Adaptive_chunking.create ~target_polls:1 ~window:0 ());
        false
      with Invalid_argument _ -> true)
 
@@ -53,15 +53,15 @@ let ac_invariants =
   QCheck.Test.make ~name:"AC chunk always >= 1 and window resets" ~count:300
     QCheck.(triple (int_range 1 20) (int_range 1 6) (list (int_range 0 200)))
     (fun (target, window, beats) ->
-      let ac = Hbc_core.Adaptive_chunking.create ~target_polls:target ~window () in
+      let ac = Sched.Adaptive_chunking.create ~target_polls:target ~window () in
       List.for_all
         (fun polls ->
           for _ = 1 to polls do
-            Hbc_core.Adaptive_chunking.on_poll ac
+            Sched.Adaptive_chunking.on_poll ac
           done;
-          ignore (Hbc_core.Adaptive_chunking.on_heartbeat ac);
-          Hbc_core.Adaptive_chunking.chunk_size ac >= 1
-          && Hbc_core.Adaptive_chunking.intervals_logged ac < window)
+          ignore (Sched.Adaptive_chunking.on_heartbeat ac);
+          Sched.Adaptive_chunking.chunk_size ac >= 1
+          && Sched.Adaptive_chunking.intervals_logged ac < window)
         beats)
 
 (* ------------------------- test programs -------------------------- *)
