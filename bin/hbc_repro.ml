@@ -160,11 +160,25 @@ let fault_plan_term =
     let doc = "Fault injection: per-task probability (0-1) of an OS-preemption stall." in
     Arg.(value & opt float 0.0 & info [ "fault-stall" ] ~docv:"P" ~doc)
   in
+  let wakeup =
+    let doc =
+      "Fault injection: probability (0-1) that a parked-worker wakeup signal is suppressed \
+       (domains backend; the monitor's bounded park timeout recovers it)."
+    in
+    Arg.(value & opt float 0.0 & info [ "fault-wakeup" ] ~docv:"P" ~doc)
+  in
+  let spolls =
+    let doc =
+      "Fault injection: stall window in polls for the domains backend (defaults to 64 when \
+       $(b,--fault-stall) is set; the cycle-counted window only exists in the simulator)."
+    in
+    Arg.(value & opt int 0 & info [ "fault-stall-polls" ] ~docv:"N" ~doc)
+  in
   let fseed =
     let doc = "Fault injection: seed of the fault schedule (defaults to the run seed)." in
     Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"SEED" ~doc)
   in
-  let make drop jitter steal stall fseed seed =
+  let make drop jitter steal stall wakeup spolls fseed seed =
     let plan =
       {
         Sim.Fault_plan.seed = Option.value fseed ~default:seed;
@@ -174,20 +188,23 @@ let fault_plan_term =
         steal_fail_burst = (if steal > 0.0 then 3 else 0);
         stall_prob = stall;
         stall_cycles = (if stall > 0.0 then 5_000 else 0);
+        stall_polls = (if spolls > 0 then spolls else if stall > 0.0 then 64 else 0);
+        delay_wakeup_prob = wakeup;
       }
     in
     if Sim.Fault_plan.is_zero plan then None else Some plan
   in
-  Term.(const make $ drop $ jitter $ steal $ stall $ fseed $ seed_arg)
+  Term.(const make $ drop $ jitter $ steal $ stall $ wakeup $ spolls $ fseed $ seed_arg)
 
 let run_cmd =
   let doc =
     "Run one benchmark under one executor and print its statistics. The $(b,--fault-*) options \
      inject a deterministic fault plan into the hbc executors (seed-reproducible; outputs still \
-     match the sequential reference). $(b,--trace) additionally captures every scheduler event \
-     and exports a Chrome trace_event / Perfetto JSON file. $(b,--pause-at) checkpoints the run \
-     cooperatively at a cycle boundary; $(b,--resume-from) continues it to a byte-identical \
-     final result."
+     match the sequential reference; on the domains backend the portable kinds also apply — \
+     see $(b,--beat)). $(b,--trace) additionally captures every scheduler event and exports a \
+     Chrome trace_event / Perfetto JSON file. $(b,--pause-at) checkpoints the run cooperatively \
+     at a boundary; $(b,--resume-from) continues it to a byte-identical final result (on \
+     domains: $(b,--beat polls:N) with one worker)."
   in
   let bench_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name.")
@@ -200,8 +217,9 @@ let run_cmd =
     let doc =
       "Scheduler backend: $(b,sim) (the virtual-time engine; the default) or $(b,domains) (real \
        OCaml 5 domains via the native runner — same policy core, wall-clock heartbeats). The \
-       domains backend supports the seq, hbc, and tpal executors; makespan is wall microseconds \
-       and fault injection / pause-resume are unavailable."
+       domains backend supports the seq, hbc, and tpal executors; makespan is wall microseconds. \
+       Portable fault kinds (drop/steal/stall-polls/wakeup) inject natively; pause/resume needs \
+       $(b,--beat polls:N) and one worker."
     in
     Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"BACKEND" ~doc)
   in
@@ -239,9 +257,36 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume-from" ] ~docv:"PATH" ~doc)
   in
+  let beat_arg =
+    let doc =
+      "Heartbeat source for $(b,--backend domains): $(b,wall:US) (interval timer, microseconds; \
+       the default is wall:100) or $(b,polls:N) (a deterministic beat every N leaf polls — \
+       reproducible schedules; required for native pause/resume)."
+    in
+    Arg.(value & opt (some string) None & info [ "beat" ] ~docv:"SRC" ~doc)
+  in
   let run config bench executor backend_s fault_plan trace_path sanitize pause_at ckpt_path
-      resume_path journal =
+      resume_path beat_s journal =
     with_journal journal @@ fun () ->
+    let beat =
+      Option.map
+        (fun spec ->
+          let fail () =
+            Printf.eprintf "run: --beat wants polls:N or wall:US, not %s\n" spec;
+            exit 1
+          in
+          match String.split_on_char ':' spec with
+          | [ "polls"; n ] -> (
+              match int_of_string_opt n with
+              | Some n when n > 0 -> Hb_parallel.Native_run.Every_polls n
+              | _ -> fail ())
+          | [ "wall"; us ] -> (
+              match float_of_string_opt us with
+              | Some us when us > 0.0 -> Hb_parallel.Native_run.Wall_us us
+              | _ -> fail ())
+          | _ -> fail ())
+        beat_s
+    in
     let backend =
       match Sched.Policy.backend_kind_of_string backend_s with
       | Ok b -> b
@@ -331,10 +376,6 @@ let run_cmd =
          reproducible measurements, and the harness's virtual-time stats do
          not apply. Validation is still against the simulated sequential
          reference — fingerprints are backend-independent. *)
-      if fault_plan <> None || pause_at <> None || resume_path <> None then begin
-        Printf.eprintf "run: --backend domains has no fault injection or pause/resume\n";
-        exit 2
-      end;
       let engine =
         match executor with
         | "seq" -> Sched_run.Serial
@@ -351,8 +392,7 @@ let run_cmd =
             exit 2
       in
       let (Ir.Program.Any p) = entry.Workloads.Registry.make config.Experiments.Harness.scale in
-      let r = Sched_run.run ~request ~backend engine p in
-      let valid = Sim.Run_result.fingerprints_close base r in
+      let r = Sched_run.run ~request ~backend ?beat engine p in
       Printf.printf "benchmark        : %s (%s on %s)\n" entry.Workloads.Registry.name executor
         backend_s;
       Printf.printf "baseline work    : %d cycles (simulated reference)\n"
@@ -361,10 +401,47 @@ let run_cmd =
         config.Experiments.Harness.workers;
       Printf.printf "body work        : %d cycles\n" r.Sim.Run_result.work_cycles;
       Printf.printf "promotions       : %d\n" r.Sim.Run_result.metrics.Sim.Metrics.promotions;
-      Printf.printf "output valid     : %b\n" valid;
+      (match fault_plan with
+      | None -> ()
+      | Some plan ->
+          let m = r.Sim.Run_result.metrics in
+          Printf.printf "fault plan       : %s\n" (Sim.Fault_plan.to_string plan);
+          Printf.printf
+            "faults injected  : %d (beats dropped %d; steals failed %d; stalls %d for %d polls; \
+             wakeups delayed %d)\n"
+            (Sim.Metrics.faults_injected m) m.Sim.Metrics.faults_beats_dropped
+            m.Sim.Metrics.faults_steals_failed m.Sim.Metrics.faults_stalls
+            m.Sim.Metrics.faults_stall_cycles m.Sim.Metrics.faults_wakeups_delayed;
+          Printf.printf "downgrades       : %d" (Sim.Metrics.downgrade_count m);
+          List.iter
+            (fun (w, t) -> Printf.printf " [worker %d at %d]" w t)
+            (Obs.Trace_query.downgrades r.Sim.Run_result.trace);
+          print_newline ());
       export_trace r;
-      finish_sanitizer r;
-      if not valid then exit 4
+      (match r.Sim.Run_result.termination with
+      | Sim.Run_result.Paused ck ->
+          let oc = open_out ckpt_path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (Sim.Checkpoint_state.to_string ck));
+          Printf.printf "paused           : %s\n" (Sim.Checkpoint_state.describe ck);
+          Printf.printf "checkpoint       : digest %s -> %s\n" (Sim.Checkpoint_state.digest ck)
+            ckpt_path;
+          Printf.printf "resume           : hbc_repro run %s -e %s --backend domains -w 1 %s \
+--resume-from %s\n"
+            bench executor
+            (match beat_s with Some b -> "--beat " ^ b | None -> "")
+            ckpt_path;
+          finish_sanitizer r
+      | Sim.Run_result.Guard_aborted reason ->
+          Printf.printf "aborted          : %s\n" reason;
+          finish_sanitizer r;
+          exit 4
+      | _ ->
+          let valid = Sim.Run_result.fingerprints_close base r in
+          Printf.printf "output valid     : %b\n" valid;
+          finish_sanitizer r;
+          if not valid then exit 4)
     end
     else begin
     let tag_of t =
@@ -521,7 +598,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ config_term $ bench_arg $ exec_arg $ backend_arg $ fault_plan_term $ trace_arg
-      $ sanitize_arg $ pause_arg $ ckpt_arg $ resume_arg $ journal_term)
+      $ sanitize_arg $ pause_arg $ ckpt_arg $ resume_arg $ beat_arg $ journal_term)
 
 let asm_cmd =
   let doc =
@@ -823,6 +900,15 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some string) None & info [ "force-fail" ] ~docv:"BUG" ~doc)
   in
+  let native_arg =
+    let doc =
+      "Fuzz the real domains backend: cases run on OCaml 5 domains under a deterministic \
+       $(b,polls:N) beat with backend-portable chaos plans (beat drops, steal refusals, \
+       poll-counted stalls, wakeup suppressions), sanitizer on, differentially checked against \
+       the sequential reference — chaos may change performance, never results."
+    in
+    Arg.(value & flag & info [ "native" ] ~doc)
+  in
   let serve_arg =
     let doc =
       "Fuzz whole multi-tenant workload mixes (N tenants x arrival process x fault plan) through \
@@ -865,6 +951,7 @@ let fuzz_cmd =
       ac_window = 8;
       plan = Sim.Fault_plan.none;
       bug = Some bug;
+      native_beat = None;
     }
   in
   let fail_and_shrink out c f =
@@ -913,7 +1000,7 @@ let fuzz_cmd =
     Printf.printf "fuzz --serve: %d mix(es) (+ kill-and-recover each), 0 failures (seed %d)\n"
       mixes fseed
   in
-  let run smoke fseed cases replay out force serve =
+  let run smoke fseed cases replay out force serve native =
     if serve then begin
       let fseed = if smoke then 2026 else fseed in
       let mixes = if smoke then 3 else cases in
@@ -971,10 +1058,11 @@ let fuzz_cmd =
                     exit 2))
         | None ->
             let fseed = if smoke then 2026 else fseed in
-            let cases = if smoke then 8 else cases in
+            let cases = if smoke then (if native then 6 else 8) else cases in
             let rng = Sim.Sim_rng.create fseed in
+            let gen = if native then Sanitizer.Fuzz.gen_native else Sanitizer.Fuzz.gen in
             for i = 1 to cases do
-              let c = Sanitizer.Fuzz.gen rng in
+              let c = gen rng in
               let o = Sanitizer.Fuzz.run_case c in
               (match o.Sanitizer.Fuzz.failure with
               | Some f -> fail_and_shrink out c f
@@ -989,7 +1077,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ smoke_arg $ fseed_arg $ cases_arg $ replay_arg $ out_arg $ force_arg
-      $ serve_arg)
+      $ serve_arg $ native_arg)
 
 let serve_cmd =
   let doc =
@@ -1170,6 +1258,7 @@ let serve_cmd =
           (if faulty then
              Some
                {
+                 Sim.Fault_plan.none with
                  Sim.Fault_plan.seed = seed + i;
                  beat_drop_prob = 0.3;
                  beat_jitter = 2_000;

@@ -49,6 +49,44 @@ echo "check.sh: sanitizer + fuzz smoke OK"
 "$REPRO" run spmv-powerlaw --scale 0.05 --backend domains -e hbc -w 2 --sanitize > /dev/null
 echo "check.sh: native domains smoke OK"
 
+# --- native chaos smoke test: portable fault kinds inject on real domains
+# (seed-deterministic decision streams), a dense stall plan must trip the
+# polling-downgrade watchdog, and the chaotic run must still produce the
+# sequential fingerprint (exit 4 on mismatch) with a clean sanitizer
+# verdict (exit 3) ---
+NC=$(mktemp "$TMP/hbc-nchaos.XXXXXX.txt")
+"$REPRO" run spmv-powerlaw --scale 0.05 --backend domains -e hbc -w 2 \
+    --beat polls:16 --sanitize \
+    --fault-drop 0.4 --fault-steal 0.5 --fault-stall 0.9 --fault-wakeup 0.5 > "$NC"
+grep -q "output valid     : true" "$NC" \
+    || { echo "check.sh: native chaos run not validated" >&2; exit 1; }
+grep -Eq "faults injected  : [1-9]" "$NC" \
+    || { echo "check.sh: native chaos run injected nothing" >&2; exit 1; }
+grep -Eq "downgrades       : [1-9]" "$NC" \
+    || { echo "check.sh: stall plan never tripped the watchdog" >&2; exit 1; }
+"$REPRO" fuzz --native --smoke > /dev/null
+rm -f "$NC"
+echo "check.sh: native chaos smoke OK"
+
+# --- native pause/resume smoke test: pause a single-worker domains run at
+# a deterministic poll-count boundary, resume from the checkpoint file, and
+# require the resumed report to match an uninterrupted run's (makespan is
+# wall-clock on this backend, so it is filtered from the comparison) ---
+NCK=$(mktemp "$TMP/hbc-nck.XXXXXX.json")
+NA=$(mktemp "$TMP/hbc-nrun.XXXXXX.txt"); NB=$(mktemp "$TMP/hbc-nrun.XXXXXX.txt")
+"$REPRO" run spmv-powerlaw --scale 0.05 --backend domains -e hbc -w 1 \
+    --beat polls:16 > "$NA"
+"$REPRO" run spmv-powerlaw --scale 0.05 --backend domains -e hbc -w 1 \
+    --beat polls:16 --pause-at 2000 --checkpoint "$NCK" > /dev/null
+[ -s "$NCK" ] || { echo "check.sh: native pause wrote no checkpoint" >&2; exit 1; }
+"$REPRO" run spmv-powerlaw --scale 0.05 --backend domains -e hbc -w 1 \
+    --beat polls:16 --resume-from "$NCK" > "$NB"
+grep -v makespan "$NA" > "$NA.f"; grep -v makespan "$NB" > "$NB.f"
+cmp -s "$NA.f" "$NB.f" \
+    || { echo "check.sh: native resumed run differs from uninterrupted" >&2; exit 1; }
+rm -f "$NCK" "$NA" "$NB" "$NA.f" "$NB.f"
+echo "check.sh: native pause/resume smoke OK"
+
 # --- serve smoke test: a mixed-tenant overload run with the sanitizer on
 # must hit the shed and deadline paths (exit 4 if either never fires, exit 3
 # on any job/budget-conservation violation); equal seeds must journal

@@ -148,6 +148,35 @@ let micro_domains_dispatch () =
       Probe.deti ctx "work_cycles" r.Sim.Run_result.work_cycles;
       Probe.adv ctx "makespan_wall_us" (Float.of_int r.Sim.Run_result.makespan))
 
+(* The chaos-era guarantee on the untraced native fast path: with no
+   injector attached and no sink enabled, the backend hooks the scheduler
+   hits per scheduling point — steal-veto check, wake probe, emission,
+   critical section, charge — are single loads/stores and must allocate
+   NOTHING. The loop's minor words are measured directly and gated as a
+   deterministic metric, so the baseline pins them at zero and any draw,
+   closure or boxing added to the hot path fails the gate. *)
+let micro_native_untraced_overhead () =
+  Probe.run ~name:"micro/native-untraced-overhead" (fun ctx ->
+      let b =
+        Hb_parallel.Domains_backend.create ~workers:1 ~trace:Obs.Trace.Sink.null ~capture:false
+      in
+      Hb_parallel.Domains_backend.register ~worker:0;
+      let rounds = 65536 in
+      let vetoes = ref 0 in
+      let w0 = Gc.minor_words () in
+      for _ = 1 to rounds do
+        if Hb_parallel.Domains_backend.steal_vetoed b then incr vetoes;
+        Hb_parallel.Domains_backend.wake_one b;
+        Hb_parallel.Domains_backend.emit b Obs.Trace.Mechanism_downgrade;
+        Hb_parallel.Domains_backend.critical b ignore;
+        Hb_parallel.Domains_backend.charge_push b;
+        Hb_parallel.Domains_backend.charge_steal_attempt b
+      done;
+      let hot_words = int_of_float (Gc.minor_words () -. w0) in
+      Probe.deti ctx "rounds" rounds;
+      Probe.deti ctx "vetoes" !vetoes;
+      Probe.deti ctx "hot_path_alloc_words" hot_words)
+
 let micro () =
   [
     micro_deque ();
@@ -158,6 +187,7 @@ let micro () =
     micro_engine_dispatch ();
     micro_checkpoint_capture ();
     micro_domains_dispatch ();
+    micro_native_untraced_overhead ();
   ]
 
 (* --------------------------- macro probes ------------------------- *)

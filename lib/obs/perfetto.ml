@@ -37,7 +37,7 @@ let event_to_json (r : record) =
         :: (match f with
            | Beat_delayed j -> [ ("cycles", Json.Int j) ]
            | Stall c -> [ ("cycles", Json.Int c) ]
-           | Beat_dropped | Steal_failed -> [])
+           | Beat_dropped | Steal_failed | Wakeup_delayed -> [])
       in
       [ instant ~name:(event_name r.event) ~ts:r.time ~tid args ]
   | _ -> [ instant ~name:(event_name r.event) ~ts:r.time ~tid [] ]

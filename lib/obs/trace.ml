@@ -3,6 +3,7 @@ type fault =
   | Beat_delayed of int
   | Steal_failed
   | Stall of int
+  | Wakeup_delayed
 
 type event =
   | Heartbeat_generated
@@ -216,6 +217,7 @@ let fault_tag = function
   | Beat_delayed _ -> "beat-delayed"
   | Steal_failed -> "steal-failed"
   | Stall _ -> "stall"
+  | Wakeup_delayed -> "wakeup-delayed"
 
 let record_to_json r =
   let base = [ Json.Int r.time; Json.Int r.worker ] in
@@ -237,7 +239,7 @@ let record_to_json r =
         :: (match f with
            | Beat_delayed j -> [ Json.Int j ]
            | Stall c -> [ Json.Int c ]
-           | Beat_dropped | Steal_failed -> [])
+           | Beat_dropped | Steal_failed | Wakeup_delayed -> [])
     | Mechanism_downgrade -> [ Json.Str "md" ]
     | Interval { t0; kind } -> [ Json.Str "iv"; Json.Int t0; Json.Str kind ]
     | Slice_enter { nest; ord; key; lo; hi } ->
@@ -298,6 +300,7 @@ let event_of_parts = function
       Some (Fault_injected (Beat_delayed j))
   | [ Json.Str "fi"; Json.Str "steal-failed" ] -> Some (Fault_injected Steal_failed)
   | [ Json.Str "fi"; Json.Str "stall"; Json.Int c ] -> Some (Fault_injected (Stall c))
+  | [ Json.Str "fi"; Json.Str "wakeup-delayed" ] -> Some (Fault_injected Wakeup_delayed)
   | [ Json.Str "md" ] -> Some Mechanism_downgrade
   | [ Json.Str "iv"; Json.Int t0; Json.Str kind ] -> Some (Interval { t0; kind })
   | [ Json.Str "se"; Json.Int nest; Json.Int ord; Json.Int key; Json.Int lo; Json.Int hi ] ->

@@ -26,7 +26,12 @@ type fault =
   | Beat_dropped  (** an injected heartbeat-delivery loss *)
   | Beat_delayed of int  (** injected delivery jitter, in cycles *)
   | Steal_failed  (** an injected steal-CAS loss *)
-  | Stall of int  (** an injected OS-preemption stall, in cycles *)
+  | Stall of int
+      (** an injected OS-preemption stall: cycles on the simulator,
+          counted polls on the domains backend *)
+  | Wakeup_delayed
+      (** an injected suppression of a parked-worker wakeup signal; the
+          parked worker only recovers via the bounded park timeout *)
 
 type event =
   | Heartbeat_generated

@@ -1,7 +1,7 @@
 (* Real OCaml 5 domains as a {!Sched.Backend_intf.BACKEND}: worker
    identity lives in domain-local storage, deques are the lock-free
    Chase–Lev {!Ws_deque}, victims come from a per-worker xorshift, and
-   idling is bounded spinning then a short sleep.
+   idling is bounded spinning then a parked wait on a condition variable.
 
    Tracing: an untraced backend has [critical] as a plain call and [emit]
    as a no-op — the scheduler runs fully lock-free. A traced backend
@@ -10,7 +10,22 @@
    recorded stream is a linearization consistent with the real deque
    states: the sanitizer's shadow Chase–Lev replay and its clock-sanity
    invariant hold on native traces exactly as on simulated ones. Tracing
-   serializes scheduling points only, never loop bodies. *)
+   serializes scheduling points only, never loop bodies.
+
+   Chaos: an attached {!Sim.Fault_injector} lets the backend refuse
+   steals and suppress wakeup signals from per-worker seeded decision
+   streams, so a chaos run is reproducible from (plan seed, P). With no
+   injector attached ([chaos] false) every hook short-circuits on one
+   immutable bool — the lock-free fast path is untouched.
+
+   Parking: an idle worker spins [spin_rounds], then blocks on
+   [park_cond] under [park_mu]. Wakeups hand out tickets under the same
+   mutex, so a wakeup that races the spin-to-park transition is banked
+   rather than lost: the worker consumes the ticket instead of waiting.
+   The monitor domain ({!start_monitor}) broadcasts every
+   [park_timeout_s] as the robustness backstop — a wakeup the chaos
+   layer suppressed (or a genuinely lost signal) strands a worker for at
+   most one timeout, not forever. *)
 
 type t = {
   n : int;
@@ -21,7 +36,16 @@ type t = {
   mu : Mutex.t;
   tick : int Atomic.t;  (* logical trace clock; bumped per emission *)
   rng : int array;  (* per-worker xorshift state for victim selection *)
-  spins : int array;  (* consecutive idle rounds, drives spin-then-sleep *)
+  spins : int array;  (* consecutive idle rounds, drives spin-then-park *)
+  busy : bool array;  (* per-worker task-depth busy flag, monitor-sampled *)
+  mutable injector : Sim.Fault_injector.t;
+  mutable chaos : bool;  (* injector attached and active *)
+  park_mu : Mutex.t;
+  park_cond : Condition.t;
+  mutable tickets : int;  (* banked wakeups, guarded by [park_mu] *)
+  parked : int Atomic.t;  (* wake_one fast-path mirror of the wait count *)
+  monitor_stop : bool Atomic.t;
+  mutable monitor : unit Domain.t option;
 }
 
 (* The worker index of the calling domain. Domains a pool did not
@@ -42,7 +66,22 @@ let create ~workers ~trace ~capture =
     tick = Atomic.make 0;
     rng = Array.init n (fun i -> (i * 0x9E3779B9) + 1);
     spins = Array.make n 0;
+    busy = Array.make n false;
+    injector = Sim.Fault_injector.inactive ~num_workers:n;
+    chaos = false;
+    park_mu = Mutex.create ();
+    park_cond = Condition.create ();
+    tickets = 0;
+    parked = Atomic.make 0;
+    monitor_stop = Atomic.make false;
+    monitor = None;
   }
+
+let set_injector b inj =
+  b.injector <- inj;
+  b.chaos <- Sim.Fault_injector.active inj
+
+let injector b = b.injector
 
 let num_workers b = b.n
 
@@ -77,6 +116,11 @@ let steal_from b ~victim = Ws_deque.steal b.deques.(victim)
 
 let deque_empty b ~worker = Ws_deque.size b.deques.(worker) = 0
 
+let rng_word b ~worker = b.rng.(worker)
+
+let deque_task_ids b ~worker =
+  List.map (fun (t : Sched.Task.t) -> t.Sched.Task.id) (Ws_deque.to_list b.deques.(worker))
+
 let random_victim b =
   let w = worker_id b in
   let s = b.rng.(w) in
@@ -86,7 +130,11 @@ let random_victim b =
   b.rng.(w) <- s;
   s mod b.n
 
-let steal_vetoed _b = false
+(* Called by the core OUTSIDE [critical] (core.ml's try_steal), so the
+   injector is free to emit its Fault_injected event through a sink that
+   takes the trace mutex itself. *)
+let steal_vetoed b =
+  b.chaos && Sim.Fault_injector.steal_fails b.injector ~worker:(worker_id b)
 
 let keep_stolen _b _task = true
 
@@ -94,11 +142,44 @@ let pre_task _b = ()
 
 let on_task_claim b = b.spins.(worker_id b) <- 0
 
-(* No parking natively: idle workers spin briefly, then sleep a hair so a
-   starved machine still makes progress. Wakeups are therefore no-ops. *)
-let wake_one _b = ()
+(* --- parked-worker wakeup ----------------------------------------- *)
 
-let unpark _b ~worker:_ = ()
+(* How long a parked worker can be stranded by a lost or chaos-suppressed
+   wakeup before the monitor's broadcast frees it. *)
+let park_timeout_s = 200e-6
+
+let wake_all b =
+  Mutex.lock b.park_mu;
+  b.tickets <- b.n;
+  Condition.broadcast b.park_cond;
+  Mutex.unlock b.park_mu
+
+(* The [parked = 0] fast path keeps the promotion path allocation-free
+   and lock-free when nobody sleeps (the common heartbeat-scheduling
+   case: deques are empty, workers spin). The chaos draw models a lost
+   futex wake; the monitor broadcast is the bounded recovery. *)
+let wake_one b =
+  if Atomic.get b.parked > 0 then begin
+    if not (b.chaos && Sim.Fault_injector.delay_wakeup b.injector ~worker:(worker_id b)) then begin
+      Mutex.lock b.park_mu;
+      if b.tickets < b.n then b.tickets <- b.tickets + 1;
+      Condition.signal b.park_cond;
+      Mutex.unlock b.park_mu
+    end
+  end
+
+(* Join-owner wakeup: broadcast, because the condition variable is shared
+   and a targeted signal could wake the wrong sleeper while the owner
+   keeps waiting for a ticket. *)
+let unpark b ~worker:_ =
+  if Atomic.get b.parked > 0 then begin
+    if not (b.chaos && Sim.Fault_injector.delay_wakeup b.injector ~worker:(worker_id b)) then begin
+      Mutex.lock b.park_mu;
+      if b.tickets < b.n then b.tickets <- b.tickets + 1;
+      Condition.broadcast b.park_cond;
+      Mutex.unlock b.park_mu
+    end
+  end
 
 let spin_rounds = 64
 
@@ -109,9 +190,53 @@ let idle b =
     b.spins.(w) <- s + 1;
     Domain.cpu_relax ()
   end
-  else Unix.sleepf 50e-6
+  else if b.n = 1 then
+    (* Single worker: nobody can wake it, so parking would strand it.
+       (Unreachable in practice — a lone worker always finds its own
+       tasks — but a sleep is the safe fallback.) *)
+    Unix.sleepf 50e-6
+  else begin
+    Mutex.lock b.park_mu;
+    if b.tickets > 0 then b.tickets <- b.tickets - 1
+    else begin
+      Atomic.incr b.parked;
+      Condition.wait b.park_cond b.park_mu;
+      Atomic.decr b.parked;
+      if b.tickets > 0 then b.tickets <- b.tickets - 1
+    end;
+    Mutex.unlock b.park_mu;
+    (* Spin again before re-parking: a fresh wakeup usually means work. *)
+    b.spins.(w) <- 0
+  end
 
-let set_busy _b ~worker:_ ~busy:_ = ()
+(* --- monitor domain ------------------------------------------------ *)
+
+let start_monitor ?(tick = fun () -> ()) b =
+  if b.n > 1 && b.monitor = None then begin
+    Atomic.set b.monitor_stop false;
+    b.monitor <-
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get b.monitor_stop) do
+               Unix.sleepf park_timeout_s;
+               Mutex.lock b.park_mu;
+               Condition.broadcast b.park_cond;
+               Mutex.unlock b.park_mu;
+               tick ()
+             done))
+  end
+
+let stop_monitor b =
+  match b.monitor with
+  | None -> ()
+  | Some d ->
+      Atomic.set b.monitor_stop true;
+      Domain.join d;
+      b.monitor <- None
+
+let set_busy b ~worker ~busy = b.busy.(worker) <- busy
+
+let is_busy b ~worker = b.busy.(worker)
 
 let charge_push _b = ()
 

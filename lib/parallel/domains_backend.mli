@@ -3,12 +3,20 @@
 
     Worker identity lives in domain-local storage ({!register}); deques
     are the lock-free Chase–Lev {!Ws_deque}; victim selection is a
-    per-worker xorshift; idling spins then sleeps (no parking). An
-    untraced backend is fully lock-free. A traced one (enabled sink)
-    linearizes every deque-op + emission group under one global mutex and
-    stamps events with a logical tick, so {!Sanitizer.Checker} validates
-    native streams — shadow-deque replay included — with the same
-    invariant set it runs on simulated ones. *)
+    per-worker xorshift; idling spins briefly, then parks on a condition
+    variable until a wakeup ticket arrives (or the monitor's bounded
+    park timeout fires). An untraced backend is fully lock-free on the
+    scheduling fast path. A traced one (enabled sink) linearizes every
+    deque-op + emission group under one global mutex and stamps events
+    with a logical tick, so {!Sanitizer.Checker} validates native
+    streams — shadow-deque replay included — with the same invariant set
+    it runs on simulated ones.
+
+    An attached {!Sim.Fault_injector} ({!set_injector}) arms chaos mode:
+    steal attempts can be vetoed and parked-worker wakeups suppressed
+    from per-worker seeded decision streams, reproducible from
+    [(plan seed, P)]. Without an injector every chaos hook
+    short-circuits on one bool. *)
 
 type t
 
@@ -17,6 +25,43 @@ val register : worker:int -> unit
     registers the caller as worker 0 and each spawned domain as 1..n-1. *)
 
 val create : workers:int -> trace:Obs.Trace.Sink.t -> capture:bool -> t
+
+val set_injector : t -> Sim.Fault_injector.t -> unit
+(** Attach a fault injector (arming chaos mode iff it is active). Must be
+    called before worker domains start — the [chaos] flag is read without
+    synchronization on the scheduling fast path. *)
+
+val injector : t -> Sim.Fault_injector.t
+(** The attached injector ({!Sim.Fault_injector.inactive} by default). *)
+
+val rng_word : t -> worker:int -> int
+(** [worker]'s victim-selection xorshift state word (checkpointed at the
+    single-worker pause boundary). *)
+
+val deque_task_ids : t -> worker:int -> int list
+(** Task ids in [worker]'s deque, oldest (steal end) first. Quiescent
+    snapshots only (the single-worker pause boundary). *)
+
+val wake_all : t -> unit
+(** Unconditionally wake every parked worker (never chaos-suppressed);
+    the shutdown path pairs this with the core's finished flag. *)
+
+val start_monitor : ?tick:(unit -> unit) -> t -> unit
+(** Spawn the monitor domain (no-op when [workers = 1] or already
+    running): broadcasts the park condition every bounded timeout so a
+    lost or chaos-suppressed wakeup strands a worker for at most one
+    period, and calls [tick] once per period — the watchdog's sampling
+    hook. *)
+
+val stop_monitor : t -> unit
+(** Stop and join the monitor domain, if running. Call only after the
+    worker domains have been joined — the monitor is what bounds their
+    park waits during shutdown races. *)
+
+val is_busy : t -> worker:int -> bool
+(** The [set_busy] flag for [worker] — true while it runs inside an
+    outermost task. Monitor-sampled (racy reads are fine: the watchdog
+    tolerates sampling error, it only needs eventual accuracy). *)
 
 (** {2 BACKEND implementation} *)
 

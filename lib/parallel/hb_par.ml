@@ -48,8 +48,11 @@ let create ?(heartbeat_us = 100.0) ~num_domains () =
   in
   let t0 = now () +. pool.hb_interval in
   Array.iteri (fun i _ -> pool.next_beat.(i) <- t0) pool.next_beat;
-  (* The caller is worker 0; n-1 extra domains scavenge until shutdown. *)
+  (* The caller is worker 0; n-1 extra domains scavenge until shutdown.
+     The monitor bounds how long a parked member can be stranded by a
+     wakeup that raced its spin-to-park transition. *)
   Domains_backend.register ~worker:0;
+  Domains_backend.start_monitor b;
   pool.domains <- List.init (n - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
   pool
 
@@ -57,8 +60,12 @@ let shutdown pool =
   if not pool.closed then begin
     pool.closed <- true;
     C.set_finished pool.core;
+    (* Members may be parked: hand every one a wake ticket so the
+       finished flag is observed. *)
+    Domains_backend.wake_all pool.b;
     List.iter Domain.join pool.domains;
-    pool.domains <- []
+    pool.domains <- [];
+    Domains_backend.stop_monitor pool.b
   end
 
 let with_pool ?heartbeat_us ~num_domains f =

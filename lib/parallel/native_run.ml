@@ -1,16 +1,41 @@
 (* The compiled-nest interpreter on real OCaml 5 domains.
 
    This is the executor's interpreter minus the virtual-time machinery:
-   no cost charging, no membus, no fault injection — real time is simply
-   spent. Everything the paper argues about is shared with the simulator
-   through [lib/sched]: the promotion choice ([Sched.Policy]), the
+   no cost charging, no membus — real time is simply spent. Everything
+   the paper argues about is shared with the simulator through
+   [lib/sched]: the promotion choice ([Sched.Policy]), the
    adaptive-chunking rule ([Sched.Adaptive_chunking]), the leftover walk
    ([Sched.Leftover_walk]) and the whole deque/steal/join discipline
    ([Sched.Core.Make (Domains_backend)]). Traced runs emit the same
    capture-gated [Obs.Trace] events at the same operation boundaries as
    the simulator, linearized by the backend's mutex, so the sanitizer
    validates native streams with its full invariant set; fingerprints
-   cross-check against simulator runs of the same program. *)
+   cross-check against simulator runs of the same program.
+
+   Fault tolerance (the robustness layer, all strictly opt-in):
+
+   - Chaos: a backend-portable [Sim.Fault_plan] attaches a
+     [Sim.Fault_injector] to the backend. Steal refusals and wakeup
+     suppressions are drawn inside the backend; dropped beats and
+     poll-counted stalls are drawn here at beat boundaries. Decisions
+     come from per-worker seeded streams, so the decision sequence is
+     reproducible from (plan seed, P). Simulator-only kinds (cycle
+     jitter, cycle-counted stalls) are refused with a precise error.
+
+   - Watchdog ladder: rung 1 detects a beat-starved worker
+     ([watchdog_k] consecutive suppressed beats) and downgrades it to
+     polling fallback — beats always deliver from then on; rung 2 runs
+     on the monitor domain, samples per-worker progress counters, and
+     disables further promotions when a busy worker makes no progress
+     for a bounded window. Both rungs emit [Mechanism_downgrade].
+
+   - Pause/checkpoint-resume: under the deterministic [Every_polls]
+     beat with one worker, a run can pause at a scheduling-point
+     boundary, serialize a [Sim.Checkpoint_state], and resume by
+     replaying from scratch with the trace gated until the boundary,
+     where the re-derived state must be byte-identical (the same
+     replay-with-verify scheme the simulator executor uses — fibers and
+     stacks cannot be serialized, determinism can). *)
 
 module Compiled = Hbc_core.Compiled
 module Rt_config = Hbc_core.Rt_config
@@ -19,6 +44,14 @@ module Run_request = Hbc_core.Run_request
 module C = Sched.Core.Make (Domains_backend)
 
 exception Internal_error = Hbc_core.Executor.Internal_error
+
+(* Pause/resume control flow: [Pause_now] unwinds the run at the armed
+   boundary (the heap state it needs — contexts, live-slice registry,
+   deques — survives the unwind untouched); [Resume_diverged] aborts a
+   replay whose re-derived boundary state mismatched the checkpoint. *)
+exception Pause_now
+
+exception Resume_diverged of string
 
 (* When a native worker observes a heartbeat. [Wall_us] is the paper's
    interval timer; [Every_polls] is a deterministic poll-count proxy that
@@ -31,6 +64,13 @@ type seg_result = Seg_ok | Seg_promoted of int
 
 type task_state = { residual : int array; mutable no_promote : bool; mutable forbidden : int }
 
+(* Live-slice registry for checkpoint capture, armed only when the request
+   pauses or resumes (same scheme as the executor's): one LIFO stack per
+   worker holds the DOALL slice activations currently on that worker's
+   stack; the checkpoint reads each context's remaining range in place at
+   the pause boundary. Unarmed runs skip it entirely. *)
+type live_slice = { ck_key : int; ck_nest : string; ck_ctx : Ir.Ctx.t }
+
 type run_state = {
   cfg : Rt_config.t;
   b : Domains_backend.t;
@@ -38,12 +78,28 @@ type run_state = {
   beat : beat_source;
   next_beat : float array;  (* per worker, Wall_us only *)
   polls : int array;  (* per worker, Every_polls only *)
+  progress : int array;
+      (* per-worker scheduling-point counter (every consume call), always
+         bumped: the pause-boundary clock at P=1 and the liveness signal
+         the monitor watchdog samples. Plain stores — monitor reads race,
+         which the watchdog tolerates. *)
   ac : (int * int, Sched.Adaptive_chunking.t) Hashtbl.t array;
       (* per worker, keyed (nest_id, ord) — worker-private, no lock *)
   work : int array;  (* per-worker body-work cycles, summed at the end *)
   promotions : int Atomic.t;
   promo_left : int Atomic.t;  (* metered promotions; max_int = unmetered *)
+  promo_disabled : bool Atomic.t;  (* watchdog rung 2: no further splits *)
   capture : bool;
+  chaos : bool;  (* an active fault injector is attached to the backend *)
+  stall_left : int array;  (* injected stall: polls left to ignore beats *)
+  since_beat : int array;  (* consecutive suppressed beats (watchdog rung 1) *)
+  downgraded : bool array;  (* rung 1 tripped: polling fallback, beats always land *)
+  downgrades : int Atomic.t;
+  live_slices : live_slice list array option;
+  mutable next_mark : int;
+      (* progress value of the next pause/regrant/verify boundary on
+         worker 0; max_int when none is armed (the common case) *)
+  mutable on_mark : unit -> unit;
   mutable exec_epoch : int;  (* driver-only mutation, between nests *)
 }
 
@@ -55,24 +111,70 @@ let emit (st : run_state) ev = Domains_backend.critical st.b (fun () -> Domains_
 
 let add_work (st : run_state) c = if c > 0 then st.work.(wid st) <- st.work.(wid st) + c
 
+(* A beat reached [w]'s boundary under chaos on a non-downgraded worker:
+   decide delivery. An injected stall window or a drop suppresses it;
+   [watchdog_k] consecutive suppressions trip rung 1 — from then on the
+   worker polls for beats directly (downgraded), so starvation is bounded
+   by [watchdog_k] beat periods. *)
+let chaos_beat st w =
+  let inj = Domains_backend.injector st.b in
+  let suppressed =
+    if st.stall_left.(w) > 0 then true
+    else begin
+      let s = Sim.Fault_injector.stall_polls inj ~worker:w in
+      if s > 0 then begin
+        st.stall_left.(w) <- s;
+        true
+      end
+      else Sim.Fault_injector.drop_beat inj ~worker:w
+    end
+  in
+  if not suppressed then begin
+    st.since_beat.(w) <- 0;
+    true
+  end
+  else begin
+    st.since_beat.(w) <- st.since_beat.(w) + 1;
+    if st.since_beat.(w) >= st.cfg.Rt_config.watchdog_k then begin
+      st.downgraded.(w) <- true;
+      st.stall_left.(w) <- 0;
+      Atomic.incr st.downgrades;
+      emit st Obs.Trace.Mechanism_downgrade;
+      (* the fallback poll delivers the beat that tripped the watchdog *)
+      true
+    end
+    else false
+  end
+
 (* One heartbeat check on this worker. A leaf poll counts ([count_poll]);
-   a non-leaf latch only reads the flag, exactly as in the simulator. *)
+   a non-leaf latch only reads the flag, exactly as in the simulator.
+   Every call bumps the progress counter (one plain store — the untraced
+   fault-free hot path stays allocation-free); chaos and pause marks cost
+   nothing when unarmed thanks to the [chaos] bool and the max_int
+   sentinel. *)
 let consume (st : run_state) w ~count_poll =
-  match st.beat with
-  | Every_polls n ->
-      if count_poll then st.polls.(w) <- st.polls.(w) + 1;
-      if st.polls.(w) >= n then begin
-        st.polls.(w) <- 0;
-        true
-      end
-      else false
-  | Wall_us us ->
-      let t = Unix.gettimeofday () in
-      if t >= st.next_beat.(w) then begin
-        st.next_beat.(w) <- t +. (us *. 1e-6);
-        true
-      end
-      else false
+  st.progress.(w) <- st.progress.(w) + 1;
+  if count_poll && st.chaos && st.stall_left.(w) > 0 then
+    st.stall_left.(w) <- st.stall_left.(w) - 1;
+  if st.progress.(w) = st.next_mark then st.on_mark ();
+  let boundary =
+    match st.beat with
+    | Every_polls n ->
+        if count_poll then st.polls.(w) <- st.polls.(w) + 1;
+        if st.polls.(w) >= n then begin
+          st.polls.(w) <- 0;
+          true
+        end
+        else false
+    | Wall_us us ->
+        let t = Unix.gettimeofday () in
+        if t >= st.next_beat.(w) then begin
+          st.next_beat.(w) <- t +. (us *. 1e-6);
+          true
+        end
+        else false
+  in
+  boundary && ((not st.chaos) || st.downgraded.(w) || chaos_beat st w)
 
 (* Spend one metered promotion, failing when racing workers drained the
    meter first; unmetered runs never touch the counter. *)
@@ -85,6 +187,14 @@ let spend_promotion st =
     in
     go ()
   end
+
+(* The promotion gate shared by leaf beats and general-loop latches: the
+   rung-2 watchdog can veto all further splits (the run then degrades to
+   serial execution of what remains, which is always correct). *)
+let may_promote st (ts : task_state) =
+  st.cfg.Rt_config.promotion && (not ts.no_promote)
+  && Atomic.get st.promo_left > 0
+  && not (Atomic.get st.promo_disabled)
 
 let fresh_task_state c =
   {
@@ -163,6 +273,27 @@ let emit_iter_exec c ctxs ord ~lo ~hi =
 
 let rec run_slice : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> int -> status =
  fun c ts ctxs ord ->
+  match c.st.live_slices with
+  | Some live when c.nest.Compiled.infos.(ord).Compiled.doall ->
+      (* Slices never migrate workers mid-run (a task executes on the
+         worker that started it), so registration and removal hit the
+         same stack. A [Pause_now] unwind skips the removal on purpose:
+         the checkpoint reads the still-registered activations. *)
+      let w = wid c.st in
+      live.(w) <-
+        {
+          ck_key = slice_key c ctxs ord;
+          ck_nest = Printf.sprintf "%s#%d" c.nest.Compiled.source_name ord;
+          ck_ctx = ctxs.(ord);
+        }
+        :: live.(w);
+      let r = run_slice_body c ts ctxs ord in
+      (match live.(w) with _ :: rest -> live.(w) <- rest | [] -> ());
+      r
+  | _ -> run_slice_body c ts ctxs ord
+
+and run_slice_body : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> int -> status =
+ fun c ts ctxs ord ->
   let info = c.nest.Compiled.infos.(ord) in
   let ctx = ctxs.(ord) in
   if not info.Compiled.doall then begin
@@ -219,9 +350,7 @@ and run_leaf : 'e. 'e nest_handle -> task_state -> Ir.Ctx.set -> 'e Compiled.loo
         | None -> ())
     | Some a -> ignore (Sched.Adaptive_chunking.on_heartbeat a)
     | None -> ());
-    if st.cfg.Rt_config.promotion && not ts.no_promote && Atomic.get st.promo_left > 0 then
-      promote c ts ctxs info
-    else None
+    if may_promote st ts then promote c ts ctxs info else None
   in
   while !result = None && ctx.Ir.Ctx.lo < ctx.Ir.Ctx.hi do
     let s =
@@ -276,8 +405,7 @@ and run_general :
            cannot lose the completed iteration. *)
         emit_iter_exec c ctxs info.Compiled.ordinal ~lo:iter ~hi:(iter + 1);
         let beat = consume st (wid st) ~count_poll:false || st.cfg.Rt_config.force_promotion in
-        if beat && st.cfg.Rt_config.promotion && not ts.no_promote && Atomic.get st.promo_left > 0
-        then begin
+        if beat && may_promote st ts then begin
           match promote c ts ctxs info with
           | Some s -> result := Some s
           | None -> ctx.Ir.Ctx.lo <- iter + 1
@@ -478,17 +606,83 @@ let exec_nest st (compiled : 'e Pipeline.program) (env : 'e) nest =
 
 let run_program ?(request = Run_request.default) ?(beat = Wall_us 100.0) (cfg : Rt_config.t)
     (compiled : 'e Pipeline.program) : Sim.Run_result.t =
+  (* Capability checks, with precise errors: fault plans are accepted
+     when every kind is backend-portable; pause/resume is accepted under
+     the deterministic beat with one worker. *)
   (match request.Run_request.fault_plan with
-  | Some _ -> invalid_arg "Native_run: fault injection is simulator-only"
-  | None -> ());
-  (match (request.Run_request.pause_at, request.Run_request.resume_from) with
-  | None, None -> ()
-  | _ -> invalid_arg "Native_run: pause/resume checkpointing is simulator-only");
+  | Some plan when not (Sim.Fault_plan.is_zero plan) -> (
+      match Sim.Fault_plan.simulator_only plan with
+      | [] -> ()
+      | bad ->
+          invalid_arg
+            (Printf.sprintf
+               "Native_run: fault plan uses simulator-only kinds: %s; drop them or run on \
+                --backend sim"
+               (String.concat ", " bad)))
+  | Some _ | None -> ());
+  let pausing =
+    Option.is_some request.Run_request.pause_at || Option.is_some request.Run_request.resume_from
+  in
+  let n = Stdlib.max 1 cfg.Rt_config.workers in
+  if pausing then begin
+    (match beat with
+    | Every_polls _ -> ()
+    | Wall_us _ ->
+        invalid_arg
+          "Native_run: pause/resume needs the deterministic Every_polls beat (--beat polls:N) — \
+           wall-clock heartbeats cannot be replayed byte-identically");
+    if n > 1 then
+      invalid_arg
+        "Native_run: pause/resume needs workers=1 — a multi-worker native replay is not \
+         byte-reproducible; use workers=1 or --backend sim"
+  end;
   let program = compiled.Pipeline.source in
   let env = program.Ir.Program.make_env () in
-  let n = Stdlib.max 1 cfg.Rt_config.workers in
   let capture = Obs.Trace.Sink.enabled request.Run_request.trace in
-  let b = Domains_backend.create ~workers:n ~trace:request.Run_request.trace ~capture in
+  (* On resume the request's sink is muted until the replay passes the
+     pause boundary: the observer already saw every earlier event during
+     the original episodes, so the per-episode streams tile the
+     uninterrupted stream exactly once. Fault counters are NOT gated —
+     the replay re-derives them from zero, like the simulator's counting
+     sink. *)
+  let resuming = Option.is_some request.Run_request.resume_from in
+  let gate = ref (not resuming) in
+  let observer =
+    if resuming && capture then
+      Obs.Trace.Sink.fn (fun ~time ~worker ev ->
+          if !gate then Obs.Trace.Sink.emit request.Run_request.trace ~time ~worker ev)
+    else request.Run_request.trace
+  in
+  let b = Domains_backend.create ~workers:n ~trace:observer ~capture in
+  (* Injected-fault accounting: the injector's own sink counts each kind
+     into atomics (the untraced chaos path has no mutex to rely on) and
+     forwards the event into the linearized trace. Injector draws happen
+     outside [critical] sections (leaf polls, try_steal's veto hook, the
+     post-critical wake path), so taking [critical] here cannot deadlock. *)
+  let f_drops = Atomic.make 0 in
+  let f_steals = Atomic.make 0 in
+  let f_stalls = Atomic.make 0 in
+  let f_stall_polls = Atomic.make 0 in
+  let f_wakeups = Atomic.make 0 in
+  (match request.Run_request.fault_plan with
+  | Some plan when not (Sim.Fault_plan.is_zero plan) ->
+      let sink =
+        Obs.Trace.Sink.fn (fun ~time:_ ~worker:_ ev ->
+            (match ev with
+            | Obs.Trace.Fault_injected f -> (
+                match f with
+                | Obs.Trace.Beat_dropped -> Atomic.incr f_drops
+                | Obs.Trace.Steal_failed -> Atomic.incr f_steals
+                | Obs.Trace.Stall p ->
+                    Atomic.incr f_stalls;
+                    ignore (Atomic.fetch_and_add f_stall_polls p)
+                | Obs.Trace.Wakeup_delayed -> Atomic.incr f_wakeups
+                | Obs.Trace.Beat_delayed _ -> ())
+            | _ -> ());
+            Domains_backend.critical b (fun () -> Domains_backend.emit b ev))
+      in
+      Domains_backend.set_injector b (Sim.Fault_injector.create plan ~num_workers:n ~trace:sink ())
+  | Some _ | None -> ());
   let core = C.create b in
   let st =
     {
@@ -498,15 +692,33 @@ let run_program ?(request = Run_request.default) ?(beat = Wall_us 100.0) (cfg : 
       beat;
       next_beat = Array.make n 0.0;
       polls = Array.make n 0;
+      progress = Array.make n 0;
       ac = Array.init n (fun _ -> Hashtbl.create 8);
       work = Array.make n 0;
       promotions = Atomic.make 0;
       promo_left =
         Atomic.make
-          (match request.Run_request.promotion_budget with
-          | Some bud -> Stdlib.max 0 bud
-          | None -> Stdlib.max_int);
+          (match request.Run_request.resume_from with
+          | Some ck -> (
+              (* The replay restarts from zero under the first episode's
+                 grant; this episode's own grant applies at the boundary. *)
+              match ck.Sim.Checkpoint_state.granted with
+              | Some g -> Stdlib.max 0 g
+              | None -> Stdlib.max_int)
+          | None -> (
+              match request.Run_request.promotion_budget with
+              | Some bud -> Stdlib.max 0 bud
+              | None -> Stdlib.max_int));
+      promo_disabled = Atomic.make false;
       capture;
+      chaos = Sim.Fault_injector.active (Domains_backend.injector b);
+      stall_left = Array.make n 0;
+      since_beat = Array.make n 0;
+      downgraded = Array.make n false;
+      downgrades = Atomic.make 0;
+      live_slices = (if pausing then Some (Array.make n []) else None);
+      next_mark = Stdlib.max_int;
+      on_mark = (fun () -> ());
       exec_epoch = 0;
     }
   in
@@ -515,7 +727,130 @@ let run_program ?(request = Run_request.default) ?(beat = Wall_us 100.0) (cfg : 
       let t0 = Unix.gettimeofday () +. (us *. 1e-6) in
       Array.iteri (fun i _ -> st.next_beat.(i) <- t0) st.next_beat
   | Every_polls _ -> ());
+  (* Observational state at a pause boundary. Every field is a pure
+     function of the single-worker deterministic dispatch history, so an
+     uninterrupted replay reaching the same boundary re-derives the same
+     bytes — that is the resume-divergence check. *)
+  let checkpoint_now ~at_cycle ~episode ~granted ~regrants =
+    let live = match st.live_slices with Some l -> l | None -> [||] in
+    let slices =
+      List.concat
+        (List.init (Array.length live) (fun w ->
+             (* stacks are LIFO; serialize bottom-to-top for a stable order *)
+             List.rev_map
+               (fun e ->
+                 {
+                   Sim.Checkpoint_state.sl_worker = w;
+                   sl_task = e.ck_key;
+                   sl_nest = e.ck_nest;
+                   sl_lo = e.ck_ctx.Ir.Ctx.lo;
+                   sl_hi = e.ck_ctx.Ir.Ctx.hi;
+                 })
+               live.(w)))
+    in
+    {
+      Sim.Checkpoint_state.at_cycle;
+      episode;
+      rng_state = Int64.of_int (Domains_backend.rng_word b ~worker:0);
+      next_task_id = C.next_task_id core;
+      work_cycles = Array.fold_left ( + ) 0 st.work;
+      promotions_used = Atomic.get st.promotions;
+      granted;
+      regrants;
+      clocks = Array.copy st.progress;
+      deques = Array.init n (fun w -> Domains_backend.deque_task_ids b ~worker:w);
+      slices;
+    }
+  in
+  (* Boundary agenda: an ascending list of (progress, action) marks that
+     [consume] fires synchronously on worker 0 — regrant replays, the
+     resume byte-verify, and the pause point itself. *)
+  let marks = ref [] in
+  let arm ms =
+    marks := ms;
+    st.next_mark <- (match ms with [] -> Stdlib.max_int | (p, _) :: _ -> p)
+  in
+  st.on_mark <-
+    (fun () ->
+      match !marks with
+      | [] -> st.next_mark <- Stdlib.max_int
+      | (_, act) :: rest ->
+          arm rest;
+          act ());
+  let applied = ref (-1) in
+  (match request.Run_request.resume_from with
+  | None -> (
+      match request.Run_request.pause_at with
+      | Some p -> arm [ (p, fun () -> raise Pause_now) ]
+      | None -> ())
+  | Some ck ->
+      let verify () =
+        let derived =
+          checkpoint_now ~at_cycle:ck.Sim.Checkpoint_state.at_cycle
+            ~episode:ck.Sim.Checkpoint_state.episode ~granted:ck.Sim.Checkpoint_state.granted
+            ~regrants:ck.Sim.Checkpoint_state.regrants
+        in
+        if not (Sim.Checkpoint_state.equal derived ck) then
+          raise
+            (Resume_diverged
+               (Printf.sprintf "replayed state %s does not match checkpoint %s"
+                  (Sim.Checkpoint_state.digest derived)
+                  (Sim.Checkpoint_state.digest ck)))
+        else begin
+          (* The replay reproduced the paused state exactly: open the
+             gate, apply this episode's grant (None keeps the remaining
+             balance, which is what byte-identical continuation needs),
+             and run for real. *)
+          gate := true;
+          (match request.Run_request.promotion_budget with
+          | Some g ->
+              Atomic.set st.promo_left (Stdlib.max 0 g);
+              applied := Stdlib.max 0 g
+          | None -> applied := -1);
+          match request.Run_request.pause_at with
+          | Some p when p > ck.Sim.Checkpoint_state.at_cycle ->
+              arm [ (p, fun () -> raise Pause_now) ]
+          | Some _ | None -> ()
+        end
+      in
+      arm
+        (List.map
+           (fun (cyc, g) -> (cyc, fun () -> if g >= 0 then Atomic.set st.promo_left g))
+           ck.Sim.Checkpoint_state.regrants
+        @ [ (ck.Sim.Checkpoint_state.at_cycle, verify) ]));
+  (* Watchdog rung 2, sampled on the monitor domain: a busy worker whose
+     progress counter has not moved for [stuck_after] consecutive samples
+     (one sample every [sample_every] park-timeout periods) is considered
+     stuck; further promotions are disabled so no new tasks land behind
+     it, and the run degrades to finishing what is already split. *)
+  let tick =
+    if not st.chaos then fun () -> ()
+    else begin
+      let sample_every = 16 and stuck_after = 8 in
+      let last = Array.make n (-1) in
+      let stuck = Array.make n 0 in
+      let ticks = ref 0 in
+      fun () ->
+        incr ticks;
+        if !ticks mod sample_every = 0 then
+          for w = 0 to n - 1 do
+            let p = st.progress.(w) in
+            if Domains_backend.is_busy b ~worker:w && p = last.(w) then begin
+              stuck.(w) <- stuck.(w) + 1;
+              if stuck.(w) = stuck_after && not (Atomic.get st.promo_disabled) then begin
+                Atomic.set st.promo_disabled true;
+                Atomic.incr st.downgrades;
+                Domains_backend.critical b (fun () ->
+                    Domains_backend.emit b Obs.Trace.Mechanism_downgrade)
+              end
+            end
+            else stuck.(w) <- 0;
+            last.(w) <- p
+          done
+    end
+  in
   Domains_backend.register ~worker:0;
+  Domains_backend.start_monitor ~tick b;
   let domains =
     List.init (n - 1) (fun i ->
         Domain.spawn (fun () ->
@@ -523,35 +858,84 @@ let run_program ?(request = Run_request.default) ?(beat = Wall_us 100.0) (cfg : 
             C.scavenge core))
   in
   let t_start = Unix.gettimeofday () in
-  Fun.protect
-    ~finally:(fun () ->
-      C.set_finished core;
-      List.iter Domain.join domains)
-    (fun () ->
-      (* Driver intervals cover only the serial segments between nests —
-         while a nest runs, worker 0 records its own task intervals, and
-         one interval spanning the whole run would overlap them. *)
-      let mark = ref (Domains_backend.now b) in
-      let driver_segment_ends () =
-        if st.capture && Domains_backend.now b > !mark then
-          emit st (Obs.Trace.Interval { t0 = !mark; kind = "driver" })
-      in
-      let cpu =
-        {
-          Ir.Program.exec =
-            (fun nest ->
-              driver_segment_ends ();
-              exec_nest st compiled env nest;
-              mark := Domains_backend.now b);
-          advance = (fun cyc -> add_work st cyc);
-        }
-      in
-      program.Ir.Program.driver env cpu;
-      driver_segment_ends ());
+  let termination = ref Sim.Run_result.Finished in
+  (try
+     Fun.protect
+       ~finally:(fun () ->
+         C.set_finished core;
+         (* Wake every parked scavenger so it observes the finished flag;
+            the monitor keeps broadcasting until after the joins, so a
+            worker that parks in the race window is freed within one
+            timeout. Only then is the monitor stopped. *)
+         Domains_backend.wake_all b;
+         List.iter Domain.join domains;
+         Domains_backend.stop_monitor b)
+       (fun () ->
+         (* The driver itself counts as task depth so inline tasks do not
+            clear worker 0's busy flag when they finish; busy is what the
+            rung-2 watchdog samples. *)
+         (C.depth core).(0) <- 1;
+         Domains_backend.set_busy b ~worker:0 ~busy:true;
+         (* Driver intervals cover only the serial segments between nests —
+            while a nest runs, worker 0 records its own task intervals, and
+            one interval spanning the whole run would overlap them. *)
+         let mark = ref (Domains_backend.now b) in
+         let driver_segment_ends () =
+           if st.capture && Domains_backend.now b > !mark then
+             emit st (Obs.Trace.Interval { t0 = !mark; kind = "driver" })
+         in
+         let cpu =
+           {
+             Ir.Program.exec =
+               (fun nest ->
+                 driver_segment_ends ();
+                 exec_nest st compiled env nest;
+                 mark := Domains_backend.now b);
+             advance = (fun cyc -> add_work st cyc);
+           }
+         in
+         program.Ir.Program.driver env cpu;
+         driver_segment_ends ();
+         (C.depth core).(0) <- 0;
+         Domains_backend.set_busy b ~worker:0 ~busy:false)
+   with
+  | Pause_now ->
+      (* The unwind skipped the live-registry pops and mutated nothing the
+         checkpoint reads, so the boundary state is captured here intact. *)
+      let p = Option.get request.Run_request.pause_at in
+      termination :=
+        Sim.Run_result.Paused
+          (match request.Run_request.resume_from with
+          | None ->
+              checkpoint_now ~at_cycle:p ~episode:1 ~granted:request.Run_request.promotion_budget
+                ~regrants:[]
+          | Some ck ->
+              checkpoint_now ~at_cycle:p
+                ~episode:(ck.Sim.Checkpoint_state.episode + 1)
+                ~granted:ck.Sim.Checkpoint_state.granted
+                ~regrants:
+                  (ck.Sim.Checkpoint_state.regrants
+                  @ [ (ck.Sim.Checkpoint_state.at_cycle, !applied) ]))
+  | Resume_diverged reason -> termination := Sim.Run_result.Guard_aborted ("resume-divergence: " ^ reason));
+  (match (request.Run_request.resume_from, !termination) with
+  | Some ck, Sim.Run_result.Finished when not !gate ->
+      termination :=
+        Sim.Run_result.Guard_aborted
+          (Printf.sprintf "resume-divergence: run finished before the boundary at cycle %d"
+             ck.Sim.Checkpoint_state.at_cycle)
+  | _ -> ());
   let elapsed_us = int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6) in
   let metrics = Sim.Metrics.create () in
   metrics.Sim.Metrics.work_cycles <- Array.fold_left ( + ) 0 st.work;
   metrics.Sim.Metrics.promotions <- Atomic.get st.promotions;
+  metrics.Sim.Metrics.faults_beats_dropped <- Atomic.get f_drops;
+  metrics.Sim.Metrics.faults_steals_failed <- Atomic.get f_steals;
+  metrics.Sim.Metrics.faults_stalls <- Atomic.get f_stalls;
+  (* stall windows are poll-counted natively; the cycle counter carries
+     the poll total so faults_injected and reports stay meaningful *)
+  metrics.Sim.Metrics.faults_stall_cycles <- Atomic.get f_stall_polls;
+  metrics.Sim.Metrics.faults_wakeups_delayed <- Atomic.get f_wakeups;
+  metrics.Sim.Metrics.downgrades <- Atomic.get st.downgrades;
   {
     (* makespan is wall microseconds here, not virtual cycles — comparable
        only between native runs. *)
@@ -560,7 +944,7 @@ let run_program ?(request = Run_request.default) ?(beat = Wall_us 100.0) (cfg : 
     fingerprint = program.Ir.Program.fingerprint env;
     work_cycles = metrics.Sim.Metrics.work_cycles;
     dnf = false;
-    termination = Sim.Run_result.Finished;
+    termination = !termination;
     trace = Obs.Trace.Sink.captured request.Run_request.trace;
     sanitizer = None;
   }

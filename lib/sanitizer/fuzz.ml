@@ -12,6 +12,9 @@ type case = {
   ac_window : int;
   plan : Sim.Fault_plan.t;
   bug : Hbc_core.Executor.seeded_bug option;
+  native_beat : int option;
+      (* Some n: run on the domains backend with a deterministic beat
+         every n polls; None: the virtual-time simulator *)
 }
 
 type failure =
@@ -121,6 +124,19 @@ let case_to_json c =
       ("stall_cycles", Int c.plan.Sim.Fault_plan.stall_cycles);
     ]
   in
+  (* The portable-plan and native fields are omitted at their defaults so
+     every pre-existing sim repro keeps its canonical bytes (and hash). *)
+  let base =
+    if c.plan.Sim.Fault_plan.stall_polls = 0 then base
+    else base @ [ ("stall_polls", Int c.plan.Sim.Fault_plan.stall_polls) ]
+  in
+  let base =
+    if c.plan.Sim.Fault_plan.delay_wakeup_prob = 0.0 then base
+    else base @ [ ("wakeup_delay", Float c.plan.Sim.Fault_plan.delay_wakeup_prob) ]
+  in
+  let base =
+    match c.native_beat with None -> base | Some nb -> base @ [ ("native_beat", Int nb) ]
+  in
   let base =
     match c.bug with None -> base | Some b -> base @ [ ("bug", Str (bug_to_string b)) ]
   in
@@ -166,6 +182,10 @@ let case_of_json j =
         let* steal_burst = int "steal_burst" in
         let* stall_prob = flt "stall_prob" in
         let* stall_cycles = int "stall_cycles" in
+        (* optional: absent in repros written before the native backend *)
+        let stall_polls = Option.value ~default:0 (get_int "stall_polls" fields) in
+        let wakeup_delay = Option.value ~default:0.0 (get_float "wakeup_delay" fields) in
+        let native_beat = get_int "native_beat" fields in
         let* bug =
           match get_str "bug" fields with
           | None -> Ok None
@@ -193,8 +213,11 @@ let case_of_json j =
                 steal_fail_burst = steal_burst;
                 stall_prob;
                 stall_cycles;
+                stall_polls;
+                delay_wakeup_prob = wakeup_delay;
               };
             bug;
+            native_beat;
           })
   | _ -> Error "fuzz case must be a JSON object"
 
@@ -271,6 +294,7 @@ let gen rng =
     if Sim.Sim_rng.bool rng then Sim.Fault_plan.none
     else
       {
+        Sim.Fault_plan.none with
         Sim.Fault_plan.seed = Sim.Sim_rng.int rng 1_000_000;
         beat_drop_prob = Sim.Sim_rng.float rng 0.4;
         beat_jitter = Sim.Sim_rng.int rng 3_000;
@@ -294,6 +318,49 @@ let gen rng =
     ac_window;
     plan;
     bug = None;
+    native_beat = None;
+  }
+
+(* Native chaos cases: the domains backend under a deterministic beat and
+   a portable-only fault plan. Worker counts stay small (these run on real
+   domains inside CI), the beat is coarse enough that runs finish fast,
+   and the plan never includes simulator-only kinds, so [run_case] always
+   dispatches cleanly. *)
+let gen_native rng =
+  let workload = pick rng workload_pool in
+  let scale = 0.01 +. Sim.Sim_rng.float rng 0.03 in
+  let workers = pick rng [| 1; 2; 4 |] in
+  let chunk =
+    match Sim.Sim_rng.int rng 6 with
+    | 0 | 1 -> Hbc_core.Compiled.Adaptive
+    | 2 -> Hbc_core.Compiled.No_chunking
+    | _ -> Hbc_core.Compiled.Static (pick rng [| 1; 4; 32; 256 |])
+  in
+  let policy =
+    if Sim.Sim_rng.int rng 4 = 0 then Hbc_core.Rt_config.Innermost_first
+    else Hbc_core.Rt_config.Outer_loop_first
+  in
+  let leftover =
+    if Sim.Sim_rng.int rng 4 = 0 then Hbc_core.Rt_config.Inline else Hbc_core.Rt_config.Spawn
+  in
+  let plan =
+    if Sim.Sim_rng.bool rng then Sim.Fault_plan.none else Sim.Fault_plan.random_portable rng
+  in
+  {
+    seed = Sim.Sim_rng.int rng 1_000_000;
+    workload;
+    scale;
+    workers;
+    mechanism = Hbc_core.Rt_config.Software_polling;
+    chunk;
+    policy;
+    leftover;
+    chunk_transferring = Sim.Sim_rng.bool rng;
+    ac_target_polls = 1 + Sim.Sim_rng.int rng 12;
+    ac_window = 1 + Sim.Sim_rng.int rng 8;
+    plan;
+    bug = None;
+    native_beat = Some (pick rng [| 16; 32; 64; 128 |]);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -352,6 +419,7 @@ let gen_mix_tenant rng ~pool ~faulty =
     else
       Some
         {
+          Sim.Fault_plan.none with
           Sim.Fault_plan.seed = Sim.Sim_rng.int rng 1_000_000;
           beat_drop_prob = Sim.Sim_rng.float rng 0.4;
           beat_jitter = Sim.Sim_rng.int rng 3_000;
@@ -439,13 +507,26 @@ let run_case c =
   let rt = rt_of_case c in
   let san = Checker.create (Checker.config_of_rt rt) in
   let request =
-    Hbc_core.Run_request.make ~max_cycles:cap
+    Hbc_core.Run_request.make
+      ?backend:(match c.native_beat with Some _ -> Some Sched.Policy.Domains | None -> None)
+      ?max_cycles:(match c.native_beat with Some _ -> None | None -> Some cap)
       ?fault_plan:(if Sim.Fault_plan.is_zero c.plan then None else Some c.plan)
       ~trace:(Checker.sink san) ~sanitize:true ~fuzz_case:(case_hash c) ()
   in
   Hbc_core.Executor.set_seeded_bug c.bug;
   let run () =
-    try Ok (Hbc_core.Executor.run ~request rt p) with e -> Error (Printexc.to_string e)
+    try
+      Ok
+        (match c.native_beat with
+        | Some nb ->
+            (* Real domains: the sanitizer consumes the backend-linearized
+               stream; the virtual-time cap does not apply (wall time is
+               bounded by the workload scale). *)
+            Hb_parallel.Native_run.run ~request
+              ~beat:(Hb_parallel.Native_run.Every_polls nb)
+              rt p
+        | None -> Hbc_core.Executor.run ~request rt p)
+    with e -> Error (Printexc.to_string e)
   in
   let result = Fun.protect ~finally:(fun () -> Hbc_core.Executor.set_seeded_bug None) run in
   Checker.finish san;
@@ -484,7 +565,9 @@ let shrink_candidates c =
     if_changed { c with plan = Sim.Fault_plan.none };
     if_changed { c with plan = { c.plan with Sim.Fault_plan.beat_drop_prob = 0.0; beat_jitter = 0 } };
     if_changed { c with plan = { c.plan with Sim.Fault_plan.steal_fail_prob = 0.0; steal_fail_burst = 0 } };
-    if_changed { c with plan = { c.plan with Sim.Fault_plan.stall_prob = 0.0; stall_cycles = 0 } };
+    if_changed
+      { c with plan = { c.plan with Sim.Fault_plan.stall_prob = 0.0; stall_cycles = 0; stall_polls = 0 } };
+    if_changed { c with plan = { c.plan with Sim.Fault_plan.delay_wakeup_prob = 0.0 } };
     (if c.workers > 1 then Some { c with workers = c.workers / 2 } else None);
     if_changed { c with mechanism = Hbc_core.Rt_config.Software_polling };
     if_changed { c with chunk = Hbc_core.Compiled.Adaptive };

@@ -28,6 +28,11 @@ type case = {
   ac_window : int;
   plan : Sim.Fault_plan.t;  (** {!Sim.Fault_plan.none} for fault-free cases *)
   bug : Hbc_core.Executor.seeded_bug option;  (** forced-failure mode *)
+  native_beat : int option;
+      (** [Some n]: run on the real domains backend with a deterministic
+          beat every [n] polls ({!Hb_parallel.Native_run.Every_polls});
+          [None]: the virtual-time simulator. Omitted from the canonical
+          JSON when [None], so pre-native repro hashes are unchanged. *)
 }
 
 type failure =
@@ -54,6 +59,14 @@ type outcome = {
 val gen : Sim.Sim_rng.t -> case
 (** Draw one random (bug-free) case. Equal generator states draw equal
     cases, so a whole campaign replays from its seed list. *)
+
+val gen_native : Sim.Sim_rng.t -> case
+(** Draw one random native chaos case: the domains backend under a
+    deterministic [Every_polls] beat, a backend-portable fault plan
+    ({!Sim.Fault_plan.random_portable}, or none), 1–4 workers and no
+    seeded bug. The sanitizer and differential fingerprint check apply
+    exactly as in sim mode — chaos may only change performance, never
+    results. *)
 
 (** {2 Serve-mode workload mixes}
 

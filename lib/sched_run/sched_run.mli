@@ -39,6 +39,8 @@ val run :
     that actually ran, so journal signatures never alias across backends.
     [beat] applies to domains runs only (default wall-clock 100 µs).
 
-    @raise Invalid_argument for combinations the backend cannot express
-    ([Openmp]/[Hybrid] on [Domains]) and for simulator-only request
-    features on [Domains] (fault plans, pause/resume). *)
+    @raise Invalid_argument for combinations the backend cannot express:
+    [Openmp]/[Hybrid] on [Domains]; a fault plan with simulator-only
+    kinds ({!Sim.Fault_plan.simulator_only}) on [Domains] — portable
+    plans inject natively; and pause/resume on [Domains] without a
+    deterministic [Every_polls] beat and a single worker. *)

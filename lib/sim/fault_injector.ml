@@ -76,5 +76,29 @@ let stall_cycles t ~worker =
   end
   else 0
 
+let stall_polls t ~worker =
+  if
+    t.active
+    && t.plan.Fault_plan.stall_prob > 0.0
+    && t.plan.Fault_plan.stall_polls > 0
+    && Sim_rng.float t.rngs.(worker) 1.0 < t.plan.Fault_plan.stall_prob
+  then begin
+    let n = 1 + Sim_rng.int t.rngs.(worker) t.plan.Fault_plan.stall_polls in
+    booked t ~worker (Obs.Trace.Stall n);
+    n
+  end
+  else 0
+
+let delay_wakeup t ~worker =
+  if
+    t.active
+    && t.plan.Fault_plan.delay_wakeup_prob > 0.0
+    && Sim_rng.float t.rngs.(worker) 1.0 < t.plan.Fault_plan.delay_wakeup_prob
+  then begin
+    booked t ~worker Obs.Trace.Wakeup_delayed;
+    true
+  end
+  else false
+
 let backoff_jitter t ~worker ~limit =
   if t.active && limit > 0 then Sim_rng.int t.rngs.(worker) limit else 0

@@ -49,7 +49,18 @@ val steal_fails : t -> worker:int -> bool
 
 val stall_cycles : t -> worker:int -> int
 (** Cycles of injected OS-preemption stall at a scheduling point (0 most of
-    the time). *)
+    the time). Simulator-side stall duration; draws only when the plan has
+    [stall_prob > 0]. *)
+
+val stall_polls : t -> worker:int -> int
+(** Counted polls of injected stall at a heartbeat-poll boundary (0 most of
+    the time). Domains-backend stall duration; draws only when the plan has
+    both [stall_prob > 0] and [stall_polls > 0], so sim and native stalls
+    consume disjoint plan knobs. *)
+
+val delay_wakeup : t -> worker:int -> bool
+(** Should this parked-worker wakeup signal be suppressed? (The bounded
+    park timeout then bounds the stranding.) *)
 
 val backoff_jitter : t -> worker:int -> limit:int -> int
 (** Uniform jitter in [\[0, limit)] for the executor's steal backoff; 0 when

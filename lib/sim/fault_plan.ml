@@ -6,6 +6,8 @@ type t = {
   steal_fail_burst : int;
   stall_prob : float;
   stall_cycles : int;
+  stall_polls : int;
+  delay_wakeup_prob : float;
 }
 
 let none =
@@ -17,15 +19,19 @@ let none =
     steal_fail_burst = 0;
     stall_prob = 0.0;
     stall_cycles = 0;
+    stall_polls = 0;
+    delay_wakeup_prob = 0.0;
   }
 
 let is_zero t =
   t.beat_drop_prob = 0.0 && t.beat_jitter = 0 && t.steal_fail_prob = 0.0 && t.stall_prob = 0.0
+  && t.delay_wakeup_prob = 0.0
 
 let with_seed t seed = { t with seed }
 
 let random rng =
   {
+    none with
     seed = Sim_rng.int rng 1_000_000;
     beat_drop_prob = Sim_rng.float rng 0.5;
     beat_jitter = Sim_rng.int rng 5_000;
@@ -35,13 +41,90 @@ let random rng =
     stall_cycles = 1 + Sim_rng.int rng 10_000;
   }
 
+let random_portable rng =
+  {
+    none with
+    seed = Sim_rng.int rng 1_000_000;
+    beat_drop_prob = Sim_rng.float rng 0.5;
+    steal_fail_prob = Sim_rng.float rng 0.4;
+    steal_fail_burst = 1 + Sim_rng.int rng 4;
+    stall_prob = Sim_rng.float rng 0.02;
+    stall_polls = 1 + Sim_rng.int rng 256;
+    delay_wakeup_prob = Sim_rng.float rng 0.3;
+  }
+
+(* A fault kind is backend-portable when the domains backend can model it
+   without virtual time: steal refusal, dropped beats, wakeup suppression
+   and poll-counted stalls qualify; cycle-granular delivery jitter and
+   cycle-counted stall windows only make sense on the simulator clock. *)
+let simulator_only t =
+  let out = [] in
+  let out = if t.beat_jitter > 0 then "beat-jitter (cycle-granular delivery delay)" :: out else out in
+  let out =
+    if t.stall_prob > 0.0 && t.stall_polls = 0 then
+      "stall-cycles (cycle-counted stall window; set stall_polls for native)" :: out
+    else out
+  in
+  List.rev out
+
+let portable t = simulator_only t = []
+
 let to_string t =
   if is_zero t then "no faults"
   else
     Printf.sprintf
-      "seed=%d drop=%.0f%% jitter<=%dcy steal-fail=%.0f%%x%d stall=%.1f%%<=%dcy" t.seed
-      (100.0 *. t.beat_drop_prob) t.beat_jitter
+      "seed=%d drop=%.0f%% jitter<=%dcy steal-fail=%.0f%%x%d stall=%.1f%%<=%dcy/%dpolls wakeup-delay=%.0f%%"
+      t.seed
+      (100.0 *. t.beat_drop_prob)
+      t.beat_jitter
       (100.0 *. t.steal_fail_prob)
       t.steal_fail_burst
       (100.0 *. t.stall_prob)
-      t.stall_cycles
+      t.stall_cycles t.stall_polls
+      (100.0 *. t.delay_wakeup_prob)
+
+(* Byte-stable codec: fields in fixed order, floats via %.17g so a plan
+   round-trips exactly (repro files, fuzz cases, serve journals). *)
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("v", Obs.Json.Int 1);
+      ("seed", Obs.Json.Int t.seed);
+      ("beat_drop_prob", Obs.Json.Float t.beat_drop_prob);
+      ("beat_jitter", Obs.Json.Int t.beat_jitter);
+      ("steal_fail_prob", Obs.Json.Float t.steal_fail_prob);
+      ("steal_fail_burst", Obs.Json.Int t.steal_fail_burst);
+      ("stall_prob", Obs.Json.Float t.stall_prob);
+      ("stall_cycles", Obs.Json.Int t.stall_cycles);
+      ("stall_polls", Obs.Json.Int t.stall_polls);
+      ("delay_wakeup_prob", Obs.Json.Float t.delay_wakeup_prob);
+    ]
+
+let of_json = function
+  | Obs.Json.Obj fields ->
+      let ( let* ) = Option.bind in
+      let int k = Obs.Json.get_int k fields in
+      let num k = Obs.Json.get_float k fields in
+      let* seed = int "seed" in
+      let* beat_drop_prob = num "beat_drop_prob" in
+      let* beat_jitter = int "beat_jitter" in
+      let* steal_fail_prob = num "steal_fail_prob" in
+      let* steal_fail_burst = int "steal_fail_burst" in
+      let* stall_prob = num "stall_prob" in
+      let* stall_cycles = int "stall_cycles" in
+      (* v0 plans predate the portable kinds: absent fields read as zero *)
+      let stall_polls = Option.value ~default:0 (int "stall_polls") in
+      let delay_wakeup_prob = Option.value ~default:0.0 (num "delay_wakeup_prob") in
+      Some
+        {
+          seed;
+          beat_drop_prob;
+          beat_jitter;
+          steal_fail_prob;
+          steal_fail_burst;
+          stall_prob;
+          stall_cycles;
+          stall_polls;
+          delay_wakeup_prob;
+        }
+  | _ -> None

@@ -19,6 +19,7 @@ type t = {
   mutable faults_steals_failed : int;
   mutable faults_stalls : int;
   mutable faults_stall_cycles : int;
+  mutable faults_wakeups_delayed : int;
   mutable downgrades : int;
 }
 
@@ -44,6 +45,7 @@ let create () =
     faults_steals_failed = 0;
     faults_stalls = 0;
     faults_stall_cycles = 0;
+    faults_wakeups_delayed = 0;
     downgrades = 0;
   }
 
@@ -74,6 +76,7 @@ let downgrade_count t = t.downgrades
 
 let faults_injected t =
   t.faults_beats_dropped + t.faults_beats_delayed + t.faults_steals_failed + t.faults_stalls
+  + t.faults_wakeups_delayed
 
 (* The always-on counting sink: every scalar counter that reflects a
    discrete runtime occurrence is derived from the trace-event stream, so
@@ -101,6 +104,8 @@ let count_event t (ev : Obs.Trace.event) =
   | Obs.Trace.Fault_injected (Obs.Trace.Stall c) ->
       t.faults_stalls <- t.faults_stalls + 1;
       t.faults_stall_cycles <- t.faults_stall_cycles + c
+  | Obs.Trace.Fault_injected Obs.Trace.Wakeup_delayed ->
+      t.faults_wakeups_delayed <- t.faults_wakeups_delayed + 1
   | Obs.Trace.Mechanism_downgrade -> t.downgrades <- t.downgrades + 1
   | Obs.Trace.Interval _ -> ()
   (* Sanitizer bookkeeping events: pure trace payload, no scalar counter.
@@ -141,6 +146,7 @@ let counter_specs : (string * (t -> int) * (t -> int -> unit)) list =
     ("faults_steals_failed", (fun t -> t.faults_steals_failed), fun t v -> t.faults_steals_failed <- v);
     ("faults_stalls", (fun t -> t.faults_stalls), fun t v -> t.faults_stalls <- v);
     ("faults_stall_cycles", (fun t -> t.faults_stall_cycles), fun t v -> t.faults_stall_cycles <- v);
+    ("faults_wakeups_delayed", (fun t -> t.faults_wakeups_delayed), fun t v -> t.faults_wakeups_delayed <- v);
     ("downgrades", (fun t -> t.downgrades), fun t v -> t.downgrades <- v);
   ]
 

@@ -38,6 +38,8 @@ type t = {
   mutable faults_steals_failed : int;  (** injected steal-attempt failures *)
   mutable faults_stalls : int;  (** injected per-worker stall windows *)
   mutable faults_stall_cycles : int;  (** total cycles lost to stalls *)
+  mutable faults_wakeups_delayed : int;
+      (** injected parked-worker wakeup suppressions (domains backend) *)
   mutable downgrades : int;
       (** watchdog fallbacks from an interrupt mechanism to software
           polling; the per-worker schedule is in the trace *)

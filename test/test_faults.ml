@@ -177,6 +177,7 @@ let fault_schedules_are_deterministic () =
   let scale = 0.05 in
   let plan =
     {
+      Sim.Fault_plan.none with
       Sim.Fault_plan.seed = 21;
       beat_drop_prob = 0.4;
       beat_jitter = 2_000;

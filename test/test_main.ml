@@ -23,5 +23,6 @@ let () =
       ("benchgate", Test_benchgate.suite);
       ("sanitizer", Test_sanitizer.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("native_faults", Test_native_faults.suite);
       ("server", Test_server.suite);
     ]

@@ -222,6 +222,7 @@ let forced_case bug =
     ac_window = 8;
     plan = Sim.Fault_plan.none;
     bug = Some bug;
+    native_beat = None;
   }
 
 (* End to end: a forced scheduler bug fails, shrinks while preserving the

@@ -217,11 +217,22 @@ let facade_dispatch () =
             p);
        false
      with Invalid_argument _ -> true);
-  check_bool "faults on domains rejected" true
+  (* Portable fault kinds now run natively; only simulator-only kinds
+     (cycle-granular jitter, cycle-counted stalls) are refused. *)
+  let chaos =
+    let request =
+      Hbc_core.Run_request.make ~backend:Sched.Policy.Domains
+        ~fault_plan:{ Sim.Fault_plan.none with seed = 1; beat_drop_prob = 0.5 } ()
+    in
+    Sched_run.run ~request ~beat:(Hb_parallel.Native_run.Every_polls 32) Sched_run.hbc p
+  in
+  check_bool "portable faults run on domains" true (Sim.Run_result.fingerprints_close seq chaos);
+  check_bool "simulator-only faults on domains rejected" true
     (try
        let request =
          Hbc_core.Run_request.make ~backend:Sched.Policy.Domains
-           ~fault_plan:{ Sim.Fault_plan.none with seed = 1; beat_drop_prob = 0.5 } ()
+           ~fault_plan:{ Sim.Fault_plan.none with seed = 1; beat_drop_prob = 0.5; beat_jitter = 100 }
+           ()
        in
        ignore (Sched_run.run ~request Sched_run.hbc p);
        false

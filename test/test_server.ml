@@ -343,6 +343,7 @@ let budget_exhaustion_is_isolated () =
 let faulty_tenant_trips_breaker () =
   let plan =
     {
+      Sim.Fault_plan.none with
       Sim.Fault_plan.seed = 5;
       beat_drop_prob = 0.3;
       beat_jitter = 1_000;
